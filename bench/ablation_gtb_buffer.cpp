@@ -1,0 +1,53 @@
+// Ablation: GTB window size (§3.3).
+//
+// A larger buffer lets GTB take better-informed decisions (fewer deviations
+// from the ideal classification) but postpones task issue.  This sweep
+// quantifies both effects on Sobel and DCT: classification quality
+// (ratio deviation + output quality) and execution time.
+#include <cstdio>
+
+#include "apps/dct.hpp"
+#include "apps/sobel.hpp"
+#include "support/table.hpp"
+
+int main() {
+  using namespace sigrt::apps;
+
+  const std::size_t buffers[] = {1, 4, 16, 64, 256, SIZE_MAX};
+
+  sigrt::support::Table t({"app", "buffer", "time_s", "ratio(got)",
+                           "ratio_diff", "quality", "PSNR_dB"});
+
+  for (const std::size_t buf : buffers) {
+    const std::string label = buf == SIZE_MAX ? "max" : std::to_string(buf);
+
+    sobel::Options so;
+    so.width = 512;
+    so.height = 512;
+    so.common.variant = buf == SIZE_MAX ? Variant::GTBMaxBuffer : Variant::GTB;
+    so.common.gtb_buffer = buf;
+    so.common.degree = Degree::Medium;
+    const auto sr = sobel::run(so);
+    t.row().cell("sobel").cell(label).cell(sr.time_s, 4)
+        .cell(sr.provided_ratio, 3).cell(sr.ratio_diff, 4)
+        .cell(sr.quality, 5).cell(sr.quality_aux, 1);
+
+    dct::Options dc;
+    dc.width = 256;
+    dc.height = 256;
+    dc.common.variant = so.common.variant;
+    dc.common.gtb_buffer = buf;
+    dc.common.degree = Degree::Medium;
+    const auto dr = dct::run(dc);
+    t.row().cell("dct").cell(label).cell(dr.time_s, 4)
+        .cell(dr.provided_ratio, 3).cell(dr.ratio_diff, 4)
+        .cell(dr.quality, 5).cell(dr.quality_aux, 1);
+  }
+
+  t.print("[ablation:gtb-buffer] window-size sweep at the Medium degree");
+  std::printf("expected shape: tiny windows overshoot the ratio (window=1\n"
+              "makes everything accurate: ceil semantics of Listing 4) and\n"
+              "lose the significance ordering across windows; large windows\n"
+              "converge to the oracle classification.\n");
+  return 0;
+}

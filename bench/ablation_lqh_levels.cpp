@@ -1,0 +1,43 @@
+// Ablation: LQH discrete significance-level count (§3.4).
+//
+// The paper fixes 101 levels (0.00..1.00 step 0.01).  Fewer levels make the
+// per-task bookkeeping cheaper but quantize distinct significances into one
+// bucket, costing classification fidelity; more levels cost a longer prefix
+// scan per decision.  Sobel's 9 distinct significance values make the
+// quantization effect visible.
+#include <cstdio>
+
+#include "apps/sobel.hpp"
+#include "support/table.hpp"
+
+int main() {
+  using namespace sigrt::apps;
+
+  const unsigned levels[] = {2, 5, 11, 101, 401, 1001};
+
+  sigrt::support::Table t({"levels", "time_s", "ratio(got)", "ratio_diff",
+                           "inversions%", "PSNR_dB"});
+
+  for (const unsigned lv : levels) {
+    sobel::Options o;
+    o.width = 512;
+    o.height = 512;
+    o.common.variant = Variant::LQH;
+    o.common.degree = Degree::Medium;
+    o.common.lqh_levels = lv;
+    const auto r = sobel::run(o);
+    t.row()
+        .cell(static_cast<std::size_t>(lv))
+        .cell(r.time_s, 4)
+        .cell(r.provided_ratio, 3)
+        .cell(r.ratio_diff, 4)
+        .cell(r.inversion_fraction * 100.0, 2)
+        .cell(r.quality_aux, 1);
+  }
+
+  t.print("[ablation:lqh-levels] LQH level-count sweep (Sobel, Medium)");
+  std::printf("expected shape: >= 11 levels resolve Sobel's 9 significance\n"
+              "values; 2-5 levels alias distinct significances (inversions\n"
+              "rise); beyond 101 nothing changes but decision cost.\n");
+  return 0;
+}

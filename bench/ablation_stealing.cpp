@@ -1,0 +1,51 @@
+// Ablation: work stealing on/off (§3: "when a worker's queue runs empty,
+// the worker may steal tasks from other workers' queues").
+//
+// With heterogeneous task weights (accurate vs approximate bodies coexist
+// in one run) round-robin distribution alone load-imbalances the workers;
+// stealing reclaims the idle time.  Also shows the LQH side effect the
+// paper leans on for Kmeans: stealing changes *which* worker executes a
+// task, hence the local histories.
+#include <cstdio>
+
+#include "apps/kmeans.hpp"
+#include "apps/sobel.hpp"
+#include "support/table.hpp"
+
+int main() {
+  using namespace sigrt::apps;
+
+  sigrt::support::Table t(
+      {"app", "policy", "steal", "time_s", "energy_j", "iterations/quality"});
+
+  for (const bool steal : {true, false}) {
+    sobel::Options so;
+    so.width = 512;
+    so.height = 512;
+    so.repeats = 2;
+    so.common.variant = Variant::GTB;
+    so.common.degree = Degree::Medium;
+    so.common.steal = steal;
+    const auto sr = sobel::run(so);
+    t.row().cell("sobel").cell("GTB").cell(steal ? "on" : "off")
+        .cell(sr.time_s, 4).cell(sr.energy_j, 2).cell(sr.quality_aux, 1);
+
+    kmeans::Options km;
+    km.points = 8192;
+    km.common.variant = Variant::LQH;
+    km.common.degree = Degree::Medium;
+    km.common.steal = steal;
+    kmeans::Solution sol;
+    const auto kr = kmeans::run(km, &sol);
+    t.row().cell("kmeans").cell("LQH").cell(steal ? "on" : "off")
+        .cell(kr.time_s, 4).cell(kr.energy_j, 2)
+        .cell(static_cast<std::size_t>(sol.iterations));
+  }
+
+  t.print("[ablation:stealing] work stealing on/off");
+  std::printf("expected shape: stealing never hurts completion and typically\n"
+              "reduces time under mixed task weights; for LQH+Kmeans the\n"
+              "steal-induced history shuffling is part of the slow-convergence\n"
+              "effect of §4.2.\n");
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Figure 1: Sobel output at four approximation levels, assembled as the
+// paper's quadrant comparison — upper left accurate, upper right Mild,
+// lower left Medium, lower right Aggressive.  Writes fig1_sobel.pgm and
+// prints the per-quadrant PSNR.
+#include <cstdio>
+
+#include "apps/sobel.hpp"
+#include "metrics/quality.hpp"
+#include "support/image.hpp"
+#include "support/table.hpp"
+
+int main() {
+  using namespace sigrt::apps;
+  using sigrt::support::Image;
+
+  constexpr std::size_t kSize = 512;
+  const Image input = sigrt::support::synthetic_image(kSize, kSize, 42);
+  const Image reference = sobel::reference(input);
+
+  struct Quad {
+    const char* name;
+    double ratio;
+    int qx, qy;
+  };
+  const Quad quads[] = {
+      {"accurate", 1.0, 0, 0},
+      {"mild", sobel::ratio_for(Degree::Mild), 1, 0},
+      {"medium", sobel::ratio_for(Degree::Medium), 0, 1},
+      {"aggressive", sobel::ratio_for(Degree::Aggressive), 1, 1},
+  };
+
+  Image assembled(kSize, kSize, 0);
+  sigrt::support::Table t({"quadrant", "ratio", "PSNR_dB", "PSNR^-1"});
+
+  for (const Quad& q : quads) {
+    sobel::Options o;
+    o.width = kSize;
+    o.height = kSize;
+    o.common.variant = Variant::GTBMaxBuffer;
+    o.ratio_override = q.ratio;
+    Image out;
+    sobel::run(o, &out);
+    sigrt::support::blit_quadrant(assembled, out, q.qx, q.qy);
+    const double psnr = sigrt::metrics::psnr_db(reference, out);
+    t.row().cell(q.name).cell(q.ratio, 2).cell(psnr, 2).cell(
+        sigrt::metrics::inverse_psnr(psnr), 5);
+  }
+
+  const char* path = "fig1_sobel.pgm";
+  sigrt::support::write_pgm(assembled, path);
+  t.print("[fig1] Sobel under increasing approximation (quadrants of " +
+          std::string(path) + ")");
+  std::printf("expected shape: PSNR degrades gracefully; even the aggressive\n"
+              "quadrant (every row via the approxfun) stays a usable edge map.\n");
+  return 0;
+}

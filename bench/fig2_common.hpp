@@ -1,0 +1,74 @@
+// Shared driver for the six Figure 2 harnesses.
+//
+// Figure 2 of the paper is a 6x3 grid: per benchmark, execution time,
+// energy and quality for the Aggressive/Medium/Mild degrees under the GTB,
+// GTB(MaxBuffer) and LQH policies, with the fully accurate execution and
+// the loop-perforation comparator drawn as reference lines.  This driver
+// regenerates one benchmark's row: an `accurate` reference row plus one row
+// per (degree, variant).
+#pragma once
+
+#include <cstdio>
+#include <functional>
+#include <optional>
+#include <string>
+
+#include "apps/common.hpp"
+#include "support/table.hpp"
+
+namespace sigrt::bench {
+
+/// Runs one variant at one degree.  `gtb` carries the bounded-GTB result of
+/// the same degree when available, letting apps match the perforated
+/// comparator's task budget to "the same number of tasks as those executed
+/// accurately by our approach" (§4.1).
+using VariantRunner = std::function<apps::RunResult(
+    apps::Variant, apps::Degree, const apps::RunResult* gtb)>;
+
+inline void run_fig2(const std::string& app, const std::string& note,
+                     const VariantRunner& run, bool perforation_supported = true) {
+  using apps::Degree;
+  using apps::Variant;
+
+  support::Table table({"app", "degree", "variant", "time_s", "energy_j",
+                        "quality", "metric", "ratio(req)", "ratio(got)"});
+
+  auto add_row = [&table](const apps::RunResult& r) {
+    table.row()
+        .cell(r.app)
+        .cell(r.degree)
+        .cell(r.variant)
+        .cell(r.time_s, 4)
+        .cell(r.energy_j, 2)
+        .cell(r.quality, 5)
+        .cell(r.quality_metric)
+        .cell(r.requested_ratio, 2)
+        .cell(r.provided_ratio, 2);
+  };
+
+  // Reference line: fully accurate execution on the significance-agnostic
+  // runtime (degree is irrelevant; shown as "-").
+  apps::RunResult acc = run(Variant::Accurate, Degree::Mild, nullptr);
+  acc.degree = "-";
+  add_row(acc);
+
+  for (const Degree degree : apps::kAllDegrees) {
+    const apps::RunResult gtb = run(Variant::GTB, degree, nullptr);
+    add_row(gtb);
+    add_row(run(Variant::GTBMaxBuffer, degree, &gtb));
+    add_row(run(Variant::LQH, degree, &gtb));
+    if (perforation_supported) {
+      add_row(run(Variant::Perforated, degree, &gtb));
+    }
+  }
+
+  table.print("[fig2:" + app + "] time / energy / quality per degree and policy");
+  if (!note.empty()) std::printf("%s\n", note.c_str());
+  if (!perforation_supported) {
+    std::printf("(perforation not applicable to %s, as in the paper)\n",
+                app.c_str());
+  }
+  std::printf("\n");
+}
+
+}  // namespace sigrt::bench

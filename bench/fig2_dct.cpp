@@ -1,0 +1,21 @@
+// Figure 2, DCT row: time / energy / PSNR^-1 across degrees and policies.
+#include "apps/dct.hpp"
+#include "fig2_common.hpp"
+
+int main() {
+  using namespace sigrt::apps;
+  sigrt::bench::run_fig2(
+      "dct",
+      "expected shape: sigrt matches perforation's time/energy but wins on\n"
+      "quality (perforation drops low-frequency bands blindly); GTB(MaxBuf)\n"
+      "pays the largest overhead here — many lightweight tasks (cf. Fig 4).",
+      [](Variant v, Degree d, const RunResult*) {
+        dct::Options o;
+        o.width = 512;
+        o.height = 512;
+        o.common.variant = v;
+        o.common.degree = d;
+        return dct::run(o);
+      });
+  return 0;
+}

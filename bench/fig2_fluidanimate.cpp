@@ -1,0 +1,24 @@
+// Figure 2, Fluidanimate row: time / energy / relative error across degrees
+// and policies.  Loop perforation is not applicable (dropping part of the
+// particles' movement violates the physics, §4.2).
+#include "apps/fluidanimate.hpp"
+#include "fig2_common.hpp"
+
+int main() {
+  using namespace sigrt::apps;
+  sigrt::bench::run_fig2(
+      "fluidanimate",
+      "expected shape: halving the accurate steps (Mild) roughly halves the\n"
+      "energy at bounded error; Medium/Aggressive degrade sharply — the\n"
+      "paper reports only Mild is acceptable.",
+      [](Variant v, Degree d, const RunResult*) {
+        fluid::Options o;
+        o.particles = 2048;
+        o.steps = 48;
+        o.common.variant = v;
+        o.common.degree = d;
+        return fluid::run(o);
+      },
+      /*perforation_supported=*/false);
+  return 0;
+}

@@ -1,0 +1,26 @@
+// Figure 2, Jacobi row: time / energy / relative error across degrees and
+// policies.  The perforated comparator's rate is matched to the bounded-GTB
+// run's provided accurate ratio so both execute the same task budget (§4.1).
+#include "apps/jacobi.hpp"
+#include "fig2_common.hpp"
+
+int main() {
+  using namespace sigrt::apps;
+  sigrt::bench::run_fig2(
+      "jacobi",
+      "expected shape: degrees are convergence tolerances (1e-4/1e-3/1e-2 vs\n"
+      "native 1e-5): looser tolerance => fewer sweeps => less time/energy at\n"
+      "a larger solution error; the 5 approximate warm-up sweeps are benign\n"
+      "(diagonally dominant system).",
+      [](Variant v, Degree d, const RunResult* gtb) {
+        jacobi::Options o;
+        o.n = 1024;
+        o.common.variant = v;
+        o.common.degree = d;
+        if (v == Variant::Perforated && gtb != nullptr) {
+          o.perforation_rate = 1.0 - gtb->provided_ratio;
+        }
+        return jacobi::run(o);
+      });
+  return 0;
+}

@@ -1,0 +1,21 @@
+// Figure 2, Kmeans row: time / energy / relative error across degrees and
+// policies.
+#include "apps/kmeans.hpp"
+#include "fig2_common.hpp"
+
+int main() {
+  using namespace sigrt::apps;
+  sigrt::bench::run_fig2(
+      "kmeans",
+      "expected shape: sub-percent errors at every degree; GTB beats the\n"
+      "perforated version on time/energy; LQH converges in more iterations\n"
+      "(its accurate chunk set shifts between iterations, §4.2).",
+      [](Variant v, Degree d, const RunResult*) {
+        kmeans::Options o;
+        o.points = 8192;
+        o.common.variant = v;
+        o.common.degree = d;
+        return kmeans::run(o);
+      });
+  return 0;
+}

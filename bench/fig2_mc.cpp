@@ -1,0 +1,22 @@
+// Figure 2, MC row: time / energy / relative error across degrees and
+// policies.
+#include "apps/mc.hpp"
+#include "fig2_common.hpp"
+
+int main() {
+  using namespace sigrt::apps;
+  sigrt::bench::run_fig2(
+      "mc",
+      "expected shape: randomized kernel tolerates approximation; sigrt\n"
+      "performs nearly identically to blind perforation (paper §4.2); LQH\n"
+      "slightly undershoots the requested ratio.",
+      [](Variant v, Degree d, const RunResult*) {
+        mc::Options o;
+        o.points = 128;
+        o.walks = 1500;
+        o.common.variant = v;
+        o.common.degree = d;
+        return mc::run(o);
+      });
+  return 0;
+}

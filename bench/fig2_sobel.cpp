@@ -1,0 +1,21 @@
+// Figure 2, Sobel row: time / energy / PSNR^-1 across degrees and policies.
+#include "apps/sobel.hpp"
+#include "fig2_common.hpp"
+
+int main() {
+  using namespace sigrt::apps;
+  sigrt::bench::run_fig2(
+      "sobel",
+      "expected shape: approximation cuts time/energy monotonically;\n"
+      "perforation is fastest but its quality (unwritten rows) collapses.",
+      [](Variant v, Degree d, const RunResult*) {
+        sobel::Options o;
+        o.width = 512;
+        o.height = 512;
+        o.repeats = 2;
+        o.common.variant = v;
+        o.common.degree = d;
+        return sobel::run(o);
+      });
+  return 0;
+}

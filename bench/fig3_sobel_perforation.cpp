@@ -1,0 +1,58 @@
+// Figure 3: Sobel under blind loop perforation — accurate, 20%, 70% and
+// 100% of the row iterations dropped, as quadrants of fig3_sobel.pgm.
+// The point of the figure: perforation's quality collapses where the
+// significance-aware runtime of Figure 1 degrades gracefully.
+#include <cstdio>
+
+#include "apps/sobel.hpp"
+#include "metrics/quality.hpp"
+#include "support/image.hpp"
+#include "support/table.hpp"
+
+int main() {
+  using namespace sigrt::apps;
+  using sigrt::support::Image;
+
+  constexpr std::size_t kSize = 512;
+  const Image input = sigrt::support::synthetic_image(kSize, kSize, 42);
+  const Image reference = sobel::reference(input);
+
+  struct Quad {
+    const char* name;
+    double perforation_rate;
+    int qx, qy;
+  };
+  const Quad quads[] = {
+      {"accurate", 0.0, 0, 0},
+      {"perforate 20%", 0.2, 1, 0},
+      {"perforate 70%", 0.7, 0, 1},
+      {"perforate 100%", 1.0, 1, 1},
+  };
+
+  Image assembled(kSize, kSize, 0);
+  sigrt::support::Table t({"quadrant", "rate", "PSNR_dB", "PSNR^-1"});
+
+  for (const Quad& q : quads) {
+    sobel::Options o;
+    o.width = kSize;
+    o.height = kSize;
+    o.common.variant = Variant::Perforated;
+    // The perforated path derives its rate from (1 - ratio).
+    o.ratio_override = 1.0 - q.perforation_rate;
+    Image out;
+    sobel::run(o, &out);
+    sigrt::support::blit_quadrant(assembled, out, q.qx, q.qy);
+    const double psnr = sigrt::metrics::psnr_db(reference, out);
+    t.row().cell(q.name).cell(q.perforation_rate, 2).cell(psnr, 2).cell(
+        sigrt::metrics::inverse_psnr(psnr), 5);
+  }
+
+  const char* path = "fig3_sobel.pgm";
+  sigrt::support::write_pgm(assembled, path);
+  t.print("[fig3] Sobel under blind loop perforation (quadrants of " +
+          std::string(path) + ")");
+  std::printf("expected shape: PSNR collapses with the perforation rate —\n"
+              "dropped rows are simply never written (black stripes), unlike\n"
+              "the graceful degradation of Figure 1.\n");
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Table 1: the benchmark inventory — approximation mode (Approximate /
+// Drop), the Mild/Medium/Aggressive degree parameters and the quality
+// metric per benchmark.  Regenerated from the apps' own degree mappings so
+// the table cannot drift from the implementation.
+#include <cstdio>
+
+#include "apps/dct.hpp"
+#include "apps/fluidanimate.hpp"
+#include "apps/jacobi.hpp"
+#include "apps/kmeans.hpp"
+#include "apps/mc.hpp"
+#include "apps/sobel.hpp"
+#include "support/table.hpp"
+
+int main() {
+  using namespace sigrt::apps;
+  sigrt::support::Table t(
+      {"Benchmark", "Approx-or-Drop", "Mild", "Medium", "Aggr", "Quality"});
+
+  auto pct = [](double ratio) {
+    char buf[16];
+    std::snprintf(buf, sizeof(buf), "%.1f%%", ratio * 100.0);
+    return std::string(buf);
+  };
+  auto tol = [](double v) {
+    char buf[16];
+    std::snprintf(buf, sizeof(buf), "%.0e", v);
+    return std::string(buf);
+  };
+
+  t.row().cell("Sobel").cell("A")
+      .cell(pct(sobel::ratio_for(Degree::Mild)))
+      .cell(pct(sobel::ratio_for(Degree::Medium)))
+      .cell(pct(sobel::ratio_for(Degree::Aggressive)))
+      .cell("PSNR");
+  t.row().cell("DCT").cell("D")
+      .cell(pct(dct::ratio_for(Degree::Mild)))
+      .cell(pct(dct::ratio_for(Degree::Medium)))
+      .cell(pct(dct::ratio_for(Degree::Aggressive)))
+      .cell("PSNR");
+  t.row().cell("MC").cell("D, A")
+      .cell(pct(mc::ratio_for(Degree::Mild)))
+      .cell(pct(mc::ratio_for(Degree::Medium)))
+      .cell(pct(mc::ratio_for(Degree::Aggressive)))
+      .cell("Rel. Err.");
+  t.row().cell("Kmeans").cell("A")
+      .cell(pct(kmeans::ratio_for(Degree::Mild)))
+      .cell(pct(kmeans::ratio_for(Degree::Medium)))
+      .cell(pct(kmeans::ratio_for(Degree::Aggressive)))
+      .cell("Rel. Err.");
+  t.row().cell("Jacobi").cell("D, A")
+      .cell(tol(jacobi::tolerance_for(Degree::Mild)))
+      .cell(tol(jacobi::tolerance_for(Degree::Medium)))
+      .cell(tol(jacobi::tolerance_for(Degree::Aggressive)))
+      .cell("Rel. Err.");
+  t.row().cell("Fluidanimate").cell("A")
+      .cell(pct(fluid::accurate_step_fraction(Degree::Mild)))
+      .cell(pct(fluid::accurate_step_fraction(Degree::Medium)))
+      .cell(pct(fluid::accurate_step_fraction(Degree::Aggressive)))
+      .cell("Rel. Err.");
+
+  t.print("[table1] benchmarks and approximation degrees "
+          "(percent = accurately executed tasks; Jacobi = error tolerance, "
+          "native 1e-5)");
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Energy-measurement probe: reports which meter backend is active on this
+// host (RAPL via powercap, or the calibrated E5-2650 activity model) and
+// demonstrates a measured busy-vs-idle contrast.
+//
+// Usage: ./examples/energy_probe
+#include <cstdio>
+#include <thread>
+
+#include "core/sigrt.hpp"
+#include "energy/rapl.hpp"
+
+int main() {
+  sigrt::Runtime rt;
+  std::printf("energy_probe\n");
+  std::printf("  active meter : %s\n", rt.meter().name().c_str());
+
+  sigrt::energy::RaplMeter rapl;
+  std::printf("  RAPL packages: %zu %s\n", rapl.domain_count(),
+              rapl.available() ? "(readable)" : "(none readable — model fallback)");
+
+  const sigrt::energy::MachineModel model;
+  std::printf("  model machine: %d sockets x %d cores, %.1f W static, "
+              "%.2f W/core dynamic\n",
+              model.sockets, model.cores_per_socket, model.static_power_w(),
+              model.dynamic_core_power_w());
+
+  // Idle window.
+  const sigrt::energy::Scope idle(rt.meter());
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  const double idle_j = idle.joules();
+
+  // Busy window of the same length (workers spinning on arithmetic).
+  const sigrt::energy::Scope busy(rt.meter());
+  for (unsigned t = 0; t < rt.config().workers; ++t) {
+    rt.spawn(sigrt::task([] {
+      volatile double x = 1.0;
+      const auto end = std::chrono::steady_clock::now() + std::chrono::milliseconds(200);
+      while (std::chrono::steady_clock::now() < end) x = x * 1.0000001 + 0.1;
+    }));
+  }
+  rt.wait_all();
+  const double busy_j = busy.joules();
+
+  std::printf("  200 ms idle  : %.3f J\n", idle_j);
+  std::printf("  200 ms busy  : %.3f J  (x%.2f)\n", busy_j,
+              idle_j > 0 ? busy_j / idle_j : 0.0);
+  std::printf("\nThe runtime's policies convert approximated/dropped tasks into\n"
+              "less busy time, which is exactly what this meter integrates.\n");
+  return 0;
+}

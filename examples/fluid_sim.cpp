@@ -1,0 +1,66 @@
+// SPH fluid simulation with alternating accurate/approximate time steps.
+//
+// The paper's Fluidanimate port: whole time steps run either fully accurate
+// (SPH density + forces) or fully approximate (linear extrapolation of the
+// particle motion), controlled by flipping the group ratio between 1.0 and
+// 0.0 at consecutive taskwait barriers (§4.1).
+//
+// Usage: ./examples/fluid_sim [accurate_period] [steps]
+//   accurate_period 1 => every step accurate; 2 => paper's Mild; 4 => Medium
+#include <cstdio>
+#include <cstdlib>
+
+#include "apps/fluidanimate.hpp"
+#include "support/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace sigrt::apps;
+
+  const auto period = argc > 1 ? static_cast<std::size_t>(std::atoll(argv[1])) : 2;
+  const auto steps = argc > 2 ? static_cast<std::size_t>(std::atoll(argv[2])) : 48;
+
+  fluid::Options base;
+  base.steps = steps;
+  base.common.variant = Variant::GTB;
+
+  // The degrees map to periods 2/4/8; emulate an arbitrary period by
+  // picking the nearest degree for the built-in schedule, or full accuracy.
+  if (period <= 1) {
+    base.common.variant = Variant::Accurate;
+  } else if (period <= 2) {
+    base.common.degree = Degree::Mild;
+  } else if (period <= 4) {
+    base.common.degree = Degree::Medium;
+  } else {
+    base.common.degree = Degree::Aggressive;
+  }
+
+  fluid::State final_state;
+  const auto r = fluid::run(base, &final_state);
+
+  double mean_y = 0.0;
+  double min_y = 1.0;
+  for (const double y : final_state.py) {
+    mean_y += y;
+    min_y = y < min_y ? y : min_y;
+  }
+  mean_y /= static_cast<double>(final_state.py.size());
+
+  std::printf("fluid_sim: %zu particles, %zu steps, schedule=%s\n",
+              base.particles, steps,
+              base.common.variant == Variant::Accurate ? "all accurate"
+                                                       : to_string(base.common.degree));
+  std::printf("  time   : %s\n", sigrt::support::format_seconds(r.time_s).c_str());
+  std::printf("  energy : %s\n", sigrt::support::format_joules(r.energy_j).c_str());
+  std::printf("  tasks  : %llu accurate / %llu approximate\n",
+              static_cast<unsigned long long>(r.tasks_accurate),
+              static_cast<unsigned long long>(r.tasks_approximate));
+  if (base.common.variant != Variant::Accurate) {
+    std::printf("  position error vs fully accurate run: %.4f (relative L2)\n",
+                r.quality);
+  }
+  std::printf("  fluid settled to mean height %.3f (min %.3f)\n", mean_y, min_y);
+  std::printf("\nStability note (§4.2): only the mild schedule (period 2) keeps\n"
+              "the error acceptable; longer extrapolation windows diverge.\n");
+  return 0;
+}

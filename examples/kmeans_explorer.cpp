@@ -1,0 +1,50 @@
+// K-means quality/energy frontier explorer.
+//
+// Sweeps the taskwait ratio across [0.2, 1.0] for each runtime policy and
+// prints the resulting (time, energy, relative error, iterations) frontier
+// — the "easy exploration of trade-offs at execution time" the programming
+// model promises (§2), with zero changes to the kernel code.
+//
+// Usage: ./examples/kmeans_explorer [points] [clusters]
+#include <cstdio>
+#include <cstdlib>
+
+#include "apps/kmeans.hpp"
+#include "support/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace sigrt::apps;
+
+  const std::size_t points = argc > 1 ? static_cast<std::size_t>(std::atoll(argv[1])) : 4096;
+  const std::size_t clusters = argc > 2 ? static_cast<std::size_t>(std::atoll(argv[2])) : 8;
+
+  sigrt::support::Table table(
+      {"policy", "ratio", "iterations", "time", "energy", "rel.err"});
+
+  for (const Variant v : {Variant::GTB, Variant::LQH}) {
+    for (const double ratio : {1.0, 0.8, 0.6, 0.4, 0.2}) {
+      kmeans::Options o;
+      o.points = points;
+      o.clusters = clusters;
+      o.common.variant = v;
+      o.ratio_override = ratio;
+      kmeans::Solution sol;
+      const auto r = kmeans::run(o, &sol);
+      table.row()
+          .cell(to_string(v))
+          .cell(ratio, 2)
+          .cell(sol.iterations)
+          .cell(sigrt::support::format_seconds(r.time_s))
+          .cell(sigrt::support::format_joules(r.energy_j))
+          .cell(r.quality, 5);
+    }
+  }
+
+  std::printf("kmeans_explorer: n=%zu, k=%zu, 16 dimensions\n", points, clusters);
+  std::printf("(approximate tasks use 1/8 of the dimensions; only accurate\n");
+  std::printf(" chunks feed the convergence criterion, as in the paper)\n\n");
+  table.print();
+  std::printf("Note how GTB's deterministic accurate set converges in fewer\n"
+              "iterations than LQH's shifting one at the same ratio (cf. §4.2).\n");
+  return 0;
+}

@@ -1,0 +1,183 @@
+#include "apps/dct.hpp"
+
+#include <array>
+#include <cmath>
+
+#include "metrics/quality.hpp"
+#include "perforation/perforate.hpp"
+
+namespace sigrt::apps::dct {
+
+namespace {
+
+using support::Image;
+
+constexpr double kPi = 3.14159265358979323846;
+
+/// cos((2x+1)*u*pi/16) lookup, built once.
+const std::array<std::array<double, kBlock>, kBlock>& cos_table() {
+  static const auto table = [] {
+    std::array<std::array<double, kBlock>, kBlock> t{};
+    for (std::size_t u = 0; u < kBlock; ++u) {
+      for (std::size_t x = 0; x < kBlock; ++x) {
+        t[u][x] = std::cos((2.0 * static_cast<double>(x) + 1.0) *
+                           static_cast<double>(u) * kPi /
+                           (2.0 * static_cast<double>(kBlock)));
+      }
+    }
+    return t;
+  }();
+  return table;
+}
+
+double alpha(std::size_t u) {
+  return u == 0 ? std::sqrt(1.0 / static_cast<double>(kBlock))
+                : std::sqrt(2.0 / static_cast<double>(kBlock));
+}
+
+/// Computes coefficient (u, v) of the 8x8 block at (bx, by).  Pixel values
+/// are centered at zero (-128) as in JPEG.
+float coefficient(const Image& img, std::size_t bx, std::size_t by,
+                  std::size_t u, std::size_t v) {
+  const auto& ct = cos_table();
+  double acc = 0.0;
+  for (std::size_t y = 0; y < kBlock; ++y) {
+    const std::uint8_t* row = img.row(by * kBlock + y) + bx * kBlock;
+    for (std::size_t x = 0; x < kBlock; ++x) {
+      acc += (static_cast<double>(row[x]) - 128.0) * ct[u][x] * ct[v][y];
+    }
+  }
+  return static_cast<float>(alpha(u) * alpha(v) * acc);
+}
+
+/// Task body: one diagonal band (all (u,v) with u+v == band) for every
+/// block in one stripe of block-rows.
+void band_task(float* coeffs, const Image& img, std::size_t blocks_x,
+               std::size_t by, std::size_t band) {
+  for (std::size_t bx = 0; bx < blocks_x; ++bx) {
+    float* block = coeffs + (by * blocks_x + bx) * kBlock * kBlock;
+    for (std::size_t u = 0; u < kBlock; ++u) {
+      if (band < u) break;
+      const std::size_t v = band - u;
+      if (v >= kBlock) continue;
+      block[v * kBlock + u] = coefficient(img, bx, by, u, v);
+    }
+  }
+}
+
+}  // namespace
+
+double ratio_for(Degree degree) noexcept {
+  switch (degree) {
+    case Degree::Mild: return 0.80;
+    case Degree::Medium: return 0.40;
+    case Degree::Aggressive: return 0.10;
+  }
+  return 1.0;
+}
+
+double band_significance(std::size_t band) noexcept {
+  // DC band -> 1.0 (unconditional), last band -> 1/15.  Linear in between:
+  // human vision weights low spatial frequencies higher (§1).
+  return 1.0 - static_cast<double>(band) / static_cast<double>(kBands);
+}
+
+std::vector<float> reference(const Image& input) {
+  const std::size_t blocks_x = input.width() / kBlock;
+  const std::size_t blocks_y = input.height() / kBlock;
+  std::vector<float> coeffs(blocks_x * blocks_y * kBlock * kBlock, 0.0f);
+  for (std::size_t by = 0; by < blocks_y; ++by) {
+    for (std::size_t band = 0; band < kBands; ++band) {
+      band_task(coeffs.data(), input, blocks_x, by, band);
+    }
+  }
+  return coeffs;
+}
+
+Image inverse(const std::vector<float>& coeffs, std::size_t width,
+              std::size_t height) {
+  const auto& ct = cos_table();
+  const std::size_t blocks_x = width / kBlock;
+  const std::size_t blocks_y = height / kBlock;
+  Image out(width, height);
+  for (std::size_t by = 0; by < blocks_y; ++by) {
+    for (std::size_t bx = 0; bx < blocks_x; ++bx) {
+      const float* block = coeffs.data() + (by * blocks_x + bx) * kBlock * kBlock;
+      for (std::size_t y = 0; y < kBlock; ++y) {
+        for (std::size_t x = 0; x < kBlock; ++x) {
+          double acc = 0.0;
+          for (std::size_t v = 0; v < kBlock; ++v) {
+            for (std::size_t u = 0; u < kBlock; ++u) {
+              acc += alpha(u) * alpha(v) * block[v * kBlock + u] * ct[u][x] *
+                     ct[v][y];
+            }
+          }
+          const double p = acc + 128.0;
+          out.at(bx * kBlock + x, by * kBlock + y) = static_cast<std::uint8_t>(
+              p < 0.0 ? 0.0 : (p > 255.0 ? 255.0 : std::lround(p)));
+        }
+      }
+    }
+  }
+  return out;
+}
+
+RunResult run(const Options& options, Image* out) {
+  RunResult result;
+  result.app = "dct";
+  result.quality_metric = "PSNR^-1";
+
+  const Image input = support::synthetic_image(options.width, options.height,
+                                               options.common.seed);
+  const std::vector<float> ref = reference(input);
+  const Image ref_img = inverse(ref, input.width(), input.height());
+
+  const double ratio = options.ratio_override >= 0.0
+                           ? options.ratio_override
+                           : ratio_for(options.common.degree);
+  const std::size_t blocks_x = input.width() / kBlock;
+  const std::size_t blocks_y = input.height() / kBlock;
+
+  std::vector<float> coeffs(blocks_x * blocks_y * kBlock * kBlock, 0.0f);
+  float* cf = coeffs.data();
+  const std::size_t stripe_floats = blocks_x * kBlock * kBlock;
+
+  run_measured(options.common, result, [&](Runtime& rt) {
+    const GroupId g = rt.create_group("dct", ratio);
+    if (options.common.variant == Variant::Perforated) {
+      // Blind perforation over the flat (stripe, band) task index space:
+      // no notion of which bands matter, so DC bands get dropped too.
+      perforation::for_each(
+          0, blocks_y * kBands, 1.0 - ratio, [&](std::size_t idx) {
+            const std::size_t by = idx / kBands;
+            const std::size_t band = idx % kBands;
+            rt.spawn(task([=, &input] { band_task(cf, input, blocks_x, by, band); })
+                         .group(g)
+                         .in(input.data(), input.size())
+                         .out(cf + by * stripe_floats, stripe_floats));
+          });
+    } else {
+      for (std::size_t by = 0; by < blocks_y; ++by) {
+        for (std::size_t band = 0; band < kBands; ++band) {
+          // Drop benchmark: no approxfun — an approximated task leaves its
+          // band's coefficients zero.
+          rt.spawn(task([=, &input] { band_task(cf, input, blocks_x, by, band); })
+                       .significance(band_significance(band))
+                       .group(g)
+                       .in(input.data(), input.size())
+                       .out(cf + by * stripe_floats, stripe_floats));
+        }
+      }
+    }
+    rt.wait_group(g);
+  });
+
+  Image out_img = inverse(coeffs, input.width(), input.height());
+  const double psnr = metrics::psnr_db(ref_img, out_img);
+  result.quality = metrics::inverse_psnr(psnr);
+  result.quality_aux = psnr;
+  if (out != nullptr) *out = std::move(out_img);
+  return result;
+}
+
+}  // namespace sigrt::apps::dct

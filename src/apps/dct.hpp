@@ -1,0 +1,48 @@
+// 8x8 block DCT benchmark (JPEG-style forward transform, §4.1).
+//
+// The image is processed in 8x8 blocks.  Coefficients are grouped into 15
+// zig-zag diagonals (u+v = 0..14); one task computes one diagonal band for
+// one stripe of blocks.  Lower-frequency bands get higher significance —
+// the paper's "layers of significance" decomposition — with the DC band
+// pinned at significance 1.0 (unconditionally accurate).
+//
+// DCT is a *drop* benchmark (Table 1: "D"): approximated tasks have no
+// approxfun, so their coefficients stay zero, exactly like JPEG truncating
+// high-frequency content.  Degrees: ratio 0.8 / 0.4 / 0.1.
+// Quality: PSNR between the images reconstructed (IDCT) from the candidate
+// and the fully accurate coefficient sets.
+#pragma once
+
+#include <vector>
+
+#include "apps/common.hpp"
+#include "support/image.hpp"
+
+namespace sigrt::apps::dct {
+
+inline constexpr std::size_t kBlock = 8;
+inline constexpr std::size_t kBands = 2 * kBlock - 1;  // u+v diagonals
+
+struct Options {
+  std::size_t width = 512;   ///< multiple of 8
+  std::size_t height = 512;  ///< multiple of 8
+  CommonOptions common;
+  double ratio_override = -1.0;
+};
+
+[[nodiscard]] double ratio_for(Degree degree) noexcept;
+
+/// Significance of a diagonal band (1.0 for DC, decreasing with frequency).
+[[nodiscard]] double band_significance(std::size_t band) noexcept;
+
+/// Forward 8x8 DCT of the whole image, serial accurate reference.
+/// Coefficients are stored block-row-major: blocks[by][bx][v][u].
+[[nodiscard]] std::vector<float> reference(const support::Image& input);
+
+/// Inverse transform back to an image (for PSNR evaluation).
+[[nodiscard]] support::Image inverse(const std::vector<float>& coeffs,
+                                     std::size_t width, std::size_t height);
+
+RunResult run(const Options& options, support::Image* out = nullptr);
+
+}  // namespace sigrt::apps::dct

@@ -1,0 +1,362 @@
+#include "apps/fluidanimate.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "metrics/quality.hpp"
+#include "support/rng.hpp"
+
+namespace sigrt::apps::fluid {
+
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+// SPH constants (Mueller-style kernels, scaled for a unit box).
+constexpr double kH = 0.0625;          // smoothing radius
+constexpr double kRestDensity = 1000.0;
+constexpr double kMass = 0.35;
+constexpr double kStiffness = 2.5;     // pressure constant
+constexpr double kViscosity = 1.2;
+constexpr double kGravity = -9.8;
+constexpr double kDamping = 0.5;       // wall bounce damping
+
+/// Uniform grid over the unit box with cell size >= kH.
+struct Grid {
+  std::size_t dim = 0;     // cells per axis
+  double cell = 0.0;
+  std::vector<std::vector<std::uint32_t>> cells;
+
+  explicit Grid(double h) {
+    dim = std::max<std::size_t>(1, static_cast<std::size_t>(1.0 / h));
+    cell = 1.0 / static_cast<double>(dim);
+    cells.resize(dim * dim * dim);
+  }
+
+  [[nodiscard]] std::size_t index_of(double x, double y, double z) const {
+    auto clampi = [this](double v) {
+      const auto i = static_cast<long>(v / cell);
+      return static_cast<std::size_t>(std::clamp<long>(i, 0, static_cast<long>(dim) - 1));
+    };
+    return (clampi(z) * dim + clampi(y)) * dim + clampi(x);
+  }
+
+  void rebuild(const State& s) {
+    for (auto& c : cells) c.clear();
+    for (std::size_t i = 0; i < s.px.size(); ++i) {
+      cells[index_of(s.px[i], s.py[i], s.pz[i])].push_back(
+          static_cast<std::uint32_t>(i));
+    }
+  }
+
+  /// Visits every particle in the 27-cell neighborhood of (x, y, z).
+  template <typename Visitor>
+  void neighbors(double x, double y, double z, Visitor&& visit) const {
+    const auto cx = static_cast<long>(x / cell);
+    const auto cy = static_cast<long>(y / cell);
+    const auto cz = static_cast<long>(z / cell);
+    for (long dz = -1; dz <= 1; ++dz) {
+      for (long dy = -1; dy <= 1; ++dy) {
+        for (long dx = -1; dx <= 1; ++dx) {
+          const long nx = cx + dx, ny = cy + dy, nz = cz + dz;
+          if (nx < 0 || ny < 0 || nz < 0 || nx >= static_cast<long>(dim) ||
+              ny >= static_cast<long>(dim) || nz >= static_cast<long>(dim)) {
+            continue;
+          }
+          for (std::uint32_t j :
+               cells[(static_cast<std::size_t>(nz) * dim +
+                      static_cast<std::size_t>(ny)) *
+                         dim +
+                     static_cast<std::size_t>(nx)]) {
+            visit(j);
+          }
+        }
+      }
+    }
+  }
+};
+
+State initial_state(const Options& opt) {
+  State s;
+  s.px.resize(opt.particles);
+  s.py.resize(opt.particles);
+  s.pz.resize(opt.particles);
+  s.vx.assign(opt.particles, 0.0);
+  s.vy.assign(opt.particles, 0.0);
+  s.vz.assign(opt.particles, 0.0);
+  // A block of fluid dropped in one corner — deterministic lattice with a
+  // tiny seeded jitter to break symmetry.
+  support::Xoshiro256 rng(opt.common.seed);
+  const auto side = static_cast<std::size_t>(
+      std::ceil(std::cbrt(static_cast<double>(opt.particles))));
+  const double spacing = 0.4 / static_cast<double>(side);
+  for (std::size_t i = 0; i < opt.particles; ++i) {
+    const std::size_t ix = i % side;
+    const std::size_t iy = (i / side) % side;
+    const std::size_t iz = i / (side * side);
+    s.px[i] = 0.1 + spacing * static_cast<double>(ix) + rng.uniform(0.0, 1e-4);
+    s.py[i] = 0.5 + spacing * static_cast<double>(iy) + rng.uniform(0.0, 1e-4);
+    s.pz[i] = 0.1 + spacing * static_cast<double>(iz) + rng.uniform(0.0, 1e-4);
+  }
+  return s;
+}
+
+/// Poly6 density kernel.
+double w_poly6(double r2) {
+  const double h2 = kH * kH;
+  if (r2 >= h2) return 0.0;
+  const double d = h2 - r2;
+  return 315.0 / (64.0 * kPi * std::pow(kH, 9)) * d * d * d;
+}
+
+/// Density pass for one chunk of particles.
+void density_task(const State& s, const Grid& grid, std::vector<double>& rho,
+                  std::size_t begin, std::size_t end) {
+  for (std::size_t i = begin; i < end; ++i) {
+    double acc = 0.0;
+    grid.neighbors(s.px[i], s.py[i], s.pz[i], [&](std::uint32_t j) {
+      const double dx = s.px[i] - s.px[j];
+      const double dy = s.py[i] - s.py[j];
+      const double dz = s.pz[i] - s.pz[j];
+      acc += w_poly6(dx * dx + dy * dy + dz * dz);
+    });
+    rho[i] = std::max(kMass * acc, 1e-9);
+  }
+}
+
+/// Force + integrate pass for one chunk (spiky pressure gradient, linear
+/// viscosity, gravity; semi-implicit Euler with damped wall bounces).
+/// Reads only the pre-step snapshot `s` and writes the chunk's slice of
+/// `next`, so chunk tasks are order-independent: the parallel execution is
+/// bitwise identical to the serial reference.
+void force_task(const State& s, const Grid& grid, const std::vector<double>& rho,
+                double dt, State& next, std::size_t begin, std::size_t end) {
+  const double spiky = -45.0 / (kPi * std::pow(kH, 6));
+  const double visc = 45.0 / (kPi * std::pow(kH, 6)) * kViscosity;
+
+  for (std::size_t i = begin; i < end; ++i) {
+    const double pi = kStiffness * (rho[i] - kRestDensity);
+    double fx = 0.0, fy = 0.0, fz = 0.0;
+    grid.neighbors(s.px[i], s.py[i], s.pz[i], [&](std::uint32_t j) {
+      if (j == i) return;
+      const double dx = s.px[i] - s.px[j];
+      const double dy = s.py[i] - s.py[j];
+      const double dz = s.pz[i] - s.pz[j];
+      const double r2 = dx * dx + dy * dy + dz * dz;
+      if (r2 >= kH * kH || r2 < 1e-12) return;
+      const double r = std::sqrt(r2);
+      const double pj = kStiffness * (rho[j] - kRestDensity);
+      // Pressure (symmetrized) along the unit separation vector.
+      const double pterm =
+          spiky * kMass * (pi + pj) / (2.0 * rho[j]) * (kH - r) * (kH - r) / r;
+      fx += pterm * dx;
+      fy += pterm * dy;
+      fz += pterm * dz;
+      // Viscosity.
+      const double vterm = visc * kMass / rho[j] * (kH - r);
+      fx += vterm * (s.vx[j] - s.vx[i]);
+      fy += vterm * (s.vy[j] - s.vy[i]);
+      fz += vterm * (s.vz[j] - s.vz[i]);
+    });
+    fy += kGravity * rho[i];
+
+    next.vx[i] = s.vx[i] + dt * fx / rho[i];
+    next.vy[i] = s.vy[i] + dt * fy / rho[i];
+    next.vz[i] = s.vz[i] + dt * fz / rho[i];
+    next.px[i] = s.px[i] + dt * next.vx[i];
+    next.py[i] = s.py[i] + dt * next.vy[i];
+    next.pz[i] = s.pz[i] + dt * next.vz[i];
+
+    auto bounce = [](double& p, double& v) {
+      if (p < 0.0) {
+        p = 0.0;
+        v = -v * kDamping;
+      } else if (p > 1.0) {
+        p = 1.0;
+        v = -v * kDamping;
+      }
+    };
+    bounce(next.px[i], next.vx[i]);
+    bounce(next.py[i], next.vy[i]);
+    bounce(next.pz[i], next.vz[i]);
+  }
+}
+
+/// Approximate step for one chunk: linear extrapolation along the current
+/// velocity — no density, no forces (§4.1).
+void advect_task(State& s, double dt, std::size_t begin, std::size_t end) {
+  for (std::size_t i = begin; i < end; ++i) {
+    s.px[i] = std::clamp(s.px[i] + dt * s.vx[i], 0.0, 1.0);
+    s.py[i] = std::clamp(s.py[i] + dt * s.vy[i], 0.0, 1.0);
+    s.pz[i] = std::clamp(s.pz[i] + dt * s.vz[i], 0.0, 1.0);
+  }
+}
+
+State make_scratch(std::size_t n) {
+  State sc;
+  sc.px.resize(n);
+  sc.py.resize(n);
+  sc.pz.resize(n);
+  sc.vx.resize(n);
+  sc.vy.resize(n);
+  sc.vz.resize(n);
+  return sc;
+}
+
+void accurate_step_serial(State& s, State& scratch, Grid& grid,
+                          std::vector<double>& rho, double dt) {
+  grid.rebuild(s);
+  density_task(s, grid, rho, 0, s.px.size());
+  force_task(s, grid, rho, dt, scratch, 0, s.px.size());
+  std::swap(s, scratch);
+}
+
+}  // namespace
+
+double accurate_step_fraction(Degree degree) noexcept {
+  switch (degree) {
+    case Degree::Mild: return 0.5;
+    case Degree::Medium: return 0.25;
+    case Degree::Aggressive: return 0.125;
+  }
+  return 1.0;
+}
+
+std::size_t period_for(Degree degree) noexcept {
+  switch (degree) {
+    case Degree::Mild: return 2;
+    case Degree::Medium: return 4;
+    case Degree::Aggressive: return 8;
+  }
+  return 1;
+}
+
+bool variant_supported(Variant v) noexcept { return v != Variant::Perforated; }
+
+State reference(const Options& options) {
+  State s = initial_state(options);
+  State scratch = make_scratch(options.particles);
+  Grid grid(kH);
+  std::vector<double> rho(options.particles, 0.0);
+  for (std::size_t step = 0; step < options.steps; ++step) {
+    accurate_step_serial(s, scratch, grid, rho, options.dt);
+  }
+  return s;
+}
+
+RunResult run(const Options& options, State* out) {
+  RunResult result;
+  result.app = "fluidanimate";
+  result.quality_metric = "rel.err";
+
+  if (!variant_supported(options.common.variant)) {
+    result.variant = to_string(options.common.variant);
+    result.degree = to_string(options.common.degree);
+    result.quality = -1.0;  // sentinel: not applicable
+    return result;
+  }
+
+  const State ref = reference(options);
+  const std::size_t period = period_for(options.common.degree);
+  const std::size_t chunks = (options.particles + options.chunk - 1) / options.chunk;
+
+  State s = initial_state(options);
+  State scratch = make_scratch(options.particles);
+  Grid grid(kH);
+  std::vector<double> rho(options.particles, 0.0);
+
+  run_measured(options.common, result, [&](Runtime& rt) {
+    const GroupId g = rt.create_group("fluid", 1.0);
+    const bool accurate_only = options.common.variant == Variant::Accurate;
+
+    auto chunk_range = [&](std::size_t c, std::size_t& lo, std::size_t& hi) {
+      lo = c * options.chunk;
+      hi = std::min(options.particles, lo + options.chunk);
+    };
+
+    for (std::size_t step = 0; step < options.steps; ++step) {
+      const bool accurate_step =
+          accurate_only || options.force_all_accurate || step % period == 0;
+      // The paper's knob: ratio 1.0 for accurate steps, 0.0 for
+      // approximate ones — every task in the step follows.
+      rt.set_ratio(g, accurate_step ? 1.0 : 0.0);
+
+      if (accurate_step) {
+        grid.rebuild(s);
+        // Density wave; the approxfun advects, which only runs if the
+        // runtime approximates (ratio 1.0 says it must not).
+        for (std::size_t c = 0; c < chunks; ++c) {
+          std::size_t lo, hi;
+          chunk_range(c, lo, hi);
+          rt.spawn(task([&, lo, hi] { density_task(s, grid, rho, lo, hi); })
+                       .approx([&, lo, hi] { advect_task(s, options.dt, lo, hi); })
+                       .significance(0.5)
+                       .group(g)
+                       .out(rho.data() + lo, hi - lo));
+        }
+        rt.wait_group(g);
+        // Force + integrate wave: reads the pre-step snapshot `s`, writes
+        // the chunk's slice of `scratch`; the master swaps after the wave.
+        for (std::size_t c = 0; c < chunks; ++c) {
+          std::size_t lo, hi;
+          chunk_range(c, lo, hi);
+          rt.spawn(task([&, lo, hi] {
+                     force_task(s, grid, rho, options.dt, scratch, lo, hi);
+                   })
+                       .approx([&, lo, hi] { advect_task(s, options.dt, lo, hi); })
+                       .significance(0.5)
+                       .group(g)
+                       .in(rho.data(), rho.size()));
+        }
+        rt.wait_group(g);
+        std::swap(s, scratch);
+      } else {
+        // Approximate step: single advection wave at ratio 0.0.
+        for (std::size_t c = 0; c < chunks; ++c) {
+          std::size_t lo, hi;
+          chunk_range(c, lo, hi);
+          rt.spawn(task([&, lo, hi] {
+                     // Accurate body of an approximate step: ratio 0.0
+                     // rules it out, but it stays well-defined (best-effort
+                     // standalone accurate update of this chunk).
+                     grid.rebuild(s);
+                     density_task(s, grid, rho, lo, hi);
+                     force_task(s, grid, rho, options.dt, scratch, lo, hi);
+                     for (std::size_t i = lo; i < hi; ++i) {
+                       s.px[i] = scratch.px[i];
+                       s.py[i] = scratch.py[i];
+                       s.pz[i] = scratch.pz[i];
+                       s.vx[i] = scratch.vx[i];
+                       s.vy[i] = scratch.vy[i];
+                       s.vz[i] = scratch.vz[i];
+                     }
+                   })
+                       .approx([&, lo, hi] { advect_task(s, options.dt, lo, hi); })
+                       .significance(0.5)
+                       .group(g));
+        }
+        rt.wait_group(g);
+      }
+    }
+  });
+
+  // Quality: relative L2 error over the concatenated final positions.
+  std::vector<double> ref_pos;
+  std::vector<double> got_pos;
+  ref_pos.reserve(3 * options.particles);
+  got_pos.reserve(3 * options.particles);
+  for (std::size_t i = 0; i < options.particles; ++i) {
+    ref_pos.push_back(ref.px[i]);
+    ref_pos.push_back(ref.py[i]);
+    ref_pos.push_back(ref.pz[i]);
+    got_pos.push_back(s.px[i]);
+    got_pos.push_back(s.py[i]);
+    got_pos.push_back(s.pz[i]);
+  }
+  result.quality = metrics::relative_l2_error(ref_pos, got_pos);
+  result.quality_aux = result.quality;
+  if (out != nullptr) *out = std::move(s);
+  return result;
+}
+
+}  // namespace sigrt::apps::fluid

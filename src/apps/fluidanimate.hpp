@@ -1,0 +1,54 @@
+// Fluidanimate benchmark: smoothed particle hydrodynamics (§4.1, after the
+// PARSEC application [2]).
+//
+// The fluid is a set of particles binned into a uniform grid; each time
+// step computes densities, then forces, then integrates.  Following the
+// paper, a whole time step is either fully accurate or fully approximate:
+// the ratio() clause of the step's taskwait alternates between 1.0 and 0.0.
+// The approximate step advances every particle linearly along its current
+// velocity ("it will move linearly, in the same direction and with the same
+// velocity as it did in the previous time steps") and skips the SPH passes.
+//
+// Degrees (Table 1): 50% / 25% / 12.5% of steps accurate; stability demands
+// the accurate steps be interleaved (1 accurate every 2 / 4 / 8 steps).
+// Quality: relative L2 error of final particle positions vs the accurate
+// execution.  Loop perforation is not applicable to this benchmark (§4.2).
+#pragma once
+
+#include <vector>
+
+#include "apps/common.hpp"
+
+namespace sigrt::apps::fluid {
+
+struct Options {
+  std::size_t particles = 2048;
+  std::size_t steps = 48;
+  std::size_t chunk = 128;  ///< particles per task
+  double dt = 4e-3;
+  /// Run every step accurately regardless of degree (still through the
+  /// configured policy at ratio 1.0) — used by the Figure 4 overhead study.
+  bool force_all_accurate = false;
+  CommonOptions common;
+};
+
+/// Fraction of accurate steps per degree (Table 1: 50 / 25 / 12.5 %).
+[[nodiscard]] double accurate_step_fraction(Degree degree) noexcept;
+
+/// Steps between accurate steps (2 / 4 / 8).
+[[nodiscard]] std::size_t period_for(Degree degree) noexcept;
+
+struct State {
+  std::vector<double> px, py, pz;  ///< positions
+  std::vector<double> vx, vy, vz;  ///< velocities
+};
+
+/// Serial accurate reference simulation.
+[[nodiscard]] State reference(const Options& options);
+
+/// Whether a variant is supported (Perforated is not, as in the paper).
+[[nodiscard]] bool variant_supported(Variant v) noexcept;
+
+RunResult run(const Options& options, State* out = nullptr);
+
+}  // namespace sigrt::apps::fluid

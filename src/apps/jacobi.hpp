@@ -1,0 +1,48 @@
+// Jacobi iterative solver benchmark (§4.1).
+//
+// Solves A x = b for a dense diagonally dominant system.  One task updates
+// one block of rows per sweep.  Per the paper: the first five sweeps run
+// approximately — the approxfun restricts each row update to a band around
+// the diagonal, i.e. it "drops the computations corresponding to the upper
+// right and lower left areas of the matrix", which is benign because the
+// matrix is diagonally dominant — and every later sweep runs accurately,
+// but against a relaxed convergence tolerance.
+//
+// Degrees (Table 1): tolerance 1e-4 / 1e-3 / 1e-2; the native (accurate)
+// execution converges to 1e-5.  Quality: relative L2 error of the solution
+// vs the accurate execution's solution.
+#pragma once
+
+#include <vector>
+
+#include "apps/common.hpp"
+
+namespace sigrt::apps::jacobi {
+
+struct Options {
+  std::size_t n = 1024;          ///< unknowns
+  std::size_t row_block = 64;    ///< rows per task
+  std::size_t approx_sweeps = 5; ///< leading sweeps run at ratio 0
+  std::size_t band = 128;        ///< approxfun half-bandwidth
+  std::size_t max_sweeps = 200;
+  double native_tolerance = 1e-5;
+  CommonOptions common;
+  /// Perforation comparator: fraction of row-block tasks skipped per sweep.
+  /// The Figure 2 harness sets this to (1 - provided_ratio) of the GTB run
+  /// so the perforated version "executes the same number of tasks" (§4.1).
+  double perforation_rate = 0.25;
+};
+
+[[nodiscard]] double tolerance_for(Degree degree) noexcept;
+
+struct Solution {
+  std::vector<double> x;
+  std::size_t sweeps = 0;
+};
+
+/// Serial accurate reference at the native tolerance.
+[[nodiscard]] Solution reference(const Options& options);
+
+RunResult run(const Options& options, Solution* out = nullptr);
+
+}  // namespace sigrt::apps::jacobi

@@ -1,0 +1,50 @@
+// K-means clustering benchmark (§4.1).
+//
+// n observations in a d-dimensional space are partitioned into k clusters.
+// Every iteration spawns one task per chunk of points; all tasks carry the
+// same significance, so the taskwait ratio() alone controls the degree of
+// approximation (the paper highlights this as a flexibility result).
+//
+// Accurate task: full Euclidean distance over all dimensions.
+// Approximate task: "a simpler version of the euclidean distance, while at
+// the same time considering only a subset (1/8) of the dimensions" — here
+// an L1 distance over d/8 dimensions.  Approximate chunks still contribute
+// to the new centroids, but — per the paper — "only accurate results are
+// considered when evaluating the convergence criteria", which is what makes
+// LQH's nondeterministic chunk selection converge slower than the fully
+// deterministic GTB (§4.2).
+// Degrees: ratio 0.8 / 0.6 / 0.4.  Quality: relative error of the final
+// centroids vs the accurate execution.
+#pragma once
+
+#include <vector>
+
+#include "apps/common.hpp"
+
+namespace sigrt::apps::kmeans {
+
+struct Options {
+  std::size_t points = 8192;
+  std::size_t dims = 16;
+  std::size_t clusters = 8;
+  std::size_t chunk = 64;        ///< points per task
+  std::size_t max_iterations = 60;
+  /// Termination: objects moving clusters < points/1000 (§4.2).
+  double converge_fraction = 1e-3;
+  CommonOptions common;
+  double ratio_override = -1.0;
+};
+
+[[nodiscard]] double ratio_for(Degree degree) noexcept;
+
+struct Solution {
+  std::vector<double> centroids;  ///< clusters x dims, row-major
+  std::size_t iterations = 0;
+};
+
+/// Serial accurate reference.
+[[nodiscard]] Solution reference(const Options& options);
+
+RunResult run(const Options& options, Solution* out = nullptr);
+
+}  // namespace sigrt::apps::kmeans

@@ -1,0 +1,44 @@
+// MC benchmark: Monte Carlo estimation of a PDE sub-domain boundary
+// (§4.1, after Vavalis & Sarailidis [24]).
+//
+// Setting: the Laplace equation on the unit square with a harmonic boundary
+// condition g(x,y) = x^2 - y^2 + x.  The hybrid-solver use case needs the
+// solution u on the boundary of an interior sub-domain (a circle); since u
+// is harmonic, u(p) equals the expected boundary value hit by a random walk
+// from p.  Each task estimates u at one sub-domain boundary point via
+// walk-on-spheres.
+//
+// Approximation (Table 1: "D, A"): the approxfun performs a fraction of the
+// walks with a cheaper stepping rule — L-inf (square) steps instead of
+// exact circle radii, and a looser capture band — i.e. it *drops a
+// percentage of the random walks* and uses a *lighter methodology to decide
+// how far the next step goes*, per the paper's description.
+// Degrees: ratio 1.0 / 0.8 / 0.5 of tasks accurate.
+// Quality: mean relative error of the estimates vs the accurate execution.
+#pragma once
+
+#include <vector>
+
+#include "apps/common.hpp"
+
+namespace sigrt::apps::mc {
+
+struct Options {
+  std::size_t points = 128;       ///< sub-domain boundary sample points
+  std::size_t walks = 1500;       ///< random walks per point (accurate)
+  double approx_walk_fraction = 0.25;  ///< fraction of walks the approxfun keeps
+  CommonOptions common;
+  double ratio_override = -1.0;
+};
+
+[[nodiscard]] double ratio_for(Degree degree) noexcept;
+
+/// The harmonic boundary condition; also the exact solution everywhere.
+[[nodiscard]] double boundary_value(double x, double y) noexcept;
+
+/// Serial accurate estimates at every sub-domain boundary point.
+[[nodiscard]] std::vector<double> reference(const Options& options);
+
+RunResult run(const Options& options, std::vector<double>* out = nullptr);
+
+}  // namespace sigrt::apps::mc

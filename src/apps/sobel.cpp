@@ -1,0 +1,147 @@
+#include "apps/sobel.hpp"
+
+#include <cmath>
+
+#include "metrics/quality.hpp"
+#include "perforation/perforate.hpp"
+
+namespace sigrt::apps::sobel {
+
+namespace {
+
+using support::Image;
+
+// --- filter kernels, transcribed from Listing 1 of the paper --------------
+
+int sblX(const std::uint8_t* img, std::size_t w, std::size_t y, std::size_t x) {
+  return img[(y - 1) * w + x - 1] + 2 * img[y * w + x - 1] +
+         img[(y + 1) * w + x - 1] - img[(y - 1) * w + x + 1] -
+         2 * img[y * w + x + 1] - img[(y + 1) * w + x + 1];
+}
+
+int sblY(const std::uint8_t* img, std::size_t w, std::size_t y, std::size_t x) {
+  return img[(y - 1) * w + x - 1] + 2 * img[(y - 1) * w + x] +
+         img[(y - 1) * w + x + 1] - img[(y + 1) * w + x - 1] -
+         2 * img[(y + 1) * w + x] - img[(y + 1) * w + x + 1];
+}
+
+// Approximate variants omit one third of the taps (lines 11/13 of Listing 1).
+int sblX_appr(const std::uint8_t* img, std::size_t w, std::size_t y,
+              std::size_t x) {
+  return 2 * img[y * w + x - 1] + img[(y + 1) * w + x - 1] -
+         2 * img[y * w + x + 1] - img[(y + 1) * w + x + 1];
+}
+
+int sblY_appr(const std::uint8_t* img, std::size_t w, std::size_t y,
+              std::size_t x) {
+  return 2 * img[(y - 1) * w + x] + img[(y - 1) * w + x + 1] -
+         2 * img[(y + 1) * w + x] - img[(y + 1) * w + x + 1];
+}
+
+// Accurate row task: p = sqrt(sx^2 + sy^2), exactly as the paper writes it
+// (pow/sqrt deliberately kept — their cost is part of the accurate body).
+void sbl_task(std::uint8_t* res, const std::uint8_t* img, std::size_t w,
+              std::size_t row) {
+  for (std::size_t j = 1; j + 1 < w; ++j) {
+    const double p = std::sqrt(std::pow(sblX(img, w, row, j), 2) +
+                               std::pow(sblY(img, w, row, j), 2));
+    res[row * w + j] = p > 255.0 ? 255 : static_cast<std::uint8_t>(p);
+  }
+}
+
+// Approximate row task: |sx| + |sy| over the reduced stencils.
+void sbl_task_appr(std::uint8_t* res, const std::uint8_t* img, std::size_t w,
+                   std::size_t row) {
+  for (std::size_t j = 1; j + 1 < w; ++j) {
+    const int p =
+        std::abs(sblX_appr(img, w, row, j)) + std::abs(sblY_appr(img, w, row, j));
+    res[row * w + j] = p > 255 ? 255 : static_cast<std::uint8_t>(p);
+  }
+}
+
+// Listing 1: significance cycles over rows so approximated rows are spread
+// uniformly and the special values 0.0 / 1.0 are avoided.
+double row_significance(std::size_t row) {
+  return static_cast<double>(row % 9 + 1) / 10.0;
+}
+
+}  // namespace
+
+double ratio_for(Degree degree) noexcept {
+  switch (degree) {
+    case Degree::Mild: return 0.80;
+    case Degree::Medium: return 0.30;
+    case Degree::Aggressive: return 0.0;
+  }
+  return 1.0;
+}
+
+Image reference(const Image& input) {
+  Image out(input.width(), input.height());
+  for (std::size_t y = 1; y + 1 < input.height(); ++y) {
+    sbl_task(out.data(), input.data(), input.width(), y);
+  }
+  return out;
+}
+
+Image reference_approx(const Image& input) {
+  Image out(input.width(), input.height());
+  for (std::size_t y = 1; y + 1 < input.height(); ++y) {
+    sbl_task_appr(out.data(), input.data(), input.width(), y);
+  }
+  return out;
+}
+
+RunResult run(const Options& options, Image* out) {
+  RunResult result;
+  result.app = "sobel";
+  result.quality_metric = "PSNR^-1";
+
+  const Image input = support::synthetic_image(options.width, options.height,
+                                               options.common.seed);
+  const Image ref = reference(input);
+
+  const double ratio = options.ratio_override >= 0.0
+                           ? options.ratio_override
+                           : ratio_for(options.common.degree);
+  const std::size_t w = input.width();
+  const std::size_t h = input.height();
+
+  Image output(w, h);
+  const std::uint8_t* img = input.data();
+  std::uint8_t* res = output.data();
+
+  run_measured(options.common, result, [&](Runtime& rt) {
+    const GroupId g = rt.create_group("sobel", ratio);
+    for (unsigned rep = 0; rep < options.repeats; ++rep) {
+      if (options.common.variant == Variant::Perforated) {
+        // Blind perforation of the row loop at rate (1 - ratio): surviving
+        // rows run as accurate tasks, skipped rows are never computed.
+        perforation::for_each(1, h - 1, 1.0 - ratio, [&](std::size_t i) {
+          rt.spawn(task([=] { sbl_task(res, img, w, i); })
+                       .group(g)
+                       .in(img, w * h)
+                       .out(res + i * w, w));
+        });
+      } else {
+        for (std::size_t i = 1; i + 1 < h; ++i) {
+          rt.spawn(task([=] { sbl_task(res, img, w, i); })
+                       .approx([=] { sbl_task_appr(res, img, w, i); })
+                       .significance(row_significance(i))
+                       .group(g)
+                       .in(img, w * h)
+                       .out(res + i * w, w));
+        }
+      }
+      rt.wait_group(g);  // taskwait label(sobel) ratio(...)
+    }
+  });
+
+  const double psnr = metrics::psnr_db(ref, output);
+  result.quality = metrics::inverse_psnr(psnr);
+  result.quality_aux = psnr;
+  if (out != nullptr) *out = std::move(output);
+  return result;
+}
+
+}  // namespace sigrt::apps::sobel

@@ -1,0 +1,43 @@
+// Sobel edge-detection benchmark — the paper's running example (Listing 1).
+//
+// One task computes one output row.  Significance cycles (i%9+1)/10 across
+// rows so approximated rows spread uniformly over the image; the approxfun
+// uses 2/3 of the filter taps and |sx|+|sy| instead of sqrt(sx^2+sy^2).
+// Degrees (Table 1): ratio 0.8 / 0.3 / 0.0 of rows accurate.
+// Quality: PSNR against the fully accurate output.
+//
+// The perforated comparator skips whole row-tasks blindly (modulo shape),
+// leaving skipped rows black — the quality collapse shown in Figure 3.
+#pragma once
+
+#include "apps/common.hpp"
+#include "support/image.hpp"
+
+namespace sigrt::apps::sobel {
+
+struct Options {
+  std::size_t width = 512;
+  std::size_t height = 512;
+  /// Repeats the filter over the image to give tasks paper-like weight.
+  unsigned repeats = 1;
+  CommonOptions common;
+
+  /// Override the degree->ratio mapping when >= 0 (used by the Figure 1
+  /// quadrant study, which sweeps arbitrary ratios).
+  double ratio_override = -1.0;
+};
+
+/// Accurate-task ratio for a degree (Table 1: 80% / 30% / 0%).
+[[nodiscard]] double ratio_for(Degree degree) noexcept;
+
+/// Plain serial accurate implementation (reference semantics).
+[[nodiscard]] support::Image reference(const support::Image& input);
+
+/// Serial approximate implementation (every row via the approxfun).
+[[nodiscard]] support::Image reference_approx(const support::Image& input);
+
+/// Runs one measured experiment; `out` (optional) receives the output image
+/// for visual comparisons (Figures 1 and 3).
+RunResult run(const Options& options, support::Image* out = nullptr);
+
+}  // namespace sigrt::apps::sobel

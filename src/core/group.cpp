@@ -1,0 +1,113 @@
+#include "core/group.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <limits>
+#include <vector>
+
+namespace sigrt {
+
+TaskGroup::TaskGroup(GroupId id, std::string name, double ratio, bool record_log)
+    : id_(id), name_(std::move(name)), record_log_(record_log), ratio_(ratio) {}
+
+void TaskGroup::on_spawn() noexcept {
+  spawned_.fetch_add(1, std::memory_order_relaxed);
+  pending_.fetch_add(1, std::memory_order_acq_rel);
+}
+
+void TaskGroup::on_complete(ExecutionKind kind, float significance,
+                            double requested, bool internal) noexcept {
+  if (!internal) {
+    switch (kind) {
+      case ExecutionKind::Accurate:
+        accurate_.fetch_add(1, std::memory_order_relaxed);
+        break;
+      case ExecutionKind::Approximate:
+        approximate_.fetch_add(1, std::memory_order_relaxed);
+        break;
+      case ExecutionKind::Dropped:
+        dropped_.fetch_add(1, std::memory_order_relaxed);
+        break;
+      case ExecutionKind::Undecided:
+        break;  // unreachable: the scheduler resolves before completion
+    }
+    if (record_log_) {
+      std::lock_guard lock(log_mutex_);
+      log_.push_back({significance, kind});
+      requested_mass_ += requested;
+    }
+  }
+
+  if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    // Last task: wake barrier waiters.  Lock/unlock pairs with wait() to
+    // close the check-then-sleep window.
+    std::lock_guard lock(wait_mutex_);
+    wait_cv_.notify_all();
+  }
+}
+
+void TaskGroup::wait() const {
+  std::unique_lock lock(wait_mutex_);
+  wait_cv_.wait(lock, [this] {
+    return pending_.load(std::memory_order_acquire) == 0;
+  });
+}
+
+GroupReport TaskGroup::report() const {
+  GroupReport r;
+  r.id = id_;
+  r.name = name_;
+  r.requested_ratio = ratio();
+  r.spawned = spawned_.load(std::memory_order_relaxed);
+  r.accurate = accurate_.load(std::memory_order_relaxed);
+  r.approximate = approximate_.load(std::memory_order_relaxed);
+  r.dropped = dropped_.load(std::memory_order_relaxed);
+
+  std::lock_guard lock(log_mutex_);
+  const std::uint64_t total = r.accurate + r.approximate + r.dropped;
+  r.mean_requested_ratio =
+      log_.empty() ? r.requested_ratio
+                   : requested_mass_ / static_cast<double>(log_.size());
+
+  // "Inversed significance" tasks (§4.2, Table 2): the disagreement between
+  // the actual classification and the ideal one with the *same* accurate
+  // budget — i.e. the top-|accurate| tasks by significance.  A task is
+  // inversed when it ran accurately below the ideal cutoff or approximately
+  // above it; ties at the cutoff are legal either way and never counted.
+  // (A plain "approximated while any less significant task was accurate"
+  // count would let a single low-significance accurate task poison the
+  // whole group.)
+  if (!log_.empty() && total > 0 && r.accurate > 0 &&
+      r.accurate < log_.size()) {
+    std::vector<float> sigs;
+    sigs.reserve(log_.size());
+    for (const TaskRecord& t : log_) sigs.push_back(t.significance);
+    const auto kth = sigs.begin() + static_cast<std::ptrdiff_t>(r.accurate - 1);
+    std::nth_element(sigs.begin(), kth, sigs.end(), std::greater<float>());
+    const float cutoff = *kth;
+
+    std::uint64_t inversed = 0;
+    for (const TaskRecord& t : log_) {
+      if (t.kind == ExecutionKind::Accurate && t.significance < cutoff) {
+        ++inversed;
+      } else if (t.kind != ExecutionKind::Accurate && t.significance > cutoff) {
+        ++inversed;
+      }
+    }
+    r.inversion_fraction =
+        static_cast<double>(inversed) / static_cast<double>(log_.size());
+  }
+  return r;
+}
+
+void TaskGroup::reset_stats() {
+  spawned_.store(0, std::memory_order_relaxed);
+  accurate_.store(0, std::memory_order_relaxed);
+  approximate_.store(0, std::memory_order_relaxed);
+  dropped_.store(0, std::memory_order_relaxed);
+  std::lock_guard lock(log_mutex_);
+  log_.clear();
+  requested_mass_ = 0.0;
+}
+
+}  // namespace sigrt

@@ -1,0 +1,124 @@
+// Task groups: the label() clause of the programming model.
+//
+// A group carries the programmer's accurate-execution ratio() and is the
+// unit of barrier synchronization (taskwait label(...)) and of the quality
+// accounting reported in Table 2 of the paper.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace sigrt {
+
+/// One (significance, outcome) observation; the per-group log of these
+/// drives the Table 2 metrics.
+struct TaskRecord {
+  float significance = 1.0f;
+  ExecutionKind kind = ExecutionKind::Accurate;
+};
+
+/// Snapshot of a group's accounting, safe to read after a barrier.
+struct GroupReport {
+  GroupId id = kDefaultGroup;
+  std::string name;
+  double requested_ratio = 1.0;  ///< ratio() in effect when the report was taken
+
+  std::uint64_t spawned = 0;
+  std::uint64_t accurate = 0;
+  std::uint64_t approximate = 0;  ///< ran the approxfun body
+  std::uint64_t dropped = 0;      ///< approximated with no approxfun
+
+  /// Mean of the ratio() values in effect when each task was classified;
+  /// robust to programs that retarget the ratio between phases (e.g.
+  /// Fluidanimate alternating 1.0 / 0.0).
+  double mean_requested_ratio = 1.0;
+
+  /// Fraction of tasks actually executed accurately.
+  [[nodiscard]] double provided_ratio() const noexcept {
+    const std::uint64_t total = accurate + approximate + dropped;
+    return total == 0 ? 1.0 : static_cast<double>(accurate) / static_cast<double>(total);
+  }
+
+  /// |requested - provided|: the per-group term of Table 2's "Average Ratio
+  /// Diff" column.
+  [[nodiscard]] double ratio_diff() const noexcept {
+    const double d = mean_requested_ratio - provided_ratio();
+    return d < 0 ? -d : d;
+  }
+
+  /// Fraction of tasks that were approximated/dropped even though some task
+  /// of strictly lower significance in the same group ran accurately —
+  /// Table 2's "% Inversed Significance Tasks".
+  double inversion_fraction = 0.0;
+};
+
+/// Thread-safe group state.  The master spawns into it; workers complete
+/// tasks against it; any thread may barrier-wait on it.
+class TaskGroup {
+ public:
+  TaskGroup(GroupId id, std::string name, double ratio, bool record_log);
+
+  TaskGroup(const TaskGroup&) = delete;
+  TaskGroup& operator=(const TaskGroup&) = delete;
+
+  [[nodiscard]] GroupId id() const noexcept { return id_; }
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+  /// The ratio() knob.  May be retargeted between phases; policies read the
+  /// value current at classification time.
+  void set_ratio(double ratio) noexcept {
+    ratio_.store(ratio, std::memory_order_relaxed);
+  }
+  [[nodiscard]] double ratio() const noexcept {
+    return ratio_.load(std::memory_order_relaxed);
+  }
+
+  /// Master side: a task joined this group.
+  void on_spawn() noexcept;
+
+  /// Worker side: a task of this group finished with outcome `kind`.
+  /// `requested` is the ratio in effect when the task was classified.
+  void on_complete(ExecutionKind kind, float significance, double requested,
+                   bool internal) noexcept;
+
+  /// Blocks until every spawned task has completed.
+  void wait() const;
+
+  [[nodiscard]] std::uint64_t pending() const noexcept {
+    return pending_.load(std::memory_order_acquire);
+  }
+
+  /// Accounting snapshot (includes the inversion scan over the task log).
+  [[nodiscard]] GroupReport report() const;
+
+  /// Clears counters and the task log (not the ratio).  Must only be called
+  /// while the group has no pending tasks.
+  void reset_stats();
+
+ private:
+  const GroupId id_;
+  const std::string name_;
+  const bool record_log_;
+  std::atomic<double> ratio_;
+
+  std::atomic<std::uint64_t> pending_{0};
+  std::atomic<std::uint64_t> spawned_{0};
+  std::atomic<std::uint64_t> accurate_{0};
+  std::atomic<std::uint64_t> approximate_{0};
+  std::atomic<std::uint64_t> dropped_{0};
+
+  mutable std::mutex wait_mutex_;
+  mutable std::condition_variable wait_cv_;
+
+  mutable std::mutex log_mutex_;
+  std::vector<TaskRecord> log_;
+  double requested_mass_ = 0.0;  ///< sum of ratio() at each classification
+};
+
+}  // namespace sigrt

@@ -1,0 +1,69 @@
+// Task-classification policy interface (§3.2 of the paper).
+//
+// A policy decides, for every task with significance in (0, 1), whether it
+// runs accurately or approximately, honoring the group's ratio() and
+// preferring to approximate the least significant tasks.  Two decision
+// points exist, matching the paper's two designs:
+//
+//   * at ISSUE, on the master  — Global Task Buffering (GTB, §3.3) holds
+//     tasks back, sorts a window by significance and classifies the window;
+//   * at DEQUEUE, on a worker  — Local Queue History (LQH, §3.4) lets tasks
+//     flow freely and classifies each from the worker-local significance
+//     histogram right before execution.
+//
+// The runtime is policy-agnostic: it hands every spawned task to
+// on_spawn(); buffering policies park it, pass-through policies release it
+// immediately.  The scheduler calls decide() for any task still Undecided
+// when it reaches a worker.
+#pragma once
+
+#include <memory>
+
+#include "core/task.hpp"
+#include "core/types.hpp"
+
+namespace sigrt {
+
+class TaskGroup;
+
+/// Callback through which a policy returns (possibly classified) tasks to
+/// the runtime for dependence-gated scheduling.  Implemented by Runtime.
+class IssueSink {
+ public:
+  virtual ~IssueSink() = default;
+
+  /// Releases the policy hold on `task` (see Task::gate).  The task becomes
+  /// runnable once its data dependencies are also satisfied.
+  virtual void release(const TaskPtr& task) = 0;
+
+  /// Group lookup so policies can read the live ratio() knob.
+  [[nodiscard]] virtual TaskGroup& group_ref(GroupId id) = 0;
+};
+
+class Policy {
+ public:
+  virtual ~Policy() = default;
+
+  [[nodiscard]] virtual const char* name() const noexcept = 0;
+
+  /// Master thread: a new task was spawned (dependencies already
+  /// registered).  The policy must eventually release() it.
+  virtual void on_spawn(const TaskPtr& task, IssueSink& sink) = 0;
+
+  /// Master thread: barrier reached (taskwait).  Classify and release every
+  /// buffered task of `group` (kAllGroups = every group).
+  virtual void flush(GroupId group, IssueSink& sink) = 0;
+
+  /// Worker `worker_index`: classify a task that reached execution still
+  /// Undecided.  Pass-through policies decide here; buffering policies never
+  /// see this call.
+  [[nodiscard]] virtual ExecutionKind decide(const Task& task,
+                                             unsigned worker_index,
+                                             IssueSink& sink) = 0;
+};
+
+/// Factory used by Runtime.  `workers` is the worker count (>= 1 slots are
+/// allocated even in inline mode, which decides on pseudo-worker 0).
+std::unique_ptr<Policy> make_policy(const RuntimeConfig& config);
+
+}  // namespace sigrt

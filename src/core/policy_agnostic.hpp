@@ -1,0 +1,30 @@
+// Significance-agnostic baseline policy.
+//
+// Reproduces the reference runtime of §4: no buffering, no history, every
+// task executes accurately.  Used for the fully-accurate baselines of
+// Figure 2 and as the normalization denominator of Figure 4's overhead
+// study.
+#pragma once
+
+#include "core/policy.hpp"
+
+namespace sigrt {
+
+class AgnosticPolicy final : public Policy {
+ public:
+  [[nodiscard]] const char* name() const noexcept override { return "agnostic"; }
+
+  void on_spawn(const TaskPtr& task, IssueSink& sink) override {
+    sink.release(task);
+  }
+
+  void flush(GroupId /*group*/, IssueSink& /*sink*/) override {}
+
+  [[nodiscard]] ExecutionKind decide(const Task& /*task*/,
+                                     unsigned /*worker_index*/,
+                                     IssueSink& /*sink*/) override {
+    return ExecutionKind::Accurate;
+  }
+};
+
+}  // namespace sigrt

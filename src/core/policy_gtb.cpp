@@ -1,0 +1,79 @@
+#include "core/policy_gtb.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "core/group.hpp"
+
+namespace sigrt {
+
+GtbPolicy::GtbPolicy(std::size_t buffer_capacity, bool max_buffer)
+    : capacity_(max_buffer ? SIZE_MAX : std::max<std::size_t>(1, buffer_capacity)),
+      max_buffer_(max_buffer) {}
+
+void GtbPolicy::on_spawn(const TaskPtr& task, IssueSink& sink) {
+  auto& window = buffers_[task->group];
+  window.push_back(task);
+  if (window.size() >= capacity_) {
+    classify_and_release(task->group, window, sink);
+  }
+}
+
+void GtbPolicy::flush(GroupId group, IssueSink& sink) {
+  if (group == kAllGroups) {
+    for (auto& [gid, window] : buffers_) {
+      classify_and_release(gid, window, sink);
+    }
+    return;
+  }
+  auto it = buffers_.find(group);
+  if (it != buffers_.end()) {
+    classify_and_release(group, it->second, sink);
+  }
+}
+
+void GtbPolicy::classify_and_release(GroupId group, std::vector<TaskPtr>& window,
+                                     IssueSink& sink) {
+  if (window.empty()) return;
+  const double ratio = sink.group_ref(group).ratio();
+
+  // Stable sort by decreasing significance: ties keep spawn order, which
+  // makes GTB fully deterministic (§4.2 relies on this for Kmeans).
+  std::stable_sort(window.begin(), window.end(),
+                   [](const TaskPtr& a, const TaskPtr& b) {
+                     return a->significance > b->significance;
+                   });
+
+  // Listing 4: `if (i < group_ratio * task_count) issue_accurate_task(...)`.
+  const double quota = ratio * static_cast<double>(window.size());
+  for (std::size_t i = 0; i < window.size(); ++i) {
+    Task& t = *window[i];
+    if (t.significance >= 1.0f) {
+      t.kind = ExecutionKind::Accurate;  // special value: unconditional
+    } else if (t.significance <= 0.0f) {
+      t.kind = ExecutionKind::Approximate;  // special value: unconditional
+    } else {
+      t.kind = static_cast<double>(i) < quota ? ExecutionKind::Accurate
+                                              : ExecutionKind::Approximate;
+    }
+  }
+  // Re-issue in spawn order (ids ascend with spawn order) so worker queues
+  // observe the program's creation order, as in the paper's runtime.
+  std::stable_sort(window.begin(), window.end(),
+                   [](const TaskPtr& a, const TaskPtr& b) { return a->id < b->id; });
+  for (const TaskPtr& t : window) sink.release(t);
+  window.clear();
+}
+
+ExecutionKind GtbPolicy::decide(const Task& task, unsigned /*worker_index*/,
+                                IssueSink& /*sink*/) {
+  // GTB classifies every task before releasing it; reaching here would mean
+  // a task bypassed the buffer.
+  assert(task.kind != ExecutionKind::Undecided &&
+         "GTB task reached a worker unclassified");
+  return task.kind == ExecutionKind::Undecided ? ExecutionKind::Accurate
+                                               : task.kind;
+}
+
+}  // namespace sigrt

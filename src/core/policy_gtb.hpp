@@ -1,0 +1,47 @@
+// Global Task Buffering (GTB), §3.3 / Listing 4 of the paper.
+//
+// The master thread buffers tasks per group instead of issuing them.  When
+// the buffer fills, or a barrier flushes it, the buffered window is sorted
+// by significance and the top ratio()·window tasks are classified accurate,
+// the rest approximate.  With an unbounded buffer (GTBMaxBuffer / Oracle)
+// the classification is exact: it equals the offline-optimal assignment.
+#pragma once
+
+#include <cstddef>
+#include <unordered_map>
+#include <vector>
+
+#include "core/policy.hpp"
+
+namespace sigrt {
+
+class GtbPolicy : public Policy {
+ public:
+  /// `buffer_capacity` tasks are buffered per group before a forced flush;
+  /// SIZE_MAX buffers until the barrier (Max Buffer flavor).
+  explicit GtbPolicy(std::size_t buffer_capacity, bool max_buffer = false);
+
+  [[nodiscard]] const char* name() const noexcept override {
+    return max_buffer_ ? "GTB(MaxBuffer)" : "GTB";
+  }
+
+  void on_spawn(const TaskPtr& task, IssueSink& sink) override;
+  void flush(GroupId group, IssueSink& sink) override;
+  [[nodiscard]] ExecutionKind decide(const Task& task, unsigned worker_index,
+                                     IssueSink& sink) override;
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+
+ private:
+  /// Sorts one group's window, classifies it per Listing 4 and releases all
+  /// tasks to the sink.
+  void classify_and_release(GroupId group, std::vector<TaskPtr>& window,
+                            IssueSink& sink);
+
+  const std::size_t capacity_;
+  const bool max_buffer_;
+  // Master-thread only: no locking needed (spawn/flush are master-side).
+  std::unordered_map<GroupId, std::vector<TaskPtr>> buffers_;
+};
+
+}  // namespace sigrt

@@ -1,0 +1,63 @@
+// Local Queue History (LQH), §3.4 of the paper.
+//
+// Tasks are issued to worker queues immediately.  Right before executing a
+// task, the worker consults its private history of significance levels for
+// the task's group: the task runs accurately iff enough strictly less
+// significant tasks have been seen to cover the group's approximation
+// budget (1 - ratio).  The paper tracks 101 discrete levels (0.00..1.00 in
+// 0.01 steps); the level count is configurable here.
+//
+// Tie handling: the paper's predicate t_g(s) > (1-R)·t_g(1.0) is degenerate
+// when many tasks share one significance level (e.g. Kmeans, where *all*
+// tasks do: the cumulative count then always, or never, exceeds the budget).
+// We refine the boundary level deterministically: among tasks at the level
+// that straddles the budget, a per-level counter approximates exactly the
+// fraction of that level's population needed to meet the budget.  Levels
+// strictly below the budget are approximated and levels strictly above run
+// accurately, exactly as the paper's formula dictates; only the straddling
+// level is split.  This preserves the published behaviour (per-worker
+// convergence to the ratio, small deviations due to the localized view,
+// §4.2/Table 2) while making uniform-significance groups obey the ratio.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "core/policy.hpp"
+
+namespace sigrt {
+
+class LqhPolicy final : public Policy {
+ public:
+  LqhPolicy(unsigned levels, unsigned workers);
+
+  [[nodiscard]] const char* name() const noexcept override { return "LQH"; }
+
+  void on_spawn(const TaskPtr& task, IssueSink& sink) override;
+  void flush(GroupId group, IssueSink& sink) override;
+  [[nodiscard]] ExecutionKind decide(const Task& task, unsigned worker_index,
+                                     IssueSink& sink) override;
+
+  [[nodiscard]] unsigned levels() const noexcept { return levels_; }
+
+  /// Maps a significance in [0,1] to its discrete level.
+  [[nodiscard]] unsigned level_of(float significance) const noexcept;
+
+ private:
+  /// Per-(worker, group) execution history.
+  struct GroupHistory {
+    std::vector<std::uint64_t> seen;        // tasks observed per level
+    std::vector<std::uint64_t> approximated;  // approx decisions per level
+    std::uint64_t total = 0;
+  };
+
+  struct WorkerState {
+    std::unordered_map<GroupId, GroupHistory> groups;
+  };
+
+  const unsigned levels_;
+  std::vector<WorkerState> workers_;  // index = worker, no sharing => no locks
+};
+
+}  // namespace sigrt

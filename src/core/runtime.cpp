@@ -1,0 +1,303 @@
+#include "core/runtime.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <future>
+#include <stdexcept>
+
+#include "support/rng.hpp"
+#include "support/timer.hpp"
+
+namespace sigrt {
+
+Runtime::Runtime(RuntimeConfig config)
+    : config_(config),
+      tracker_(config.block_bytes),
+      policy_(make_policy(config)),
+      start_ns_(support::now_ns()) {
+  groups_.push_back(std::make_unique<TaskGroup>(
+      kDefaultGroup, "default", config_.default_ratio, config_.record_task_log));
+
+  scheduler_ = std::make_unique<Scheduler>(
+      config_.workers, config_.unreliable_workers, config_.steal,
+      [this](const TaskPtr& task, unsigned worker) { execute_task(task, worker); });
+
+  meter_ = energy::make_best_meter(this);
+}
+
+Runtime::~Runtime() {
+  try {
+    wait_all();
+  } catch (...) {
+    // Destructors must not throw; callers who care about task failures call
+    // wait_all() themselves.
+  }
+  scheduler_.reset();  // joins workers before members are torn down
+}
+
+GroupId Runtime::create_group(const std::string& name, double ratio) {
+  std::unique_lock lock(groups_mutex_);
+  if (auto it = group_names_.find(name); it != group_names_.end()) {
+    groups_[it->second]->set_ratio(ratio);
+    return it->second;
+  }
+  const auto id = static_cast<GroupId>(groups_.size());
+  groups_.push_back(std::make_unique<TaskGroup>(id, name, ratio,
+                                                config_.record_task_log));
+  group_names_.emplace(name, id);
+  return id;
+}
+
+GroupId Runtime::ensure_group(const std::string& name) {
+  std::unique_lock lock(groups_mutex_);
+  if (auto it = group_names_.find(name); it != group_names_.end()) {
+    return it->second;
+  }
+  const auto id = static_cast<GroupId>(groups_.size());
+  groups_.push_back(
+      std::make_unique<TaskGroup>(id, name, 1.0, config_.record_task_log));
+  group_names_.emplace(name, id);
+  return id;
+}
+
+void Runtime::set_ratio(GroupId group, double ratio) {
+  group_ref(group).set_ratio(ratio);
+}
+
+TaskGroup& Runtime::group(GroupId id) { return group_ref(id); }
+
+TaskGroup& Runtime::group_ref(GroupId id) {
+  std::shared_lock lock(groups_mutex_);
+  if (id >= groups_.size()) throw std::out_of_range("unknown task group");
+  return *groups_[id];
+}
+
+GroupReport Runtime::group_report(GroupId id) const {
+  std::shared_lock lock(groups_mutex_);
+  if (id >= groups_.size()) throw std::out_of_range("unknown task group");
+  return groups_[id]->report();
+}
+
+std::vector<GroupReport> Runtime::all_group_reports() const {
+  std::shared_lock lock(groups_mutex_);
+  std::vector<GroupReport> out;
+  out.reserve(groups_.size());
+  for (const auto& g : groups_) out.push_back(g->report());
+  return out;
+}
+
+void Runtime::spawn(TaskOptions options) {
+  spawn_impl(std::move(options), /*internal=*/false);
+}
+
+void Runtime::spawn_impl(TaskOptions&& options, bool internal) {
+  if (!options.accurate) {
+    throw std::invalid_argument("task requires an accurate body");
+  }
+
+  auto task = std::make_shared<Task>();
+  task->accurate = std::move(options.accurate);
+  task->approximate = std::move(options.approximate);
+  task->significance =
+      static_cast<float>(std::clamp(options.significance, 0.0, 1.0));
+  task->group = options.group;
+  task->id = next_task_id_.fetch_add(1, std::memory_order_relaxed);
+  task->internal = internal;
+
+  TaskGroup& g = group_ref(task->group);
+  g.on_spawn();
+  pending_.fetch_add(1, std::memory_order_acq_rel);
+
+  // Gate arithmetic.  The final hold count is (2 + deps): hold A for policy
+  // classification (released by the Policy via IssueSink), hold B for this
+  // registration (released at the bottom), plus one per unfinished
+  // predecessor.  deps is only known *after* registration, and predecessors
+  // may complete — and decrement the gate — concurrently with it.  Seeding
+  // the gate with a large spawn hold and then subtracting the surplus makes
+  // it impossible for those early decrements to drive the gate to zero
+  // before the dependency count is folded in (with a plain initial value of
+  // 2, two predecessors finishing inside the window double-enqueue the
+  // task).
+  constexpr std::uint32_t kSpawnHold = 1u << 20;
+  task->gate.store(kSpawnHold, std::memory_order_relaxed);
+  const std::size_t deps = tracker_.register_node(task, options.accesses);
+  assert(deps + 2 < kSpawnHold && "dependency count exceeds the spawn hold");
+  // After this subtraction the gate reads (2 + deps - completed_preds) >= 2,
+  // so the zero crossing can only happen via the releases below.
+  task->gate.fetch_sub(kSpawnHold - 2 - static_cast<std::uint32_t>(deps),
+                       std::memory_order_acq_rel);
+
+  if (internal) {
+    // Internal fence tasks bypass the policy: they are always accurate and
+    // must not be delayed by buffering.
+    task->kind = ExecutionKind::Accurate;
+    release(task);  // hold A
+  } else {
+    policy_->on_spawn(task, *this);  // will release hold A
+  }
+
+  if (task->release_one()) {  // hold B
+    scheduler_->enqueue(task);
+  }
+}
+
+void Runtime::release(const TaskPtr& task) {
+  if (task->release_one()) {
+    scheduler_->enqueue(task);
+  }
+}
+
+void Runtime::execute_task(const TaskPtr& task, unsigned worker) {
+  ExecutionKind kind = task->kind;
+  if (kind == ExecutionKind::Undecided) {
+    kind = policy_->decide(*task, worker, *this);
+  }
+  if (kind == ExecutionKind::Approximate && !task->approximate) {
+    kind = ExecutionKind::Dropped;  // no approxfun: drop the task (§2)
+  }
+  // §6 extension: approximate tasks on NTC workers may silently fail; the
+  // runtime then treats them as dropped (dependents still release).  The
+  // fault stream is deterministic per (seed, task id).
+  if (kind == ExecutionKind::Approximate &&
+      config_.unreliable_fault_rate > 0.0 &&
+      scheduler_->is_unreliable(worker)) {
+    auto rng = support::stream_rng(config_.seed, task->id);
+    if (rng.uniform() < config_.unreliable_fault_rate) {
+      kind = ExecutionKind::Dropped;
+      faults_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  task->kind = kind;
+
+  TaskGroup& g = group_ref(task->group);
+  const double requested = g.ratio();
+
+  try {
+    switch (kind) {
+      case ExecutionKind::Accurate:
+        task->accurate();
+        break;
+      case ExecutionKind::Approximate:
+        task->approximate();
+        break;
+      case ExecutionKind::Dropped:
+      case ExecutionKind::Undecided:
+        break;  // dropped: complete without running a body
+    }
+  } catch (...) {
+    std::lock_guard lock(error_mutex_);
+    if (!first_error_) first_error_ = std::current_exception();
+  }
+
+  // Completion order matters: downstream tasks must only start after this
+  // task's side effects are visible, which the tracker's mutex guarantees.
+  auto dependents = tracker_.complete(*task);
+  for (const auto& node : dependents) {
+    auto dep_task = std::static_pointer_cast<Task>(node);
+    if (dep_task->release_one()) {
+      scheduler_->enqueue(dep_task);
+    }
+  }
+
+  g.on_complete(kind, task->significance, requested, task->internal);
+  on_task_finished();
+}
+
+void Runtime::on_task_finished() {
+  if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    std::lock_guard lock(wait_mutex_);
+    wait_cv_.notify_all();
+  }
+}
+
+void Runtime::wait_all() {
+  policy_->flush(kAllGroups, *this);
+  std::unique_lock lock(wait_mutex_);
+  wait_cv_.wait(lock, [this] {
+    return pending_.load(std::memory_order_acquire) == 0;
+  });
+  lock.unlock();
+  rethrow_pending_error();
+}
+
+void Runtime::wait_group(GroupId group) {
+  // Flush every buffer, not only `group`: a task of this group may depend
+  // on a still-buffered task of another group, and a partial flush would
+  // deadlock the barrier.
+  policy_->flush(kAllGroups, *this);
+  group_ref(group).wait();
+  rethrow_pending_error();
+}
+
+void Runtime::wait_on(const void* ptr, std::size_t bytes) {
+  policy_->flush(kAllGroups, *this);
+
+  // A fence task with an in() clause on the range depends on exactly the
+  // pending writers of that range; its completion signals the future.
+  std::promise<void> done;
+  auto fut = done.get_future();
+  TaskOptions fence;
+  fence.accurate = [&done] { done.set_value(); };
+  fence.significance = 1.0;
+  fence.group = kDefaultGroup;
+  fence.accesses.push_back({ptr, bytes, dep::Mode::In});
+  spawn_impl(std::move(fence), /*internal=*/true);
+  fut.wait();
+  rethrow_pending_error();
+}
+
+void Runtime::rethrow_pending_error() {
+  std::exception_ptr err;
+  {
+    std::lock_guard lock(error_mutex_);
+    std::swap(err, first_error_);
+  }
+  if (err) std::rethrow_exception(err);
+}
+
+RuntimeStats Runtime::stats() const {
+  RuntimeStats s;
+  {
+    std::shared_lock lock(groups_mutex_);
+    for (const auto& g : groups_) {
+      const GroupReport r = g->report();
+      s.spawned += r.spawned;
+      s.accurate += r.accurate;
+      s.approximate += r.approximate;
+      s.dropped += r.dropped;
+    }
+  }
+  const SchedulerStats sched = scheduler_->stats();
+  s.steals = sched.steals;
+  s.faults = faults_.load(std::memory_order_relaxed);
+  s.busy_s = static_cast<double>(sched.busy_ns) * 1e-9;
+  s.wall_s = static_cast<double>(support::now_ns() - start_ns_) * 1e-9;
+  s.dep_edges = tracker_.stats().edges;
+  return s;
+}
+
+void Runtime::dump_state(FILE* out) const {
+  std::fprintf(out, "runtime: pending=%llu policy=%s\n",
+               static_cast<unsigned long long>(pending_.load()),
+               policy_->name());
+  {
+    std::shared_lock lock(groups_mutex_);
+    for (const auto& g : groups_) {
+      std::fprintf(out, "  group %u '%s': pending=%llu ratio=%.3f\n", g->id(),
+                   g->name().c_str(),
+                   static_cast<unsigned long long>(g->pending()), g->ratio());
+    }
+  }
+  scheduler_->dump(out);
+}
+
+energy::Activity Runtime::activity_now() const {
+  energy::Activity a;
+  a.wall_s = static_cast<double>(support::now_ns() - start_ns_) * 1e-9;
+  const auto [reliable_ns, unreliable_ns] = scheduler_->busy_ns_split();
+  a.busy_s = static_cast<double>(reliable_ns) * 1e-9;
+  a.busy_unreliable_s = static_cast<double>(unreliable_ns) * 1e-9;
+  return a;
+}
+
+}  // namespace sigrt

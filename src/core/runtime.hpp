@@ -1,0 +1,162 @@
+// The significance-aware runtime facade: ties together the dependence
+// tracker, the classification policy, the work-sharing scheduler, group
+// accounting and energy measurement.
+//
+// Typical use (Sobel, Listing 1 of the paper):
+//
+//   sigrt::Runtime rt({.workers = 16, .policy = sigrt::PolicyKind::GTB});
+//   const auto sobel = rt.create_group("sobel", /*ratio=*/0.35);
+//   for (int i = 1; i < HEIGHT - 1; ++i) {
+//     rt.spawn(sigrt::task([=, &img, &res] { sbl_task(res, img, i); })
+//                  .approx([=, &img, &res] { sbl_task_appr(res, img, i); })
+//                  .significance((i % 9 + 1) / 10.0)
+//                  .group(sobel)
+//                  .in(img.data(), img.size())
+//                  .out(res.row(i), WIDTH));
+//   }
+//   rt.wait_group(sobel);   // #pragma omp taskwait label(sobel) ratio(0.35)
+//
+// Threading contract: spawn/wait/create_group are master-thread calls; task
+// bodies run on workers; stats and activity are readable from any thread.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/group.hpp"
+#include "core/policy.hpp"
+#include "core/scheduler.hpp"
+#include "core/task.hpp"
+#include "core/task_options.hpp"
+#include "core/types.hpp"
+#include "dep/block_tracker.hpp"
+#include "energy/meter.hpp"
+
+namespace sigrt {
+
+/// Aggregate runtime counters (see GroupReport for per-group accounting).
+struct RuntimeStats {
+  std::uint64_t spawned = 0;
+  std::uint64_t accurate = 0;
+  std::uint64_t approximate = 0;
+  std::uint64_t dropped = 0;
+  std::uint64_t steals = 0;
+  std::uint64_t dep_edges = 0;
+  /// Approximate tasks lost to injected NTC faults (§6 extension).
+  std::uint64_t faults = 0;
+  double busy_s = 0.0;
+  double wall_s = 0.0;
+};
+
+class Runtime final : public energy::ActivitySource, private IssueSink {
+ public:
+  explicit Runtime(RuntimeConfig config = {});
+
+  /// Quiesces (flush + wait) and joins the workers.  Pending task errors are
+  /// swallowed here; call wait_all() first if you care about them.
+  ~Runtime() override;
+
+  Runtime(const Runtime&) = delete;
+  Runtime& operator=(const Runtime&) = delete;
+
+  // --- groups ------------------------------------------------------------
+
+  /// Creates a task group (the label() clause) with its accurate-execution
+  /// ratio().  Creating an existing name returns the existing group and
+  /// retargets its ratio.
+  GroupId create_group(const std::string& name, double ratio);
+
+  /// Find-or-create by name without retargeting an existing group's ratio.
+  /// New groups start at ratio 1.0 until a taskwait ratio() sets them (this
+  /// is tpc_init_group's find-or-create behaviour, §3.1).
+  GroupId ensure_group(const std::string& name);
+
+  /// Retargets a group's ratio() — e.g. Fluidanimate alternates 1.0 / r
+  /// between time steps (§4.1).
+  void set_ratio(GroupId group, double ratio);
+
+  [[nodiscard]] TaskGroup& group(GroupId id);
+  [[nodiscard]] GroupReport group_report(GroupId id) const;
+  [[nodiscard]] std::vector<GroupReport> all_group_reports() const;
+
+  // --- spawning & synchronization -----------------------------------------
+
+  /// Spawns a task.  Significance outside [0,1] is clamped.  Throws
+  /// std::invalid_argument when no accurate body is provided.
+  void spawn(TaskOptions options);
+  void spawn(TaskBuilder&& builder) { spawn(std::move(builder).take()); }
+
+  /// #pragma omp taskwait — barrier over all tasks spawned so far.
+  /// Rethrows the first exception thrown by any task since the last wait.
+  void wait_all();
+
+  /// #pragma omp taskwait label(...) — barrier over one group.
+  void wait_group(GroupId group);
+
+  /// #pragma omp taskwait on(...) — waits for the pending writers of the
+  /// given byte range.
+  void wait_on(const void* ptr, std::size_t bytes);
+
+  // --- introspection -------------------------------------------------------
+
+  [[nodiscard]] RuntimeStats stats() const;
+  [[nodiscard]] const RuntimeConfig& config() const noexcept { return config_; }
+  [[nodiscard]] const char* policy_name() const noexcept {
+    return policy_->name();
+  }
+  [[nodiscard]] const dep::BlockTracker& tracker() const noexcept {
+    return tracker_;
+  }
+
+  /// Energy meter: RAPL when available, the E5-2650 activity model
+  /// otherwise.  Wrap regions in energy::Scope to measure.
+  [[nodiscard]] energy::Meter& meter() noexcept { return *meter_; }
+
+  /// ActivitySource: cumulative wall/busy seconds for the model meter.
+  [[nodiscard]] energy::Activity activity_now() const override;
+
+  /// Diagnostic snapshot of pending counters and scheduler queues; written
+  /// to `out`.  Intended for deadlock/stall triage from a watchdog thread.
+  void dump_state(FILE* out) const;
+
+ private:
+  // IssueSink
+  void release(const TaskPtr& task) override;
+  [[nodiscard]] TaskGroup& group_ref(GroupId id) override;
+
+  void execute_task(const TaskPtr& task, unsigned worker);
+  void spawn_impl(TaskOptions&& options, bool internal);
+  void on_task_finished();
+  void rethrow_pending_error();
+
+  RuntimeConfig config_;
+  dep::BlockTracker tracker_;
+  std::unique_ptr<Policy> policy_;
+
+  mutable std::shared_mutex groups_mutex_;
+  std::vector<std::unique_ptr<TaskGroup>> groups_;
+  std::unordered_map<std::string, GroupId> group_names_;
+
+  std::atomic<std::uint64_t> pending_{0};
+  mutable std::mutex wait_mutex_;
+  mutable std::condition_variable wait_cv_;
+
+  std::atomic<TaskId> next_task_id_{1};
+  std::atomic<std::uint64_t> faults_{0};
+  std::mutex error_mutex_;
+  std::exception_ptr first_error_;
+
+  std::int64_t start_ns_;
+  std::unique_ptr<Scheduler> scheduler_;  // after policy_: callback uses both
+  std::unique_ptr<energy::Meter> meter_;
+};
+
+}  // namespace sigrt

@@ -1,0 +1,227 @@
+#include "core/scheduler.hpp"
+
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+#include "support/timer.hpp"
+
+namespace sigrt {
+
+Scheduler::Scheduler(unsigned workers, unsigned unreliable, bool steal,
+                     ExecuteFn execute)
+    : steal_enabled_(steal), execute_(std::move(execute)) {
+  assert(execute_ && "scheduler needs an execute callback");
+  if (workers > 0) {
+    unreliable = std::min(unreliable, workers - 1);
+    reliable_count_ = workers - unreliable;
+  } else {
+    reliable_count_ = 1;  // the inline pseudo-worker (index 0) is reliable
+  }
+  slots_.reserve(workers);
+  for (unsigned i = 0; i < workers; ++i) {
+    slots_.push_back(std::make_unique<WorkerSlot>());
+  }
+  workers_.reserve(workers);
+  for (unsigned i = 0; i < workers; ++i) {
+    workers_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+Scheduler::~Scheduler() {
+  stopping_.store(true, std::memory_order_release);
+  {
+    // Pair with the waiters' predicate check (see TaskGroup::on_complete for
+    // the same pattern).
+    std::lock_guard lock(sleep_mutex_);
+    sleep_cv_.notify_all();
+  }
+  for (auto& t : workers_) t.join();
+}
+
+void Scheduler::enqueue(const TaskPtr& task) {
+  assert(task->gate.load(std::memory_order_acquire) == 0 &&
+         "only gate==0 tasks may be enqueued");
+#ifndef NDEBUG
+  if (task->debug_enqueues.fetch_add(1, std::memory_order_acq_rel) != 0) {
+    std::fprintf(stderr, "FATAL: double enqueue of task %llu (group %u)\n",
+                 static_cast<unsigned long long>(task->id), task->group);
+    std::abort();
+  }
+#endif
+
+  if (inline_mode()) {
+    inline_queue_.push_back(task);
+    if (!inline_draining_) drain_inline();
+    return;
+  }
+
+  // Routing: accurate (or not-yet-classified) tasks round-robin over the
+  // reliable workers only; tasks finally classified approximate/dropped may
+  // land on any worker, including the NTC ones.
+  unsigned target;
+  if (eligible_for_unreliable(*task)) {
+    target = next_any_worker_.fetch_add(1, std::memory_order_relaxed) %
+             slots_.size();
+  } else {
+    target = next_worker_.fetch_add(1, std::memory_order_relaxed) %
+             reliable_count_;
+  }
+  {
+    std::lock_guard lock(slots_[target]->mutex);
+    slots_[target]->queue.push_back(task);
+  }
+  {
+    // The increment must happen under the sleep mutex: otherwise it can
+    // land between a worker's predicate check and its atomic block, the
+    // notify below finds nobody waiting, and the wakeup is lost — a real
+    // deadlock when no further enqueues arrive.
+    std::lock_guard lock(sleep_mutex_);
+    ready_count_.fetch_add(1, std::memory_order_release);
+  }
+  if (unreliable_count() == 0) {
+    sleep_cv_.notify_one();
+  } else {
+    // Heterogeneous workers share one condition variable; notify_one could
+    // be consumed by an unreliable worker that is not allowed to take the
+    // task at the queue front, silently swallowing the only wakeup while
+    // the reliable workers stay parked.  Wake everyone; ineligible workers
+    // re-check and go back to sleep.
+    sleep_cv_.notify_all();
+  }
+}
+
+void Scheduler::drain_inline() {
+  inline_draining_ = true;
+  while (!inline_queue_.empty()) {
+    TaskPtr task = std::move(inline_queue_.front());
+    inline_queue_.pop_front();
+    const support::ScopedTimer timer(inline_busy_ns_);
+    execute_(task, 0);
+    ++inline_executed_;
+  }
+  inline_draining_ = false;
+}
+
+bool Scheduler::try_pop_own(unsigned index, TaskPtr& out) {
+  WorkerSlot& slot = *slots_[index];
+  std::lock_guard lock(slot.mutex);
+  if (slot.queue.empty()) return false;
+  out = std::move(slot.queue.front());  // oldest first (§3: FIFO per worker)
+  slot.queue.pop_front();
+  return true;
+}
+
+bool Scheduler::try_steal(unsigned thief, TaskPtr& out) {
+  const std::size_t n = slots_.size();
+  const bool thief_unreliable = is_unreliable(thief);
+  for (std::size_t off = 1; off < n; ++off) {
+    const std::size_t victim = (thief + off) % n;
+    WorkerSlot& slot = *slots_[victim];
+    std::lock_guard lock(slot.mutex);
+    if (slot.queue.empty()) continue;
+    // An unreliable thief may only take the oldest task if it is eligible;
+    // it does not dig deeper (FIFO order is preserved, as in §3).
+    if (thief_unreliable && !eligible_for_unreliable(*slot.queue.front())) {
+      continue;
+    }
+    out = std::move(slot.queue.front());
+    slot.queue.pop_front();
+    ++slots_[thief]->steals;
+    return true;
+  }
+  return false;
+}
+
+void Scheduler::run_task(const TaskPtr& task, unsigned index) {
+  WorkerSlot& slot = *slots_[index];
+  {
+    const support::ScopedTimer timer(slot.busy_ns);
+    execute_(task, index);
+  }
+  ++slot.executed;
+}
+
+void Scheduler::worker_loop(unsigned index) {
+  WorkerSlot& slot = *slots_[index];
+  while (true) {
+    slot.state.store(WorkerState::Scanning, std::memory_order_relaxed);
+    TaskPtr task;
+    if (try_pop_own(index, task) ||
+        (steal_enabled_ && try_steal(index, task))) {
+      ready_count_.fetch_sub(1, std::memory_order_acq_rel);
+      slot.state.store(WorkerState::Running, std::memory_order_relaxed);
+      run_task(task, index);
+      continue;
+    }
+    slot.state.store(WorkerState::Sleeping, std::memory_order_relaxed);
+    std::unique_lock lock(sleep_mutex_);
+    if (steal_enabled_ && !is_unreliable(index)) {
+      // ready_count > 0 implies some queue holds a task this worker can
+      // reach (it can steal anything), so a predicate wait cannot hot-spin.
+      sleep_cv_.wait(lock, [this] {
+        return stopping_.load(std::memory_order_acquire) ||
+               ready_count_.load(std::memory_order_acquire) > 0;
+      });
+    } else {
+      // Without stealing — or with an unreliable worker, which may be
+      // unable to take the tasks ready_count refers to — a predicate wait
+      // would spin.  Poll with a bounded sleep instead.
+      sleep_cv_.wait_for(lock, std::chrono::microseconds(500));
+    }
+    if (stopping_.load(std::memory_order_acquire) &&
+        ready_count_.load(std::memory_order_acquire) == 0) {
+      return;
+    }
+  }
+}
+
+SchedulerStats Scheduler::stats() const {
+  SchedulerStats s;
+  for (const auto& slot : slots_) {
+    s.executed += slot->executed;
+    s.steals += slot->steals;
+    s.busy_ns += slot->busy_ns;
+  }
+  s.executed += inline_executed_;
+  s.busy_ns += inline_busy_ns_;
+  return s;
+}
+
+std::int64_t Scheduler::busy_ns() const { return stats().busy_ns; }
+
+std::pair<std::int64_t, std::int64_t> Scheduler::busy_ns_split() const {
+  std::int64_t reliable = inline_busy_ns_;
+  std::int64_t unreliable = 0;
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    (is_unreliable(static_cast<unsigned>(i)) ? unreliable : reliable) +=
+        slots_[i]->busy_ns;
+  }
+  return {reliable, unreliable};
+}
+
+void Scheduler::dump(FILE* out) const {
+  std::fprintf(out, "scheduler: workers=%zu ready=%zu stopping=%d\n",
+               slots_.size(), ready_count_.load(), stopping_.load());
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    auto& slot = *slots_[i];
+    std::lock_guard lock(slot.mutex);
+    const char* state = "?";
+    switch (slot.state.load(std::memory_order_relaxed)) {
+      case WorkerState::Scanning: state = "scanning"; break;
+      case WorkerState::Running: state = "running"; break;
+      case WorkerState::Sleeping: state = "sleeping"; break;
+    }
+    std::fprintf(out,
+                 "  worker %zu: state=%s unreliable=%d queue=%zu executed=%llu "
+                 "steals=%llu\n",
+                 i, state, is_unreliable(static_cast<unsigned>(i)) ? 1 : 0,
+                 slot.queue.size(), static_cast<unsigned long long>(slot.executed),
+                 static_cast<unsigned long long>(slot.steals));
+  }
+}
+
+}  // namespace sigrt

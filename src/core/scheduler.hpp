@@ -1,0 +1,130 @@
+// Master/slave work-sharing scheduler (§3 of the paper).
+//
+// The master thread enqueues ready tasks round-robin across per-worker
+// FIFO queues.  Workers execute the oldest task of their own queue and
+// steal from other queues when theirs runs dry.  An inline mode (zero
+// workers) executes tasks synchronously on the enqueuing thread; it keeps
+// unit tests deterministic and lets the library run in single-threaded
+// contexts.
+//
+// The scheduler also accounts per-worker busy time (task execution only),
+// which feeds the energy model's dynamic-power term.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <cstdio>
+#include <utility>
+#include <thread>
+#include <vector>
+
+#include "core/task.hpp"
+
+namespace sigrt {
+
+struct SchedulerStats {
+  std::uint64_t executed = 0;
+  std::uint64_t steals = 0;
+  std::int64_t busy_ns = 0;
+};
+
+class Scheduler {
+ public:
+  /// `execute` runs one task on the given worker index; it must not throw
+  /// (the runtime layer captures task exceptions).
+  using ExecuteFn = std::function<void(const TaskPtr&, unsigned worker)>;
+
+  /// The last `unreliable` workers only execute tasks already classified
+  /// Approximate/Dropped (see RuntimeConfig::unreliable_workers); clamped
+  /// to workers-1.
+  Scheduler(unsigned workers, unsigned unreliable, bool steal, ExecuteFn execute);
+  ~Scheduler();
+
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  /// Hands a ready (gate == 0) task to a worker queue; inline mode executes
+  /// it (and anything it transitively readies) before returning.
+  void enqueue(const TaskPtr& task);
+
+  /// True when configured with zero worker threads.
+  [[nodiscard]] bool inline_mode() const noexcept { return workers_.empty(); }
+
+  [[nodiscard]] unsigned worker_count() const noexcept {
+    return static_cast<unsigned>(workers_.size());
+  }
+
+  /// Aggregate counters (approximate while workers are running).
+  [[nodiscard]] SchedulerStats stats() const;
+
+  /// Cumulative worker busy time in nanoseconds (includes inline execution).
+  [[nodiscard]] std::int64_t busy_ns() const;
+
+  /// Diagnostic snapshot (queue sizes, ready counter) for deadlock triage.
+  void dump(FILE* out) const;
+
+  /// True when `worker` is one of the unreliable (NTC) workers.
+  [[nodiscard]] bool is_unreliable(unsigned worker) const noexcept {
+    return worker >= reliable_count_;
+  }
+
+  [[nodiscard]] unsigned unreliable_count() const noexcept {
+    const unsigned n = worker_count();
+    return n > reliable_count_ ? n - reliable_count_ : 0;
+  }
+
+  /// Busy nanoseconds split into (reliable, unreliable) worker classes —
+  /// the energy model charges NTC cores a fraction of the dynamic power.
+  [[nodiscard]] std::pair<std::int64_t, std::int64_t> busy_ns_split() const;
+
+ private:
+  enum class WorkerState : std::uint8_t { Scanning, Running, Sleeping };
+
+  struct alignas(64) WorkerSlot {
+    mutable std::mutex mutex;
+    std::deque<TaskPtr> queue;
+    std::int64_t busy_ns = 0;       // written by owning worker only
+    std::uint64_t executed = 0;     // idem
+    std::uint64_t steals = 0;       // idem
+    std::atomic<WorkerState> state{WorkerState::Scanning};  // diagnostics
+  };
+
+  void worker_loop(unsigned index);
+  bool try_pop_own(unsigned index, TaskPtr& out);
+  bool try_steal(unsigned thief, TaskPtr& out);
+  void run_task(const TaskPtr& task, unsigned index);
+  void drain_inline();
+
+  /// May `task` run on an unreliable worker?  Only when its classification
+  /// is already final and non-accurate.
+  [[nodiscard]] static bool eligible_for_unreliable(const Task& task) noexcept {
+    return task.kind == ExecutionKind::Approximate ||
+           task.kind == ExecutionKind::Dropped;
+  }
+
+  const bool steal_enabled_;
+  unsigned reliable_count_ = 0;
+  ExecuteFn execute_;
+  std::atomic<unsigned> next_any_worker_{0};
+
+  std::vector<std::unique_ptr<WorkerSlot>> slots_;
+  std::vector<std::thread> workers_;
+  std::atomic<unsigned> next_worker_{0};
+  std::atomic<std::size_t> ready_count_{0};
+  std::atomic<bool> stopping_{false};
+
+  std::mutex sleep_mutex_;
+  std::condition_variable sleep_cv_;
+
+  // Inline-mode state (single-threaded by construction).
+  std::deque<TaskPtr> inline_queue_;
+  bool inline_draining_ = false;
+  std::int64_t inline_busy_ns_ = 0;
+  std::uint64_t inline_executed_ = 0;
+};
+
+}  // namespace sigrt

@@ -1,0 +1,54 @@
+// Task descriptor: the runtime-side image of one `#pragma omp task
+// significant(...) approxfun(...) in(...) out(...)` annotation.
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/types.hpp"
+#include "dep/block_tracker.hpp"
+
+namespace sigrt {
+
+class Task;
+using TaskPtr = std::shared_ptr<Task>;
+
+/// A unit of work with a significance value and an optional approximate
+/// body.  Tasks are created by the master thread, classified by a policy,
+/// gated on their data dependencies and executed (once) by a worker.
+class Task final : public dep::Node {
+ public:
+  Task() = default;
+
+  // --- immutable after spawn -------------------------------------------
+  std::function<void()> accurate;     ///< required task body
+  std::function<void()> approximate;  ///< optional approxfun(); empty => drop
+  float significance = 1.0f;          ///< in [0, 1]; 1 forces accurate, 0 forces approximate
+  GroupId group = kDefaultGroup;
+  TaskId id = 0;
+  bool internal = false;  ///< runtime-internal task (wait_on fence): excluded from stats
+
+  /// Classification result.  Written exactly once before the task becomes
+  /// runnable (GTB/Oracle) or at dequeue time on the executing worker (LQH),
+  /// then read only by that worker — no concurrent access in either case.
+  ExecutionKind kind = ExecutionKind::Undecided;
+
+  // --- release gate ------------------------------------------------------
+  // A task becomes runnable when its gate reaches zero.  The gate starts at
+  // (number of unfinished predecessors) + 1, where the +1 is the policy hold:
+  // buffering policies keep it until they classify the task.  Whoever
+  // performs the final decrement enqueues the task.
+  std::atomic<std::uint32_t> gate{0};
+
+  /// Decrements the gate; returns true when this call made the task runnable.
+  [[nodiscard]] bool release_one() noexcept {
+    return gate.fetch_sub(1, std::memory_order_acq_rel) == 1;
+  }
+
+  // Debug-only diagnostics (cheap; used by assertions in the scheduler).
+  std::atomic<std::uint8_t> debug_enqueues{0};
+};
+
+}  // namespace sigrt

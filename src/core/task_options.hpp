@@ -1,0 +1,98 @@
+// Spawn-time task description and a fluent builder.
+//
+// The builder mirrors the pragma clauses one-to-one:
+//
+//   rt.spawn(sigrt::task([&]{ sbl_row(res, img, i); })   // task body
+//                .approx([&]{ sbl_row_appr(res, img, i); })  // approxfun()
+//                .significance((i % 9 + 1) / 10.0)           // significant()
+//                .group(sobel)                               // label()
+//                .in(img, N).out(res + i * W, W));           // in() / out()
+#pragma once
+
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "core/types.hpp"
+#include "dep/block_tracker.hpp"
+
+namespace sigrt {
+
+/// Plain-data description of one task to spawn.
+struct TaskOptions {
+  std::function<void()> accurate;     ///< required
+  std::function<void()> approximate;  ///< optional; absent => drop on approximation
+  double significance = 1.0;
+  GroupId group = kDefaultGroup;
+  std::vector<dep::Access> accesses;
+};
+
+class TaskBuilder {
+ public:
+  explicit TaskBuilder(std::function<void()> body) {
+    options_.accurate = std::move(body);
+  }
+
+  TaskBuilder& approx(std::function<void()> fn) & {
+    options_.approximate = std::move(fn);
+    return *this;
+  }
+  TaskBuilder&& approx(std::function<void()> fn) && {
+    return std::move(approx(std::move(fn)));
+  }
+
+  TaskBuilder& significance(double s) & {
+    options_.significance = s;
+    return *this;
+  }
+  TaskBuilder&& significance(double s) && { return std::move(significance(s)); }
+
+  TaskBuilder& group(GroupId g) & {
+    options_.group = g;
+    return *this;
+  }
+  TaskBuilder&& group(GroupId g) && { return std::move(group(g)); }
+
+  template <typename T>
+  TaskBuilder& in(const T* p, std::size_t count = 1) & {
+    options_.accesses.push_back(dep::in(p, count));
+    return *this;
+  }
+  template <typename T>
+  TaskBuilder&& in(const T* p, std::size_t count = 1) && {
+    return std::move(in(p, count));
+  }
+
+  template <typename T>
+  TaskBuilder& out(T* p, std::size_t count = 1) & {
+    options_.accesses.push_back(dep::out(p, count));
+    return *this;
+  }
+  template <typename T>
+  TaskBuilder&& out(T* p, std::size_t count = 1) && {
+    return std::move(out(p, count));
+  }
+
+  template <typename T>
+  TaskBuilder& inout(T* p, std::size_t count = 1) & {
+    options_.accesses.push_back(dep::inout(p, count));
+    return *this;
+  }
+  template <typename T>
+  TaskBuilder&& inout(T* p, std::size_t count = 1) && {
+    return std::move(inout(p, count));
+  }
+
+  /// Consumes the builder.
+  [[nodiscard]] TaskOptions take() && { return std::move(options_); }
+
+ private:
+  TaskOptions options_;
+};
+
+/// Entry point of the fluent spelling: sigrt::task([...]{ ... }).
+[[nodiscard]] inline TaskBuilder task(std::function<void()> body) {
+  return TaskBuilder(std::move(body));
+}
+
+}  // namespace sigrt

@@ -1,0 +1,110 @@
+#include "dep/block_tracker.hpp"
+
+#include <bit>
+#include <cassert>
+
+namespace sigrt::dep {
+
+BlockTracker::BlockTracker(std::size_t block_bytes)
+    : block_bytes_(block_bytes),
+      block_shift_(static_cast<unsigned>(std::countr_zero(block_bytes))) {
+  assert(block_bytes > 0 && std::has_single_bit(block_bytes) &&
+         "block size must be a power of two");
+}
+
+std::uint64_t BlockTracker::first_block(const void* ptr) const noexcept {
+  return static_cast<std::uint64_t>(reinterpret_cast<std::uintptr_t>(ptr)) >>
+         block_shift_;
+}
+
+std::uint64_t BlockTracker::last_block(const void* ptr,
+                                       std::size_t bytes) const noexcept {
+  const auto base = static_cast<std::uint64_t>(reinterpret_cast<std::uintptr_t>(ptr));
+  const std::uint64_t end = base + (bytes == 0 ? 0 : bytes - 1);
+  return end >> block_shift_;
+}
+
+bool BlockTracker::link(const std::shared_ptr<Node>& pred,
+                        const std::shared_ptr<Node>& succ) {
+  if (!pred || pred.get() == succ.get() || pred->done_) return false;
+  if (pred->visit_stamp_ == stamp_) return false;  // already linked this pass
+  pred->visit_stamp_ = stamp_;
+  pred->dependents_.push_back(succ);
+  ++stats_.edges;
+  return true;
+}
+
+std::size_t BlockTracker::register_node(const std::shared_ptr<Node>& node,
+                                        std::span<const Access> accesses) {
+  std::lock_guard lock(mutex_);
+  ++stamp_;
+  ++stats_.registered_nodes;
+  std::size_t predecessors = 0;
+
+  for (const Access& a : accesses) {
+    if (a.ptr == nullptr || a.bytes == 0) continue;
+    const std::uint64_t lo = first_block(a.ptr);
+    const std::uint64_t hi = last_block(a.ptr, a.bytes);
+    for (std::uint64_t b = lo; b <= hi; ++b) {
+      auto [it, inserted] = blocks_.try_emplace(b);
+      if (inserted) ++stats_.blocks_touched;
+      BlockState& state = it->second;
+
+      if (reads(a.mode)) {
+        // RAW: reader after writer.
+        if (link(state.last_writer, node)) ++predecessors;
+      }
+      if (writes(a.mode)) {
+        // WAW: writer after writer.
+        if (link(state.last_writer, node)) ++predecessors;
+        // WAR: writer after readers.
+        for (const auto& r : state.readers) {
+          if (link(r, node)) ++predecessors;
+        }
+        state.readers.clear();
+        state.last_writer = node;
+      } else {
+        state.readers.push_back(node);
+      }
+    }
+  }
+  return predecessors;
+}
+
+std::vector<std::shared_ptr<Node>> BlockTracker::complete(Node& node) {
+  std::lock_guard lock(mutex_);
+  node.done_ = true;
+  return std::move(node.dependents_);
+}
+
+std::vector<std::shared_ptr<Node>> BlockTracker::pending_writers(
+    const void* ptr, std::size_t bytes) {
+  std::lock_guard lock(mutex_);
+  ++stamp_;
+  std::vector<std::shared_ptr<Node>> result;
+  if (ptr == nullptr || bytes == 0) return result;
+  const std::uint64_t lo = first_block(ptr);
+  const std::uint64_t hi = last_block(ptr, bytes);
+  for (std::uint64_t b = lo; b <= hi; ++b) {
+    auto it = blocks_.find(b);
+    if (it == blocks_.end()) continue;
+    const auto& w = it->second.last_writer;
+    if (w && !w->done_ && w->visit_stamp_ != stamp_) {
+      w->visit_stamp_ = stamp_;
+      result.push_back(w);
+    }
+  }
+  return result;
+}
+
+void BlockTracker::reset() {
+  std::lock_guard lock(mutex_);
+  blocks_.clear();
+}
+
+TrackerStats BlockTracker::stats() const {
+  std::lock_guard lock(mutex_);
+  return stats_;
+}
+
+}  // namespace sigrt::dep

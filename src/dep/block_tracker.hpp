@@ -1,0 +1,135 @@
+// Block-level dynamic dependence analysis.
+//
+// The paper's runtime extends BDDT [23], which discovers inter-task
+// dependencies at block granularity from the programmer's in()/out()
+// clauses.  This module reimplements that substrate: memory is viewed as
+// fixed-size blocks; for every block the tracker remembers the last writer
+// and the readers since that write, and derives RAW, WAR and WAW edges when
+// a new task registers its footprint.
+//
+// The tracker is policy-agnostic: it neither schedules nor executes.  The
+// runtime registers each task at spawn time (master thread) and notifies
+// completion from worker threads; both entry points synchronize on one
+// mutex, which is acceptable because tasks in this model are coarse-grained
+// (the paper makes the same argument for its bookkeeping, §3.4).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+namespace sigrt::dep {
+
+/// Access direction of one clause.  In ≡ in(), Out ≡ out(), InOut ≡ inout().
+enum class Mode : std::uint8_t {
+  In = 1,
+  Out = 2,
+  InOut = 3,
+};
+
+[[nodiscard]] constexpr bool reads(Mode m) noexcept {
+  return (static_cast<std::uint8_t>(m) & static_cast<std::uint8_t>(Mode::In)) != 0;
+}
+[[nodiscard]] constexpr bool writes(Mode m) noexcept {
+  return (static_cast<std::uint8_t>(m) & static_cast<std::uint8_t>(Mode::Out)) != 0;
+}
+
+/// One data-flow clause: a byte range plus its direction.
+struct Access {
+  const void* ptr = nullptr;
+  std::size_t bytes = 0;
+  Mode mode = Mode::In;
+};
+
+/// Convenience constructors mirroring the pragma clause names.
+template <typename T>
+[[nodiscard]] Access in(const T* p, std::size_t count = 1) {
+  return {p, count * sizeof(T), Mode::In};
+}
+template <typename T>
+[[nodiscard]] Access out(T* p, std::size_t count = 1) {
+  return {p, count * sizeof(T), Mode::Out};
+}
+template <typename T>
+[[nodiscard]] Access inout(T* p, std::size_t count = 1) {
+  return {p, count * sizeof(T), Mode::InOut};
+}
+
+/// Participant in dependence tracking.  sigrt::core::Task derives from this.
+/// All fields are owned by the tracker and only touched under its mutex.
+class Node {
+ public:
+  virtual ~Node() = default;
+
+ private:
+  friend class BlockTracker;
+  std::vector<std::shared_ptr<Node>> dependents_;
+  std::uint64_t visit_stamp_ = 0;  // de-duplication during one registration
+  bool done_ = false;
+};
+
+/// Aggregate counters for tests and diagnostics.
+struct TrackerStats {
+  std::uint64_t registered_nodes = 0;
+  std::uint64_t edges = 0;          // dependency edges discovered
+  std::uint64_t blocks_touched = 0; // distinct blocks ever observed
+};
+
+class BlockTracker {
+ public:
+  /// `block_bytes` must be a power of two.
+  explicit BlockTracker(std::size_t block_bytes = 1024);
+
+  BlockTracker(const BlockTracker&) = delete;
+  BlockTracker& operator=(const BlockTracker&) = delete;
+
+  /// Registers `node`'s footprint and wires edges from every unfinished
+  /// predecessor (RAW/WAR/WAW).  Returns the number of predecessors found;
+  /// the caller must arrange for the node to stay unreleased until that many
+  /// complete() notifications have named it as a dependent.
+  std::size_t register_node(const std::shared_ptr<Node>& node,
+                            std::span<const Access> accesses);
+
+  /// Marks `node` complete and returns the dependents recorded so far; the
+  /// caller decrements each dependent's gate.  Nodes registered afterwards
+  /// will no longer depend on `node`.
+  [[nodiscard]] std::vector<std::shared_ptr<Node>> complete(Node& node);
+
+  /// Collects the currently unfinished writers overlapping [ptr, ptr+bytes).
+  /// Used by taskwait on(...): the caller waits for exactly these tasks.
+  [[nodiscard]] std::vector<std::shared_ptr<Node>> pending_writers(
+      const void* ptr, std::size_t bytes);
+
+  /// Forgets all history.  Only valid when no tasks are in flight.
+  void reset();
+
+  [[nodiscard]] TrackerStats stats() const;
+  [[nodiscard]] std::size_t block_bytes() const noexcept { return block_bytes_; }
+
+ private:
+  struct BlockState {
+    std::shared_ptr<Node> last_writer;
+    std::vector<std::shared_ptr<Node>> readers;  // readers since last write
+  };
+
+  /// Adds an edge pred -> succ unless pred is done or already linked during
+  /// this registration (visit stamp).  Returns true when an edge was added.
+  bool link(const std::shared_ptr<Node>& pred, const std::shared_ptr<Node>& succ);
+
+  [[nodiscard]] std::uint64_t first_block(const void* ptr) const noexcept;
+  [[nodiscard]] std::uint64_t last_block(const void* ptr,
+                                         std::size_t bytes) const noexcept;
+
+  const std::size_t block_bytes_;
+  const unsigned block_shift_;
+
+  mutable std::mutex mutex_;
+  std::unordered_map<std::uint64_t, BlockState> blocks_;
+  std::uint64_t stamp_ = 0;
+  TrackerStats stats_{};
+};
+
+}  // namespace sigrt::dep

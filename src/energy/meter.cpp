@@ -1,0 +1,17 @@
+#include "energy/meter.hpp"
+
+#include "energy/model.hpp"
+#include "energy/rapl.hpp"
+
+namespace sigrt::energy {
+
+std::unique_ptr<Meter> make_best_meter(const ActivitySource* source) {
+  auto rapl = std::make_unique<RaplMeter>();
+  if (rapl->available()) return rapl;
+  if (source != nullptr) {
+    return std::make_unique<ModelMeter>(MachineModel{}, *source);
+  }
+  return std::make_unique<NullMeter>();
+}
+
+}  // namespace sigrt::energy

@@ -1,0 +1,71 @@
+#include "energy/rapl.hpp"
+
+#include <filesystem>
+#include <fstream>
+
+namespace sigrt::energy {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+bool read_u64(const fs::path& p, std::uint64_t& out) {
+  std::ifstream in(p);
+  if (!in) return false;
+  in >> out;
+  return static_cast<bool>(in);
+}
+
+bool read_string(const fs::path& p, std::string& out) {
+  std::ifstream in(p);
+  if (!in) return false;
+  std::getline(in, out);
+  return static_cast<bool>(in) || in.eof();
+}
+
+}  // namespace
+
+RaplMeter::RaplMeter(std::string root) {
+  std::error_code ec;
+  if (!fs::is_directory(root, ec)) return;
+
+  for (const auto& entry : fs::directory_iterator(root, ec)) {
+    if (ec) break;
+    const std::string stem = entry.path().filename().string();
+    // Top-level package domains look like "intel-rapl:0"; subdomains
+    // (":0:0", core/dram) are excluded so packages are not double counted.
+    if (stem.rfind("intel-rapl:", 0) != 0) continue;
+    if (stem.find(':', std::string("intel-rapl:").size()) != std::string::npos) {
+      continue;
+    }
+
+    std::string name;
+    if (!read_string(entry.path() / "name", name)) continue;
+    if (name.rfind("package", 0) != 0 && name.rfind("psys", 0) != 0) continue;
+
+    Domain d;
+    d.energy_path = (entry.path() / "energy_uj").string();
+    std::uint64_t probe = 0;
+    if (!read_u64(d.energy_path, probe)) continue;  // often root-only
+    read_u64(entry.path() / "max_energy_range_uj", d.max_range_uj);
+    domains_.push_back(std::move(d));
+  }
+}
+
+double RaplMeter::joules_now() const {
+  std::uint64_t total_uj = 0;
+  for (const auto& d : domains_) {
+    std::uint64_t raw = 0;
+    if (!read_u64(d.energy_path, raw)) continue;
+    if (!d.primed) {
+      d.primed = true;
+    } else if (raw < d.last_raw_uj && d.max_range_uj > 0) {
+      ++d.wraps;  // counter wrapped since last read
+    }
+    d.last_raw_uj = raw;
+    total_uj += raw + d.wraps * d.max_range_uj;
+  }
+  return static_cast<double>(total_uj) * 1e-6;
+}
+
+}  // namespace sigrt::energy

@@ -1,0 +1,48 @@
+// RAPL energy counters via the Linux powercap sysfs interface.
+//
+// The paper reads RAPL through likwid; the powercap interface exposes the
+// same MSR-backed package energy counters as
+//   /sys/class/powercap/intel-rapl:<pkg>/energy_uj
+// This reader sums all top-level package domains and corrects for counter
+// wraparound using max_energy_range_uj.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "energy/meter.hpp"
+
+namespace sigrt::energy {
+
+class RaplMeter final : public Meter {
+ public:
+  /// Discovers package domains under `root` (default: the real sysfs path).
+  /// Use available() to check whether construction found readable counters.
+  explicit RaplMeter(std::string root = "/sys/class/powercap");
+
+  /// True iff at least one package energy counter is readable.
+  [[nodiscard]] bool available() const noexcept { return !domains_.empty(); }
+
+  [[nodiscard]] double joules_now() const override;
+  [[nodiscard]] std::string name() const override { return "rapl"; }
+
+  /// Number of package domains found (0 when unavailable).
+  [[nodiscard]] std::size_t domain_count() const noexcept {
+    return domains_.size();
+  }
+
+ private:
+  struct Domain {
+    std::string energy_path;
+    std::uint64_t max_range_uj = 0;
+    // Wraparound tracking (mutable: joules_now is logically const).
+    mutable std::uint64_t last_raw_uj = 0;
+    mutable std::uint64_t wraps = 0;
+    mutable bool primed = false;
+  };
+
+  std::vector<Domain> domains_;
+};
+
+}  // namespace sigrt::energy

@@ -1,0 +1,98 @@
+#include "metrics/quality.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace sigrt::metrics {
+
+double mse(std::span<const std::uint8_t> reference,
+           std::span<const std::uint8_t> candidate) {
+  assert(reference.size() == candidate.size());
+  if (reference.empty()) return 0.0;
+  double acc = 0.0;
+  for (std::size_t i = 0; i < reference.size(); ++i) {
+    const double d =
+        static_cast<double>(reference[i]) - static_cast<double>(candidate[i]);
+    acc += d * d;
+  }
+  return acc / static_cast<double>(reference.size());
+}
+
+double mse(std::span<const double> reference, std::span<const double> candidate) {
+  assert(reference.size() == candidate.size());
+  if (reference.empty()) return 0.0;
+  double acc = 0.0;
+  for (std::size_t i = 0; i < reference.size(); ++i) {
+    const double d = reference[i] - candidate[i];
+    acc += d * d;
+  }
+  return acc / static_cast<double>(reference.size());
+}
+
+double psnr_db(std::span<const std::uint8_t> reference,
+               std::span<const std::uint8_t> candidate) {
+  const double m = mse(reference, candidate);
+  if (m == 0.0) return std::numeric_limits<double>::infinity();
+  return 10.0 * std::log10(255.0 * 255.0 / m);
+}
+
+double psnr_db(const support::Image& reference, const support::Image& candidate) {
+  assert(reference.width() == candidate.width() &&
+         reference.height() == candidate.height());
+  return psnr_db(std::span<const std::uint8_t>(reference.pixels()),
+                 std::span<const std::uint8_t>(candidate.pixels()));
+}
+
+double inverse_psnr(double psnr_value_db) {
+  if (std::isinf(psnr_value_db)) return 0.0;
+  return 1.0 / psnr_value_db;
+}
+
+double mean_relative_error(std::span<const double> reference,
+                           std::span<const double> candidate, double floor) {
+  assert(reference.size() == candidate.size());
+  if (reference.empty()) return 0.0;
+  double acc = 0.0;
+  for (std::size_t i = 0; i < reference.size(); ++i) {
+    const double denom = std::max(std::abs(reference[i]), floor);
+    acc += std::abs(candidate[i] - reference[i]) / denom;
+  }
+  return acc / static_cast<double>(reference.size());
+}
+
+double relative_l2_error(std::span<const double> reference,
+                         std::span<const double> candidate) {
+  assert(reference.size() == candidate.size());
+  double num = 0.0;
+  double den = 0.0;
+  for (std::size_t i = 0; i < reference.size(); ++i) {
+    const double d = candidate[i] - reference[i];
+    num += d * d;
+    den += reference[i] * reference[i];
+  }
+  if (den == 0.0) return num == 0.0 ? 0.0 : std::numeric_limits<double>::infinity();
+  return std::sqrt(num / den);
+}
+
+double max_abs_error(std::span<const double> reference,
+                     std::span<const double> candidate) {
+  assert(reference.size() == candidate.size());
+  double mx = 0.0;
+  for (std::size_t i = 0; i < reference.size(); ++i) {
+    mx = std::max(mx, std::abs(candidate[i] - reference[i]));
+  }
+  return mx;
+}
+
+double nrmse(std::span<const double> reference, std::span<const double> candidate) {
+  assert(reference.size() == candidate.size());
+  if (reference.empty()) return 0.0;
+  const auto [lo, hi] = std::minmax_element(reference.begin(), reference.end());
+  const double range = *hi - *lo;
+  const double rmse = std::sqrt(mse(reference, candidate));
+  if (range == 0.0) return rmse == 0.0 ? 0.0 : std::numeric_limits<double>::infinity();
+  return rmse / range;
+}
+
+}  // namespace sigrt::metrics

@@ -1,0 +1,55 @@
+// Output-quality metrics from §4.1 of the paper:
+//   - PSNR for the image benchmarks (Sobel, DCT); Figure 2 plots PSNR^-1.
+//   - Relative error for MC, Kmeans, Jacobi and Fluidanimate.
+//
+// All metrics compare an approximate output against the output of a fully
+// accurate execution of the same program on the same input, exactly as the
+// paper evaluates quality.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <span>
+
+#include "support/image.hpp"
+
+namespace sigrt::metrics {
+
+/// Mean squared error between two equally-sized byte sequences.
+double mse(std::span<const std::uint8_t> reference,
+           std::span<const std::uint8_t> candidate);
+
+/// Mean squared error between two equally-sized double sequences.
+double mse(std::span<const double> reference, std::span<const double> candidate);
+
+/// Peak signal-to-noise ratio in dB for 8-bit data (peak = 255).
+/// Returns +infinity for identical inputs (MSE == 0).
+double psnr_db(std::span<const std::uint8_t> reference,
+               std::span<const std::uint8_t> candidate);
+
+/// PSNR over image containers; images must have identical dimensions.
+double psnr_db(const support::Image& reference, const support::Image& candidate);
+
+/// Figure 2 plots PSNR^-1 so that "lower is better" holds across all rows.
+/// Identical outputs (infinite PSNR) map to 0.
+double inverse_psnr(double psnr_value_db);
+
+/// Mean relative error: mean_i |cand_i - ref_i| / max(|ref_i|, floor).
+/// `floor` guards against division by (near-)zero reference entries.
+double mean_relative_error(std::span<const double> reference,
+                           std::span<const double> candidate,
+                           double floor = 1e-12);
+
+/// Relative L2 error: ||cand - ref||_2 / ||ref||_2.
+double relative_l2_error(std::span<const double> reference,
+                         std::span<const double> candidate);
+
+/// Maximum absolute elementwise deviation.
+double max_abs_error(std::span<const double> reference,
+                     std::span<const double> candidate);
+
+/// Normalized RMSE: RMSE divided by the reference value range; 0 when the
+/// reference is constant and the candidate matches it.
+double nrmse(std::span<const double> reference, std::span<const double> candidate);
+
+}  // namespace sigrt::metrics

@@ -1,0 +1,105 @@
+// Loop perforation baseline (Sidiroglou-Douskos et al. [19]).
+//
+// The paper's evaluation compares the significance-aware runtime against
+// "blind" loop perforation: a compiler transformation that skips a fraction
+// of a loop's iterations with no notion of which iterations matter.  The
+// perforated comparator in Figure 2 "executes the same number of tasks as
+// those executed accurately by our approach" (§4.1), i.e. a perforation
+// rate of (1 - ratio).
+//
+// Three standard perforation shapes are provided; the benchmarks use
+// Modulo (the canonical compiler transformation), while Truncate and
+// Random support the perforation ablation bench.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "support/rng.hpp"
+
+namespace sigrt::perforation {
+
+/// Which iterations survive a perforated loop.
+enum class Shape : std::uint8_t {
+  Modulo,    ///< keep iterations evenly spaced across the range
+  Truncate,  ///< keep the first (1-rate) fraction, drop the tail
+  Random,    ///< keep a (1-rate) Bernoulli sample (deterministic seed)
+};
+
+[[nodiscard]] constexpr const char* to_string(Shape s) noexcept {
+  switch (s) {
+    case Shape::Modulo: return "modulo";
+    case Shape::Truncate: return "truncate";
+    case Shape::Random: return "random";
+  }
+  return "?";
+}
+
+/// Counters describing one perforated execution.
+struct Stats {
+  std::size_t executed = 0;
+  std::size_t skipped = 0;
+
+  [[nodiscard]] double executed_fraction() const noexcept {
+    const std::size_t total = executed + skipped;
+    return total == 0 ? 1.0 : static_cast<double>(executed) / static_cast<double>(total);
+  }
+};
+
+/// Runs `body(i)` for the surviving iterations of [begin, end) at perforation
+/// `rate` in [0,1] (rate == fraction *dropped*).  Returns the counters.
+///
+// The Modulo shape follows the classic implementation: iteration i runs iff
+// floor((i+1)*keep) > floor(i*keep) with keep = 1-rate, which spreads the
+// surviving iterations uniformly and keeps exactly round(n*keep) of them.
+template <typename Body>
+Stats for_each(std::size_t begin, std::size_t end, double rate, Body&& body,
+               Shape shape = Shape::Modulo, std::uint64_t seed = 0x9e3779b9) {
+  Stats stats;
+  if (end <= begin) return stats;
+  const double keep = rate <= 0.0 ? 1.0 : (rate >= 1.0 ? 0.0 : 1.0 - rate);
+  const std::size_t n = end - begin;
+
+  switch (shape) {
+    case Shape::Modulo: {
+      for (std::size_t i = 0; i < n; ++i) {
+        const auto lo = static_cast<std::size_t>(static_cast<double>(i) * keep);
+        const auto hi = static_cast<std::size_t>(static_cast<double>(i + 1) * keep);
+        if (hi > lo) {
+          body(begin + i);
+          ++stats.executed;
+        } else {
+          ++stats.skipped;
+        }
+      }
+      break;
+    }
+    case Shape::Truncate: {
+      const auto kept = static_cast<std::size_t>(static_cast<double>(n) * keep + 0.5);
+      for (std::size_t i = 0; i < n; ++i) {
+        if (i < kept) {
+          body(begin + i);
+          ++stats.executed;
+        } else {
+          ++stats.skipped;
+        }
+      }
+      break;
+    }
+    case Shape::Random: {
+      support::Xoshiro256 rng(seed);
+      for (std::size_t i = 0; i < n; ++i) {
+        if (rng.uniform() < keep) {
+          body(begin + i);
+          ++stats.executed;
+        } else {
+          ++stats.skipped;
+        }
+      }
+      break;
+    }
+  }
+  return stats;
+}
+
+}  // namespace sigrt::perforation

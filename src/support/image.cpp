@@ -1,0 +1,104 @@
+#include "support/image.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+
+#include "support/rng.hpp"
+
+namespace sigrt::support {
+
+bool write_pgm(const Image& img, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return false;
+  out << "P5\n" << img.width() << ' ' << img.height() << "\n255\n";
+  out.write(reinterpret_cast<const char*>(img.data()),
+            static_cast<std::streamsize>(img.size()));
+  return static_cast<bool>(out);
+}
+
+Image read_pgm(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return {};
+  std::string magic;
+  in >> magic;
+  if (magic != "P5") return {};
+
+  // PGM allows '#' comments between header tokens.
+  auto next_int = [&in]() -> long {
+    while (in) {
+      in >> std::ws;
+      if (in.peek() == '#') {
+        std::string comment;
+        std::getline(in, comment);
+        continue;
+      }
+      long v = -1;
+      in >> v;
+      return v;
+    }
+    return -1;
+  };
+
+  const long w = next_int();
+  const long h = next_int();
+  const long maxval = next_int();
+  if (w <= 0 || h <= 0 || maxval <= 0 || maxval > 255) return {};
+  in.get();  // single whitespace separating header from raster
+
+  Image img(static_cast<std::size_t>(w), static_cast<std::size_t>(h));
+  in.read(reinterpret_cast<char*>(img.data()),
+          static_cast<std::streamsize>(img.size()));
+  if (!in) return {};
+  return img;
+}
+
+Image synthetic_image(std::size_t width, std::size_t height, std::uint64_t seed) {
+  Image img(width, height);
+  Xoshiro256 rng(seed);
+
+  // Low-amplitude per-image phase offsets make distinct seeds produce
+  // distinct yet structurally similar images.
+  const double phase_x = rng.uniform(0.0, 6.28318530717958647692);
+  const double phase_y = rng.uniform(0.0, 6.28318530717958647692);
+  const double cx = static_cast<double>(width) * rng.uniform(0.35, 0.65);
+  const double cy = static_cast<double>(height) * rng.uniform(0.35, 0.65);
+
+  for (std::size_t y = 0; y < height; ++y) {
+    for (std::size_t x = 0; x < width; ++x) {
+      const double fx = static_cast<double>(x) / static_cast<double>(width);
+      const double fy = static_cast<double>(y) / static_cast<double>(height);
+      // Smooth diagonal gradient (low frequency, dominates DCT DC band).
+      double v = 90.0 * (fx + fy) * 0.5;
+      // Concentric rings around (cx, cy): strong edges for Sobel.
+      const double dx = static_cast<double>(x) - cx;
+      const double dy = static_cast<double>(y) - cy;
+      const double r = std::sqrt(dx * dx + dy * dy);
+      v += 70.0 * (0.5 + 0.5 * std::sin(r * 0.08));
+      // Mid/high-frequency texture bands.
+      v += 40.0 * std::sin(fx * 53.0 + phase_x) * std::sin(fy * 47.0 + phase_y);
+      // Sparse deterministic "speckle" noise — exercises the high-frequency
+      // DCT coefficients whose tasks the paper tags least significant.
+      if ((x * 2654435761u + y * 40503u + static_cast<std::size_t>(seed)) % 97 == 0) {
+        v += 35.0;
+      }
+      v = std::clamp(v, 0.0, 255.0);
+      img.at(x, y) = static_cast<std::uint8_t>(std::lround(v));
+    }
+  }
+  return img;
+}
+
+void blit_quadrant(Image& dst, const Image& src, int qx, int qy) {
+  const std::size_t qw = dst.width() / 2;
+  const std::size_t qh = dst.height() / 2;
+  const std::size_t ox = static_cast<std::size_t>(qx) * qw;
+  const std::size_t oy = static_cast<std::size_t>(qy) * qh;
+  for (std::size_t y = 0; y < qh && y < src.height(); ++y) {
+    for (std::size_t x = 0; x < qw && x < src.width(); ++x) {
+      dst.at(ox + x, oy + y) = src.at(ox + x, oy + y);
+    }
+  }
+}
+
+}  // namespace sigrt::support

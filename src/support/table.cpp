@@ -1,0 +1,102 @@
+#include "support/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace sigrt::support {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+Table& Table::row() {
+  rows_.emplace_back();
+  return *this;
+}
+
+Table& Table::cell(const std::string& value) {
+  rows_.back().push_back(value);
+  return *this;
+}
+
+Table& Table::cell(const char* value) { return cell(std::string(value)); }
+
+Table& Table::cell(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  return cell(std::string(buf));
+}
+
+Table& Table::cell(std::size_t value) { return cell(std::to_string(value)); }
+
+Table& Table::cell(long long value) { return cell(std::to_string(value)); }
+
+std::string Table::str() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& r : rows_) {
+    for (std::size_t c = 0; c < r.size() && c < widths.size(); ++c) {
+      widths[c] = std::max(widths[c], r[c].size());
+    }
+  }
+
+  std::ostringstream out;
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      const std::string& v = c < cells.size() ? cells[c] : std::string{};
+      out << "  " << v << std::string(widths[c] - std::min(widths[c], v.size()), ' ');
+    }
+    out << '\n';
+  };
+  emit(header_);
+  std::size_t total = 0;
+  for (auto w : widths) total += w + 2;
+  out << "  " << std::string(total > 2 ? total - 2 : 0, '-') << '\n';
+  for (const auto& r : rows_) emit(r);
+  return out.str();
+}
+
+std::string Table::csv() const {
+  std::ostringstream out;
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      if (c) out << ',';
+      out << cells[c];
+    }
+    out << '\n';
+  };
+  emit(header_);
+  for (const auto& r : rows_) emit(r);
+  return out.str();
+}
+
+void Table::print(const std::string& caption) const {
+  if (!caption.empty()) std::printf("%s\n", caption.c_str());
+  std::fputs(str().c_str(), stdout);
+  std::fputs("\n", stdout);
+}
+
+std::string format_seconds(double s) {
+  char buf[64];
+  if (s < 1e-3) {
+    std::snprintf(buf, sizeof(buf), "%.1f us", s * 1e6);
+  } else if (s < 1.0) {
+    std::snprintf(buf, sizeof(buf), "%.2f ms", s * 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.3f s", s);
+  }
+  return buf;
+}
+
+std::string format_joules(double j) {
+  char buf[64];
+  if (j < 1.0) {
+    std::snprintf(buf, sizeof(buf), "%.1f mJ", j * 1e3);
+  } else if (j < 1e3) {
+    std::snprintf(buf, sizeof(buf), "%.2f J", j);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.3f kJ", j * 1e-3);
+  }
+  return buf;
+}
+
+}  // namespace sigrt::support

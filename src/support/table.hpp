@@ -1,0 +1,45 @@
+// Console table / CSV emitter used by every benchmark harness so that the
+// regenerated tables and figure series share one consistent format.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace sigrt::support {
+
+/// Collects rows of string cells and renders them as an aligned text table.
+/// Numeric helpers format with fixed precision so figure series line up.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Starts a new row.  Subsequent cell() calls append to it.
+  Table& row();
+  Table& cell(const std::string& value);
+  Table& cell(const char* value);
+  Table& cell(double value, int precision = 4);
+  Table& cell(std::size_t value);
+  Table& cell(long long value);
+
+  /// Renders the table with column alignment, a rule under the header.
+  [[nodiscard]] std::string str() const;
+
+  /// Renders as comma-separated values (header + rows).
+  [[nodiscard]] std::string csv() const;
+
+  /// Convenience: print `str()` to stdout with a caption line.
+  void print(const std::string& caption = {}) const;
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats seconds/joules with sensible units for narration lines.
+std::string format_seconds(double s);
+std::string format_joules(double j);
+
+}  // namespace sigrt::support

@@ -1,0 +1,66 @@
+// Wall-clock timing utilities used by the runtime's activity accounting and
+// by the benchmark harnesses.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace sigrt::support {
+
+/// Monotonic nanosecond timestamp.  steady_clock is mandated so that the
+/// energy model's busy/idle integration is immune to NTP adjustments.
+inline std::int64_t now_ns() noexcept {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Simple start/stop stopwatch.  Restartable; accumulates across intervals.
+class Stopwatch {
+ public:
+  void start() noexcept { start_ns_ = now_ns(); }
+
+  /// Stops the current interval and folds it into the accumulated total.
+  void stop() noexcept {
+    accum_ns_ += now_ns() - start_ns_;
+    start_ns_ = 0;
+  }
+
+  void reset() noexcept {
+    accum_ns_ = 0;
+    start_ns_ = 0;
+  }
+
+  [[nodiscard]] std::int64_t elapsed_ns() const noexcept {
+    std::int64_t total = accum_ns_;
+    if (start_ns_ != 0) total += now_ns() - start_ns_;
+    return total;
+  }
+
+  [[nodiscard]] double elapsed_s() const noexcept {
+    return static_cast<double>(elapsed_ns()) * 1e-9;
+  }
+
+ private:
+  std::int64_t accum_ns_ = 0;
+  std::int64_t start_ns_ = 0;  // 0 == not running
+};
+
+/// RAII timer that adds the scope's duration to an external accumulator.
+/// The runtime wraps task execution in one of these to attribute busy time
+/// to workers for the energy model.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(std::int64_t& sink_ns) noexcept
+      : sink_ns_(sink_ns), start_(now_ns()) {}
+  ~ScopedTimer() { sink_ns_ += now_ns() - start_; }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  std::int64_t& sink_ns_;
+  std::int64_t start_;
+};
+
+}  // namespace sigrt::support

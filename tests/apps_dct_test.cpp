@@ -1,0 +1,118 @@
+// DCT benchmark tests.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "apps/dct.hpp"
+#include "metrics/quality.hpp"
+
+namespace {
+
+using namespace sigrt::apps;
+
+dct::Options small_options(Variant v, Degree d) {
+  dct::Options o;
+  o.width = 64;
+  o.height = 64;
+  o.common.variant = v;
+  o.common.degree = d;
+  o.common.workers = 2;
+  return o;
+}
+
+TEST(Dct, RatiosMatchTable1) {
+  EXPECT_DOUBLE_EQ(dct::ratio_for(Degree::Mild), 0.80);
+  EXPECT_DOUBLE_EQ(dct::ratio_for(Degree::Medium), 0.40);
+  EXPECT_DOUBLE_EQ(dct::ratio_for(Degree::Aggressive), 0.10);
+}
+
+TEST(Dct, BandSignificanceDecreasesWithFrequency) {
+  EXPECT_DOUBLE_EQ(dct::band_significance(0), 1.0);  // DC: unconditional
+  for (std::size_t b = 1; b < dct::kBands; ++b) {
+    EXPECT_LT(dct::band_significance(b), dct::band_significance(b - 1));
+  }
+  EXPECT_GT(dct::band_significance(dct::kBands - 1), 0.0);
+}
+
+TEST(Dct, ForwardInverseRoundTripIsNearLossless) {
+  const auto img = sigrt::support::synthetic_image(64, 64, 11);
+  const auto coeffs = dct::reference(img);
+  const auto back = dct::inverse(coeffs, 64, 64);
+  // Orthonormal DCT: only rounding error.
+  EXPECT_GT(sigrt::metrics::psnr_db(img, back), 45.0);
+}
+
+TEST(Dct, ConstantImageHasOnlyDcEnergy) {
+  sigrt::support::Image img(16, 16, 200);
+  const auto coeffs = dct::reference(img);
+  // Each 8x8 block: coefficient (0,0) = 8 * (200-128) = 576, rest ~ 0.
+  for (std::size_t blk = 0; blk < 4; ++blk) {
+    const float* b = coeffs.data() + blk * 64;
+    EXPECT_NEAR(b[0], 576.0f, 1e-3f);
+    for (std::size_t i = 1; i < 64; ++i) EXPECT_NEAR(b[i], 0.0f, 1e-3f);
+  }
+}
+
+TEST(Dct, AccurateVariantIsExact) {
+  const auto r = dct::run(small_options(Variant::Accurate, Degree::Mild));
+  EXPECT_DOUBLE_EQ(r.quality, 0.0);
+  EXPECT_EQ(r.tasks_dropped, 0u);
+}
+
+TEST(Dct, DroppedTasksLeaveZeroCoefficients) {
+  // Ratio 0.1: only the most significant bands survive — quality drops but
+  // the image remains viewable (paper: "DCT is friendly to approximations").
+  const auto r = dct::run(small_options(Variant::GTBMaxBuffer, Degree::Aggressive));
+  EXPECT_GT(r.tasks_dropped, 0u);
+  EXPECT_EQ(r.tasks_approximate, 0u);  // drop benchmark: no approxfun
+  EXPECT_GT(r.quality_aux, 20.0);      // PSNR stays decent
+}
+
+TEST(Dct, QualityDegradesMonotonicallyWithDegree) {
+  const auto mild = dct::run(small_options(Variant::GTBMaxBuffer, Degree::Mild));
+  const auto med = dct::run(small_options(Variant::GTBMaxBuffer, Degree::Medium));
+  const auto aggr =
+      dct::run(small_options(Variant::GTBMaxBuffer, Degree::Aggressive));
+  EXPECT_LE(mild.quality, med.quality);
+  EXPECT_LE(med.quality, aggr.quality);
+}
+
+TEST(Dct, SignificanceAwareBeatsBlindPerforationAtEqualBudget) {
+  const auto sig = dct::run(small_options(Variant::GTBMaxBuffer, Degree::Medium));
+  const auto perf = dct::run(small_options(Variant::Perforated, Degree::Medium));
+  // Same task budget, but perforation drops DC bands blindly.
+  EXPECT_LT(sig.quality, perf.quality);
+}
+
+TEST(Dct, TaskCountIsStripesTimesBands) {
+  const auto r = dct::run(small_options(Variant::GTB, Degree::Mild));
+  EXPECT_EQ(r.tasks_total, (64 / dct::kBlock) * dct::kBands);
+}
+
+TEST(Dct, DcBandAlwaysSurvives) {
+  // Even at ratio 0.1 the DC band (significance 1.0) must execute: verify
+  // via reconstruction brightness (dropped DC would shift to mid-gray 128).
+  sigrt::support::Image out;
+  dct::run(small_options(Variant::GTBMaxBuffer, Degree::Aggressive), &out);
+  const auto img = sigrt::support::synthetic_image(64, 64, 42);
+  double mean_ref = 0.0, mean_out = 0.0;
+  for (std::size_t i = 0; i < img.size(); ++i) {
+    mean_ref += img.pixels()[i];
+    mean_out += out.pixels()[i];
+  }
+  EXPECT_NEAR(mean_out / static_cast<double>(out.size()),
+              mean_ref / static_cast<double>(img.size()), 3.0);
+}
+
+TEST(Dct, GtbWindowedStaysCloseToMaxBufferQuality) {
+  auto bounded = small_options(Variant::GTB, Degree::Medium);
+  bounded.common.gtb_buffer = 8;
+  const auto wq = dct::run(bounded);
+  const auto mq = dct::run(small_options(Variant::GTBMaxBuffer, Degree::Medium));
+  // Listing 4's `i < ratio * count` ceiling overshoots by up to 1 task per
+  // window: ratio 0.4 with window 8 yields 4/8 accurate.
+  EXPECT_NEAR(wq.provided_ratio, mq.provided_ratio, 0.11);
+  EXPECT_GE(wq.provided_ratio, mq.provided_ratio);  // overshoot, never under
+}
+
+}  // namespace

@@ -1,0 +1,120 @@
+// Fluidanimate (SPH) benchmark tests.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "apps/fluidanimate.hpp"
+
+namespace {
+
+using namespace sigrt::apps;
+
+fluid::Options small_options(Variant v, Degree d) {
+  fluid::Options o;
+  o.particles = 512;
+  o.steps = 16;
+  o.chunk = 64;
+  o.common.variant = v;
+  o.common.degree = d;
+  o.common.workers = 2;
+  return o;
+}
+
+TEST(Fluid, DegreesMatchTable1) {
+  EXPECT_DOUBLE_EQ(fluid::accurate_step_fraction(Degree::Mild), 0.5);
+  EXPECT_DOUBLE_EQ(fluid::accurate_step_fraction(Degree::Medium), 0.25);
+  EXPECT_DOUBLE_EQ(fluid::accurate_step_fraction(Degree::Aggressive), 0.125);
+  EXPECT_EQ(fluid::period_for(Degree::Mild), 2u);
+  EXPECT_EQ(fluid::period_for(Degree::Medium), 4u);
+  EXPECT_EQ(fluid::period_for(Degree::Aggressive), 8u);
+}
+
+TEST(Fluid, PerforationNotApplicable) {
+  EXPECT_FALSE(fluid::variant_supported(Variant::Perforated));
+  EXPECT_TRUE(fluid::variant_supported(Variant::GTB));
+  const auto r = fluid::run(small_options(Variant::Perforated, Degree::Mild));
+  EXPECT_DOUBLE_EQ(r.quality, -1.0);  // sentinel
+  EXPECT_EQ(r.tasks_total, 0u);
+}
+
+TEST(Fluid, ReferenceKeepsParticlesInBox) {
+  const auto s = fluid::reference(small_options(Variant::Accurate, Degree::Mild));
+  for (std::size_t i = 0; i < s.px.size(); ++i) {
+    EXPECT_GE(s.px[i], 0.0);
+    EXPECT_LE(s.px[i], 1.0);
+    EXPECT_GE(s.py[i], 0.0);
+    EXPECT_LE(s.py[i], 1.0);
+    EXPECT_GE(s.pz[i], 0.0);
+    EXPECT_LE(s.pz[i], 1.0);
+  }
+}
+
+TEST(Fluid, GravityPullsTheFluidDown) {
+  auto o = small_options(Variant::Accurate, Degree::Mild);
+  auto mean_height = [](const fluid::State& s) {
+    double m = 0.0;
+    for (const double y : s.py) m += y;
+    return m / static_cast<double>(s.py.size());
+  };
+  // Mean height must strictly decrease as the block falls.
+  fluid::Options none = o;
+  none.steps = 1;
+  const double early = mean_height(fluid::reference(none));
+  const double late = mean_height(fluid::reference(o));
+  EXPECT_LT(late, early);
+}
+
+TEST(Fluid, ReferenceIsDeterministic) {
+  const auto o = small_options(Variant::Accurate, Degree::Mild);
+  const auto a = fluid::reference(o);
+  const auto b = fluid::reference(o);
+  EXPECT_EQ(a.px, b.px);
+  EXPECT_EQ(a.py, b.py);
+  EXPECT_EQ(a.pz, b.pz);
+}
+
+TEST(Fluid, AccurateVariantMatchesReference) {
+  const auto r = fluid::run(small_options(Variant::Accurate, Degree::Mild));
+  EXPECT_LT(r.quality, 1e-9);
+}
+
+TEST(Fluid, StepScheduleDrivesAccurateTaskShare) {
+  // Mild: every other step accurate; accurate steps spawn two task waves
+  // (density + force), approximate steps one (advect).
+  fluid::State out;
+  const auto o = small_options(Variant::GTB, Degree::Mild);
+  const auto r = fluid::run(o, &out);
+  const std::size_t chunks = o.particles / o.chunk;
+  const std::size_t acc_steps = o.steps / 2;
+  EXPECT_EQ(r.tasks_accurate, acc_steps * 2 * chunks);
+  EXPECT_EQ(r.tasks_approximate, (o.steps - acc_steps) * chunks);
+}
+
+TEST(Fluid, ErrorGrowsWithAggressiveness) {
+  const auto mild = fluid::run(small_options(Variant::GTBMaxBuffer, Degree::Mild));
+  const auto aggr =
+      fluid::run(small_options(Variant::GTBMaxBuffer, Degree::Aggressive));
+  EXPECT_LE(mild.quality, aggr.quality);
+  EXPECT_GT(aggr.quality, 0.0);
+}
+
+TEST(Fluid, MildStaysAcceptable) {
+  // Paper: only the mild degree yields acceptable results; errors remain
+  // bounded rather than exploding.
+  const auto r = fluid::run(small_options(Variant::GTBMaxBuffer, Degree::Mild));
+  EXPECT_LT(r.quality, 0.5);
+  for (const double v : {r.quality}) EXPECT_TRUE(std::isfinite(v));
+}
+
+TEST(Fluid, ApproximateStepsKeepParticlesInBox) {
+  fluid::State out;
+  fluid::run(small_options(Variant::LQH, Degree::Aggressive), &out);
+  for (std::size_t i = 0; i < out.px.size(); ++i) {
+    EXPECT_GE(out.px[i], 0.0);
+    EXPECT_LE(out.px[i], 1.0);
+    EXPECT_GE(out.py[i], 0.0);
+    EXPECT_LE(out.py[i], 1.0);
+  }
+}
+
+}  // namespace

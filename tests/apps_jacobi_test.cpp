@@ -1,0 +1,99 @@
+// Jacobi benchmark tests.
+#include <gtest/gtest.h>
+
+#include "apps/jacobi.hpp"
+
+namespace {
+
+using namespace sigrt::apps;
+
+jacobi::Options small_options(Variant v, Degree d) {
+  jacobi::Options o;
+  o.n = 256;
+  o.row_block = 32;
+  o.band = 32;
+  o.max_sweeps = 150;
+  o.common.variant = v;
+  o.common.degree = d;
+  o.common.workers = 2;
+  return o;
+}
+
+TEST(Jacobi, TolerancesMatchTable1) {
+  EXPECT_DOUBLE_EQ(jacobi::tolerance_for(Degree::Mild), 1e-4);
+  EXPECT_DOUBLE_EQ(jacobi::tolerance_for(Degree::Medium), 1e-3);
+  EXPECT_DOUBLE_EQ(jacobi::tolerance_for(Degree::Aggressive), 1e-2);
+}
+
+TEST(Jacobi, ReferenceConverges) {
+  const auto o = small_options(Variant::Accurate, Degree::Mild);
+  const auto sol = jacobi::reference(o);
+  EXPECT_GT(sol.sweeps, 2u);
+  EXPECT_LT(sol.sweeps, o.max_sweeps);
+}
+
+TEST(Jacobi, ReferenceSolvesTheSystem) {
+  // Verify the converged solution against a direct residual check by
+  // re-running one accurate sweep: x must be a fixed point (to tolerance).
+  auto o = small_options(Variant::Accurate, Degree::Mild);
+  o.native_tolerance = 1e-8;
+  o.max_sweeps = 400;
+  const auto sol = jacobi::reference(o);
+  // One more Jacobi sweep may move x by at most ~tolerance.
+  jacobi::Solution again;
+  const auto r = jacobi::run(o, &again);
+  EXPECT_LT(r.quality, 1e-6);
+}
+
+TEST(Jacobi, AccurateVariantMatchesReference) {
+  const auto r = jacobi::run(small_options(Variant::Accurate, Degree::Mild));
+  EXPECT_LT(r.quality, 1e-9);
+}
+
+TEST(Jacobi, ApproximatePhaseUsesRatioZeroThenOne) {
+  jacobi::Solution sol;
+  const auto o = small_options(Variant::GTBMaxBuffer, Degree::Medium);
+  const auto r = jacobi::run(o, &sol);
+  const std::size_t blocks = o.n / o.row_block;
+  // First 5 sweeps approximate, the rest accurate.
+  EXPECT_EQ(r.tasks_approximate, 5u * blocks);
+  EXPECT_EQ(r.tasks_accurate, (sol.sweeps - 5u) * blocks);
+}
+
+TEST(Jacobi, RelaxedToleranceConvergesInFewerSweeps) {
+  jacobi::Solution aggr, mild;
+  jacobi::run(small_options(Variant::GTBMaxBuffer, Degree::Aggressive), &aggr);
+  jacobi::run(small_options(Variant::GTBMaxBuffer, Degree::Mild), &mild);
+  EXPECT_LE(aggr.sweeps, mild.sweeps);
+}
+
+TEST(Jacobi, QualityDegradesMonotonicallyWithDegree) {
+  const auto mild = jacobi::run(small_options(Variant::GTBMaxBuffer, Degree::Mild));
+  const auto aggr =
+      jacobi::run(small_options(Variant::GTBMaxBuffer, Degree::Aggressive));
+  EXPECT_LE(mild.quality, aggr.quality);
+  EXPECT_LT(mild.quality, 0.01);  // diagonally dominant: still close
+}
+
+TEST(Jacobi, BandApproximationIsBenign) {
+  // Diagonal dominance concentrates information near the diagonal: the
+  // final error after approximate warm-up sweeps stays small (§4.1).
+  const auto r = jacobi::run(small_options(Variant::GTBMaxBuffer, Degree::Mild));
+  EXPECT_LT(r.quality, 5e-3);
+}
+
+TEST(Jacobi, PerforatedVariantConverges) {
+  auto o = small_options(Variant::Perforated, Degree::Medium);
+  o.perforation_rate = 0.2;
+  jacobi::Solution sol;
+  const auto r = jacobi::run(o, &sol);
+  EXPECT_GT(sol.sweeps, 0u);
+  EXPECT_LT(r.quality, 0.25);  // offset fixed point of the perturbed system
+}
+
+TEST(Jacobi, UniformSignificanceHasNoInversions) {
+  const auto r = jacobi::run(small_options(Variant::LQH, Degree::Medium));
+  EXPECT_DOUBLE_EQ(r.inversion_fraction, 0.0);
+}
+
+}  // namespace

@@ -1,0 +1,107 @@
+// K-means benchmark tests.
+#include <gtest/gtest.h>
+
+#include "apps/kmeans.hpp"
+
+namespace {
+
+using namespace sigrt::apps;
+
+kmeans::Options small_options(Variant v, Degree d) {
+  kmeans::Options o;
+  o.points = 1024;
+  o.dims = 16;
+  o.clusters = 4;
+  o.chunk = 32;
+  o.max_iterations = 40;
+  o.common.variant = v;
+  o.common.degree = d;
+  o.common.workers = 2;
+  return o;
+}
+
+TEST(Kmeans, RatiosMatchTable1) {
+  EXPECT_DOUBLE_EQ(kmeans::ratio_for(Degree::Mild), 0.80);
+  EXPECT_DOUBLE_EQ(kmeans::ratio_for(Degree::Medium), 0.60);
+  EXPECT_DOUBLE_EQ(kmeans::ratio_for(Degree::Aggressive), 0.40);
+}
+
+TEST(Kmeans, ReferenceConvergesOnSeparatedBlobs) {
+  const auto o = small_options(Variant::Accurate, Degree::Mild);
+  const auto sol = kmeans::reference(o);
+  EXPECT_GT(sol.iterations, 1u);
+  EXPECT_LT(sol.iterations, o.max_iterations);
+  EXPECT_EQ(sol.centroids.size(), o.clusters * o.dims);
+}
+
+TEST(Kmeans, ReferenceIsDeterministic) {
+  const auto o = small_options(Variant::Accurate, Degree::Mild);
+  const auto a = kmeans::reference(o);
+  const auto b = kmeans::reference(o);
+  EXPECT_EQ(a.centroids, b.centroids);
+  EXPECT_EQ(a.iterations, b.iterations);
+}
+
+TEST(Kmeans, AccurateVariantMatchesReference) {
+  const auto o = small_options(Variant::Accurate, Degree::Mild);
+  kmeans::Solution sol;
+  const auto r = kmeans::run(o, &sol);
+  EXPECT_DOUBLE_EQ(r.quality, 0.0);
+  EXPECT_EQ(sol.iterations, kmeans::reference(o).iterations);
+}
+
+TEST(Kmeans, GtbIsDeterministicAcrossRuns) {
+  const auto o = small_options(Variant::GTB, Degree::Medium);
+  kmeans::Solution a, b;
+  kmeans::run(o, &a);
+  kmeans::run(o, &b);
+  EXPECT_EQ(a.centroids, b.centroids);
+  EXPECT_EQ(a.iterations, b.iterations);
+}
+
+TEST(Kmeans, ErrorsStaySmallEvenAggressive) {
+  // Paper: "even in the aggressive case, all policies demonstrate relative
+  // errors less than 0.45%".  Allow a loose bound here.
+  const auto r = kmeans::run(small_options(Variant::GTBMaxBuffer, Degree::Aggressive));
+  EXPECT_LT(r.quality, 0.05);
+}
+
+TEST(Kmeans, ProvidedRatioTracksDegree) {
+  const auto r = kmeans::run(small_options(Variant::GTBMaxBuffer, Degree::Medium));
+  EXPECT_NEAR(r.provided_ratio, 0.60, 0.05);
+}
+
+TEST(Kmeans, UniformSignificanceHasNoInversions) {
+  const auto r = kmeans::run(small_options(Variant::GTB, Degree::Medium));
+  EXPECT_DOUBLE_EQ(r.inversion_fraction, 0.0);
+}
+
+TEST(Kmeans, LqhTakesAtLeastAsManyIterationsAsGtb) {
+  // §4.2: LQH's localized, nondeterministic chunk selection slows
+  // convergence relative to GTB's fixed accurate set.
+  auto o = small_options(Variant::GTB, Degree::Aggressive);
+  kmeans::Solution gtb;
+  kmeans::run(o, &gtb);
+  o.common.variant = Variant::LQH;
+  o.common.workers = 4;
+  kmeans::Solution lqh;
+  kmeans::run(o, &lqh);
+  EXPECT_GE(lqh.iterations, gtb.iterations);
+}
+
+TEST(Kmeans, PerforationSkipsChunksButConverges) {
+  kmeans::Solution sol;
+  const auto r = kmeans::run(small_options(Variant::Perforated, Degree::Medium), &sol);
+  EXPECT_GT(sol.iterations, 0u);
+  EXPECT_LT(r.quality, 0.2);
+}
+
+TEST(Kmeans, TaskCountEqualsChunksTimesIterations) {
+  kmeans::Solution sol;
+  const auto o = small_options(Variant::GTB, Degree::Mild);
+  const auto r = kmeans::run(o, &sol);
+  const std::size_t chunks = (o.points + o.chunk - 1) / o.chunk;
+  EXPECT_EQ(r.tasks_total, chunks * sol.iterations);
+}
+
+}  // namespace

@@ -1,0 +1,120 @@
+// Sobel benchmark tests (§4.1 running example).
+#include <gtest/gtest.h>
+
+#include "apps/sobel.hpp"
+#include "metrics/quality.hpp"
+
+namespace {
+
+using namespace sigrt::apps;
+
+sobel::Options small_options(Variant v, Degree d) {
+  sobel::Options o;
+  o.width = 128;
+  o.height = 128;
+  o.common.variant = v;
+  o.common.degree = d;
+  o.common.workers = 2;
+  return o;
+}
+
+TEST(Sobel, RatiosMatchTable1) {
+  EXPECT_DOUBLE_EQ(sobel::ratio_for(Degree::Mild), 0.80);
+  EXPECT_DOUBLE_EQ(sobel::ratio_for(Degree::Medium), 0.30);
+  EXPECT_DOUBLE_EQ(sobel::ratio_for(Degree::Aggressive), 0.0);
+}
+
+TEST(Sobel, ReferenceDetectsEdges) {
+  const auto img = sigrt::support::synthetic_image(64, 64, 42);
+  const auto edges = sobel::reference(img);
+  // Non-trivial output: some strong edge responses, borders untouched.
+  int strong = 0;
+  for (const auto p : edges.pixels()) strong += p > 128;
+  EXPECT_GT(strong, 10);
+  for (std::size_t x = 0; x < 64; ++x) EXPECT_EQ(edges.at(x, 0), 0);
+}
+
+TEST(Sobel, ApproxReferenceIsCloseButNotEqual) {
+  const auto img = sigrt::support::synthetic_image(64, 64, 42);
+  const auto acc = sobel::reference(img);
+  const auto app = sobel::reference_approx(img);
+  EXPECT_NE(acc, app);
+  const double psnr = sigrt::metrics::psnr_db(acc, app);
+  EXPECT_GT(psnr, 12.0);  // graceful, not garbage
+}
+
+TEST(Sobel, AccurateVariantIsExact) {
+  sigrt::support::Image out;
+  const auto r = sobel::run(small_options(Variant::Accurate, Degree::Mild), &out);
+  EXPECT_EQ(r.tasks_approximate, 0u);
+  EXPECT_EQ(r.tasks_dropped, 0u);
+  EXPECT_DOUBLE_EQ(r.quality, 0.0);  // PSNR^-1 of identical output
+}
+
+TEST(Sobel, FullRatioMatchesReferenceBitwise) {
+  auto o = small_options(Variant::GTBMaxBuffer, Degree::Mild);
+  o.ratio_override = 1.0;
+  sigrt::support::Image out;
+  sobel::run(o, &out);
+  const auto img = sigrt::support::synthetic_image(o.width, o.height, o.common.seed);
+  EXPECT_EQ(out, sobel::reference(img));
+}
+
+TEST(Sobel, QualityDegradesGracefullyWithDegree) {
+  const auto mild = sobel::run(small_options(Variant::GTBMaxBuffer, Degree::Mild));
+  const auto med = sobel::run(small_options(Variant::GTBMaxBuffer, Degree::Medium));
+  const auto aggr =
+      sobel::run(small_options(Variant::GTBMaxBuffer, Degree::Aggressive));
+  EXPECT_LE(mild.quality, med.quality);
+  EXPECT_LE(med.quality, aggr.quality);
+  // Even aggressive (every row approximated) stays recognizable: the
+  // approxfun is a real filter, not garbage.
+  EXPECT_GT(aggr.quality_aux, 10.0);  // PSNR dB
+}
+
+TEST(Sobel, ProvidedRatioMatchesRequestedUnderGtb) {
+  const auto r = sobel::run(small_options(Variant::GTB, Degree::Medium));
+  EXPECT_NEAR(r.provided_ratio, 0.30, 0.05);
+  EXPECT_NEAR(r.ratio_diff, 0.0, 0.05);
+}
+
+TEST(Sobel, PerforationCollapsesQuality) {
+  // Figure 3's story: perforation at the same task budget is much worse
+  // than significance-aware approximation.
+  const auto sig = sobel::run(small_options(Variant::GTBMaxBuffer, Degree::Medium));
+  const auto perf = sobel::run(small_options(Variant::Perforated, Degree::Medium));
+  EXPECT_GT(perf.quality, 2.0 * sig.quality);
+}
+
+TEST(Sobel, PerforationExecutesMatchingTaskCount) {
+  const auto sig = sobel::run(small_options(Variant::GTBMaxBuffer, Degree::Medium));
+  const auto perf = sobel::run(small_options(Variant::Perforated, Degree::Medium));
+  EXPECT_NEAR(static_cast<double>(perf.tasks_total),
+              static_cast<double>(sig.tasks_accurate), 2.0);
+}
+
+TEST(Sobel, LqhApproximatesRequestedRatio) {
+  auto o = small_options(Variant::LQH, Degree::Mild);
+  o.height = 256;  // more tasks -> tighter convergence
+  const auto r = sobel::run(o);
+  EXPECT_NEAR(r.provided_ratio, 0.80, 0.10);
+}
+
+TEST(Sobel, OutputImageHasRequestedGeometry) {
+  sigrt::support::Image out;
+  auto o = small_options(Variant::GTB, Degree::Mild);
+  o.width = 96;
+  o.height = 80;
+  sobel::run(o, &out);
+  EXPECT_EQ(out.width(), 96u);
+  EXPECT_EQ(out.height(), 80u);
+}
+
+TEST(Sobel, RepeatsMultiplyTaskCount) {
+  auto o = small_options(Variant::GTB, Degree::Mild);
+  o.repeats = 3;
+  const auto r = sobel::run(o);
+  EXPECT_EQ(r.tasks_total, 3u * (o.height - 2));
+}
+
+}  // namespace

@@ -1,0 +1,167 @@
+// Energy-subsystem tests: machine model arithmetic, meter scopes, RAPL
+// discovery against a faked sysfs tree, DVFS scaling hooks.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "energy/meter.hpp"
+#include "energy/model.hpp"
+#include "energy/rapl.hpp"
+
+namespace {
+
+using namespace sigrt::energy;
+namespace fs = std::filesystem;
+
+class FakeActivity final : public ActivitySource {
+ public:
+  Activity value;
+  [[nodiscard]] Activity activity_now() const override { return value; }
+};
+
+TEST(MachineModel, DefaultsMatchPaperPlatformEnvelope) {
+  const MachineModel m;
+  EXPECT_EQ(m.total_cores(), 16);
+  // Fully busy machine should land in the ballpark of 2x95W TDP.
+  const double full_load_w = m.static_power_w() + 16.0 * m.dynamic_core_power_w();
+  EXPECT_GT(full_load_w, 140.0);
+  EXPECT_LT(full_load_w, 220.0);
+  // Idle machine well below full load.
+  EXPECT_LT(m.static_power_w(), 0.4 * full_load_w);
+}
+
+TEST(MachineModel, EnergyScalesWithBusyTime) {
+  const MachineModel m;
+  const double idle_only = m.joules(10.0, 0.0);
+  const double half_busy = m.joules(10.0, 5.0);
+  const double full_busy = m.joules(10.0, 10.0);
+  EXPECT_LT(idle_only, half_busy);
+  EXPECT_LT(half_busy, full_busy);
+  EXPECT_NEAR(full_busy - half_busy, half_busy - idle_only, 1e-9);  // linear
+}
+
+TEST(MachineModel, EnergyScalesWithWallTime) {
+  const MachineModel m;
+  EXPECT_NEAR(m.joules(20.0, 0.0), 2.0 * m.joules(10.0, 0.0), 1e-9);
+}
+
+TEST(MachineModel, DvfsCubicPowerLinearTime) {
+  MachineModel m;
+  m.frequency_scale = 0.5;
+  const MachineModel nominal;
+  EXPECT_NEAR(m.dynamic_core_power_w(),
+              nominal.dynamic_core_power_w() * 0.125, 1e-9);
+  EXPECT_DOUBLE_EQ(m.time_scale(), 2.0);
+}
+
+TEST(ModelMeter, IntegratesActivity) {
+  FakeActivity src;
+  ModelMeter meter(MachineModel{}, src);
+  src.value = {0.0, 0.0};
+  const double j0 = meter.joules_now();
+  src.value = {2.0, 1.5};
+  const double j1 = meter.joules_now();
+  EXPECT_DOUBLE_EQ(j0, 0.0);
+  EXPECT_NEAR(j1, MachineModel{}.joules(2.0, 1.5), 1e-9);
+  EXPECT_EQ(meter.name(), "model");
+}
+
+TEST(Scope, MeasuresDelta) {
+  FakeActivity src;
+  ModelMeter meter(MachineModel{}, src);
+  src.value = {1.0, 0.5};
+  const Scope scope(meter);
+  src.value = {3.0, 2.5};
+  const double expected =
+      MachineModel{}.joules(3.0, 2.5) - MachineModel{}.joules(1.0, 0.5);
+  EXPECT_NEAR(scope.joules(), expected, 1e-9);
+}
+
+TEST(NullMeter, AlwaysZero) {
+  const NullMeter m;
+  EXPECT_DOUBLE_EQ(m.joules_now(), 0.0);
+  const Scope scope(m);
+  EXPECT_DOUBLE_EQ(scope.joules(), 0.0);
+  EXPECT_EQ(m.name(), "null");
+}
+
+class RaplFixture : public testing::Test {
+ protected:
+  void SetUp() override {
+    // One directory per test: ctest may run the fixture's tests in
+    // parallel processes.
+    const auto* info = testing::UnitTest::GetInstance()->current_test_info();
+    root_ = fs::temp_directory_path() /
+            (std::string("sigrt_rapl_") + info->name());
+    fs::remove_all(root_);
+    fs::create_directories(root_ / "intel-rapl:0");
+    fs::create_directories(root_ / "intel-rapl:1");
+    fs::create_directories(root_ / "intel-rapl:0:0");  // subdomain: ignored
+    write(root_ / "intel-rapl:0/name", "package-0");
+    write(root_ / "intel-rapl:1/name", "package-1");
+    write(root_ / "intel-rapl:0:0/name", "core");
+    write(root_ / "intel-rapl:0/energy_uj", "1000000");
+    write(root_ / "intel-rapl:1/energy_uj", "2000000");
+    write(root_ / "intel-rapl:0:0/energy_uj", "999999999");
+    write(root_ / "intel-rapl:0/max_energy_range_uj", "262143328850");
+    write(root_ / "intel-rapl:1/max_energy_range_uj", "262143328850");
+  }
+  void TearDown() override { fs::remove_all(root_); }
+
+  void write(const fs::path& p, const std::string& content) {
+    std::ofstream(p) << content << '\n';
+  }
+
+  fs::path root_;
+};
+
+TEST_F(RaplFixture, DiscoversPackageDomainsOnly) {
+  RaplMeter meter(root_.string());
+  ASSERT_TRUE(meter.available());
+  EXPECT_EQ(meter.domain_count(), 2u);
+}
+
+TEST_F(RaplFixture, SumsPackagesInJoules) {
+  RaplMeter meter(root_.string());
+  EXPECT_NEAR(meter.joules_now(), 3.0, 1e-9);  // 1 J + 2 J
+}
+
+TEST_F(RaplFixture, TracksCounterIncrements) {
+  RaplMeter meter(root_.string());
+  const double before = meter.joules_now();
+  write(root_ / "intel-rapl:0/energy_uj", "1500000");
+  EXPECT_NEAR(meter.joules_now() - before, 0.5, 1e-9);
+}
+
+TEST_F(RaplFixture, HandlesCounterWraparound) {
+  RaplMeter meter(root_.string());
+  (void)meter.joules_now();  // prime
+  // Wrap package 0 back below its previous value.
+  write(root_ / "intel-rapl:0/energy_uj", "500000");
+  const double after = meter.joules_now();
+  // 0.5 J raw + one full wrap (262143.32885 J) + package 1's 2 J.
+  EXPECT_GT(after, 260000.0);
+}
+
+TEST(Rapl, UnavailableOnMissingTree) {
+  RaplMeter meter("/nonexistent/sigrt/powercap");
+  EXPECT_FALSE(meter.available());
+  EXPECT_DOUBLE_EQ(meter.joules_now(), 0.0);
+}
+
+TEST(MeterFactory, FallsBackToModelWithSource) {
+  FakeActivity src;
+  const auto meter = make_best_meter(&src);
+  ASSERT_NE(meter, nullptr);
+  // On hosts without readable RAPL this is "model"; with RAPL it is "rapl".
+  EXPECT_TRUE(meter->name() == "model" || meter->name() == "rapl");
+}
+
+TEST(MeterFactory, NullWhenNoSourceAndNoRapl) {
+  const auto meter = make_best_meter(nullptr);
+  ASSERT_NE(meter, nullptr);
+  EXPECT_TRUE(meter->name() == "null" || meter->name() == "rapl");
+}
+
+}  // namespace

@@ -1,0 +1,169 @@
+// Failure-injection tests: throwing task bodies, error propagation at
+// barriers, runtime survival after failures, edge-case inputs.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+
+#include "core/sigrt.hpp"
+
+namespace {
+
+using sigrt::PolicyKind;
+using sigrt::Runtime;
+using sigrt::RuntimeConfig;
+
+RuntimeConfig config(unsigned workers, PolicyKind p = PolicyKind::Agnostic) {
+  RuntimeConfig c;
+  c.workers = workers;
+  c.policy = p;
+  return c;
+}
+
+TEST(Failure, TaskExceptionSurfacesAtWaitAll) {
+  Runtime rt(config(2));
+  rt.spawn(sigrt::task([] { throw std::runtime_error("task boom"); }));
+  EXPECT_THROW(rt.wait_all(), std::runtime_error);
+}
+
+TEST(Failure, TaskExceptionSurfacesAtWaitGroup) {
+  Runtime rt(config(0));
+  const auto g = rt.create_group("g", 1.0);
+  rt.spawn(sigrt::task([] { throw std::logic_error("boom"); }).group(g));
+  EXPECT_THROW(rt.wait_group(g), std::logic_error);
+}
+
+TEST(Failure, OnlyFirstExceptionIsKept) {
+  Runtime rt(config(0));
+  rt.spawn(sigrt::task([] { throw std::runtime_error("first"); }));
+  rt.spawn(sigrt::task([] { throw std::logic_error("second"); }));
+  try {
+    rt.wait_all();
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "first");
+  }
+}
+
+TEST(Failure, ErrorClearedAfterRethrow) {
+  Runtime rt(config(0));
+  rt.spawn(sigrt::task([] { throw std::runtime_error("boom"); }));
+  EXPECT_THROW(rt.wait_all(), std::runtime_error);
+  // The runtime stays usable and a clean wait does not rethrow again.
+  int x = 0;
+  rt.spawn(sigrt::task([&] { x = 1; }));
+  rt.wait_all();
+  EXPECT_EQ(x, 1);
+}
+
+TEST(Failure, SiblingTasksStillRunAfterThrow) {
+  Runtime rt(config(4));
+  std::atomic<int> runs{0};
+  for (int i = 0; i < 50; ++i) {
+    if (i == 10) {
+      rt.spawn(sigrt::task([] { throw std::runtime_error("boom"); }));
+    } else {
+      rt.spawn(sigrt::task([&] { runs.fetch_add(1); }));
+    }
+  }
+  EXPECT_THROW(rt.wait_all(), std::runtime_error);
+  EXPECT_EQ(runs.load(), 49);
+}
+
+TEST(Failure, ThrowingProducerStillReleasesDependents) {
+  Runtime rt(config(2));
+  alignas(1024) static int data[256];
+  std::atomic<bool> consumer_ran{false};
+  rt.spawn(sigrt::task([] { throw std::runtime_error("producer died"); })
+               .out(data, 256));
+  rt.spawn(sigrt::task([&] { consumer_ran.store(true); }).in(data, 256));
+  EXPECT_THROW(rt.wait_all(), std::runtime_error);
+  EXPECT_TRUE(consumer_ran.load());
+}
+
+TEST(Failure, ThrowingApproxBodyAlsoPropagates) {
+  Runtime rt(config(0, PolicyKind::GTBMaxBuffer));
+  const auto g = rt.create_group("g", 0.0);
+  rt.spawn(sigrt::task([] {})
+               .approx([] { throw std::runtime_error("approx boom"); })
+               .significance(0.5)
+               .group(g));
+  EXPECT_THROW(rt.wait_group(g), std::runtime_error);
+}
+
+TEST(Failure, DroppedTaskCannotThrow) {
+  Runtime rt(config(0, PolicyKind::GTBMaxBuffer));
+  const auto g = rt.create_group("g", 0.0);
+  // Would throw if executed — but it is dropped (no approxfun).
+  rt.spawn(sigrt::task([] { throw std::runtime_error("never"); })
+               .significance(0.5)
+               .group(g));
+  rt.wait_group(g);
+  EXPECT_EQ(rt.group_report(g).dropped, 1u);
+}
+
+TEST(Failure, ZeroTasksWaitAllIsTrivial) {
+  Runtime rt(config(4));
+  rt.wait_all();
+  rt.wait_all();
+  SUCCEED();
+}
+
+TEST(Failure, EmptyGroupBarrierIsTrivial) {
+  Runtime rt(config(2, PolicyKind::GTB));
+  const auto g = rt.create_group("empty", 0.5);
+  rt.wait_group(g);
+  SUCCEED();
+}
+
+TEST(Failure, WaitOnUntouchedRangeReturnsImmediately) {
+  Runtime rt(config(2));
+  int local = 0;
+  rt.wait_on(&local, sizeof(local));
+  SUCCEED();
+}
+
+TEST(Failure, ZeroSizeAccessIsIgnored) {
+  Runtime rt(config(0));
+  int data = 0;
+  rt.spawn(sigrt::task([&] { data = 1; }).out(&data, 0));
+  rt.wait_all();
+  EXPECT_EQ(data, 1);
+}
+
+TEST(Failure, RatioOutsideUnitIntervalClamps) {
+  Runtime rt(config(0, PolicyKind::GTBMaxBuffer));
+  const auto hi = rt.create_group("hi", 5.0);
+  const auto lo = rt.create_group("lo", -2.0);
+  int hi_acc = 0;
+  int lo_acc = 0;
+  for (int i = 0; i < 4; ++i) {
+    rt.spawn(sigrt::task([&] { ++hi_acc; }).approx([] {}).significance(0.5).group(hi));
+    rt.spawn(sigrt::task([&] { ++lo_acc; }).approx([] {}).significance(0.5).group(lo));
+  }
+  rt.wait_all();
+  EXPECT_EQ(hi_acc, 4);  // ratio > 1 behaves as 1
+  EXPECT_EQ(lo_acc, 0);  // ratio < 0 behaves as 0
+}
+
+TEST(Failure, ManySmallGroups) {
+  Runtime rt(config(2, PolicyKind::GTB));
+  std::atomic<int> runs{0};
+  for (int g = 0; g < 64; ++g) {
+    const auto gid = rt.create_group("g" + std::to_string(g), 1.0);
+    rt.spawn(sigrt::task([&] { runs.fetch_add(1); }).group(gid));
+  }
+  rt.wait_all();
+  EXPECT_EQ(runs.load(), 64);
+}
+
+TEST(Failure, DestructorSwallowsPendingError) {
+  {
+    Runtime rt(config(2));
+    rt.spawn(sigrt::task([] { throw std::runtime_error("unseen"); }));
+    // No wait_all: the destructor must not terminate the program.
+  }
+  SUCCEED();
+}
+
+}  // namespace

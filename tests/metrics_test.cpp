@@ -1,0 +1,118 @@
+// Quality-metric tests (PSNR, relative error families).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "metrics/quality.hpp"
+#include "support/image.hpp"
+
+namespace {
+
+using namespace sigrt::metrics;
+
+TEST(Mse, ZeroForIdenticalBytes) {
+  std::vector<std::uint8_t> a{1, 2, 3, 200};
+  EXPECT_DOUBLE_EQ(mse(a, a), 0.0);
+}
+
+TEST(Mse, KnownValue) {
+  std::vector<std::uint8_t> a{0, 0, 0, 0};
+  std::vector<std::uint8_t> b{2, 2, 2, 2};
+  EXPECT_DOUBLE_EQ(mse(a, b), 4.0);
+}
+
+TEST(Mse, DoubleOverload) {
+  std::vector<double> a{1.0, 2.0};
+  std::vector<double> b{2.0, 4.0};
+  EXPECT_DOUBLE_EQ(mse(std::span<const double>(a), std::span<const double>(b)),
+                   2.5);
+}
+
+TEST(Psnr, InfiniteForIdenticalImages) {
+  const auto img = sigrt::support::synthetic_image(32, 32, 9);
+  EXPECT_TRUE(std::isinf(psnr_db(img, img)));
+  EXPECT_DOUBLE_EQ(inverse_psnr(psnr_db(img, img)), 0.0);
+}
+
+TEST(Psnr, KnownValueForConstantOffset) {
+  std::vector<std::uint8_t> a(100, 100);
+  std::vector<std::uint8_t> b(100, 110);
+  // MSE = 100 -> PSNR = 10 log10(255^2 / 100) ~= 28.13 dB
+  EXPECT_NEAR(psnr_db(a, b), 28.13, 0.01);
+}
+
+TEST(Psnr, MonotoneInNoise) {
+  std::vector<std::uint8_t> ref(256, 128);
+  std::vector<std::uint8_t> small = ref;
+  std::vector<std::uint8_t> large = ref;
+  for (std::size_t i = 0; i < ref.size(); i += 2) {
+    small[i] = 130;
+    large[i] = 160;
+  }
+  EXPECT_GT(psnr_db(ref, small), psnr_db(ref, large));
+}
+
+TEST(InversePsnr, OrdersQualityLowerIsBetter) {
+  EXPECT_LT(inverse_psnr(40.0), inverse_psnr(20.0));
+}
+
+TEST(RelativeError, ZeroForIdentical) {
+  std::vector<double> a{1.0, -2.0, 3.0};
+  EXPECT_DOUBLE_EQ(mean_relative_error(a, a), 0.0);
+  EXPECT_DOUBLE_EQ(relative_l2_error(a, a), 0.0);
+  EXPECT_DOUBLE_EQ(max_abs_error(a, a), 0.0);
+}
+
+TEST(RelativeError, MeanRelativeKnownValue) {
+  std::vector<double> ref{10.0, 20.0};
+  std::vector<double> cand{11.0, 18.0};
+  EXPECT_NEAR(mean_relative_error(ref, cand), (0.1 + 0.1) / 2.0, 1e-12);
+}
+
+TEST(RelativeError, FloorGuardsZeroReference) {
+  std::vector<double> ref{0.0};
+  std::vector<double> cand{1.0};
+  EXPECT_TRUE(std::isfinite(mean_relative_error(ref, cand)));
+}
+
+TEST(RelativeError, L2KnownValue) {
+  std::vector<double> ref{3.0, 4.0};
+  std::vector<double> cand{3.0, 5.0};  // ||diff|| = 1, ||ref|| = 5
+  EXPECT_NEAR(relative_l2_error(ref, cand), 0.2, 1e-12);
+}
+
+TEST(RelativeError, L2ZeroReferenceIsInfinityUnlessIdentical) {
+  std::vector<double> zero{0.0, 0.0};
+  std::vector<double> cand{1.0, 0.0};
+  EXPECT_TRUE(std::isinf(relative_l2_error(zero, cand)));
+  EXPECT_DOUBLE_EQ(relative_l2_error(zero, zero), 0.0);
+}
+
+TEST(RelativeError, MaxAbsPicksWorstElement) {
+  std::vector<double> ref{1.0, 2.0, 3.0};
+  std::vector<double> cand{1.1, 2.5, 3.0};
+  EXPECT_NEAR(max_abs_error(ref, cand), 0.5, 1e-12);
+}
+
+TEST(Nrmse, NormalizedByRange) {
+  std::vector<double> ref{0.0, 10.0};   // range 10
+  std::vector<double> cand{1.0, 11.0};  // rmse 1
+  EXPECT_NEAR(nrmse(ref, cand), 0.1, 1e-12);
+}
+
+TEST(Nrmse, ConstantReferenceHandled) {
+  std::vector<double> ref{5.0, 5.0};
+  EXPECT_DOUBLE_EQ(nrmse(ref, ref), 0.0);
+  std::vector<double> cand{5.0, 6.0};
+  EXPECT_TRUE(std::isinf(nrmse(ref, cand)));
+}
+
+TEST(Metrics, EmptyInputsAreZero) {
+  std::vector<double> empty;
+  EXPECT_DOUBLE_EQ(mse(std::span<const double>(empty), empty), 0.0);
+  EXPECT_DOUBLE_EQ(mean_relative_error(empty, empty), 0.0);
+  EXPECT_DOUBLE_EQ(nrmse(empty, empty), 0.0);
+}
+
+}  // namespace

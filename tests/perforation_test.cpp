@@ -1,0 +1,100 @@
+// Loop-perforation baseline tests.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "perforation/perforate.hpp"
+
+namespace {
+
+using sigrt::perforation::Shape;
+using sigrt::perforation::Stats;
+
+std::vector<std::size_t> survivors(std::size_t n, double rate, Shape shape,
+                                   Stats* stats_out = nullptr) {
+  std::vector<std::size_t> idx;
+  const Stats s = sigrt::perforation::for_each(
+      0, n, rate, [&](std::size_t i) { idx.push_back(i); }, shape);
+  if (stats_out != nullptr) *stats_out = s;
+  return idx;
+}
+
+TEST(Perforation, RateZeroKeepsEverything) {
+  for (const Shape shape : {Shape::Modulo, Shape::Truncate, Shape::Random}) {
+    const auto idx = survivors(100, 0.0, shape);
+    EXPECT_EQ(idx.size(), 100u);
+  }
+}
+
+TEST(Perforation, RateOneDropsEverything) {
+  for (const Shape shape : {Shape::Modulo, Shape::Truncate, Shape::Random}) {
+    EXPECT_TRUE(survivors(100, 1.0, shape).empty());
+  }
+}
+
+TEST(Perforation, ModuloKeepsRoundedShare) {
+  for (const double rate : {0.1, 0.25, 0.5, 0.7, 0.9}) {
+    const auto idx = survivors(1000, rate, Shape::Modulo);
+    EXPECT_NEAR(static_cast<double>(idx.size()), 1000.0 * (1.0 - rate), 1.0)
+        << "rate " << rate;
+  }
+}
+
+TEST(Perforation, ModuloSpreadsSurvivorsEvenly) {
+  const auto idx = survivors(1000, 0.5, Shape::Modulo);
+  // Gaps between consecutive survivors must all be ~2.
+  for (std::size_t i = 1; i < idx.size(); ++i) {
+    EXPECT_LE(idx[i] - idx[i - 1], 3u);
+  }
+}
+
+TEST(Perforation, TruncateKeepsPrefix) {
+  const auto idx = survivors(100, 0.3, Shape::Truncate);
+  ASSERT_EQ(idx.size(), 70u);
+  for (std::size_t i = 0; i < idx.size(); ++i) EXPECT_EQ(idx[i], i);
+}
+
+TEST(Perforation, RandomIsDeterministicPerSeed) {
+  std::vector<std::size_t> a, b;
+  sigrt::perforation::for_each(0, 500, 0.5, [&](std::size_t i) { a.push_back(i); },
+                               Shape::Random, 99);
+  sigrt::perforation::for_each(0, 500, 0.5, [&](std::size_t i) { b.push_back(i); },
+                               Shape::Random, 99);
+  EXPECT_EQ(a, b);
+}
+
+TEST(Perforation, RandomApproximatesRate) {
+  const auto idx = survivors(10000, 0.3, Shape::Random);
+  EXPECT_NEAR(static_cast<double>(idx.size()), 7000.0, 250.0);
+}
+
+TEST(Perforation, StatsAddUp) {
+  Stats s;
+  survivors(777, 0.4, Shape::Modulo, &s);
+  EXPECT_EQ(s.executed + s.skipped, 777u);
+  EXPECT_NEAR(s.executed_fraction(), 0.6, 0.01);
+}
+
+TEST(Perforation, EmptyRangeIsNoop) {
+  Stats s;
+  const auto idx = survivors(0, 0.5, Shape::Modulo, &s);
+  EXPECT_TRUE(idx.empty());
+  EXPECT_EQ(s.executed, 0u);
+  EXPECT_DOUBLE_EQ(s.executed_fraction(), 1.0);
+}
+
+TEST(Perforation, NonZeroBeginRespected) {
+  std::vector<std::size_t> idx;
+  sigrt::perforation::for_each(10, 20, 0.0, [&](std::size_t i) { idx.push_back(i); });
+  ASSERT_EQ(idx.size(), 10u);
+  EXPECT_EQ(idx.front(), 10u);
+  EXPECT_EQ(idx.back(), 19u);
+}
+
+TEST(Perforation, OutOfRangeRatesClamp) {
+  EXPECT_EQ(survivors(50, -0.5, Shape::Modulo).size(), 50u);
+  EXPECT_TRUE(survivors(50, 1.5, Shape::Modulo).empty());
+}
+
+}  // namespace

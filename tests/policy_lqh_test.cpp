@@ -1,0 +1,200 @@
+// Local Queue History policy tests (§3.4).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "core/sigrt.hpp"
+
+namespace {
+
+using sigrt::PolicyKind;
+using sigrt::Runtime;
+using sigrt::RuntimeConfig;
+
+RuntimeConfig lqh_config(unsigned workers = 0) {
+  RuntimeConfig c;
+  c.workers = workers;  // 0 => single inline history: deterministic
+  c.policy = PolicyKind::LQH;
+  return c;
+}
+
+std::vector<bool> classify(Runtime& rt, sigrt::GroupId g, std::size_t n,
+                           const std::function<double(std::size_t)>& sig) {
+  std::vector<bool> accurate(n, false);
+  for (std::size_t i = 0; i < n; ++i) {
+    rt.spawn(sigrt::task([&accurate, i] { accurate[i] = true; })
+                 .approx([] {})
+                 .significance(sig(i))
+                 .group(g));
+  }
+  rt.wait_group(g);
+  return accurate;
+}
+
+TEST(LqhPolicy, ConvergesToRatioOnUniformSignificance) {
+  // The degenerate case the raw paper formula cannot split (see the header
+  // comment of policy_lqh.hpp): all tasks share one level.
+  for (const double ratio : {0.2, 0.4, 0.6, 0.8}) {
+    Runtime rt(lqh_config());
+    const auto g = rt.create_group("g", ratio);
+    const auto acc = classify(rt, g, 1000, [](std::size_t) { return 0.5; });
+    const auto n_acc =
+        static_cast<double>(std::count(acc.begin(), acc.end(), true));
+    EXPECT_NEAR(n_acc / 1000.0, ratio, 0.02) << "ratio " << ratio;
+  }
+}
+
+TEST(LqhPolicy, ConvergesToRatioOnMixedSignificance) {
+  for (const double ratio : {0.35, 0.5, 0.8}) {
+    Runtime rt(lqh_config());
+    const auto g = rt.create_group("g", ratio);
+    const auto acc = classify(rt, g, 2000, [](std::size_t i) {
+      return static_cast<double>(i % 9 + 1) / 10.0;
+    });
+    const auto n_acc =
+        static_cast<double>(std::count(acc.begin(), acc.end(), true));
+    EXPECT_NEAR(n_acc / 2000.0, ratio, 0.03) << "ratio " << ratio;
+  }
+}
+
+TEST(LqhPolicy, PrefersApproximatingLowSignificance) {
+  Runtime rt(lqh_config());
+  const auto g = rt.create_group("g", 0.5);
+  const auto acc = classify(rt, g, 1800, [](std::size_t i) {
+    return static_cast<double>(i % 9 + 1) / 10.0;
+  });
+  // Accuracy rate among the top third of significances must dominate the
+  // rate among the bottom third.
+  double low_acc = 0, low_n = 0, high_acc = 0, high_n = 0;
+  for (std::size_t i = 0; i < acc.size(); ++i) {
+    const int level = static_cast<int>(i % 9 + 1);
+    if (level <= 3) {
+      ++low_n;
+      low_acc += acc[i];
+    } else if (level >= 7) {
+      ++high_n;
+      high_acc += acc[i];
+    }
+  }
+  EXPECT_GT(high_acc / high_n, 0.95);
+  EXPECT_LT(low_acc / low_n, 0.15);
+}
+
+TEST(LqhPolicy, RatioZeroApproximatesEverything) {
+  Runtime rt(lqh_config());
+  const auto g = rt.create_group("g", 0.0);
+  const auto acc = classify(rt, g, 100, [](std::size_t i) {
+    return static_cast<double>(i % 9 + 1) / 10.0;
+  });
+  EXPECT_EQ(std::count(acc.begin(), acc.end(), true), 0);
+}
+
+TEST(LqhPolicy, RatioOneExecutesEverythingAccurately) {
+  Runtime rt(lqh_config());
+  const auto g = rt.create_group("g", 1.0);
+  const auto acc = classify(rt, g, 100, [](std::size_t i) {
+    return static_cast<double>(i % 9 + 1) / 10.0;
+  });
+  EXPECT_EQ(std::count(acc.begin(), acc.end(), true), 100);
+}
+
+TEST(LqhPolicy, SpecialSignificanceValuesBypassHistory) {
+  Runtime rt(lqh_config());
+  const auto g = rt.create_group("g", 0.5);
+  std::vector<bool> acc(40, false);
+  int approx_runs = 0;
+  for (std::size_t i = 0; i < 40; ++i) {
+    const double sig = i % 2 == 0 ? 1.0 : 0.0;
+    rt.spawn(sigrt::task([&acc, i] { acc[i] = true; })
+                 .approx([&approx_runs] { ++approx_runs; })
+                 .significance(sig)
+                 .group(g));
+  }
+  rt.wait_group(g);
+  for (std::size_t i = 0; i < 40; ++i) EXPECT_EQ(acc[i], i % 2 == 0);
+  EXPECT_EQ(approx_runs, 20);
+}
+
+TEST(LqhPolicy, PerGroupHistoriesAreIndependent) {
+  Runtime rt(lqh_config());
+  const auto a = rt.create_group("a", 1.0);
+  const auto b = rt.create_group("b", 0.0);
+  int a_acc = 0;
+  int b_acc = 0;
+  for (int i = 0; i < 50; ++i) {
+    rt.spawn(sigrt::task([&] { ++a_acc; }).approx([] {}).significance(0.5).group(a));
+    rt.spawn(sigrt::task([&] { ++b_acc; }).approx([] {}).significance(0.5).group(b));
+  }
+  rt.wait_all();
+  EXPECT_EQ(a_acc, 50);
+  EXPECT_EQ(b_acc, 0);
+}
+
+TEST(LqhPolicy, ThreadedRunApproximatesRatioDespiteLocalViews) {
+  // With several workers the histories are local (§3.4): the achieved ratio
+  // deviates but stays close — the paper's Table 2 reports ppt-level error.
+  Runtime rt(lqh_config(4));
+  const auto g = rt.create_group("g", 0.5);
+  std::atomic<int> acc{0};
+  const int n = 4000;
+  for (int i = 0; i < n; ++i) {
+    rt.spawn(sigrt::task([&acc] { acc.fetch_add(1); })
+                 .approx([] {})
+                 .significance(static_cast<double>(i % 9 + 1) / 10.0)
+                 .group(g));
+  }
+  rt.wait_group(g);
+  EXPECT_NEAR(static_cast<double>(acc.load()) / n, 0.5, 0.08);
+}
+
+TEST(LqhPolicy, RetargetedRatioTakesEffectForLaterTasks) {
+  // Fluidanimate's pattern: alternate ratio 1.0 / 0.0 between phases.
+  Runtime rt(lqh_config());
+  const auto g = rt.create_group("fluid", 1.0);
+  int acc_phase1 = 0;
+  int acc_phase2 = 0;
+  for (int i = 0; i < 20; ++i) {
+    rt.spawn(sigrt::task([&] { ++acc_phase1; }).approx([] {}).significance(0.5).group(g));
+  }
+  rt.wait_group(g);
+  rt.set_ratio(g, 0.0);
+  for (int i = 0; i < 20; ++i) {
+    rt.spawn(sigrt::task([&] { ++acc_phase2; }).approx([] {}).significance(0.5).group(g));
+  }
+  rt.wait_group(g);
+  EXPECT_EQ(acc_phase1, 20);
+  EXPECT_EQ(acc_phase2, 0);
+}
+
+TEST(LqhPolicy, InversionsAreZeroForUniformSignificance) {
+  // Table 2: Kmeans/Jacobi/Fluidanimate (uniform significance) show no
+  // significance inversion under LQH.
+  Runtime rt(lqh_config(4));
+  const auto g = rt.create_group("g", 0.6);
+  for (int i = 0; i < 500; ++i) {
+    rt.spawn(sigrt::task([] {}).approx([] {}).significance(0.5).group(g));
+  }
+  rt.wait_group(g);
+  EXPECT_DOUBLE_EQ(rt.group_report(g).inversion_fraction, 0.0);
+}
+
+TEST(LqhPolicy, HistoryAdaptsWhenDistributionShifts) {
+  // Feed only low significances first, then only high ones: the high batch
+  // must be (almost) entirely accurate because the history shows plenty of
+  // lower-significance tasks covering the approximation budget.
+  Runtime rt(lqh_config());
+  const auto g = rt.create_group("g", 0.5);
+  std::vector<bool> acc(400, false);
+  for (std::size_t i = 0; i < 200; ++i) {
+    rt.spawn(sigrt::task([&acc, i] { acc[i] = true; }).approx([] {}).significance(0.1).group(g));
+  }
+  for (std::size_t i = 200; i < 400; ++i) {
+    rt.spawn(sigrt::task([&acc, i] { acc[i] = true; }).approx([] {}).significance(0.9).group(g));
+  }
+  rt.wait_group(g);
+  const auto high_acc = std::count(acc.begin() + 200, acc.end(), true);
+  EXPECT_GT(high_acc, 195);
+}
+
+}  // namespace

@@ -1,0 +1,159 @@
+// Pragma-surface emulation tests: the omp_task / omp_taskwait fluent layer
+// must lower to the same runtime behaviour as the explicit API (§2).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+#include "core/sigrt.hpp"
+
+namespace {
+
+using sigrt::PolicyKind;
+using sigrt::Runtime;
+using sigrt::RuntimeConfig;
+using sigrt::omp_task;
+using sigrt::omp_taskwait;
+
+RuntimeConfig config(PolicyKind p = PolicyKind::GTBMaxBuffer) {
+  RuntimeConfig c;
+  c.workers = 0;
+  c.policy = p;
+  return c;
+}
+
+TEST(Pragma, TaskSpawnsAtEndOfStatement) {
+  Runtime rt(config());
+  int x = 0;
+  omp_task(rt, [&] { x = 5; });
+  omp_taskwait(rt);
+  EXPECT_EQ(x, 5);
+}
+
+TEST(Pragma, LabelCreatesGroupOnFirstUse) {
+  Runtime rt(config());
+  omp_task(rt, [] {}).label("sobel").significant(0.5).approxfun([] {});
+  omp_taskwait(rt).label("sobel").ratio(1.0);
+  const auto g = rt.ensure_group("sobel");
+  EXPECT_EQ(rt.group_report(g).spawned, 1u);
+}
+
+TEST(Pragma, RatioClauseControlsAccuracy) {
+  Runtime rt(config());
+  int accurate = 0;
+  int approx = 0;
+  // Listing 1 shape: spawn, then taskwait with ratio.  Buffering (MaxBuffer)
+  // defers classification to the barrier, so the barrier's ratio applies.
+  for (int i = 0; i < 10; ++i) {
+    omp_task(rt, [&] { ++accurate; })
+        .label("sobel")
+        .significant((i % 9 + 1) / 10.0)
+        .approxfun([&] { ++approx; });
+  }
+  omp_taskwait(rt).label("sobel").ratio(0.3);
+  EXPECT_EQ(accurate, 3);
+  EXPECT_EQ(approx, 7);
+}
+
+TEST(Pragma, TaskwaitWithoutLabelWaitsAll) {
+  Runtime rt(config());
+  int runs = 0;
+  omp_task(rt, [&] { ++runs; }).label("a");
+  omp_task(rt, [&] { ++runs; }).label("b");
+  omp_task(rt, [&] { ++runs; });
+  omp_taskwait(rt);
+  EXPECT_EQ(runs, 3);
+}
+
+TEST(Pragma, InOutClausesEnforceOrder) {
+  RuntimeConfig c;
+  c.workers = 4;
+  Runtime rt(c);
+  alignas(1024) static int buf[256];
+  std::atomic<bool> wrote{false};
+  std::atomic<bool> reader_saw_write{false};
+  omp_task(rt, [&] {
+    buf[0] = 1;
+    wrote.store(true);
+  }).out(buf, 256);
+  omp_task(rt, [&] { reader_saw_write.store(wrote.load()); }).in(buf, 256);
+  omp_taskwait(rt);
+  EXPECT_TRUE(reader_saw_write.load());
+}
+
+TEST(Pragma, TaskwaitOnWaitsForRangeWriters) {
+  RuntimeConfig c;
+  c.workers = 2;
+  Runtime rt(c);
+  alignas(1024) static int buf[256];
+  std::atomic<bool> wrote{false};
+  omp_task(rt, [&] {
+    buf[7] = 7;
+    wrote.store(true);
+  }).out(buf, 256);
+  omp_taskwait(rt).on(buf, sizeof(buf));
+  EXPECT_TRUE(wrote.load());
+  rt.wait_all();
+}
+
+TEST(Pragma, ApproxfunReceivesControlWhenApproximated) {
+  Runtime rt(config());
+  bool accurate_ran = false;
+  bool approx_ran = false;
+  omp_task(rt, [&] { accurate_ran = true; })
+      .label("g")
+      .significant(0.5)
+      .approxfun([&] { approx_ran = true; });
+  omp_taskwait(rt).label("g").ratio(0.0);
+  EXPECT_FALSE(accurate_ran);
+  EXPECT_TRUE(approx_ran);
+}
+
+TEST(Pragma, RepeatedTaskwaitKeepsRatio) {
+  Runtime rt(config());
+  int approx = 0;
+  for (int round = 0; round < 3; ++round) {
+    for (int i = 0; i < 4; ++i) {
+      omp_task(rt, [] {}).label("g").significant(0.5).approxfun([&] { ++approx; });
+    }
+    if (round == 0) {
+      omp_taskwait(rt).label("g").ratio(0.0);
+    } else {
+      omp_taskwait(rt).label("g");  // no ratio clause: keep 0.0
+    }
+  }
+  EXPECT_EQ(approx, 12);
+}
+
+TEST(Pragma, MatchesExplicitApiClassification) {
+  auto with_pragma = [] {
+    Runtime rt(config());
+    std::vector<int> acc(20, 0);
+    for (std::size_t i = 0; i < 20; ++i) {
+      int* slot = &acc[i];
+      omp_task(rt, [slot] { *slot = 1; })
+          .label("g")
+          .significant((i % 9 + 1) / 10.0)
+          .approxfun([] {});
+    }
+    omp_taskwait(rt).label("g").ratio(0.4);
+    return acc;
+  };
+  auto with_api = [] {
+    Runtime rt(config());
+    const auto g = rt.create_group("g", 0.4);
+    std::vector<int> acc(20, 0);
+    for (std::size_t i = 0; i < 20; ++i) {
+      int* slot = &acc[i];
+      rt.spawn(sigrt::task([slot] { *slot = 1; })
+                   .approx([] {})
+                   .significance((i % 9 + 1) / 10.0)
+                   .group(g));
+    }
+    rt.wait_group(g);
+    return acc;
+  };
+  EXPECT_EQ(with_pragma(), with_api());
+}
+
+}  // namespace

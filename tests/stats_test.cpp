@@ -1,0 +1,142 @@
+// Tests for runtime statistics, the task builder's clause plumbing and the
+// diagnostic dump facility.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "core/sigrt.hpp"
+
+namespace {
+
+using sigrt::PolicyKind;
+using sigrt::Runtime;
+using sigrt::RuntimeConfig;
+
+RuntimeConfig inline_config(PolicyKind p = PolicyKind::GTBMaxBuffer) {
+  RuntimeConfig c;
+  c.workers = 0;
+  c.policy = p;
+  return c;
+}
+
+TEST(Builder, CarriesAllClauses) {
+  int data[8] = {};
+  auto opts = sigrt::task([] {})
+                  .approx([] {})
+                  .significance(0.42)
+                  .group(3)
+                  .in(data, 4)
+                  .out(data + 4, 4)
+                  .take();
+  EXPECT_TRUE(static_cast<bool>(opts.accurate));
+  EXPECT_TRUE(static_cast<bool>(opts.approximate));
+  EXPECT_DOUBLE_EQ(opts.significance, 0.42);
+  EXPECT_EQ(opts.group, 3u);
+  ASSERT_EQ(opts.accesses.size(), 2u);
+  EXPECT_EQ(opts.accesses[0].mode, sigrt::dep::Mode::In);
+  EXPECT_EQ(opts.accesses[0].bytes, 4 * sizeof(int));
+  EXPECT_EQ(opts.accesses[1].mode, sigrt::dep::Mode::Out);
+}
+
+TEST(Builder, InoutClauseMapsToInOutMode) {
+  double cell = 0.0;
+  auto opts = sigrt::task([] {}).inout(&cell).take();
+  ASSERT_EQ(opts.accesses.size(), 1u);
+  EXPECT_EQ(opts.accesses[0].mode, sigrt::dep::Mode::InOut);
+  EXPECT_EQ(opts.accesses[0].bytes, sizeof(double));
+}
+
+TEST(Builder, DefaultsAreAccurateUngroupedFullSignificance) {
+  auto opts = sigrt::task([] {}).take();
+  EXPECT_DOUBLE_EQ(opts.significance, 1.0);
+  EXPECT_EQ(opts.group, sigrt::kDefaultGroup);
+  EXPECT_FALSE(static_cast<bool>(opts.approximate));
+  EXPECT_TRUE(opts.accesses.empty());
+}
+
+TEST(Stats, DepEdgesCounted) {
+  // MaxBuffer parks every task until the barrier, so all ten registrations
+  // happen while their predecessors are alive — the full 9-edge chain is
+  // discovered.  (Inline+agnostic would execute each task at spawn and see
+  // no unfinished predecessors at all.)
+  Runtime rt(inline_config(PolicyKind::GTBMaxBuffer));
+  alignas(1024) static double chain[128];
+  for (int i = 0; i < 10; ++i) {
+    rt.spawn(sigrt::task([] {}).inout(chain, 128));
+  }
+  rt.wait_all();
+  EXPECT_EQ(rt.stats().dep_edges, 9u);  // 10-node chain
+}
+
+TEST(Stats, BusyAndWallTimesAdvance) {
+  Runtime rt(inline_config(PolicyKind::Agnostic));
+  rt.spawn(sigrt::task([] {
+    volatile double x = 1.0;
+    for (int i = 0; i < 300000; ++i) x = x * 1.0000001 + 0.1;
+  }));
+  rt.wait_all();
+  const auto s = rt.stats();
+  EXPECT_GT(s.busy_s, 0.0);
+  EXPECT_GE(s.wall_s, s.busy_s * 0.5);  // wall includes busy (inline mode)
+}
+
+TEST(Stats, PolicyNameMatchesConfig) {
+  EXPECT_STREQ(Runtime(inline_config(PolicyKind::Agnostic)).policy_name(),
+               "agnostic");
+  EXPECT_STREQ(Runtime(inline_config(PolicyKind::GTB)).policy_name(), "GTB");
+  EXPECT_STREQ(Runtime(inline_config(PolicyKind::GTBMaxBuffer)).policy_name(),
+               "GTB(MaxBuffer)");
+  EXPECT_STREQ(Runtime(inline_config(PolicyKind::LQH)).policy_name(), "LQH");
+  EXPECT_STREQ(Runtime(inline_config(PolicyKind::Oracle)).policy_name(),
+               "oracle");
+}
+
+TEST(Stats, TrackerStatsVisibleThroughRuntime) {
+  Runtime rt(inline_config(PolicyKind::Agnostic));
+  alignas(1024) static int area[512];
+  rt.spawn(sigrt::task([] {}).out(area, 512));
+  rt.wait_all();
+  EXPECT_GE(rt.tracker().stats().registered_nodes, 1u);
+  EXPECT_GE(rt.tracker().stats().blocks_touched, 1u);
+}
+
+TEST(Dump, StateSnapshotIsWellFormed) {
+  Runtime rt(inline_config(PolicyKind::GTB));
+  const auto g = rt.create_group("dumped", 0.5);
+  rt.spawn(sigrt::task([] {}).approx([] {}).significance(0.5).group(g));
+  rt.wait_group(g);
+
+  char buffer[4096] = {};
+  FILE* mem = fmemopen(buffer, sizeof(buffer), "w");
+  ASSERT_NE(mem, nullptr);
+  rt.dump_state(mem);
+  std::fclose(mem);
+
+  const std::string text(buffer);
+  EXPECT_NE(text.find("runtime: pending=0"), std::string::npos);
+  EXPECT_NE(text.find("'dumped'"), std::string::npos);
+  EXPECT_NE(text.find("scheduler: workers=0"), std::string::npos);
+}
+
+TEST(Dump, ThreadedSnapshotListsWorkers) {
+  RuntimeConfig c;
+  c.workers = 3;
+  c.unreliable_workers = 1;
+  Runtime rt(c);
+  rt.spawn(sigrt::task([] {}));
+  rt.wait_all();
+
+  char buffer[8192] = {};
+  FILE* mem = fmemopen(buffer, sizeof(buffer), "w");
+  ASSERT_NE(mem, nullptr);
+  rt.dump_state(mem);
+  std::fclose(mem);
+
+  const std::string text(buffer);
+  EXPECT_NE(text.find("worker 0"), std::string::npos);
+  EXPECT_NE(text.find("worker 2"), std::string::npos);
+  EXPECT_NE(text.find("unreliable=1"), std::string::npos);
+}
+
+}  // namespace

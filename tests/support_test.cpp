@@ -1,0 +1,171 @@
+// Support-library tests: RNG determinism, images/PGM round trips, timers,
+// table rendering.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <set>
+
+#include "support/image.hpp"
+#include "support/rng.hpp"
+#include "support/table.hpp"
+#include "support/timer.hpp"
+
+namespace {
+
+using namespace sigrt::support;
+
+TEST(Rng, DeterministicForSameSeed) {
+  Xoshiro256 a(7);
+  Xoshiro256 b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Xoshiro256 a(7);
+  Xoshiro256 b(8);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a.next() == b.next();
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformIsInUnitInterval) {
+  Xoshiro256 rng(11);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Xoshiro256 rng(13);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-2.5, 3.5);
+    EXPECT_GE(u, -2.5);
+    EXPECT_LT(u, 3.5);
+  }
+}
+
+TEST(Rng, BoundedCoversRangeUniformly) {
+  Xoshiro256 rng(17);
+  std::array<int, 10> histogram{};
+  for (int i = 0; i < 100000; ++i) {
+    ++histogram[rng.bounded(10)];
+  }
+  for (const int count : histogram) {
+    EXPECT_NEAR(count, 10000, 600);
+  }
+}
+
+TEST(Rng, NormalHasZeroMeanUnitVariance) {
+  Xoshiro256 rng(19);
+  double sum = 0.0, sq = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.03);
+  EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+TEST(Rng, StreamsAreIndependent) {
+  auto a = stream_rng(42, 0);
+  auto b = stream_rng(42, 1);
+  std::set<std::uint64_t> values;
+  for (int i = 0; i < 32; ++i) {
+    values.insert(a.next());
+    values.insert(b.next());
+  }
+  EXPECT_EQ(values.size(), 64u);  // no collisions between streams
+}
+
+TEST(Image, SyntheticIsDeterministicPerSeed) {
+  const Image a = synthetic_image(64, 64, 5);
+  const Image b = synthetic_image(64, 64, 5);
+  const Image c = synthetic_image(64, 64, 6);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+}
+
+TEST(Image, SyntheticHasDynamicRange) {
+  const Image img = synthetic_image(128, 128, 1);
+  std::uint8_t lo = 255, hi = 0;
+  for (const auto p : img.pixels()) {
+    lo = std::min(lo, p);
+    hi = std::max(hi, p);
+  }
+  EXPECT_LT(lo, 40);
+  EXPECT_GT(hi, 180);
+}
+
+TEST(Image, PgmRoundTrip) {
+  const Image img = synthetic_image(48, 32, 3);
+  const std::string path = "/tmp/sigrt_test_roundtrip.pgm";
+  ASSERT_TRUE(write_pgm(img, path));
+  const Image back = read_pgm(path);
+  EXPECT_EQ(img, back);
+  std::filesystem::remove(path);
+}
+
+TEST(Image, ReadMissingFileGivesEmpty) {
+  EXPECT_TRUE(read_pgm("/tmp/definitely_missing_sigrt.pgm").empty());
+}
+
+TEST(Image, BlitQuadrantCopiesOnlyThatQuadrant) {
+  Image dst(64, 64, 0);
+  Image src(64, 64, 200);
+  blit_quadrant(dst, src, 1, 0);  // upper right
+  EXPECT_EQ(dst.at(40, 10), 200);
+  EXPECT_EQ(dst.at(10, 10), 0);
+  EXPECT_EQ(dst.at(40, 40), 0);
+}
+
+TEST(Timer, StopwatchAccumulates) {
+  Stopwatch sw;
+  sw.start();
+  volatile double x = 1.0;
+  for (int i = 0; i < 100000; ++i) x = x * 1.0000001;
+  sw.stop();
+  EXPECT_GT(sw.elapsed_ns(), 0);
+  const auto first = sw.elapsed_ns();
+  sw.start();
+  for (int i = 0; i < 100000; ++i) x = x * 1.0000001;
+  sw.stop();
+  EXPECT_GT(sw.elapsed_ns(), first);
+}
+
+TEST(Timer, ScopedTimerAddsToSink) {
+  std::int64_t sink = 0;
+  {
+    ScopedTimer t(sink);
+    volatile double x = 1.0;
+    for (int i = 0; i < 50000; ++i) x = x * 1.0000001;
+  }
+  EXPECT_GT(sink, 0);
+}
+
+TEST(Table, RendersAlignedColumnsAndCsv) {
+  Table t({"app", "time", "energy"});
+  t.row().cell("sobel").cell(1.25, 2).cell(std::size_t{42});
+  t.row().cell("dct").cell(0.5, 2).cell(std::size_t{7});
+  const std::string s = t.str();
+  EXPECT_NE(s.find("sobel"), std::string::npos);
+  EXPECT_NE(s.find("1.25"), std::string::npos);
+  const std::string csv = t.csv();
+  EXPECT_NE(csv.find("sobel,1.25,42"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, FormattersPickSensibleUnits) {
+  EXPECT_EQ(format_seconds(0.0000005), "0.5 us");
+  EXPECT_EQ(format_seconds(0.25), "250.00 ms");
+  EXPECT_EQ(format_seconds(3.5), "3.500 s");
+  EXPECT_EQ(format_joules(0.5), "500.0 mJ");
+  EXPECT_EQ(format_joules(12.0), "12.00 J");
+  EXPECT_EQ(format_joules(2500.0), "2.500 kJ");
+}
+
+}  // namespace
