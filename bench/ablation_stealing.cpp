@@ -15,8 +15,8 @@
 int main() {
   using namespace sigrt::apps;
 
-  sigrt::support::Table t(
-      {"app", "policy", "steal", "time_s", "energy_j", "iterations/quality"});
+  sigrt::support::Table t({"app", "policy", "steal", "time_s", "energy_j",
+                           "steals", "tasks/s", "iterations/quality"});
 
   for (const bool steal : {true, false}) {
     sobel::Options so;
@@ -28,7 +28,9 @@ int main() {
     so.common.steal = steal;
     const auto sr = sobel::run(so);
     t.row().cell("sobel").cell("GTB").cell(steal ? "on" : "off")
-        .cell(sr.time_s, 4).cell(sr.energy_j, 2).cell(sr.quality_aux, 1);
+        .cell(sr.time_s, 4).cell(sr.energy_j, 2)
+        .cell(static_cast<std::size_t>(sr.steals))
+        .cell(sr.tasks_per_sec, 0).cell(sr.quality_aux, 1);
 
     kmeans::Options km;
     km.points = 8192;
@@ -39,6 +41,8 @@ int main() {
     const auto kr = kmeans::run(km, &sol);
     t.row().cell("kmeans").cell("LQH").cell(steal ? "on" : "off")
         .cell(kr.time_s, 4).cell(kr.energy_j, 2)
+        .cell(static_cast<std::size_t>(kr.steals))
+        .cell(kr.tasks_per_sec, 0)
         .cell(static_cast<std::size_t>(sol.iterations));
   }
 

@@ -26,11 +26,18 @@ using namespace sigrt::apps;
 
 using AppRunner = std::function<RunResult(Variant)>;
 
-double median_time(const AppRunner& run, Variant v, int reps) {
+double median_time(const AppRunner& run, Variant v, int reps,
+                   double* tasks_per_sec = nullptr) {
   std::vector<double> times;
   times.reserve(static_cast<std::size_t>(reps));
-  for (int i = 0; i < reps; ++i) times.push_back(run(v).time_s);
+  double best_throughput = 0.0;
+  for (int i = 0; i < reps; ++i) {
+    const RunResult r = run(v);
+    times.push_back(r.time_s);
+    best_throughput = std::max(best_throughput, r.tasks_per_sec);
+  }
   std::sort(times.begin(), times.end());
+  if (tasks_per_sec != nullptr) *tasks_per_sec = best_throughput;
   return times[times.size() / 2];
 }
 
@@ -96,15 +103,19 @@ int main() {
        }},
   };
 
-  sigrt::support::Table t({"app", "agnostic_s", "GTB", "GTB(MaxBuf)", "LQH"});
+  sigrt::support::Table t(
+      {"app", "agnostic_s", "tasks/s", "GTB", "GTB(MaxBuf)", "LQH"});
   for (const auto& [name, run] : apps) {
-    const double base = median_time(run, Variant::Accurate, kReps);
+    double base_throughput = 0.0;
+    const double base =
+        median_time(run, Variant::Accurate, kReps, &base_throughput);
     const double gtb = median_time(run, Variant::GTB, kReps);
     const double gtb_max = median_time(run, Variant::GTBMaxBuffer, kReps);
     const double lqh = median_time(run, Variant::LQH, kReps);
     t.row()
         .cell(name)
         .cell(base, 4)
+        .cell(base_throughput, 0)
         .cell(gtb / base, 3)
         .cell(gtb_max / base, 3)
         .cell(lqh / base, 3);

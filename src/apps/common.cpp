@@ -112,6 +112,11 @@ void run_measured(const CommonOptions& common, RunResult& result,
   if (groups_used > 0) {
     result.ratio_diff = diff_sum / static_cast<double>(groups_used);
   }
+  result.steals = rt.stats().steals;
+  if (result.time_s > 0.0) {
+    result.tasks_per_sec =
+        static_cast<double>(result.tasks_total) / result.time_s;
+  }
 }
 
 }  // namespace sigrt::apps

@@ -100,6 +100,11 @@ struct RunResult {
   std::uint64_t tasks_approximate = 0;
   std::uint64_t tasks_dropped = 0;
 
+  /// Scheduler-level observables of the run: successful steals (deque
+  /// steals + inbox raids) and end-to-end task throughput.
+  std::uint64_t steals = 0;
+  double tasks_per_sec = 0.0;
+
   double requested_ratio = 1.0;      ///< mean ratio() over classifications
   double provided_ratio = 1.0;       ///< fraction actually accurate
   double ratio_diff = 0.0;           ///< |requested - provided| (Table 2)

@@ -18,6 +18,7 @@
 #pragma once
 
 #include <memory>
+#include <vector>
 
 #include "core/task.hpp"
 #include "core/types.hpp"
@@ -35,6 +36,13 @@ class IssueSink {
   /// Releases the policy hold on `task` (see Task::gate).  The task becomes
   /// runnable once its data dependencies are also satisfied.
   virtual void release(const TaskPtr& task) = 0;
+
+  /// Releases a whole classified window at once.  The runtime batches the
+  /// runnable subset into one bulk enqueue (a GTB flush issues its entire
+  /// window through this, §3.3); the default just loops release().
+  virtual void release_bulk(const std::vector<TaskPtr>& tasks) {
+    for (const TaskPtr& t : tasks) release(t);
+  }
 
   /// Group lookup so policies can read the live ratio() knob.
   [[nodiscard]] virtual TaskGroup& group_ref(GroupId id) = 0;

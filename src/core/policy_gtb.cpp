@@ -59,10 +59,13 @@ void GtbPolicy::classify_and_release(GroupId group, std::vector<TaskPtr>& window
     }
   }
   // Re-issue in spawn order (ids ascend with spawn order) so worker queues
-  // observe the program's creation order, as in the paper's runtime.
+  // observe the program's creation order, as in the paper's runtime.  The
+  // whole window goes out as one bulk release: the runtime turns it into a
+  // single batched scheduler enqueue (one publish per target queue instead
+  // of one per task).
   std::stable_sort(window.begin(), window.end(),
                    [](const TaskPtr& a, const TaskPtr& b) { return a->id < b->id; });
-  for (const TaskPtr& t : window) sink.release(t);
+  sink.release_bulk(window);
   window.clear();
 }
 

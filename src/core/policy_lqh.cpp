@@ -27,6 +27,8 @@ void LqhPolicy::flush(GroupId /*group*/, IssueSink& /*sink*/) {
 
 ExecutionKind LqhPolicy::decide(const Task& task, unsigned worker_index,
                                 IssueSink& sink) {
+  // Called from the scheduler's worker loop (dequeue hook) on the worker
+  // that won the task; touches only that worker's slot, so no locks.
   // Special significance values bypass the history entirely (§2).
   if (task.significance >= 1.0f) return ExecutionKind::Accurate;
   if (task.significance <= 0.0f) return ExecutionKind::Approximate;

@@ -7,6 +7,13 @@
 // budget (1 - ratio).  The paper tracks 101 discrete levels (0.00..1.00 in
 // 0.01 steps); the level count is configurable here.
 //
+// Threading: decide() runs inside the scheduler's dequeue hook, on the
+// executing worker, and the entire decision path is lock-free — per-worker
+// history slots are disjoint, and the group ratio() lookup goes through the
+// runtime's lock-free group table plus the group's relaxed atomic.  One
+// worker never touches another worker's history (work stealing changes
+// *which* history a task lands in, the §4.2 effect, not who owns it).
+//
 // Tie handling: the paper's predicate t_g(s) > (1-R)·t_g(1.0) is degenerate
 // when many tasks share one significance level (e.g. Kmeans, where *all*
 // tasks do: the cumulative count then always, or never, exceeds the budget).

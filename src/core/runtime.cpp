@@ -14,15 +14,32 @@ Runtime::Runtime(RuntimeConfig config)
     : config_(config),
       tracker_(config.block_bytes),
       policy_(make_policy(config)),
+      group_table_(new std::atomic<TaskGroup*>[kGroupFastTableSize]),
       start_ns_(support::now_ns()) {
+  for (std::size_t i = 0; i < kGroupFastTableSize; ++i) {
+    group_table_[i].store(nullptr, std::memory_order_relaxed);
+  }
   groups_.push_back(std::make_unique<TaskGroup>(
       kDefaultGroup, "default", config_.default_ratio, config_.record_task_log));
+  publish_group(kDefaultGroup, groups_.back().get());
 
+  // The scheduler's dequeue hook is the policy's worker-side decision point
+  // (LQH, §3.4): classification happens on the executing worker, against
+  // worker-local history, with no locks on the path.
   scheduler_ = std::make_unique<Scheduler>(
       config_.workers, config_.unreliable_workers, config_.steal,
-      [this](const TaskPtr& task, unsigned worker) { execute_task(task, worker); });
+      [this](const TaskPtr& task, unsigned worker) { execute_task(task, worker); },
+      [this](const TaskPtr& task, unsigned worker) {
+        classify_at_dequeue(task, worker);
+      });
 
   meter_ = energy::make_best_meter(this);
+}
+
+void Runtime::publish_group(GroupId id, TaskGroup* group) noexcept {
+  if (id < kGroupFastTableSize) {
+    group_table_[id].store(group, std::memory_order_release);
+  }
 }
 
 Runtime::~Runtime() {
@@ -45,6 +62,7 @@ GroupId Runtime::create_group(const std::string& name, double ratio) {
   groups_.push_back(std::make_unique<TaskGroup>(id, name, ratio,
                                                 config_.record_task_log));
   group_names_.emplace(name, id);
+  publish_group(id, groups_.back().get());
   return id;
 }
 
@@ -57,6 +75,7 @@ GroupId Runtime::ensure_group(const std::string& name) {
   groups_.push_back(
       std::make_unique<TaskGroup>(id, name, 1.0, config_.record_task_log));
   group_names_.emplace(name, id);
+  publish_group(id, groups_.back().get());
   return id;
 }
 
@@ -67,6 +86,14 @@ void Runtime::set_ratio(GroupId group, double ratio) {
 TaskGroup& Runtime::group(GroupId id) { return group_ref(id); }
 
 TaskGroup& Runtime::group_ref(GroupId id) {
+  // Lock-free fast path: workers hit this on every LQH dequeue decision.
+  // Group objects are heap-stable (unique_ptr) and published with release
+  // after construction, so the acquire load is sufficient.
+  if (id < kGroupFastTableSize) {
+    if (TaskGroup* g = group_table_[id].load(std::memory_order_acquire)) {
+      return *g;
+    }
+  }
   std::shared_lock lock(groups_mutex_);
   if (id >= groups_.size()) throw std::out_of_range("unknown task group");
   return *groups_[id];
@@ -120,7 +147,12 @@ void Runtime::spawn_impl(TaskOptions&& options, bool internal) {
   // task).
   constexpr std::uint32_t kSpawnHold = 1u << 20;
   task->gate.store(kSpawnHold, std::memory_order_relaxed);
-  const std::size_t deps = tracker_.register_node(task, options.accesses);
+  // Footprint-free tasks bypass the tracker entirely: they can neither
+  // have predecessors nor ever be one, so both the registration here and
+  // the completion lookup skip the tracker's global mutex.
+  task->has_footprint = !options.accesses.empty();
+  const std::size_t deps =
+      task->has_footprint ? tracker_.register_node(task, options.accesses) : 0;
   assert(deps + 2 < kSpawnHold && "dependency count exceeds the spawn hold");
   // After this subtraction the gate reads (2 + deps - completed_preds) >= 2,
   // so the zero crossing can only happen via the releases below.
@@ -147,9 +179,33 @@ void Runtime::release(const TaskPtr& task) {
   }
 }
 
+void Runtime::release_bulk(const std::vector<TaskPtr>& tasks) {
+  // Spawn-batching fast path: a policy window (GTB flush) drops its holds
+  // here; every task that becomes runnable is published to the scheduler
+  // as one bulk enqueue instead of |window| individual ones.
+  std::vector<TaskPtr> ready;
+  ready.reserve(tasks.size());
+  for (const TaskPtr& t : tasks) {
+    if (t->release_one()) ready.push_back(t);
+  }
+  scheduler_->enqueue_bulk(ready);
+}
+
+void Runtime::classify_at_dequeue(const TaskPtr& task, unsigned worker) {
+  // Policy dequeue hook, invoked by the scheduler's worker loop right
+  // after it wins a task.  GTB-classified tasks pass through untouched;
+  // LQH/agnostic tasks arrive Undecided and are decided here, against
+  // state local to `worker`.
+  if (task->kind == ExecutionKind::Undecided) {
+    task->kind = policy_->decide(*task, worker, *this);
+  }
+}
+
 void Runtime::execute_task(const TaskPtr& task, unsigned worker) {
   ExecutionKind kind = task->kind;
   if (kind == ExecutionKind::Undecided) {
+    // The dequeue hook classifies before execution; this fallback only
+    // covers policies that decline to decide.
     kind = policy_->decide(*task, worker, *this);
   }
   if (kind == ExecutionKind::Approximate && !task->approximate) {
@@ -191,11 +247,21 @@ void Runtime::execute_task(const TaskPtr& task, unsigned worker) {
 
   // Completion order matters: downstream tasks must only start after this
   // task's side effects are visible, which the tracker's mutex guarantees.
-  auto dependents = tracker_.complete(*task);
-  for (const auto& node : dependents) {
-    auto dep_task = std::static_pointer_cast<Task>(node);
-    if (dep_task->release_one()) {
-      scheduler_->enqueue(dep_task);
+  // Multiple dependents becoming runnable at once go out as one batch.
+  if (task->has_footprint) {
+    auto dependents = tracker_.complete(*task);
+    std::vector<TaskPtr> ready;
+    ready.reserve(dependents.size());
+    for (const auto& node : dependents) {
+      auto dep_task = std::static_pointer_cast<Task>(node);
+      if (dep_task->release_one()) {
+        ready.push_back(std::move(dep_task));
+      }
+    }
+    if (ready.size() == 1) {
+      scheduler_->enqueue(ready.front());
+    } else if (!ready.empty()) {
+      scheduler_->enqueue_bulk(ready);
     }
   }
 

@@ -128,14 +128,18 @@ class Runtime final : public energy::ActivitySource, private IssueSink {
   void dump_state(FILE* out) const;
 
  private:
-  // IssueSink
+  // IssueSink.  release_bulk turns a policy window (a GTB flush) into one
+  // batched scheduler enqueue — the spawn-batching fast path.
   void release(const TaskPtr& task) override;
+  void release_bulk(const std::vector<TaskPtr>& tasks) override;
   [[nodiscard]] TaskGroup& group_ref(GroupId id) override;
 
   void execute_task(const TaskPtr& task, unsigned worker);
+  void classify_at_dequeue(const TaskPtr& task, unsigned worker);
   void spawn_impl(TaskOptions&& options, bool internal);
   void on_task_finished();
   void rethrow_pending_error();
+  void publish_group(GroupId id, TaskGroup* group) noexcept;
 
   RuntimeConfig config_;
   dep::BlockTracker tracker_;
@@ -144,6 +148,13 @@ class Runtime final : public energy::ActivitySource, private IssueSink {
   mutable std::shared_mutex groups_mutex_;
   std::vector<std::unique_ptr<TaskGroup>> groups_;
   std::unordered_map<std::string, GroupId> group_names_;
+
+  /// Lock-free fast path for group_ref(): workers resolve a group's live
+  /// ratio() on every LQH dequeue decision, so that lookup must not take
+  /// groups_mutex_.  Slots are published with a release store after the
+  /// group object exists; ids beyond the table fall back to the lock.
+  static constexpr std::size_t kGroupFastTableSize = 1024;
+  std::unique_ptr<std::atomic<TaskGroup*>[]> group_table_;
 
   std::atomic<std::uint64_t> pending_{0};
   mutable std::mutex wait_mutex_;

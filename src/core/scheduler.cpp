@@ -1,20 +1,34 @@
 #include "core/scheduler.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <cstdio>
 #include <cstdlib>
-#include <algorithm>
-#include <chrono>
 #include <utility>
 
 #include "support/timer.hpp"
 
 namespace sigrt {
 
+namespace {
+
+// Worker identity for the owner fast path: a worker releasing a dependent
+// pushes it straight onto its own deque (no CAS, no inbox) when the
+// partition rule allows.  The scheduler pointer disambiguates nested or
+// concurrent runtimes sharing a thread.
+thread_local Scheduler* tls_scheduler = nullptr;
+thread_local unsigned tls_worker = 0;
+
+}  // namespace
+
 Scheduler::Scheduler(unsigned workers, unsigned unreliable, bool steal,
-                     ExecuteFn execute)
-    : steal_enabled_(steal), execute_(std::move(execute)) {
+                     ExecuteFn execute, DequeueFn on_dequeue)
+    : steal_enabled_(steal),
+      execute_(std::move(execute)),
+      on_dequeue_(std::move(on_dequeue)),
+      ec_(workers) {
   assert(execute_ && "scheduler needs an execute callback");
+  worker_total_ = workers;
   if (workers > 0) {
     unreliable = std::min(unreliable, workers - 1);
     reliable_count_ = workers - unreliable;
@@ -23,7 +37,11 @@ Scheduler::Scheduler(unsigned workers, unsigned unreliable, bool steal,
   }
   slots_.reserve(workers);
   for (unsigned i = 0; i < workers; ++i) {
-    slots_.push_back(std::make_unique<WorkerSlot>());
+    auto slot = std::make_unique<WorkerSlot>();
+    // Deterministic per-worker stream; only used for steal-victim
+    // randomization, so it does not affect steal-off reproducibility.
+    slot->rng = support::Xoshiro256(0x51eea1u + i * 0x9e3779b97f4a7c15ULL);
+    slots_.push_back(std::move(slot));
   }
   workers_.reserve(workers);
   for (unsigned i = 0; i < workers; ++i) {
@@ -32,26 +50,87 @@ Scheduler::Scheduler(unsigned workers, unsigned unreliable, bool steal,
 }
 
 Scheduler::~Scheduler() {
-  stopping_.store(true, std::memory_order_release);
-  {
-    // Pair with the waiters' predicate check (see TaskGroup::on_complete for
-    // the same pattern).
-    std::lock_guard lock(sleep_mutex_);
-    sleep_cv_.notify_all();
-  }
+  // Shutdown ordering: publish `stopping` first (seq_cst), then release
+  // every parked worker.  A worker between prepare_wait and commit_wait
+  // either sees the flag in its re-check or consumes the signal delivered
+  // by notify_all — a lost wakeup (and a hung join) is impossible.  Workers
+  // drain all work still visible to them before exiting.
+  stopping_.store(true, std::memory_order_seq_cst);
+  ec_.notify_all();
   for (auto& t : workers_) t.join();
+
+  // A quiesced shutdown leaves every deque and inbox empty.  Debug builds
+  // treat leftovers as fatal; release builds clear the self-pins so an
+  // abandoned task cannot leak through its own reference cycle.
+  bool undrained = false;
+  for (auto& slot : slots_) {
+    for (unsigned p = 0; p < kPartitions; ++p) {
+      Task* leftover = slot->inbox[p].exchange(nullptr, std::memory_order_acquire);
+      while (leftover != nullptr) {
+        undrained = true;
+        Task* next = leftover->next_ready;
+        leftover->next_ready = nullptr;
+        leftover->self_pin.reset();
+        leftover = next;
+      }
+      while (Task* t = slot->deque[p].steal()) {
+        undrained = true;
+        t->self_pin.reset();
+      }
+    }
+  }
+  assert(!undrained && "scheduler destroyed with undrained tasks");
+  (void)undrained;
+}
+
+void Scheduler::assert_enqueue_ok(const Task& task) {
+  assert(task.gate.load(std::memory_order_acquire) == 0 &&
+         "only gate==0 tasks may be enqueued");
+#ifndef NDEBUG
+  auto& counter = const_cast<Task&>(task).debug_enqueues;
+  if (counter.fetch_add(1, std::memory_order_acq_rel) != 0) {
+    std::fprintf(stderr, "FATAL: double enqueue of task %llu (group %u)\n",
+                 static_cast<unsigned long long>(task.id), task.group);
+    std::abort();
+  }
+#else
+  (void)task;
+#endif
+}
+
+unsigned Scheduler::pick_target(Partition part) noexcept {
+  // Chunked round-robin: rotate the target every kRouteChunk tasks instead
+  // of every task.  Consecutive spawns coalesce in one inbox (one wake and
+  // one hot cache line per chunk instead of per task); stealing rebalances
+  // whatever the chunking skews.
+  if (part == kAnyWorker) {
+    return static_cast<unsigned>(
+        (next_any_.fetch_add(1, std::memory_order_relaxed) / kRouteChunk) %
+        worker_count());
+  }
+  return static_cast<unsigned>(
+      (next_reliable_.fetch_add(1, std::memory_order_relaxed) / kRouteChunk) %
+      reliable_count_);
+}
+
+unsigned Scheduler::wake_workers(unsigned preferred, Partition part,
+                                 unsigned count) {
+  unsigned woken = 0;
+  if (preferred != kNoPreference && ec_.notify(preferred)) ++woken;
+  if (woken >= count || !steal_enabled_) return woken;
+  // The task is stealable: hand the remaining wakes to parked workers
+  // entitled to the partition.
+  const unsigned n = worker_count();
+  for (unsigned i = 0; i < n && woken < count; ++i) {
+    if (i == preferred) continue;
+    if (part == kReliableOnly && is_unreliable(i)) continue;
+    if (ec_.waiting(i) && ec_.notify(i)) ++woken;
+  }
+  return woken;
 }
 
 void Scheduler::enqueue(const TaskPtr& task) {
-  assert(task->gate.load(std::memory_order_acquire) == 0 &&
-         "only gate==0 tasks may be enqueued");
-#ifndef NDEBUG
-  if (task->debug_enqueues.fetch_add(1, std::memory_order_acq_rel) != 0) {
-    std::fprintf(stderr, "FATAL: double enqueue of task %llu (group %u)\n",
-                 static_cast<unsigned long long>(task->id), task->group);
-    std::abort();
-  }
-#endif
+  assert_enqueue_ok(*task);
 
   if (inline_mode()) {
     inline_queue_.push_back(task);
@@ -59,38 +138,166 @@ void Scheduler::enqueue(const TaskPtr& task) {
     return;
   }
 
-  // Routing: accurate (or not-yet-classified) tasks round-robin over the
-  // reliable workers only; tasks finally classified approximate/dropped may
-  // land on any worker, including the NTC ones.
-  unsigned target;
-  if (eligible_for_unreliable(*task)) {
-    target = next_any_worker_.fetch_add(1, std::memory_order_relaxed) %
-             slots_.size();
+  const Partition part = partition_of(*task);
+
+  // Owner fast path: dependents released mid-execution stay on the
+  // releasing worker's own deque — a pure owner push, no shared CAS.  An
+  // unreliable worker may not host kReliableOnly work; it falls through to
+  // remote dispatch onto a reliable worker's inbox.
+  if (tls_scheduler == this &&
+      (part == kAnyWorker || !is_unreliable(tls_worker))) {
+    task->self_pin = task;
+    slots_[tls_worker]->deque[part].push(task.get());
+    if (steal_enabled_) {
+      std::atomic_thread_fence(std::memory_order_seq_cst);
+      wake_workers(kNoPreference, part, 1);
+    }
+    return;
+  }
+
+  dispatch_remote(task, part);
+}
+
+void Scheduler::dispatch_remote(const TaskPtr& task, Partition part) {
+  const unsigned target = pick_target(part);
+  task->self_pin = task;
+  Task* raw = task.get();
+
+  std::atomic<Task*>& inbox = slots_[target]->inbox[part];
+  Task* head = inbox.load(std::memory_order_relaxed);
+  do {
+    raw->next_ready = head;
+  } while (!inbox.compare_exchange_weak(head, raw, std::memory_order_release,
+                                        std::memory_order_relaxed));
+
+  // First push into an empty inbox wakes the target (or a thief); pushes
+  // onto a non-empty inbox ride on the wake already owed for the head —
+  // any worker that consumes that inbox takes the whole chain, and every
+  // worker re-checks all inboxes before parking.
+  if (head == nullptr) {
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    wake_workers(target, part, 1);
+  }
+}
+
+void Scheduler::enqueue_bulk(const TaskPtr* tasks, std::size_t count) {
+  if (count == 0) return;
+  if (count == 1) {
+    enqueue(tasks[0]);
+    return;
+  }
+
+  if (inline_mode()) {
+    for (std::size_t i = 0; i < count; ++i) {
+      assert_enqueue_ok(*tasks[i]);
+      inline_queue_.push_back(tasks[i]);
+    }
+    if (!inline_draining_) drain_inline();
+    return;
+  }
+
+  // Owner fast path: a worker releasing a batch keeps it on its own deque
+  // (pure owner pushes), spilling only partition-forbidden tasks to remote
+  // inboxes, then hands out wakes so thieves can share the batch.  The
+  // batch is pushed in reverse so the owner's LIFO pop returns it in issue
+  // order — the same per-worker FIFO the inbox drain establishes.
+  if (tls_scheduler == this) {
+    const bool reliable_owner = !is_unreliable(tls_worker);
+    WorkerSlot& me = *slots_[tls_worker];
+    unsigned own = 0;
+    bool own_any_part = false;
+    for (std::size_t i = count; i-- > 0;) {
+      const TaskPtr& task = tasks[i];
+      assert_enqueue_ok(*task);
+      const Partition part = partition_of(*task);
+      if (part == kAnyWorker || reliable_owner) {
+        task->self_pin = task;
+        me.deque[part].push(task.get());
+        ++own;
+        own_any_part |= (part == kAnyWorker);
+      } else {
+        dispatch_remote(task, part);
+      }
+    }
+    if (own > 0 && steal_enabled_) {
+      std::atomic_thread_fence(std::memory_order_seq_cst);
+      wake_workers(kNoPreference,
+                   own_any_part ? kAnyWorker : kReliableOnly,
+                   std::min(own, worker_count()));
+    }
+    return;
+  }
+
+  // Build one chain per (target worker, partition) bucket, then publish
+  // each bucket with a single CAS splice and issue a single fence for the
+  // whole window.  Chains are built newest-first (prepend in spawn order),
+  // matching the single-task inbox discipline, so FIFO pop order per
+  // worker is preserved.  Bucket scratch stays on the stack for typical
+  // worker counts — this is the GTB flush hot path, one call per window.
+  const unsigned n = worker_count();
+  const std::size_t buckets = static_cast<std::size_t>(n) * kPartitions;
+  constexpr unsigned kStackWorkers = 64;
+  Task* stack_chains[kStackWorkers * kPartitions * 2];
+  bool stack_was_empty[kStackWorkers];
+  std::unique_ptr<Task*[]> heap_chains;
+  std::unique_ptr<bool[]> heap_was_empty;
+  Task** heads;
+  bool* was_empty;
+  if (n <= kStackWorkers) {
+    heads = stack_chains;
+    was_empty = stack_was_empty;
   } else {
-    target = next_worker_.fetch_add(1, std::memory_order_relaxed) %
-             reliable_count_;
+    heap_chains.reset(new Task*[buckets * 2]);
+    heap_was_empty.reset(new bool[n]);
+    heads = heap_chains.get();
+    was_empty = heap_was_empty.get();
   }
-  {
-    std::lock_guard lock(slots_[target]->mutex);
-    slots_[target]->queue.push_back(task);
+  Task** tails = heads + buckets;
+  std::fill_n(heads, buckets * 2, nullptr);
+  std::fill_n(was_empty, n, false);
+  bool has_any_part = false;
+
+  for (std::size_t i = 0; i < count; ++i) {
+    const TaskPtr& task = tasks[i];
+    assert_enqueue_ok(*task);
+    const Partition part = partition_of(*task);
+    const unsigned target = pick_target(part);
+    task->self_pin = task;
+    Task* raw = task.get();
+    const std::size_t b = static_cast<std::size_t>(target) * kPartitions + part;
+    raw->next_ready = heads[b];
+    heads[b] = raw;
+    if (tails[b] == nullptr) tails[b] = raw;
+    has_any_part |= (part == kAnyWorker);
   }
-  {
-    // The increment must happen under the sleep mutex: otherwise it can
-    // land between a worker's predicate check and its atomic block, the
-    // notify below finds nobody waiting, and the wakeup is lost — a real
-    // deadlock when no further enqueues arrive.
-    std::lock_guard lock(sleep_mutex_);
-    ready_count_.fetch_add(1, std::memory_order_release);
+
+  for (unsigned target = 0; target < n; ++target) {
+    for (unsigned p = 0; p < kPartitions; ++p) {
+      const std::size_t b = static_cast<std::size_t>(target) * kPartitions + p;
+      if (heads[b] == nullptr) continue;
+      std::atomic<Task*>& inbox = slots_[target]->inbox[p];
+      Task* old_head = inbox.load(std::memory_order_relaxed);
+      do {
+        tails[b]->next_ready = old_head;
+      } while (!inbox.compare_exchange_weak(old_head, heads[b],
+                                            std::memory_order_release,
+                                            std::memory_order_relaxed));
+      if (old_head == nullptr) was_empty[target] = true;
+    }
   }
-  if (unreliable_count() == 0) {
-    sleep_cv_.notify_one();
-  } else {
-    // Heterogeneous workers share one condition variable; notify_one could
-    // be consumed by an unreliable worker that is not allowed to take the
-    // task at the queue front, silently swallowing the only wakeup while
-    // the reliable workers stay parked.  Wake everyone; ineligible workers
-    // re-check and go back to sleep.
-    sleep_cv_.notify_all();
+
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+
+  // Wake the routed-to workers first, then spread leftover wakes over
+  // parked thieves, bounded by the window size.
+  unsigned budget =
+      static_cast<unsigned>(std::min<std::size_t>(count, n));
+  for (unsigned target = 0; target < n && budget > 0; ++target) {
+    if (was_empty[target] && ec_.notify(target)) --budget;
+  }
+  if (steal_enabled_ && budget > 0) {
+    wake_workers(kNoPreference, has_any_part ? kAnyWorker : kReliableOnly,
+                 budget);
   }
 }
 
@@ -99,6 +306,7 @@ void Scheduler::drain_inline() {
   while (!inline_queue_.empty()) {
     TaskPtr task = std::move(inline_queue_.front());
     inline_queue_.pop_front();
+    if (on_dequeue_) on_dequeue_(task, 0);
     const support::ScopedTimer timer(inline_busy_ns_);
     execute_(task, 0);
     ++inline_executed_;
@@ -106,85 +314,206 @@ void Scheduler::drain_inline() {
   inline_draining_ = false;
 }
 
-bool Scheduler::try_pop_own(unsigned index, TaskPtr& out) {
+bool Scheduler::drain_own_inbox(unsigned index, Partition part) {
   WorkerSlot& slot = *slots_[index];
-  std::lock_guard lock(slot.mutex);
-  if (slot.queue.empty()) return false;
-  out = std::move(slot.queue.front());  // oldest first (§3: FIFO per worker)
-  slot.queue.pop_front();
+  Task* list = slot.inbox[part].exchange(nullptr, std::memory_order_acquire);
+  if (list == nullptr) return false;
+  // The chain is newest-first; pushing in chain order makes the owner's
+  // bottom pop return the oldest first — FIFO issue order per worker (§3).
+  while (list != nullptr) {
+    Task* t = list;
+    list = list->next_ready;
+    t->next_ready = nullptr;
+    slot.deque[part].push(t);
+  }
   return true;
 }
 
-bool Scheduler::try_steal(unsigned thief, TaskPtr& out) {
-  const std::size_t n = slots_.size();
-  const bool thief_unreliable = is_unreliable(thief);
-  for (std::size_t off = 1; off < n; ++off) {
-    const std::size_t victim = (thief + off) % n;
-    WorkerSlot& slot = *slots_[victim];
-    std::lock_guard lock(slot.mutex);
-    if (slot.queue.empty()) continue;
-    // An unreliable thief may only take the oldest task if it is eligible;
-    // it does not dig deeper (FIFO order is preserved, as in §3).
-    if (thief_unreliable && !eligible_for_unreliable(*slot.queue.front())) {
-      continue;
+Task* Scheduler::raid_inbox(unsigned thief, unsigned victim, Partition part) {
+  Task* list =
+      slots_[victim]->inbox[part].exchange(nullptr, std::memory_order_acquire);
+  if (list == nullptr) return nullptr;
+
+  WorkerSlot& me = *slots_[thief];
+  // Keep the oldest task (chain tail) to run now; everything newer is
+  // re-exposed through our own deque, where other workers can steal it.
+  std::uint64_t moved = 1;
+  while (list->next_ready != nullptr) {
+    Task* t = list;
+    list = list->next_ready;
+    t->next_ready = nullptr;
+    me.deque[part].push(t);
+    ++moved;
+  }
+  me.steals.fetch_add(moved, std::memory_order_relaxed);
+  if (moved > 1) {
+    // We just became a victim worth stealing from.
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    wake_workers(kNoPreference, part, 1);
+  }
+  return list;
+}
+
+Task* Scheduler::acquire_work(unsigned index) {
+  WorkerSlot& slot = *slots_[index];
+  const bool reliable = !is_unreliable(index);
+
+  // 1. Own deques.  The reliable-only partition goes first: no other class
+  //    of worker can help with it.
+  if (reliable) {
+    if (Task* t = slot.deque[kReliableOnly].pop()) return t;
+  }
+  if (Task* t = slot.deque[kAnyWorker].pop()) return t;
+
+  // 2. Splice own inboxes into the deques, then retry.
+  bool drained = false;
+  if (reliable) drained |= drain_own_inbox(index, kReliableOnly);
+  drained |= drain_own_inbox(index, kAnyWorker);
+  if (drained) {
+    if (reliable) {
+      if (Task* t = slot.deque[kReliableOnly].pop()) return t;
     }
-    out = std::move(slot.queue.front());
-    slot.queue.pop_front();
-    ++slots_[thief]->steals;
+    if (Task* t = slot.deque[kAnyWorker].pop()) return t;
+  }
+
+  // 3. Steal.
+  if (steal_enabled_) return try_steal(index);
+  return nullptr;
+}
+
+Task* Scheduler::try_steal(unsigned thief) {
+  const unsigned n = worker_count();
+  if (n <= 1) return nullptr;
+  WorkerSlot& me = *slots_[thief];
+  const bool reliable = !is_unreliable(thief);
+
+  // Randomized victim order: a random start with a full linear sweep keeps
+  // the scan exhaustive (required for the parking protocol) while avoiding
+  // the seed's convoy where every thief probes victim (self+1) first.
+  const unsigned start = static_cast<unsigned>(me.rng.bounded(n));
+  for (unsigned off = 0; off < n; ++off) {
+    unsigned v = start + off;
+    if (v >= n) v -= n;
+    if (v == thief) continue;
+    WorkerSlot& victim = *slots_[v];
+    if (reliable) {
+      if (Task* t = victim.deque[kReliableOnly].steal()) {
+        me.steals.fetch_add(1, std::memory_order_relaxed);
+        return t;
+      }
+    }
+    if (Task* t = victim.deque[kAnyWorker].steal()) {
+      me.steals.fetch_add(1, std::memory_order_relaxed);
+      return t;
+    }
+    // Deques dry: raid undrained injections so work routed to a busy
+    // worker is never stranded behind its long-running task.
+    if (reliable) {
+      if (Task* t = raid_inbox(thief, v, kReliableOnly)) return t;
+    }
+    if (Task* t = raid_inbox(thief, v, kAnyWorker)) return t;
+  }
+  return nullptr;
+}
+
+bool Scheduler::has_visible_work(unsigned index) const {
+  const bool reliable = !is_unreliable(index);
+  const WorkerSlot& me = *slots_[index];
+  if (reliable && (me.inbox[kReliableOnly].load(std::memory_order_acquire) !=
+                       nullptr ||
+                   !me.deque[kReliableOnly].empty())) {
     return true;
+  }
+  if (me.inbox[kAnyWorker].load(std::memory_order_acquire) != nullptr ||
+      !me.deque[kAnyWorker].empty()) {
+    return true;
+  }
+  if (!steal_enabled_) return false;
+  const unsigned n = worker_count();
+  for (unsigned v = 0; v < n; ++v) {
+    if (v == index) continue;
+    const WorkerSlot& o = *slots_[v];
+    if (reliable &&
+        (o.inbox[kReliableOnly].load(std::memory_order_acquire) != nullptr ||
+         !o.deque[kReliableOnly].empty())) {
+      return true;
+    }
+    if (o.inbox[kAnyWorker].load(std::memory_order_acquire) != nullptr ||
+        !o.deque[kAnyWorker].empty()) {
+      return true;
+    }
   }
   return false;
 }
 
-void Scheduler::run_task(const TaskPtr& task, unsigned index) {
+void Scheduler::run_task(Task* raw, unsigned index) {
   WorkerSlot& slot = *slots_[index];
+  // Take over the lifetime reference the enqueuer parked on the task.
+  TaskPtr task = std::move(raw->self_pin);
+  assert(task.get() == raw && "task lost its scheduler pin");
+  // Dequeue-time policy hook (LQH classification) runs on the executing
+  // worker, before the body, outside the busy-time attribution.
+  if (on_dequeue_) on_dequeue_(task, index);
+  std::int64_t ns = 0;
   {
-    const support::ScopedTimer timer(slot.busy_ns);
+    const support::ScopedTimer timer(ns);
     execute_(task, index);
   }
-  ++slot.executed;
+  slot.busy_ns.fetch_add(ns, std::memory_order_relaxed);
+  slot.executed.fetch_add(1, std::memory_order_relaxed);
 }
 
 void Scheduler::worker_loop(unsigned index) {
+  tls_scheduler = this;
+  tls_worker = index;
   WorkerSlot& slot = *slots_[index];
   while (true) {
     slot.state.store(WorkerState::Scanning, std::memory_order_relaxed);
-    TaskPtr task;
-    if (try_pop_own(index, task) ||
-        (steal_enabled_ && try_steal(index, task))) {
-      ready_count_.fetch_sub(1, std::memory_order_acq_rel);
+    if (Task* raw = acquire_work(index)) {
       slot.state.store(WorkerState::Running, std::memory_order_relaxed);
-      run_task(task, index);
+      run_task(raw, index);
+      continue;
+    }
+
+    // Spin-before-park: yield a few times re-checking for work before
+    // paying for a futex round trip.  During an active spawn stream the
+    // producer keeps publishing, the re-check hits, and neither side
+    // touches a kernel wait queue (the producer skips notify entirely for
+    // non-WAITING workers).  Bounded, so idle workers still park quickly.
+    bool found = false;
+    for (int spin = 0; spin < kParkSpins; ++spin) {
+      std::this_thread::yield();
+      if (stopping_.load(std::memory_order_acquire)) break;  // go park/exit
+      if (has_visible_work(index)) {
+        found = true;
+        break;
+      }
+    }
+    if (found) continue;
+
+    // Two-phase park (see eventcount.hpp): announce, re-check everything
+    // we could possibly take — including the stop flag — then commit.
+    ec_.prepare_wait(index);
+    if (stopping_.load(std::memory_order_acquire)) {
+      ec_.cancel_wait(index);
+      if (!has_visible_work(index)) return;  // drained: exit
+      continue;                              // keep draining
+    }
+    if (has_visible_work(index)) {
+      ec_.cancel_wait(index);
       continue;
     }
     slot.state.store(WorkerState::Sleeping, std::memory_order_relaxed);
-    std::unique_lock lock(sleep_mutex_);
-    if (steal_enabled_ && !is_unreliable(index)) {
-      // ready_count > 0 implies some queue holds a task this worker can
-      // reach (it can steal anything), so a predicate wait cannot hot-spin.
-      sleep_cv_.wait(lock, [this] {
-        return stopping_.load(std::memory_order_acquire) ||
-               ready_count_.load(std::memory_order_acquire) > 0;
-      });
-    } else {
-      // Without stealing — or with an unreliable worker, which may be
-      // unable to take the tasks ready_count refers to — a predicate wait
-      // would spin.  Poll with a bounded sleep instead.
-      sleep_cv_.wait_for(lock, std::chrono::microseconds(500));
-    }
-    if (stopping_.load(std::memory_order_acquire) &&
-        ready_count_.load(std::memory_order_acquire) == 0) {
-      return;
-    }
+    ec_.commit_wait(index);
   }
 }
 
 SchedulerStats Scheduler::stats() const {
   SchedulerStats s;
   for (const auto& slot : slots_) {
-    s.executed += slot->executed;
-    s.steals += slot->steals;
-    s.busy_ns += slot->busy_ns;
+    s.executed += slot->executed.load(std::memory_order_relaxed);
+    s.steals += slot->steals.load(std::memory_order_relaxed);
+    s.busy_ns += slot->busy_ns.load(std::memory_order_relaxed);
   }
   s.executed += inline_executed_;
   s.busy_ns += inline_busy_ns_;
@@ -198,29 +527,36 @@ std::pair<std::int64_t, std::int64_t> Scheduler::busy_ns_split() const {
   std::int64_t unreliable = 0;
   for (std::size_t i = 0; i < slots_.size(); ++i) {
     (is_unreliable(static_cast<unsigned>(i)) ? unreliable : reliable) +=
-        slots_[i]->busy_ns;
+        slots_[i]->busy_ns.load(std::memory_order_relaxed);
   }
   return {reliable, unreliable};
 }
 
 void Scheduler::dump(FILE* out) const {
-  std::fprintf(out, "scheduler: workers=%zu ready=%zu stopping=%d\n",
-               slots_.size(), ready_count_.load(), stopping_.load());
+  std::fprintf(out, "scheduler: workers=%zu reliable=%u steal=%d stopping=%d\n",
+               slots_.size(), reliable_count_, steal_enabled_ ? 1 : 0,
+               stopping_.load() ? 1 : 0);
   for (std::size_t i = 0; i < slots_.size(); ++i) {
-    auto& slot = *slots_[i];
-    std::lock_guard lock(slot.mutex);
+    const auto& slot = *slots_[i];
     const char* state = "?";
     switch (slot.state.load(std::memory_order_relaxed)) {
       case WorkerState::Scanning: state = "scanning"; break;
       case WorkerState::Running: state = "running"; break;
       case WorkerState::Sleeping: state = "sleeping"; break;
     }
-    std::fprintf(out,
-                 "  worker %zu: state=%s unreliable=%d queue=%zu executed=%llu "
-                 "steals=%llu\n",
-                 i, state, is_unreliable(static_cast<unsigned>(i)) ? 1 : 0,
-                 slot.queue.size(), static_cast<unsigned long long>(slot.executed),
-                 static_cast<unsigned long long>(slot.steals));
+    std::fprintf(
+        out,
+        "  worker %zu: state=%s unreliable=%d deque[rel]=%lld deque[any]=%lld "
+        "inbox[rel]=%d inbox[any]=%d executed=%llu steals=%llu\n",
+        i, state, is_unreliable(static_cast<unsigned>(i)) ? 1 : 0,
+        static_cast<long long>(slot.deque[kReliableOnly].size()),
+        static_cast<long long>(slot.deque[kAnyWorker].size()),
+        slot.inbox[kReliableOnly].load(std::memory_order_acquire) != nullptr,
+        slot.inbox[kAnyWorker].load(std::memory_order_acquire) != nullptr,
+        static_cast<unsigned long long>(
+            slot.executed.load(std::memory_order_relaxed)),
+        static_cast<unsigned long long>(
+            slot.steals.load(std::memory_order_relaxed)));
   }
 }
 

@@ -1,28 +1,60 @@
-// Master/slave work-sharing scheduler (§3 of the paper).
+// Lock-free work-stealing scheduler (replacing the mutex-based master/slave
+// work-sharing design of §3 of the paper, while keeping its observable
+// semantics: per-worker FIFO issue order, stealing when a queue runs dry,
+// and the reliable/NTC worker split of the §6 extension).
 //
-// The master thread enqueues ready tasks round-robin across per-worker
-// FIFO queues.  Workers execute the oldest task of their own queue and
-// steal from other queues when theirs runs dry.  An inline mode (zero
-// workers) executes tasks synchronously on the enqueuing thread; it keeps
-// unit tests deterministic and lets the library run in single-threaded
-// contexts.
+// Architecture (see docs/architecture.md for the full layer diagram):
+//
+//   * Each worker owns two Chase–Lev deques — one per *partition*.  The
+//     partition encodes the NTC routing rule as data placement instead of
+//     the seed's modulo-over-two-counters: tasks that may run anywhere
+//     (already classified Approximate/Dropped) live in the kAnyWorker
+//     partition; everything else (Accurate or still Undecided) lives in the
+//     kReliableOnly partition, which unreliable workers neither own-pop nor
+//     steal from.  The partition invariant — an unreliable worker's
+//     structures only ever hold kAnyWorker tasks — is what lets thieves
+//     skip the seed's racy peek-at-the-queue-front eligibility check.
+//
+//   * Producers that are not workers (the master, a policy flush) push raw
+//     Task* into a per-worker lock-free MPSC inbox (Treiber chain); the
+//     owner splices its inbox into its deque when the deque runs dry.
+//     Thieves may also raid a victim's inbox wholesale so work routed to a
+//     busy worker is never stranded.  Workers executing a task push newly
+//     released dependents straight onto their own deque (pure owner push).
+//     Batches keep issue order on both paths; a lone dependent released
+//     mid-execution runs next (depth-first), the classic work-stealing
+//     locality order.
+//
+//   * Parking uses a per-worker two-phase eventcount (see eventcount.hpp):
+//     no global sleep mutex, no broadcast wakeups — a producer wakes the
+//     routed-to worker, or failing that one parked worker entitled to steal
+//     the task.
+//
+//   * enqueue_bulk() publishes a whole window of ready tasks (a GTB flush,
+//     a dependents batch) with one CAS per target inbox and a single fence,
+//     then distributes wakes.
+//
+// The inline mode (zero workers) is unchanged from the seed: synchronous
+// FIFO execution on the enqueuing thread, used by tests for determinism.
 //
 // The scheduler also accounts per-worker busy time (task execution only),
 // which feeds the energy model's dynamic-power term.
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
+#include <cstdio>
 #include <deque>
 #include <functional>
-#include <mutex>
-#include <cstdio>
-#include <utility>
+#include <memory>
 #include <thread>
+#include <utility>
 #include <vector>
 
+#include "core/chase_lev_deque.hpp"
+#include "core/eventcount.hpp"
 #include "core/task.hpp"
+#include "support/rng.hpp"
 
 namespace sigrt {
 
@@ -38,25 +70,43 @@ class Scheduler {
   /// (the runtime layer captures task exceptions).
   using ExecuteFn = std::function<void(const TaskPtr&, unsigned worker)>;
 
+  /// Optional dequeue hook: called on the executing worker right after it
+  /// wins a task and before the body runs.  The runtime wires the policy's
+  /// dequeue-time decision point (LQH, §3.4) through this, keeping the
+  /// classification worker-local.  Must not throw.
+  using DequeueFn = std::function<void(const TaskPtr&, unsigned worker)>;
+
   /// The last `unreliable` workers only execute tasks already classified
   /// Approximate/Dropped (see RuntimeConfig::unreliable_workers); clamped
   /// to workers-1.
-  Scheduler(unsigned workers, unsigned unreliable, bool steal, ExecuteFn execute);
+  Scheduler(unsigned workers, unsigned unreliable, bool steal,
+            ExecuteFn execute, DequeueFn on_dequeue = {});
+
+  /// Releases every parked worker, drains visible work, joins, and (in
+  /// debug builds) asserts that every deque and inbox is empty.
   ~Scheduler();
 
   Scheduler(const Scheduler&) = delete;
   Scheduler& operator=(const Scheduler&) = delete;
 
-  /// Hands a ready (gate == 0) task to a worker queue; inline mode executes
-  /// it (and anything it transitively readies) before returning.
+  /// Hands a ready (gate == 0) task to a worker; inline mode executes it
+  /// (and anything it transitively readies) before returning.
   void enqueue(const TaskPtr& task);
 
-  /// True when configured with zero worker threads.
-  [[nodiscard]] bool inline_mode() const noexcept { return workers_.empty(); }
-
-  [[nodiscard]] unsigned worker_count() const noexcept {
-    return static_cast<unsigned>(workers_.size());
+  /// Batched enqueue: publishes all `count` ready tasks with one inbox CAS
+  /// per target worker and a single fence, then wakes up to `count` parked
+  /// workers.  Spawn order is preserved per target queue.
+  void enqueue_bulk(const TaskPtr* tasks, std::size_t count);
+  void enqueue_bulk(const std::vector<TaskPtr>& tasks) {
+    enqueue_bulk(tasks.data(), tasks.size());
   }
+
+  /// True when configured with zero worker threads.
+  [[nodiscard]] bool inline_mode() const noexcept { return worker_total_ == 0; }
+
+  /// Fixed at construction before any worker thread starts — safe to read
+  /// from workers while the constructor is still emplacing threads.
+  [[nodiscard]] unsigned worker_count() const noexcept { return worker_total_; }
 
   /// Aggregate counters (approximate while workers are running).
   [[nodiscard]] SchedulerStats stats() const;
@@ -64,7 +114,7 @@ class Scheduler {
   /// Cumulative worker busy time in nanoseconds (includes inline execution).
   [[nodiscard]] std::int64_t busy_ns() const;
 
-  /// Diagnostic snapshot (queue sizes, ready counter) for deadlock triage.
+  /// Diagnostic snapshot (queue sizes, worker states) for deadlock triage.
   void dump(FILE* out) const;
 
   /// True when `worker` is one of the unreliable (NTC) workers.
@@ -84,20 +134,57 @@ class Scheduler {
  private:
   enum class WorkerState : std::uint8_t { Scanning, Running, Sleeping };
 
+  /// Deque-partition rule (replaces the seed's eligibility peek at steal
+  /// time): kReliableOnly holds Accurate/Undecided tasks and is invisible
+  /// to unreliable workers; kAnyWorker holds finally-classified
+  /// Approximate/Dropped tasks and is open to everyone.
+  enum Partition : unsigned { kReliableOnly = 0, kAnyWorker = 1 };
+  static constexpr unsigned kPartitions = 2;
+
   struct alignas(64) WorkerSlot {
-    mutable std::mutex mutex;
-    std::deque<TaskPtr> queue;
-    std::int64_t busy_ns = 0;       // written by owning worker only
-    std::uint64_t executed = 0;     // idem
-    std::uint64_t steals = 0;       // idem
+    ChaseLevDeque<Task*> deque[kPartitions];
+    std::atomic<Task*> inbox[kPartitions]{nullptr, nullptr};
+
+    std::atomic<std::int64_t> busy_ns{0};
+    std::atomic<std::uint64_t> executed{0};
+    std::atomic<std::uint64_t> steals{0};
     std::atomic<WorkerState> state{WorkerState::Scanning};  // diagnostics
+
+    support::Xoshiro256 rng;  ///< owner-only: steal-victim randomization
   };
 
   void worker_loop(unsigned index);
-  bool try_pop_own(unsigned index, TaskPtr& out);
-  bool try_steal(unsigned thief, TaskPtr& out);
-  void run_task(const TaskPtr& task, unsigned index);
+  void run_task(Task* raw, unsigned index);
   void drain_inline();
+
+  /// Owner-side work acquisition: own deques -> own inboxes -> stealing.
+  Task* acquire_work(unsigned index);
+  Task* try_steal(unsigned thief);
+  /// Splices worker `index`'s inbox[part] into its own deque[part].
+  bool drain_own_inbox(unsigned index, Partition part);
+  /// Thief-side inbox raid: empties victim's inbox[part], keeps the oldest
+  /// task to run and re-exposes the rest through the thief's own deque.
+  Task* raid_inbox(unsigned thief, unsigned victim, Partition part);
+
+  /// True when any structure this worker is entitled to take from could
+  /// hold work.  Only meaningful between prepare_wait and commit_wait.
+  [[nodiscard]] bool has_visible_work(unsigned index) const;
+
+  void dispatch_remote(const TaskPtr& task, Partition part);
+  /// Tasks per round-robin step: consecutive remote enqueues share a target
+  /// (and its wake) before rotating to the next worker.
+  static constexpr unsigned kRouteChunk = 16;
+  /// Yield-and-recheck rounds before a worker commits to parking.
+  static constexpr int kParkSpins = 3;
+  unsigned pick_target(Partition part) noexcept;
+  /// Wakes `preferred` if parked, otherwise up to `count` parked workers
+  /// entitled to partition `part`.  Pass kNoPreference to skip the first.
+  unsigned wake_workers(unsigned preferred, Partition part, unsigned count);
+  static constexpr unsigned kNoPreference = ~0u;
+
+  [[nodiscard]] static Partition partition_of(const Task& task) noexcept {
+    return eligible_for_unreliable(task) ? kAnyWorker : kReliableOnly;
+  }
 
   /// May `task` run on an unreliable worker?  Only when its classification
   /// is already final and non-accurate.
@@ -106,19 +193,20 @@ class Scheduler {
            task.kind == ExecutionKind::Dropped;
   }
 
+  void assert_enqueue_ok(const Task& task);
+
   const bool steal_enabled_;
+  unsigned worker_total_ = 0;
   unsigned reliable_count_ = 0;
   ExecuteFn execute_;
-  std::atomic<unsigned> next_any_worker_{0};
+  DequeueFn on_dequeue_;
 
   std::vector<std::unique_ptr<WorkerSlot>> slots_;
+  EventCount ec_;
   std::vector<std::thread> workers_;
-  std::atomic<unsigned> next_worker_{0};
-  std::atomic<std::size_t> ready_count_{0};
+  std::atomic<unsigned> next_reliable_{0};  ///< round-robin over reliable workers
+  std::atomic<unsigned> next_any_{0};       ///< round-robin over all workers
   std::atomic<bool> stopping_{false};
-
-  std::mutex sleep_mutex_;
-  std::condition_variable sleep_cv_;
 
   // Inline-mode state (single-threaded by construction).
   std::deque<TaskPtr> inline_queue_;

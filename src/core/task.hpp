@@ -30,6 +30,11 @@ class Task final : public dep::Node {
   TaskId id = 0;
   bool internal = false;  ///< runtime-internal task (wait_on fence): excluded from stats
 
+  /// True when the task registered in()/out() clauses with the dependence
+  /// tracker.  A task without a footprint can never be named a predecessor,
+  /// so its completion skips the tracker's global mutex entirely.
+  bool has_footprint = false;
+
   /// Classification result.  Written exactly once before the task becomes
   /// runnable (GTB/Oracle) or at dequeue time on the executing worker (LQH),
   /// then read only by that worker — no concurrent access in either case.
@@ -46,6 +51,19 @@ class Task final : public dep::Node {
   [[nodiscard]] bool release_one() noexcept {
     return gate.fetch_sub(1, std::memory_order_acq_rel) == 1;
   }
+
+  // --- scheduler linkage --------------------------------------------------
+  // The lock-free scheduler circulates raw Task* through its deques and
+  // inbox chains.  Both fields are written by the enqueuing thread before
+  // the pointer is published (release) and consumed by the thread that wins
+  // the pop/steal (acquire), so they need no atomicity of their own.
+
+  /// Keeps the task alive while a raw pointer to it is in flight inside the
+  /// scheduler; moved out by the executing worker.
+  TaskPtr self_pin;
+
+  /// Intrusive link for the per-worker MPSC inbox (Treiber chain).
+  Task* next_ready = nullptr;
 
   // Debug-only diagnostics (cheap; used by assertions in the scheduler).
   std::atomic<std::uint8_t> debug_enqueues{0};
