@@ -1,0 +1,195 @@
+// Open-loop load generator for the serving layer: three request classes
+// (sobel / dct / kmeans mini-jobs) under merged Poisson arrival streams at
+// three rate tiers, each tier against a fresh Server.  Demonstrates the
+// closed loop end to end: at the high tier the QosController trades the
+// group ratio() for latency; at the low tier quality recovers.
+//
+// Prints one JSON line per (tier, class) for BENCH_*.json trend tracking:
+// offered load, shed/degraded/perforated counts, throughput, p50/p99
+// latency, the controller's final ratio and the achieved accurate ratio.
+//
+// Arrival rates are calibrated against the measured accurate-body cost so
+// the tiers mean the same thing on any machine: `mult` x the worker pool's
+// accurate-execution capacity, split evenly across the classes.
+//
+// Flags: --seconds <s> (per tier, default 2.0), --quick (= --seconds 0.6).
+#include <algorithm>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <functional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "apps/dct.hpp"
+#include "apps/kmeans.hpp"
+#include "apps/sobel.hpp"
+#include "serve/serve.hpp"
+#include "support/image.hpp"
+#include "support/rng.hpp"
+#include "support/timer.hpp"
+
+namespace {
+
+using namespace sigrt;
+using namespace sigrt::serve;
+
+/// Defeats dead-code elimination of the request bodies.
+volatile std::uint64_t g_sink = 0;
+void sink(std::uint64_t v) { g_sink = g_sink + v; }
+
+struct Workload {
+  std::string name;
+  double deadline_ms = 25.0;
+  std::function<void()> accurate;
+  std::function<void()> approximate;
+  double accurate_cost_s = 0.0;  ///< calibrated at startup
+};
+
+apps::kmeans::Options kmeans_options(std::size_t iterations) {
+  apps::kmeans::Options o;
+  o.points = 512;
+  o.dims = 8;
+  o.clusters = 4;
+  o.chunk = 64;
+  o.max_iterations = iterations;
+  return o;
+}
+
+std::vector<Workload> make_workloads() {
+  static const support::Image img64 = support::synthetic_image(64, 64, 42);
+  static const support::Image img32 = support::synthetic_image(32, 32, 43);
+  static const support::Image img16 = support::synthetic_image(16, 16, 44);
+
+  std::vector<Workload> out;
+  out.push_back({"sobel", 25.0,
+                 [] { sink(apps::sobel::reference(img64).at(10, 10)); },
+                 [] { sink(apps::sobel::reference_approx(img64).at(10, 10)); },
+                 0.0});
+  // DCT is a drop-style benchmark; its degraded response transforms a
+  // quarter-resolution thumbnail instead of the full tile.
+  out.push_back({"dct", 25.0,
+                 [] {
+                   const auto c = apps::dct::reference(img32);
+                   sink(static_cast<std::uint64_t>(c[0]));
+                 },
+                 [] {
+                   const auto c = apps::dct::reference(img16);
+                   sink(static_cast<std::uint64_t>(c[0]));
+                 },
+                 0.0});
+  // Kmeans degrades by iteration count: the cheap response stops after one
+  // assignment pass.
+  out.push_back({"kmeans", 50.0,
+                 [] { sink(apps::kmeans::reference(kmeans_options(6)).iterations); },
+                 [] { sink(apps::kmeans::reference(kmeans_options(1)).iterations); },
+                 0.0});
+  return out;
+}
+
+double measure_cost_s(const std::function<void()>& fn) {
+  double best = 1e9;  // min of 3: the least-interfered-with run
+  for (int i = 0; i < 3; ++i) {
+    const std::int64_t t0 = support::now_ns();
+    fn();
+    best = std::min(best, static_cast<double>(support::now_ns() - t0) * 1e-9);
+  }
+  return std::max(best, 1e-6);
+}
+
+void run_tier(const char* tier, double mult, double seconds,
+              const std::vector<Workload>& workloads, unsigned workers,
+              std::uint64_t seed) {
+  ServerOptions so;
+  so.runtime.workers = workers;
+  so.epoch_ms = 10.0;
+  Server srv(so);
+
+  std::vector<ClassId> ids;
+  std::vector<double> rates_hz;
+  for (const Workload& w : workloads) {
+    RequestClassConfig cfg;
+    cfg.name = w.name;
+    cfg.qos.deadline_ns = w.deadline_ms * 1e6;
+    cfg.qos.quality_floor = 0.05;
+    cfg.qos.backlog_high = 64;
+    cfg.qos.backlog_low = 16;
+    // The admission bound caps the standing queue — and with it the
+    // worst-case residence time — so under sustained overload the ladder
+    // ends in shedding instead of an ever-deeper backlog.
+    cfg.max_in_flight = 256;
+    ids.push_back(srv.register_class(cfg));
+    // Even capacity split: `mult` x the pool's accurate throughput.
+    rates_hz.push_back(mult * static_cast<double>(workers) /
+                       (static_cast<double>(workloads.size()) * w.accurate_cost_s));
+  }
+
+  support::Xoshiro256 rng(seed);
+  const auto exp_gap_ns = [&rng](double rate_hz) {
+    return static_cast<std::int64_t>(-std::log(1.0 - rng.uniform()) * 1e9 /
+                                     rate_hz);
+  };
+
+  std::vector<std::int64_t> next(workloads.size());
+  std::vector<std::uint64_t> sig_counter(workloads.size(), 0);
+  const std::int64_t start = support::now_ns();
+  for (std::size_t i = 0; i < next.size(); ++i) next[i] = start + exp_gap_ns(rates_hz[i]);
+  const std::int64_t end = start + static_cast<std::int64_t>(seconds * 1e9);
+
+  while (true) {
+    const std::size_t i = static_cast<std::size_t>(
+        std::min_element(next.begin(), next.end()) - next.begin());
+    if (next[i] >= end) break;
+    std::this_thread::sleep_until(std::chrono::steady_clock::time_point(
+        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+            std::chrono::nanoseconds(next[i]))));
+    const Workload& w = workloads[i];
+    srv.submit(ids[i],
+               {w.accurate, w.approximate,
+                static_cast<double>(sig_counter[i]++ % 9 + 1) / 10.0});
+    next[i] += exp_gap_ns(rates_hz[i]);
+  }
+  srv.close();  // drains everything admitted
+
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    const ClassReport r = srv.class_report(ids[i]);
+    std::printf(
+        "{\"bench\":\"serve_loadgen\",\"tier\":\"%s\",\"class\":\"%s\","
+        "\"workers\":%u,\"rate_hz\":%.1f,\"seconds\":%.2f,"
+        "\"accurate_cost_ms\":%.3f,\"deadline_ms\":%.1f,"
+        "\"submitted\":%" PRIu64 ",\"shed\":%" PRIu64 ",\"degraded\":%" PRIu64
+        ",\"perforated\":%" PRIu64 ",\"served\":%" PRIu64
+        ",\"throughput_hz\":%.1f,\"p50_ms\":%.3f,\"p99_ms\":%.3f,"
+        "\"mean_ms\":%.3f,\"ratio\":%.3f,\"achieved_ratio\":%.3f}\n",
+        tier, r.name.c_str(), workers, rates_hz[i], seconds,
+        workloads[i].accurate_cost_s * 1e3, r.deadline_ms, r.submitted, r.shed,
+        r.degraded, r.perforated, r.served(),
+        static_cast<double>(r.served()) / seconds, r.p50_ms, r.p99_ms,
+        r.mean_ms, r.ratio, r.achieved_ratio());
+  }
+  std::fflush(stdout);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double seconds = 2.0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) seconds = 0.6;
+    if (std::strcmp(argv[i], "--seconds") == 0 && i + 1 < argc) {
+      seconds = std::atof(argv[++i]);
+    }
+  }
+
+  std::vector<Workload> workloads = make_workloads();
+  for (Workload& w : workloads) w.accurate_cost_s = measure_cost_s(w.accurate);
+
+  const unsigned workers = RuntimeConfig::default_workers();
+  run_tier("low", 0.25, seconds, workloads, workers, /*seed=*/101);
+  run_tier("base", 1.0, seconds, workloads, workers, /*seed=*/202);
+  run_tier("high", 3.0, seconds, workloads, workers, /*seed=*/303);
+  return 0;
+}

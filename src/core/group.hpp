@@ -70,8 +70,9 @@ class TaskGroup {
   [[nodiscard]] GroupId id() const noexcept { return id_; }
   [[nodiscard]] const std::string& name() const noexcept { return name_; }
 
-  /// The ratio() knob.  May be retargeted between phases; policies read the
-  /// value current at classification time.
+  /// The ratio() knob.  May be retargeted between phases — or continuously,
+  /// from any thread (a relaxed atomic: concurrent classifications observe
+  /// either value); policies read the value current at classification time.
   void set_ratio(double ratio) noexcept {
     ratio_.store(ratio, std::memory_order_relaxed);
   }

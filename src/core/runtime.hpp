@@ -16,8 +16,11 @@
 //   }
 //   rt.wait_group(sobel);   // #pragma omp taskwait label(sobel) ratio(0.35)
 //
-// Threading contract: spawn/wait/create_group are master-thread calls; task
-// bodies run on workers; stats and activity are readable from any thread.
+// Threading contract: spawn/wait_* are master-thread calls (one designated
+// spawner); task bodies run on workers; create_group/ensure_group/set_ratio
+// are safe from any thread (the group table is lock-free and the ratio is a
+// relaxed atomic — see the table in docs/architecture.md); stats and
+// activity are readable from any thread.
 #pragma once
 
 #include <atomic>
@@ -80,7 +83,16 @@ class Runtime final : public energy::ActivitySource, private IssueSink {
   GroupId ensure_group(const std::string& name);
 
   /// Retargets a group's ratio() — e.g. Fluidanimate alternates 1.0 / r
-  /// between time steps (§4.1).
+  /// between time steps (§4.1), and the serving layer's QosController
+  /// retargets it every epoch from its own thread.
+  ///
+  /// Safe from ANY thread, concurrently with spawns and classification: the
+  /// group lookup goes through the lock-free group table and the ratio is a
+  /// relaxed atomic store.  The relaxed contract means no synchronization
+  /// is implied — a task classified concurrently with the store may observe
+  /// either the old or the new ratio, and tasks already classified (GTB) or
+  /// already dequeued keep the decision they got.  Callers needing a hard
+  /// cut must barrier (wait_group) around the retarget.
   void set_ratio(GroupId group, double ratio);
 
   [[nodiscard]] TaskGroup& group(GroupId id);

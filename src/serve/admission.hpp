@@ -1,0 +1,56 @@
+// Lock-free MPSC request queue: the hand-off between submitting client
+// threads and the server's single dispatcher thread.
+//
+// Same idiom as the scheduler's per-worker inboxes (see architecture.md): a
+// Treiber chain linked through Request::next, one CAS per push, consumed
+// wholesale with one exchange and reversed to FIFO order.  The *bound* is
+// not here — admission control is per class and counts in-flight requests
+// (queued + executing), not queue depth, so back-pressure survives the
+// hand-off into the scheduler; see Server::submit.
+#pragma once
+
+#include <atomic>
+
+#include "serve/request.hpp"
+
+namespace sigrt::serve {
+
+class RequestQueue {
+ public:
+  RequestQueue() = default;
+  RequestQueue(const RequestQueue&) = delete;
+  RequestQueue& operator=(const RequestQueue&) = delete;
+
+  /// Any thread.  One CAS; the release pairs with pop_all_fifo's acquire so
+  /// the consumer sees the fully built Request.
+  void push(Request* r) noexcept {
+    Request* head = head_.load(std::memory_order_relaxed);
+    do {
+      r->next = head;
+    } while (!head_.compare_exchange_weak(head, r, std::memory_order_release,
+                                          std::memory_order_relaxed));
+  }
+
+  /// Consumer only.  Takes the whole chain and reverses it so requests come
+  /// back in submission order.  Returns nullptr when empty.
+  [[nodiscard]] Request* pop_all_fifo() noexcept {
+    Request* chain = head_.exchange(nullptr, std::memory_order_acquire);
+    Request* fifo = nullptr;
+    while (chain != nullptr) {
+      Request* next = chain->next;
+      chain->next = fifo;
+      fifo = chain;
+      chain = next;
+    }
+    return fifo;
+  }
+
+  [[nodiscard]] bool empty() const noexcept {
+    return head_.load(std::memory_order_acquire) == nullptr;
+  }
+
+ private:
+  std::atomic<Request*> head_{nullptr};
+};
+
+}  // namespace sigrt::serve

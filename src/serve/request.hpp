@@ -1,0 +1,132 @@
+// Request vocabulary of the serving layer.
+//
+// A RequestClass binds a request type (a sobel job, a dct job, ...) to one
+// runtime task group, a latency deadline and a quality floor; the Server
+// keeps one QosController per class closing the loop between observed load
+// and the group's ratio() knob.  Requests are significance-carrying jobs:
+// the accurate body is the full-quality response, the optional approximate
+// body the degraded one (absent => a "drop"-style class that answers with
+// an empty/partial result when degraded, like DCT truncating bands).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "serve/qos_controller.hpp"
+
+namespace sigrt::serve {
+
+using ClassId = std::uint32_t;
+
+/// Static configuration of one request class.
+struct RequestClassConfig {
+  std::string name;
+
+  /// Deadline, AIMD gains and backlog watermarks of the class controller.
+  QosOptions qos;
+
+  /// Admission bound: submissions while `max_in_flight` requests of this
+  /// class are admitted-but-uncompleted are shed (rung 3 of the ladder).
+  std::size_t max_in_flight = 1024;
+
+  /// Degrade watermark: submissions above this in-flight depth are admitted
+  /// but served through the approximate body regardless of classification.
+  /// 0 disables the watermark.
+  std::size_t degrade_in_flight = 0;
+};
+
+/// One unit of client work.  Exactly one of the two bodies runs per request.
+struct Job {
+  std::function<void()> accurate;     ///< required: full-quality response
+  std::function<void()> approximate;  ///< optional: degraded response
+
+  /// Paper semantics apply at request granularity: 1.0 pins the request
+  /// accurate, <= 0.0 pins it approximate.  The default sits mid-scale so
+  /// requests are degradable out of the box.
+  double significance = 0.5;
+};
+
+/// Admission verdict returned by Server::submit.
+enum class Admission : std::uint8_t {
+  Admitted,  ///< queued for full-quality service
+  Degraded,  ///< queued, but will be served through the approximate body
+  Shed,      ///< rejected: class at max_in_flight (or server closed)
+};
+
+[[nodiscard]] constexpr const char* to_string(Admission a) noexcept {
+  switch (a) {
+    case Admission::Admitted: return "admitted";
+    case Admission::Degraded: return "degraded";
+    case Admission::Shed: return "shed";
+  }
+  return "?";
+}
+
+/// Internal queue node: one submitted request in flight between admission
+/// and completion.  Owned by whoever holds the raw pointer; linked through
+/// `next` while inside the MPSC admission queue.
+struct Request {
+  Job job;
+  ClassId cls = 0;
+  std::int64_t arrival_ns = 0;
+  bool degraded = false;
+  Request* next = nullptr;
+};
+
+/// Per-class counters and latency digest, safe to snapshot from any thread.
+struct ClassReport {
+  std::string name;
+  double deadline_ms = 0.0;
+  double ratio = 1.0;        ///< current group ratio() knob
+  double perforation = 0.0;  ///< current dispatcher perforation level
+
+  std::uint64_t submitted = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t degraded = 0;
+  std::uint64_t perforated = 0;
+  std::uint64_t served_accurate = 0;
+  std::uint64_t served_approximate = 0;
+  std::uint64_t served_dropped = 0;  ///< degraded with no approximate body
+  std::size_t in_flight = 0;
+
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  double mean_ms = 0.0;
+
+  [[nodiscard]] std::uint64_t served() const noexcept {
+    return served_accurate + served_approximate + served_dropped;
+  }
+
+  /// Fraction of served requests that got the full-quality body.
+  [[nodiscard]] double achieved_ratio() const noexcept {
+    const std::uint64_t total = served();
+    return total == 0
+               ? 1.0
+               : static_cast<double>(served_accurate) / static_cast<double>(total);
+  }
+};
+
+struct ServerStats {
+  std::vector<ClassReport> classes;
+
+  [[nodiscard]] std::uint64_t total_submitted() const noexcept {
+    std::uint64_t n = 0;
+    for (const auto& c : classes) n += c.submitted;
+    return n;
+  }
+  [[nodiscard]] std::uint64_t total_shed() const noexcept {
+    std::uint64_t n = 0;
+    for (const auto& c : classes) n += c.shed;
+    return n;
+  }
+  [[nodiscard]] std::uint64_t total_served() const noexcept {
+    std::uint64_t n = 0;
+    for (const auto& c : classes) n += c.served();
+    return n;
+  }
+};
+
+}  // namespace sigrt::serve

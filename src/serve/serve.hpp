@@ -1,0 +1,14 @@
+// Umbrella header: the serving layer above the runtime facade.
+//
+//   #include "serve/serve.hpp"
+//
+// brings in the request-class vocabulary, the admission queue, the QoS
+// controller and the Server itself.  See docs/serving.md for the request
+// lifecycle and the controller equations.
+#pragma once
+
+#include "serve/admission.hpp"      // IWYU pragma: export
+#include "serve/qos_controller.hpp" // IWYU pragma: export
+#include "serve/request.hpp"        // IWYU pragma: export
+#include "serve/server.hpp"         // IWYU pragma: export
+#include "support/histogram.hpp"    // IWYU pragma: export

@@ -1,0 +1,356 @@
+#include "serve/server.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <stdexcept>
+#include <utility>
+
+#include "core/task_options.hpp"
+#include "support/timer.hpp"
+
+namespace sigrt::serve {
+
+namespace {
+
+/// Serving constraints on the runtime configuration (see ServerOptions).
+RuntimeConfig serving_config(RuntimeConfig c) {
+  if (c.policy != PolicyKind::LQH && c.policy != PolicyKind::Agnostic) {
+    // GTB-family policies buffer tasks until a window fills or a barrier
+    // flushes; a server never reaches a barrier, so low-rate requests would
+    // wait unboundedly.  LQH classifies at dequeue with zero buffering.
+    c.policy = PolicyKind::LQH;
+  }
+  // The per-task log grows forever under open-ended traffic.
+  c.record_task_log = false;
+  // Every admitted request must complete exactly one body; NTC fault
+  // injection silently drops approximate tasks without running them.
+  c.unreliable_workers = 0;
+  c.unreliable_fault_rate = 0.0;
+  return c;
+}
+
+}  // namespace
+
+Server::Server(ServerOptions options)
+    : options_(options),
+      runtime_(std::make_unique<Runtime>(serving_config(options.runtime))) {
+  for (auto& slot : classes_) slot.store(nullptr, std::memory_order_relaxed);
+  dispatcher_ = std::thread([this] { dispatcher_loop(); });
+  if (options_.epoch_ms > 0.0) {
+    try {
+      controller_ = std::thread([this] { controller_loop(); });
+    } catch (...) {
+      // Thread creation failed (e.g. EAGAIN): stop and join the dispatcher
+      // before rethrowing — destroying a joinable std::thread terminates.
+      running_.store(false, std::memory_order_release);
+      wake_dispatcher();
+      dispatcher_.join();
+      throw;
+    }
+  }
+}
+
+Server::~Server() { close(); }
+
+ClassId Server::register_class(RequestClassConfig config) {
+  std::lock_guard lock(register_mutex_);
+  const std::uint32_t id = class_count_.load(std::memory_order_relaxed);
+  if (id >= kMaxClasses) {
+    throw std::length_error("serve::Server: too many request classes");
+  }
+  const unsigned shards = options_.histogram_shards != 0
+                              ? options_.histogram_shards
+                              : runtime_->config().workers + 1;
+  auto state = std::make_unique<ClassState>(std::move(config), shards);
+  state->group = runtime_->create_group("serve/" + state->cfg.name,
+                                        state->cfg.qos.initial_ratio);
+  ClassState* ptr = state.get();
+  owned_classes_.push_back(std::move(state));
+  classes_[id].store(ptr, std::memory_order_release);
+  class_count_.store(id + 1, std::memory_order_release);
+  return id;
+}
+
+Server::ClassState& Server::class_ref(ClassId cls) const {
+  if (cls >= class_count_.load(std::memory_order_acquire)) {
+    throw std::out_of_range("serve::Server: unknown request class");
+  }
+  return *classes_[cls].load(std::memory_order_acquire);
+}
+
+Admission Server::submit(ClassId cls, Job job) {
+  ClassState& s = class_ref(cls);
+  if (!accepting_.load(std::memory_order_acquire)) {
+    s.shed.fetch_add(1, std::memory_order_relaxed);
+    return Admission::Shed;
+  }
+
+  // Admission bound on *in-flight* requests (queued + executing), so the
+  // back-pressure survives the hand-off into the scheduler.  Optimistic
+  // reserve-then-check keeps the hot path to one RMW.
+  const std::size_t depth =
+      s.in_flight.fetch_add(1, std::memory_order_acq_rel) + 1;
+  if (depth > s.cfg.max_in_flight) {
+    s.in_flight.fetch_sub(1, std::memory_order_acq_rel);
+    s.shed.fetch_add(1, std::memory_order_relaxed);
+    return Admission::Shed;
+  }
+  const bool degraded =
+      s.cfg.degrade_in_flight != 0 && depth > s.cfg.degrade_in_flight;
+
+  auto* r = new Request{std::move(job), cls, support::now_ns(), degraded, nullptr};
+  s.submitted.fetch_add(1, std::memory_order_relaxed);
+  if (degraded) s.degraded.fetch_add(1, std::memory_order_relaxed);
+  queue_.push(r);
+  wake_dispatcher();
+  return degraded ? Admission::Degraded : Admission::Admitted;
+}
+
+void Server::wake_dispatcher() noexcept {
+  // Guarded wake (the eventcount idiom): under load the dispatcher is
+  // almost never idle, so the common case is one acquire load, not a
+  // contended RMW on every submit.  The acquire load is not part of the
+  // seq_cst Dekker handshake, but a missed wake only costs the park's 1 ms
+  // timeout, never a hang.
+  if (dispatcher_idle_.load(std::memory_order_acquire) &&
+      dispatcher_idle_.exchange(false, std::memory_order_seq_cst)) {
+    std::lock_guard lock(wake_mutex_);
+    wake_cv_.notify_one();
+  }
+}
+
+void Server::dispatcher_loop() {
+  using namespace std::chrono_literals;
+  while (true) {
+    Request* head = queue_.pop_all_fifo();
+    if (head == nullptr) {
+      if (!running_.load(std::memory_order_acquire)) break;
+      // Two-phase park: announce idle, re-check, then wait with a timeout
+      // backstop (the flag+notify pair handles the common case; the timeout
+      // makes a lost wakeup cost 1 ms, never a hang).
+      dispatcher_idle_.store(true, std::memory_order_seq_cst);
+      if (!queue_.empty() || !running_.load(std::memory_order_acquire)) {
+        dispatcher_idle_.store(false, std::memory_order_relaxed);
+        continue;
+      }
+      std::unique_lock lock(wake_mutex_);
+      wake_cv_.wait_for(lock, 1ms, [this] {
+        return !dispatcher_idle_.load(std::memory_order_acquire) ||
+               !running_.load(std::memory_order_acquire);
+      });
+      dispatcher_idle_.store(false, std::memory_order_relaxed);
+      continue;
+    }
+    while (head != nullptr) {
+      Request* next = head->next;
+      dispatch(head);
+      head = next;
+    }
+  }
+
+  // Graceful drain: serve everything admitted before the stop, then let the
+  // runtime finish it.  Task-body exceptions are the application's concern
+  // (request bodies are expected to capture their own failures); swallow
+  // rather than tear down the process from a detached context.
+  while (Request* head = queue_.pop_all_fifo()) {
+    while (head != nullptr) {
+      Request* next = head->next;
+      dispatch(head);
+      head = next;
+    }
+  }
+  try {
+    runtime_->wait_all();
+  } catch (...) {
+  }
+}
+
+void Server::dispatch(Request* r) {
+  ClassState& s = class_ref(r->cls);
+
+  // Rung 2 of the ladder: drop a deterministic fraction of admitted
+  // requests outright.  The rotor is dispatcher-local; the level is set by
+  // the controller thread.  Perforated requests complete for accounting but
+  // record no latency — their ~0 queue time would mask the overload the
+  // controller is reacting to.
+  s.perforation_acc += s.perforation.load(std::memory_order_relaxed);
+  if (s.perforation_acc >= 1.0) {
+    s.perforation_acc -= 1.0;
+    s.perforated.fetch_add(1, std::memory_order_relaxed);
+    s.in_flight.fetch_sub(1, std::memory_order_acq_rel);
+    delete r;
+    return;
+  }
+
+  auto approx_body = [this, r] {
+    if (r->job.approximate) {
+      r->job.approximate();
+      complete(r, Outcome::Approximate);
+    } else {
+      complete(r, Outcome::Dropped);  // drop-style class: empty response
+    }
+  };
+
+  if (r->degraded) {
+    // Degraded admission: both bodies are the cheap path, so the request is
+    // served cheaply whatever the classifier decides.
+    runtime_->spawn(task(approx_body)
+                        .approx(approx_body)
+                        .significance(0.0)
+                        .group(s.group));
+  } else {
+    runtime_->spawn(task([this, r] {
+                      r->job.accurate();
+                      complete(r, Outcome::Accurate);
+                    })
+                        .approx(approx_body)
+                        .significance(r->job.significance)
+                        .group(s.group));
+  }
+}
+
+void Server::complete(Request* r, Outcome outcome) {
+  ClassState& s = class_ref(r->cls);
+  const std::int64_t latency = support::now_ns() - r->arrival_ns;
+  s.latency.record(latency > 0 ? static_cast<std::uint64_t>(latency) : 0);
+  switch (outcome) {
+    case Outcome::Accurate:
+      s.served_accurate.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case Outcome::Approximate:
+      s.served_approximate.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case Outcome::Dropped:
+      s.served_dropped.fetch_add(1, std::memory_order_relaxed);
+      break;
+  }
+  s.in_flight.fetch_sub(1, std::memory_order_acq_rel);
+  delete r;
+}
+
+void Server::controller_loop() {
+  while (true) {
+    {
+      std::unique_lock lock(controller_mutex_);
+      controller_cv_.wait_for(
+          lock, std::chrono::duration<double, std::milli>(options_.epoch_ms),
+          [this] { return controller_stop_; });
+      if (controller_stop_) return;
+    }
+    controller_tick();
+  }
+}
+
+void Server::controller_tick() {
+  const std::uint32_t n = class_count_.load(std::memory_order_acquire);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    ClassState& s = *classes_[i].load(std::memory_order_acquire);
+
+    // Window = cumulative snapshot minus the previous epoch's snapshot.
+    support::Histogram merged = s.latency.merged();
+    support::Histogram window = merged;
+    window.subtract(s.window_prev);
+    s.window_prev = merged;
+
+    QosObservation obs;
+    obs.p99_ns = window.quantile(0.99);
+    obs.completed = window.count();
+    obs.in_flight = s.in_flight.load(std::memory_order_relaxed);
+
+    const QosDecision d = s.qos.update(obs);
+    // The non-master set_ratio path: a relaxed retarget of the group's
+    // atomic ratio; workers classifying concurrently observe either value.
+    runtime_->set_ratio(s.group, d.ratio);
+    s.perforation.store(d.perforation, std::memory_order_relaxed);
+  }
+}
+
+void Server::close() {
+  {
+    std::lock_guard lock(close_mutex_);
+    if (closed_) return;
+    closed_ = true;
+  }
+  accepting_.store(false, std::memory_order_release);
+
+  if (controller_.joinable()) {
+    {
+      std::lock_guard lock(controller_mutex_);
+      controller_stop_ = true;
+    }
+    controller_cv_.notify_one();
+    controller_.join();
+  }
+
+  running_.store(false, std::memory_order_release);
+  wake_dispatcher();
+  if (dispatcher_.joinable()) dispatcher_.join();
+
+  // Shed anything that raced the intake flip.  A racer that passed the
+  // accepting_ check holds an in_flight reservation from before its push,
+  // and everything the dispatcher admitted has completed (wait_all above),
+  // so nonzero in_flight now means exactly "a submit is between its
+  // reservation and its push" — a few instructions away.  Loop until every
+  // reservation is either pushed-and-shed here or released by the racer's
+  // own over-capacity path, so no Request leaks and no slot stays stranded.
+  const std::uint32_t n = class_count_.load(std::memory_order_acquire);
+  for (;;) {
+    while (Request* head = queue_.pop_all_fifo()) {
+      while (head != nullptr) {
+        Request* next = head->next;
+        ClassState& s = class_ref(head->cls);
+        s.shed.fetch_add(1, std::memory_order_relaxed);
+        s.in_flight.fetch_sub(1, std::memory_order_acq_rel);
+        delete head;
+        head = next;
+      }
+    }
+    bool quiescent = true;
+    for (std::uint32_t i = 0; i < n && quiescent; ++i) {
+      quiescent = classes_[i].load(std::memory_order_acquire)
+                      ->in_flight.load(std::memory_order_acquire) == 0;
+    }
+    if (quiescent) break;
+    std::this_thread::sleep_for(std::chrono::microseconds(50));
+  }
+}
+
+ClassReport Server::class_report(ClassId cls) const {
+  const ClassState& s = class_ref(cls);
+  ClassReport r;
+  r.name = s.cfg.name;
+  r.deadline_ms = s.cfg.qos.deadline_ns * 1e-6;
+  r.ratio = runtime_->group(s.group).ratio();
+  r.perforation = s.perforation.load(std::memory_order_relaxed);
+  r.submitted = s.submitted.load(std::memory_order_relaxed);
+  r.shed = s.shed.load(std::memory_order_relaxed);
+  r.degraded = s.degraded.load(std::memory_order_relaxed);
+  r.perforated = s.perforated.load(std::memory_order_relaxed);
+  r.served_accurate = s.served_accurate.load(std::memory_order_relaxed);
+  r.served_approximate = s.served_approximate.load(std::memory_order_relaxed);
+  r.served_dropped = s.served_dropped.load(std::memory_order_relaxed);
+  r.in_flight = s.in_flight.load(std::memory_order_relaxed);
+
+  const support::Histogram h = s.latency.merged();
+  r.p50_ms = h.quantile(0.5) * 1e-6;
+  r.p99_ms = h.quantile(0.99) * 1e-6;
+  r.mean_ms = h.mean() * 1e-6;
+  return r;
+}
+
+ServerStats Server::stats() const {
+  ServerStats out;
+  const std::uint32_t n = class_count_.load(std::memory_order_acquire);
+  out.classes.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) out.classes.push_back(class_report(i));
+  return out;
+}
+
+void Server::reset_latency_stats() {
+  const std::uint32_t n = class_count_.load(std::memory_order_acquire);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    classes_[i].load(std::memory_order_acquire)->latency.reset();
+  }
+}
+
+}  // namespace sigrt::serve

@@ -1,0 +1,169 @@
+// Significance-aware serving layer: maps incoming requests onto runtime
+// task groups and closes the loop between load and quality.
+//
+//   sigrt::serve::Server srv({.runtime = {.workers = 8}});
+//   sigrt::serve::RequestClassConfig cfg;
+//   cfg.name = "sobel";
+//   cfg.qos.deadline_ns = 25e6;      // p99 objective: 25 ms
+//   cfg.qos.quality_floor = 0.2;     // never serve < 20% accurate
+//   const auto cls = srv.register_class(cfg);
+//   ...
+//   srv.submit(cls, {.accurate = [=] { full_filter(req); },
+//                    .approximate = [=] { cheap_filter(req); },
+//                    .significance = 0.6});
+//
+// Three moving parts above the Runtime facade:
+//   * admission (client threads): per-class in-flight bound with a
+//     shed-or-degrade policy, then one CAS into the MPSC request queue;
+//   * dispatcher (one thread): drains the queue in FIFO order, applies the
+//     controller's perforation level, and spawns each request as one
+//     significance-carrying task into the class's group.  The dispatcher is
+//     the runtime's single spawner — the "master" of the threading
+//     contract;
+//   * QoS controller (one thread): every epoch, diffs each class's sharded
+//     latency histogram into a window, computes p99 + in-flight depth, and
+//     retargets the group's ratio() through Runtime::set_ratio — the
+//     any-thread relaxed-atomic contract documented in architecture.md.
+//
+// Threading contract: register_class/submit/stats/class_report are safe
+// from any thread; submit must not race close()/destruction (quiesce your
+// producers first — late racers are shed, never leaked).
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/runtime.hpp"
+#include "serve/admission.hpp"
+#include "serve/qos_controller.hpp"
+#include "serve/request.hpp"
+#include "support/histogram.hpp"
+
+namespace sigrt::serve {
+
+struct ServerOptions {
+  /// Configuration for the owned Runtime.  Serving forces dequeue-time
+  /// classification (buffering policies would strand low-rate requests
+  /// until a barrier that never comes), disables the per-task log (it grows
+  /// without bound under open-ended traffic) and runs reliable workers only
+  /// (every admitted request must complete exactly one body).
+  RuntimeConfig runtime;
+
+  /// Shards per class latency histogram (see support::ShardedHistogram).
+  /// 0 = auto: one per recording thread (the workers, plus the dispatcher
+  /// which records perforation-free completions in inline mode), so
+  /// recording threads rarely contend on a shard.
+  unsigned histogram_shards = 0;
+
+  /// QoS controller sampling period.  0 disables the controller thread:
+  /// ratios stay wherever register_class/set_ratio put them (used by the
+  /// deterministic admission tests and by callers driving ratios manually).
+  double epoch_ms = 10.0;
+};
+
+class Server {
+ public:
+  explicit Server(ServerOptions options = {});
+
+  /// close()s, which drains every admitted request before joining.
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Registers a request class and creates its task group ("serve/<name>")
+  /// at the controller's initial ratio.  Any thread; throws
+  /// std::length_error beyond kMaxClasses.
+  ClassId register_class(RequestClassConfig config);
+
+  /// Admission control + enqueue.  Any thread.  Shed requests never touch
+  /// the runtime; Degraded ones are served through the approximate body.
+  Admission submit(ClassId cls, Job job);
+
+  /// Stops intake, serves everything already admitted, then joins the
+  /// dispatcher and controller threads.  Idempotent.
+  void close();
+
+  [[nodiscard]] ClassReport class_report(ClassId cls) const;
+  [[nodiscard]] ServerStats stats() const;
+
+  /// Zeroes every class's latency histogram — windowing tool for tests and
+  /// benchmarks that want steady-state percentiles after a warmup phase.
+  /// Counters (submitted/shed/...) are left intact.
+  void reset_latency_stats();
+
+  [[nodiscard]] Runtime& runtime() noexcept { return *runtime_; }
+
+  static constexpr std::size_t kMaxClasses = 64;
+
+ private:
+  struct ClassState {
+    ClassState(RequestClassConfig cfg_in, unsigned shards)
+        : cfg(std::move(cfg_in)), qos(cfg.qos), latency(shards) {}
+
+    RequestClassConfig cfg;
+    GroupId group = kDefaultGroup;
+
+    // Controller-thread-only state.
+    QosController qos;
+    support::Histogram window_prev;
+
+    support::ShardedHistogram latency;
+    std::atomic<double> perforation{0.0};
+    double perforation_acc = 0.0;  ///< dispatcher-only drop rotor
+
+    std::atomic<std::size_t> in_flight{0};
+    std::atomic<std::uint64_t> submitted{0};
+    std::atomic<std::uint64_t> shed{0};
+    std::atomic<std::uint64_t> degraded{0};
+    std::atomic<std::uint64_t> perforated{0};
+    std::atomic<std::uint64_t> served_accurate{0};
+    std::atomic<std::uint64_t> served_approximate{0};
+    std::atomic<std::uint64_t> served_dropped{0};
+  };
+
+  enum class Outcome : std::uint8_t { Accurate, Approximate, Dropped };
+
+  [[nodiscard]] ClassState& class_ref(ClassId cls) const;
+
+  void dispatcher_loop();
+  void dispatch(Request* r);
+  void complete(Request* r, Outcome outcome);
+  void wake_dispatcher() noexcept;
+
+  void controller_loop();
+  void controller_tick();
+
+  ServerOptions options_;
+  std::unique_ptr<Runtime> runtime_;
+
+  std::array<std::atomic<ClassState*>, kMaxClasses> classes_{};
+  std::atomic<std::uint32_t> class_count_{0};
+  mutable std::mutex register_mutex_;
+  std::vector<std::unique_ptr<ClassState>> owned_classes_;  ///< register_mutex_
+
+  RequestQueue queue_;
+  std::atomic<bool> accepting_{true};
+  std::atomic<bool> running_{true};
+
+  std::atomic<bool> dispatcher_idle_{false};
+  std::mutex wake_mutex_;
+  std::condition_variable wake_cv_;
+
+  std::mutex controller_mutex_;
+  std::condition_variable controller_cv_;
+  bool controller_stop_ = false;  ///< controller_mutex_
+
+  std::mutex close_mutex_;
+  bool closed_ = false;  ///< close_mutex_
+
+  std::thread dispatcher_;
+  std::thread controller_;
+};
+
+}  // namespace sigrt::serve

@@ -1,0 +1,210 @@
+// Log-bucketed latency histogram for the serving layer.
+//
+// Values (nanoseconds in practice, but any uint64) land in buckets that are
+// exact below 2^kSubBucketBits and afterwards subdivide every power of two
+// into kSubBuckets linear sub-buckets, bounding the relative quantile error
+// by 1/kSubBuckets (~3%).  Two flavours:
+//
+//   * Histogram         — plain single-threaded counters; supports merge()
+//                         and subtract() so a controller can diff successive
+//                         snapshots into per-epoch windows.
+//   * ShardedHistogram  — per-thread shards of relaxed atomic counters,
+//                         merged on read.  record() is wait-free; shards
+//                         are separately allocated and picked by a global
+//                         thread slot modulo the shard count, so recording
+//                         threads rarely share one (size the shard count to
+//                         the recording-thread count to make collisions the
+//                         exception); merged() is an O(buckets x shards)
+//                         relaxed sweep, approximate while writers are
+//                         active — the same contract as SchedulerStats.
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace sigrt::support {
+
+class Histogram {
+ public:
+  static constexpr unsigned kSubBucketBits = 5;
+  static constexpr std::size_t kSubBuckets = std::size_t{1} << kSubBucketBits;
+  /// Identity buckets [0, kSubBuckets) plus kSubBuckets linear sub-buckets
+  /// per octave for msb in [kSubBucketBits, 63].
+  static constexpr std::size_t kBuckets = (64 - kSubBucketBits + 1) * kSubBuckets;
+
+  [[nodiscard]] static constexpr std::size_t bucket_index(std::uint64_t v) noexcept {
+    if (v < kSubBuckets) return static_cast<std::size_t>(v);
+    const unsigned msb = 63u - static_cast<unsigned>(std::countl_zero(v));
+    const unsigned shift = msb - kSubBucketBits;
+    const std::size_t sub =
+        static_cast<std::size_t>((v >> shift) & (kSubBuckets - 1));
+    return (msb - kSubBucketBits + 1) * kSubBuckets + sub;
+  }
+
+  /// Smallest value mapping to bucket `i`.
+  [[nodiscard]] static constexpr std::uint64_t bucket_lower(std::size_t i) noexcept {
+    if (i < kSubBuckets) return i;
+    const unsigned msb =
+        static_cast<unsigned>(i / kSubBuckets) + kSubBucketBits - 1;
+    const std::uint64_t sub = i % kSubBuckets;
+    return (std::uint64_t{1} << msb) + (sub << (msb - kSubBucketBits));
+  }
+
+  /// Largest value mapping to bucket `i`.
+  [[nodiscard]] static constexpr std::uint64_t bucket_upper(std::size_t i) noexcept {
+    if (i < kSubBuckets) return i;
+    const unsigned msb =
+        static_cast<unsigned>(i / kSubBuckets) + kSubBucketBits - 1;
+    return bucket_lower(i) + ((std::uint64_t{1} << (msb - kSubBucketBits)) - 1);
+  }
+
+  void record(std::uint64_t v) noexcept {
+    ++counts_[bucket_index(v)];
+    ++count_;
+  }
+
+  /// Folds `n` observations directly into bucket `bucket` (shard merging).
+  void add_count(std::size_t bucket, std::uint64_t n) noexcept {
+    counts_[bucket] += n;
+    count_ += n;
+  }
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+  [[nodiscard]] bool empty() const noexcept { return count_ == 0; }
+
+  /// Nearest-rank quantile, reported as the upper bound of the bucket that
+  /// holds the rank: always >= the exact order statistic and at most a
+  /// factor (1 + 1/kSubBuckets) above it.
+  [[nodiscard]] double quantile(double q) const noexcept {
+    if (count_ == 0) return 0.0;
+    q = std::clamp(q, 0.0, 1.0);
+    const auto rank = std::max<std::uint64_t>(
+        1, static_cast<std::uint64_t>(
+               std::ceil(q * static_cast<double>(count_))));
+    std::uint64_t cum = 0;
+    for (std::size_t i = 0; i < kBuckets; ++i) {
+      cum += counts_[i];
+      if (cum >= rank) return static_cast<double>(bucket_upper(i));
+    }
+    return static_cast<double>(bucket_upper(kBuckets - 1));
+  }
+
+  /// Lower bound of the smallest populated bucket (0 when empty).
+  [[nodiscard]] std::uint64_t min() const noexcept {
+    for (std::size_t i = 0; i < kBuckets; ++i) {
+      if (counts_[i] != 0) return bucket_lower(i);
+    }
+    return 0;
+  }
+
+  /// Upper bound of the largest populated bucket (0 when empty).
+  [[nodiscard]] std::uint64_t max() const noexcept {
+    for (std::size_t i = kBuckets; i-- > 0;) {
+      if (counts_[i] != 0) return bucket_upper(i);
+    }
+    return 0;
+  }
+
+  /// Bucket-midpoint estimate of the mean.
+  [[nodiscard]] double mean() const noexcept {
+    if (count_ == 0) return 0.0;
+    double sum = 0.0;
+    for (std::size_t i = 0; i < kBuckets; ++i) {
+      if (counts_[i] == 0) continue;
+      const double mid = 0.5 * (static_cast<double>(bucket_lower(i)) +
+                                static_cast<double>(bucket_upper(i)));
+      sum += mid * static_cast<double>(counts_[i]);
+    }
+    return sum / static_cast<double>(count_);
+  }
+
+  void merge(const Histogram& other) noexcept {
+    for (std::size_t i = 0; i < kBuckets; ++i) counts_[i] += other.counts_[i];
+    count_ += other.count_;
+  }
+
+  /// Per-bucket saturating subtraction: `*this - prev` for windowing a
+  /// monotonically growing snapshot stream.  Buckets where `prev` exceeds
+  /// the current count (a concurrent reset) clamp to zero.
+  void subtract(const Histogram& prev) noexcept {
+    count_ = 0;
+    for (std::size_t i = 0; i < kBuckets; ++i) {
+      counts_[i] = counts_[i] > prev.counts_[i] ? counts_[i] - prev.counts_[i] : 0;
+      count_ += counts_[i];
+    }
+  }
+
+  void reset() noexcept {
+    counts_.fill(0);
+    count_ = 0;
+  }
+
+ private:
+  std::array<std::uint64_t, kBuckets> counts_{};
+  std::uint64_t count_ = 0;
+};
+
+namespace detail {
+/// Process-wide small integer id for the calling thread; shards are picked
+/// by slot modulo shard count so distinct threads rarely collide.
+[[nodiscard]] inline unsigned thread_slot() noexcept {
+  static std::atomic<unsigned> next{0};
+  thread_local const unsigned slot = next.fetch_add(1, std::memory_order_relaxed);
+  return slot;
+}
+}  // namespace detail
+
+class ShardedHistogram {
+ public:
+  explicit ShardedHistogram(unsigned shards = 8) {
+    shards_.reserve(std::max(1u, shards));
+    for (unsigned i = 0; i < std::max(1u, shards); ++i) {
+      shards_.push_back(std::make_unique<Shard>());
+    }
+  }
+
+  ShardedHistogram(const ShardedHistogram&) = delete;
+  ShardedHistogram& operator=(const ShardedHistogram&) = delete;
+
+  /// Wait-free from any thread.
+  void record(std::uint64_t v) noexcept {
+    Shard& s = *shards_[detail::thread_slot() % shards_.size()];
+    s.counts[Histogram::bucket_index(v)].fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Relaxed sweep over all shards.  Approximate while writers are active;
+  /// exact once they quiesce.
+  [[nodiscard]] Histogram merged() const noexcept {
+    Histogram out;
+    for (const auto& shard : shards_) {
+      for (std::size_t i = 0; i < Histogram::kBuckets; ++i) {
+        const std::uint64_t n = shard->counts[i].load(std::memory_order_relaxed);
+        if (n != 0) out.add_count(i, n);
+      }
+    }
+    return out;
+  }
+
+  /// Zeroes every shard.  Records racing the reset may or may not survive;
+  /// snapshot-diff consumers (Histogram::subtract) clamp the transient.
+  void reset() noexcept {
+    for (auto& shard : shards_) {
+      for (auto& c : shard->counts) c.store(0, std::memory_order_relaxed);
+    }
+  }
+
+ private:
+  struct Shard {
+    std::array<std::atomic<std::uint64_t>, Histogram::kBuckets> counts{};
+  };
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace sigrt::support

@@ -1,0 +1,401 @@
+// Serving-layer tests: QoS controller convergence, admission shed/degrade,
+// the closed loop between open-loop load and the group ratio() knob, and
+// the any-thread set_ratio contract under ThreadSanitizer.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "core/sigrt.hpp"
+#include "serve/serve.hpp"
+#include "support/rng.hpp"
+#include "support/timer.hpp"
+
+// The closed-loop test asserts wall-clock percentiles; ThreadSanitizer's
+// instrumentation starves the 1-CPU CI box enough that only the direction
+// of the control loop is asserted there, not the tight latency bound.
+#if defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define SIGRT_TSAN 1
+#endif
+#endif
+#if !defined(SIGRT_TSAN) && defined(__SANITIZE_THREAD__)
+#define SIGRT_TSAN 1
+#endif
+
+namespace {
+
+using namespace sigrt;
+using namespace sigrt::serve;
+
+#ifdef SIGRT_TSAN
+constexpr bool kTimingStrict = false;
+#else
+constexpr bool kTimingStrict = true;
+#endif
+
+/// Wall-clock spin: occupies a worker for `ns` of wall time regardless of
+/// CPU share, making service times deterministic on the 1-CPU CI box.
+void spin_for(std::int64_t ns) {
+  const std::int64_t end = support::now_ns() + ns;
+  while (support::now_ns() < end) {
+  }
+}
+
+// --- QosController: pure-logic convergence -------------------------------
+
+QosOptions controller_options() {
+  QosOptions o;
+  o.deadline_ns = 10e6;
+  o.quality_floor = 0.1;
+  o.min_samples = 8;
+  o.backlog_high = 256;
+  o.backlog_low = 32;
+  return o;
+}
+
+TEST(QosController, ConvergesToTheFloorUnderSteadyOverloadAndStaysThere) {
+  QosController c(controller_options());
+  QosDecision d{};
+  const QosObservation overload{/*p99_ns=*/50e6, /*completed=*/100,
+                                /*in_flight=*/10};
+  for (int i = 0; i < 40; ++i) d = c.update(overload);
+  EXPECT_DOUBLE_EQ(d.ratio, 0.1);
+  EXPECT_GT(c.violations(), 0u);
+  // Settled: further overload epochs hold the ratio at the floor exactly.
+  for (int i = 0; i < 10; ++i) d = c.update(overload);
+  EXPECT_DOUBLE_EQ(d.ratio, 0.1);
+}
+
+TEST(QosController, RecoversToFullQualityUnderLightLoad) {
+  QosController c(controller_options());
+  for (int i = 0; i < 40; ++i) c.update({50e6, 100, 10});
+  ASSERT_DOUBLE_EQ(c.ratio(), 0.1);
+  QosDecision d{};
+  const QosObservation calm{/*p99_ns=*/1e6, /*completed=*/4, /*in_flight=*/0};
+  for (int i = 0; i < 64; ++i) d = c.update(calm);
+  EXPECT_DOUBLE_EQ(d.ratio, 1.0);
+  EXPECT_DOUBLE_EQ(d.perforation, 0.0);
+}
+
+TEST(QosController, BacklogAloneIsAViolationEvenWithoutLatencySamples) {
+  QosController c(controller_options());
+  const QosDecision d = c.update({/*p99_ns=*/0.0, /*completed=*/0,
+                                  /*in_flight=*/1000});
+  EXPECT_LT(d.ratio, 1.0);
+}
+
+TEST(QosController, FewSlowSamplesCannotCollapseTheRatio) {
+  QosController c(controller_options());
+  // Two stragglers over deadline at idle: below min_samples, so neither a
+  // violation nor calm (p99 above target) — the controller holds.
+  for (int i = 0; i < 20; ++i) c.update({80e6, 2, 0});
+  EXPECT_DOUBLE_EQ(c.ratio(), 1.0);
+}
+
+TEST(QosController, HoldsInsideTheHysteresisBand) {
+  QosController c(controller_options());
+  // p99 between target (5 ms) and deadline (10 ms), backlog between the
+  // watermarks: neither violation nor calm.
+  for (int i = 0; i < 20; ++i) c.update({8e6, 100, 100});
+  EXPECT_DOUBLE_EQ(c.ratio(), 1.0);
+  EXPECT_EQ(c.violations(), 0u);
+}
+
+TEST(QosController, LadderPerforatesOnlyAtTheFloorAndUnwindsInReverse) {
+  QosController c(controller_options());
+  const QosObservation overload{50e6, 100, 10};
+  // Rung 1 first: perforation stays untouched until the ratio bottoms out.
+  while (c.ratio() > c.options().quality_floor) c.update(overload);
+  EXPECT_DOUBLE_EQ(c.perforation(), 0.0);
+  // Rung 2: continued violation at the floor escalates perforation...
+  c.update(overload);
+  EXPECT_DOUBLE_EQ(c.perforation(), c.options().perforate_step);
+  for (int i = 0; i < 40; ++i) c.update(overload);
+  // ...up to the cap, never beyond.
+  EXPECT_DOUBLE_EQ(c.perforation(), c.options().max_perforation);
+  ASSERT_DOUBLE_EQ(c.ratio(), 0.1);
+
+  // Recovery unwinds the ladder in reverse: perforation drains to zero
+  // before the ratio leaves the floor.
+  const QosObservation calm{1e6, 4, 0};
+  QosDecision d = c.update(calm);
+  EXPECT_DOUBLE_EQ(d.ratio, 0.1);
+  while (c.perforation() > 0.0) {
+    d = c.update(calm);
+    EXPECT_DOUBLE_EQ(d.ratio, 0.1);
+  }
+  d = c.update(calm);
+  EXPECT_GT(d.ratio, 0.1);
+}
+
+// --- Admission control ---------------------------------------------------
+
+TEST(Admission, ShedsExactlyAboveMaxInFlight) {
+  ServerOptions so;
+  so.runtime.workers = 1;
+  so.epoch_ms = 0.0;  // no controller: admission behaves deterministically
+  Server srv(so);
+
+  RequestClassConfig cfg;
+  cfg.name = "gated";
+  cfg.max_in_flight = 32;
+  const ClassId cls = srv.register_class(cfg);
+
+  std::atomic<bool> gate{false};
+  const auto gated = [&gate] {
+    while (!gate.load(std::memory_order_acquire)) {
+      std::this_thread::sleep_for(std::chrono::microseconds(100));
+    }
+  };
+
+  int shed = 0;
+  for (int i = 0; i < 96; ++i) {
+    if (srv.submit(cls, {gated, gated, /*significance=*/1.0}) == Admission::Shed) {
+      ++shed;
+    }
+  }
+  // Nothing can complete while the gate is closed, so admission is exact:
+  // 32 in flight, 64 shed.
+  EXPECT_EQ(shed, 64);
+  gate.store(true, std::memory_order_release);
+  srv.close();
+
+  const ClassReport r = srv.class_report(cls);
+  EXPECT_EQ(r.shed, 64u);
+  EXPECT_EQ(r.submitted, 32u);
+  EXPECT_EQ(r.served(), 32u);
+  EXPECT_EQ(r.served_accurate, 32u);  // significance 1.0 pins accurate
+  EXPECT_EQ(r.in_flight, 0u);
+}
+
+TEST(Admission, DegradeWatermarkServesTheCheapBody) {
+  ServerOptions so;
+  so.runtime.workers = 1;
+  so.epoch_ms = 0.0;
+  Server srv(so);
+
+  RequestClassConfig cfg;
+  cfg.name = "watermarked";
+  cfg.max_in_flight = 8;
+  cfg.degrade_in_flight = 4;
+  const ClassId cls = srv.register_class(cfg);
+
+  std::atomic<bool> gate{false};
+  const auto wait_gate = [&gate] {
+    while (!gate.load(std::memory_order_acquire)) {
+      std::this_thread::sleep_for(std::chrono::microseconds(100));
+    }
+  };
+
+  int admitted = 0, degraded = 0;
+  for (int i = 0; i < 8; ++i) {
+    switch (srv.submit(cls, {wait_gate, wait_gate, /*significance=*/1.0})) {
+      case Admission::Admitted: ++admitted; break;
+      case Admission::Degraded: ++degraded; break;
+      case Admission::Shed: break;
+    }
+  }
+  EXPECT_EQ(admitted, 4);
+  EXPECT_EQ(degraded, 4);
+  gate.store(true, std::memory_order_release);
+  srv.close();
+
+  const ClassReport r = srv.class_report(cls);
+  EXPECT_EQ(r.degraded, 4u);
+  EXPECT_EQ(r.served_approximate, 4u);  // degraded requests ran the cheap body
+  EXPECT_EQ(r.served_accurate, 4u);
+  EXPECT_EQ(r.in_flight, 0u);
+}
+
+TEST(Admission, RegistrationBeyondCapacityThrows) {
+  ServerOptions so;
+  so.runtime.workers = 0;
+  so.epoch_ms = 0.0;
+  Server srv(so);
+  for (std::size_t i = 0; i < Server::kMaxClasses; ++i) {
+    RequestClassConfig cfg;
+    cfg.name = "c" + std::to_string(i);
+    srv.register_class(cfg);
+  }
+  RequestClassConfig extra;
+  extra.name = "one-too-many";
+  EXPECT_THROW(srv.register_class(extra), std::length_error);
+  EXPECT_THROW(srv.submit(Server::kMaxClasses + 5, {[] {}}), std::out_of_range);
+}
+
+// --- The closed loop -----------------------------------------------------
+
+constexpr std::int64_t kAccurateNs = 3'000'000;  // 3 ms of wall occupancy
+constexpr std::int64_t kApproxNs = 100'000;      // 0.1 ms
+
+/// Open-loop Poisson arrivals at `rate_hz` for `seconds`, significance
+/// cycling (i%9+1)/10 as in the paper's Listing 1.
+void poisson_load(Server& srv, ClassId cls, double rate_hz, double seconds,
+                  std::uint64_t seed) {
+  support::Xoshiro256 rng(seed);
+  std::int64_t next = support::now_ns();
+  const std::int64_t end = next + static_cast<std::int64_t>(seconds * 1e9);
+  std::uint64_t i = 0;
+  while (next < end) {
+    std::this_thread::sleep_until(std::chrono::steady_clock::time_point(
+        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+            std::chrono::nanoseconds(next))));
+    srv.submit(cls, {[] { spin_for(kAccurateNs); }, [] { spin_for(kApproxNs); },
+                     static_cast<double>(i % 9 + 1) / 10.0});
+    next += static_cast<std::int64_t>(-std::log(1.0 - rng.uniform()) * 1e9 /
+                                      rate_hz);
+    ++i;
+  }
+}
+
+TEST(ClosedLoop, OverloadDegradesQualityToMeetTheDeadlineAndRecovers) {
+  ServerOptions so;
+  so.runtime.workers = 1;  // accurate capacity ~333 req/s (3 ms each)
+  so.epoch_ms = 20.0;
+  Server srv(so);
+
+  RequestClassConfig cfg;
+  cfg.name = "spin";
+  cfg.qos.deadline_ns = 50e6;  // p99 objective: 50 ms
+  cfg.qos.quality_floor = 0.05;
+  cfg.qos.decrease_factor = 0.5;
+  cfg.qos.increase_step = 0.02;
+  cfg.qos.target_fraction = 0.3;
+  // Tight backlog watermarks make queue depth — an instantaneous signal,
+  // unlike the one-epoch-lagged p99 estimate — the primary regulator:
+  // twelve queued requests cost at most ~36 ms of residence (all-accurate
+  // worst case), so the controller backs off well before the deadline and
+  // latency violations stay in the tail instead of defining it.
+  cfg.qos.backlog_high = 12;
+  cfg.qos.backlog_low = 4;
+  cfg.max_in_flight = 512;
+  const ClassId cls = srv.register_class(cfg);
+
+  // Phase A: ~2.4x overload (800 req/s against ~333/s accurate capacity).
+  // Warm up until the controller has reacted, then measure a steady-state
+  // window.
+  poisson_load(srv, cls, 800.0, 1.0, /*seed=*/1);
+  EXPECT_LT(srv.class_report(cls).ratio, 0.95);
+
+  srv.reset_latency_stats();
+  poisson_load(srv, cls, 800.0, 1.0, /*seed=*/2);
+  const ClassReport overload = srv.class_report(cls);
+  // The tentpole acceptance pair: quality got traded away...
+  EXPECT_LT(overload.ratio, 0.9);
+  EXPECT_LT(overload.achieved_ratio(), 0.9);
+  // ...and the deadline held (p99 within 1.2x the class deadline).
+  if (kTimingStrict) {
+    EXPECT_LE(overload.p99_ms, 1.2 * overload.deadline_ms);
+  } else {
+    EXPECT_LE(overload.p99_ms, 5.0 * overload.deadline_ms);
+  }
+
+  // Phase B: light load (~0.3 utilization fully accurate); the controller
+  // walks the ratio back toward full quality.
+  poisson_load(srv, cls, 100.0, 1.4, /*seed=*/3);
+  const ClassReport calm = srv.class_report(cls);
+  EXPECT_GE(calm.ratio, 0.9);
+
+  srv.close();
+  const ClassReport fin = srv.class_report(cls);
+  // Conservation: every admitted request was served or perforated.
+  EXPECT_EQ(fin.submitted, fin.served() + fin.perforated);
+  EXPECT_EQ(fin.in_flight, 0u);
+}
+
+// --- Any-thread set_ratio + multi-producer stress (TSan targets) ---------
+
+TEST(SetRatioContract, ConcurrentRetargetAndSpawnIsRaceFree) {
+  RuntimeConfig c;
+  c.workers = 2;
+  c.policy = PolicyKind::LQH;
+  c.record_task_log = false;
+  Runtime rt(c);
+  const GroupId g = rt.create_group("stress", 0.5);
+
+  std::atomic<bool> stop{false};
+  std::thread tuner([&] {
+    support::Xoshiro256 rng(7);
+    while (!stop.load(std::memory_order_acquire)) {
+      rt.set_ratio(g, rng.uniform());
+      std::this_thread::yield();
+    }
+  });
+  std::thread reader([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      (void)rt.group_report(g);
+      (void)rt.stats();
+      std::this_thread::yield();
+    }
+  });
+
+  constexpr int kTasks = 4000;
+  std::atomic<int> ran{0};
+  for (int i = 0; i < kTasks; ++i) {
+    rt.spawn(task([&ran] { ran.fetch_add(1, std::memory_order_relaxed); })
+                 .approx([&ran] { ran.fetch_add(1, std::memory_order_relaxed); })
+                 .significance(static_cast<double>(i % 9 + 1) / 10.0)
+                 .group(g));
+  }
+  rt.wait_group(g);
+  stop.store(true, std::memory_order_release);
+  tuner.join();
+  reader.join();
+
+  EXPECT_EQ(ran.load(), kTasks);  // exactly one body per task, whatever the ratio
+  const GroupReport rep = rt.group_report(g);
+  EXPECT_EQ(rep.spawned, static_cast<std::uint64_t>(kTasks));
+  EXPECT_EQ(rep.accurate + rep.approximate + rep.dropped,
+            static_cast<std::uint64_t>(kTasks));
+}
+
+TEST(ServerStress, ConcurrentSubmittersAreAccountedExactly) {
+  ServerOptions so;
+  so.runtime.workers = 2;
+  so.epoch_ms = 5.0;
+  Server srv(so);
+
+  RequestClassConfig cfg;
+  cfg.name = "mixed";
+  cfg.qos.deadline_ns = 10e6;
+  cfg.qos.quality_floor = 0.0;
+  cfg.max_in_flight = 256;
+  const ClassId cls = srv.register_class(cfg);
+
+  constexpr int kThreads = 3;
+  constexpr int kPerThread = 300;
+  std::atomic<std::uint64_t> accepted{0}, shed{0};
+  std::vector<std::thread> producers;
+  for (int t = 0; t < kThreads; ++t) {
+    producers.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        const Admission a =
+            srv.submit(cls, {[] { spin_for(10'000); }, [] { spin_for(1'000); },
+                             static_cast<double>((t + i) % 9 + 1) / 10.0});
+        if (a == Admission::Shed) {
+          shed.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          accepted.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (auto& p : producers) p.join();
+  srv.close();
+
+  const ClassReport r = srv.class_report(cls);
+  EXPECT_EQ(r.submitted, accepted.load());
+  EXPECT_EQ(r.shed, shed.load());
+  EXPECT_EQ(r.submitted, r.served() + r.perforated);
+  EXPECT_EQ(r.in_flight, 0u);
+  EXPECT_EQ(r.submitted + r.shed,
+            static_cast<std::uint64_t>(kThreads * kPerThread));
+  if (r.served() > 0) EXPECT_GT(r.p50_ms, 0.0);
+}
+
+}  // namespace

@@ -1,11 +1,16 @@
 // Support-library tests: RNG determinism, images/PGM round trips, timers,
-// table rendering.
+// table rendering, and the log-bucketed latency histogram.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <filesystem>
 #include <set>
+#include <thread>
+#include <vector>
 
+#include "support/histogram.hpp"
 #include "support/image.hpp"
 #include "support/rng.hpp"
 #include "support/table.hpp"
@@ -157,6 +162,123 @@ TEST(Table, RendersAlignedColumnsAndCsv) {
   const std::string csv = t.csv();
   EXPECT_NE(csv.find("sobel,1.25,42"), std::string::npos);
   EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Histogram, BucketBoundariesAreConsistentAndContiguous) {
+  // Identity range: exact buckets.
+  for (std::uint64_t v : {0ull, 1ull, 17ull, 31ull}) {
+    const std::size_t i = Histogram::bucket_index(v);
+    EXPECT_EQ(Histogram::bucket_lower(i), v);
+    EXPECT_EQ(Histogram::bucket_upper(i), v);
+  }
+  // Every probed value sits inside its bucket's [lower, upper] range, and
+  // upper+1 starts the next bucket (contiguous, no gaps or overlaps).
+  for (std::uint64_t v :
+       {32ull, 33ull, 63ull, 64ull, 100ull, 1023ull, 1024ull, 123456789ull,
+        (1ull << 40) + 12345ull, (1ull << 62) + 7ull}) {
+    const std::size_t i = Histogram::bucket_index(v);
+    EXPECT_LE(Histogram::bucket_lower(i), v);
+    EXPECT_GE(Histogram::bucket_upper(i), v);
+    EXPECT_EQ(Histogram::bucket_index(Histogram::bucket_lower(i)), i);
+    EXPECT_EQ(Histogram::bucket_index(Histogram::bucket_upper(i)), i);
+    EXPECT_EQ(Histogram::bucket_index(Histogram::bucket_upper(i) + 1), i + 1);
+    // Log-bucketing invariant: relative width bounded by 1/kSubBuckets.
+    const double width = static_cast<double>(Histogram::bucket_upper(i) -
+                                             Histogram::bucket_lower(i) + 1);
+    EXPECT_LE(width, static_cast<double>(Histogram::bucket_lower(i)) /
+                             Histogram::kSubBuckets +
+                         1.0);
+  }
+}
+
+TEST(Histogram, QuantilesMatchASortedOracleWithinBucketError) {
+  Xoshiro256 rng(23);
+  Histogram h;
+  std::vector<std::uint64_t> values;
+  for (int i = 0; i < 5000; ++i) {
+    // Log-normal-ish latencies spanning ~4 decades, like real service times.
+    const auto v =
+        static_cast<std::uint64_t>(std::exp(rng.normal() * 1.5 + 10.0));
+    values.push_back(v);
+    h.record(v);
+  }
+  std::sort(values.begin(), values.end());
+  for (const double q : {0.5, 0.9, 0.99, 0.999}) {
+    const auto rank = static_cast<std::size_t>(
+        std::ceil(q * static_cast<double>(values.size())));
+    const auto oracle = static_cast<double>(values[rank - 1]);
+    const double est = h.quantile(q);
+    // quantile() reports the containing bucket's upper bound: never below
+    // the exact order statistic, at most one bucket width above it.
+    EXPECT_GE(est, oracle);
+    EXPECT_LE(est, oracle * (1.0 + 1.0 / Histogram::kSubBuckets) + 1.0);
+  }
+  EXPECT_EQ(h.count(), values.size());
+  EXPECT_LE(static_cast<double>(h.min()), static_cast<double>(values.front()));
+  EXPECT_GE(static_cast<double>(h.max()), static_cast<double>(values.back()));
+}
+
+TEST(Histogram, MergeEqualsRecordingTheConcatenation) {
+  Xoshiro256 rng(29);
+  Histogram a, b, both;
+  for (int i = 0; i < 2000; ++i) {
+    const std::uint64_t v = rng.bounded(1'000'000);
+    if (i % 2 == 0) {
+      a.record(v);
+    } else {
+      b.record(v);
+    }
+    both.record(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), both.count());
+  for (const double q : {0.1, 0.5, 0.99}) {
+    EXPECT_DOUBLE_EQ(a.quantile(q), both.quantile(q));
+  }
+  EXPECT_DOUBLE_EQ(a.mean(), both.mean());
+}
+
+TEST(Histogram, SubtractYieldsTheWindowBetweenSnapshots) {
+  Xoshiro256 rng(31);
+  Histogram cumulative, window_only;
+  for (int i = 0; i < 1000; ++i) cumulative.record(rng.bounded(4096));
+  const Histogram snapshot = cumulative;
+  for (int i = 0; i < 1000; ++i) {
+    const std::uint64_t v = 4096 + rng.bounded(1 << 20);
+    cumulative.record(v);
+    window_only.record(v);
+  }
+  Histogram window = cumulative;
+  window.subtract(snapshot);
+  EXPECT_EQ(window.count(), window_only.count());
+  for (const double q : {0.5, 0.99}) {
+    EXPECT_DOUBLE_EQ(window.quantile(q), window_only.quantile(q));
+  }
+  // Subtracting a *larger* snapshot (a concurrent reset) clamps to empty
+  // instead of underflowing.
+  Histogram clamped = snapshot;
+  clamped.subtract(cumulative);
+  EXPECT_EQ(clamped.count(), 0u);
+}
+
+TEST(ShardedHistogram, ConcurrentRecordsAllLand) {
+  ShardedHistogram sh(4);
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&sh, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        sh.record(static_cast<std::uint64_t>(t) * 1000 + 1);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  const Histogram merged = sh.merged();
+  EXPECT_EQ(merged.count(),
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+  sh.reset();
+  EXPECT_EQ(sh.merged().count(), 0u);
 }
 
 TEST(Table, FormattersPickSensibleUnits) {
