@@ -15,9 +15,9 @@
 // the last-element race with one CAS on `top`.
 //
 // The deque stores raw pointers.  It never owns what it stores: callers
-// keep the pointee alive while it is in flight (the scheduler pins each
-// task through Task::self_pin) and reclaim it after a successful pop or
-// steal.
+// keep the pointee alive while it is in flight (the scheduler donates one
+// intrusive Task reference per enqueued pointer — see task.hpp) and the
+// thread that wins the pop or steal releases that reference when done.
 //
 // The ring grows geometrically when full.  Retired rings cannot be freed
 // immediately — a racing thief may still be reading a slot through a stale

@@ -11,8 +11,12 @@ TaskGroup::TaskGroup(GroupId id, std::string name, double ratio, bool record_log
     : id_(id), name_(std::move(name)), record_log_(record_log), ratio_(ratio) {}
 
 void TaskGroup::on_spawn() noexcept {
+  // Both relaxed: spawn-side increments are ordered before the task's
+  // publication by the scheduler's release edges; the completion-side
+  // decrement keeps acq_rel so barrier waiters see an ordered zero
+  // crossing.
   spawned_.fetch_add(1, std::memory_order_relaxed);
-  pending_.fetch_add(1, std::memory_order_acq_rel);
+  pending_.fetch_add(1, std::memory_order_relaxed);
 }
 
 void TaskGroup::on_complete(ExecutionKind kind, float significance,

@@ -29,6 +29,8 @@ class TaskGroup;
 
 /// Callback through which a policy returns (possibly classified) tasks to
 /// the runtime for dependence-gated scheduling.  Implemented by Runtime.
+/// TaskPtr is the intrusive TaskRef: buffering a task costs one refcount
+/// increment on the task itself, not a shared_ptr control block.
 class IssueSink {
  public:
   virtual ~IssueSink() = default;
@@ -53,6 +55,12 @@ class Policy {
   virtual ~Policy() = default;
 
   [[nodiscard]] virtual const char* name() const noexcept = 0;
+
+  /// True when on_spawn() never buffers: it would release the task
+  /// synchronously, unclassified, and flush() is a no-op.  The runtime uses
+  /// this to skip the policy hold (and its gate atomics) entirely for
+  /// dependency-free tasks — the spawn fast path.
+  [[nodiscard]] virtual bool pass_through() const noexcept { return false; }
 
   /// Master thread: a new task was spawned (dependencies already
   /// registered).  The policy must eventually release() it.

@@ -14,6 +14,8 @@ class AgnosticPolicy final : public Policy {
  public:
   [[nodiscard]] const char* name() const noexcept override { return "agnostic"; }
 
+  [[nodiscard]] bool pass_through() const noexcept override { return true; }
+
   void on_spawn(const TaskPtr& task, IssueSink& sink) override {
     sink.release(task);
   }

@@ -34,19 +34,27 @@ ExecutionKind LqhPolicy::decide(const Task& task, unsigned worker_index,
   if (task.significance <= 0.0f) return ExecutionKind::Approximate;
 
   assert(worker_index < workers_.size());
-  GroupHistory& h = workers_[worker_index].groups[task.group];
+  WorkerState& w = workers_[worker_index];
+  if (task.group >= w.groups.size()) w.groups.resize(task.group + 1);
+  GroupHistory& h = w.groups[task.group];
   if (h.seen.empty()) {
     h.seen.assign(levels_, 0);
     h.approximated.assign(levels_, 0);
+    h.block.assign((levels_ >> kBlockShift) + 1, 0);
   }
 
   const unsigned level = level_of(task.significance);
   ++h.seen[level];
+  ++h.block[level >> kBlockShift];
   ++h.total;
 
-  // t_g(s) bookkeeping: cumulative count strictly below this level.
+  // t_g(s) bookkeeping: cumulative count strictly below this level, from
+  // the two-level histogram (whole blocks + the partial leading block).
   std::uint64_t below = 0;
-  for (unsigned l = 0; l < level; ++l) below += h.seen[l];
+  for (unsigned b = 0; b < (level >> kBlockShift); ++b) below += h.block[b];
+  for (unsigned l = level & ~((1u << kBlockShift) - 1); l < level; ++l) {
+    below += h.seen[l];
+  }
   const std::uint64_t at = h.seen[level];
 
   const double ratio = sink.group_ref(task.group).ratio();

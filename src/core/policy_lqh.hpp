@@ -28,7 +28,6 @@
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
 #include "core/policy.hpp"
@@ -41,6 +40,8 @@ class LqhPolicy final : public Policy {
 
   [[nodiscard]] const char* name() const noexcept override { return "LQH"; }
 
+  [[nodiscard]] bool pass_through() const noexcept override { return true; }
+
   void on_spawn(const TaskPtr& task, IssueSink& sink) override;
   void flush(GroupId group, IssueSink& sink) override;
   [[nodiscard]] ExecutionKind decide(const Task& task, unsigned worker_index,
@@ -52,15 +53,24 @@ class LqhPolicy final : public Policy {
   [[nodiscard]] unsigned level_of(float significance) const noexcept;
 
  private:
+  /// Levels per coarse block of the two-level histogram: the cumulative
+  /// count below a level is (sum of whole blocks) + (partial scan inside
+  /// one block), turning the O(levels) prefix walk on every decision into
+  /// ~levels/16 + 8 adds.  16 keeps one block inside a single cache line.
+  static constexpr unsigned kBlockShift = 4;
+
   /// Per-(worker, group) execution history.
   struct GroupHistory {
     std::vector<std::uint64_t> seen;        // tasks observed per level
     std::vector<std::uint64_t> approximated;  // approx decisions per level
+    std::vector<std::uint64_t> block;       // block sums over `seen`
     std::uint64_t total = 0;
   };
 
   struct WorkerState {
-    std::unordered_map<GroupId, GroupHistory> groups;
+    /// Directly indexed by GroupId: ids are small and dense, so this turns
+    /// the per-decision history lookup from a hash probe into one load.
+    std::vector<GroupHistory> groups;
   };
 
   const unsigned levels_;

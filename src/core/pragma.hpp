@@ -34,8 +34,9 @@ namespace sigrt {
 /// Builder behind omp_task(); spawns on destruction.
 class PragmaTask {
  public:
-  PragmaTask(Runtime& rt, std::function<void()> body) : rt_(rt) {
-    options_.accurate = std::move(body);
+  template <class F>
+  PragmaTask(Runtime& rt, F&& body) : rt_(rt) {
+    options_.accurate = std::forward<F>(body);
   }
 
   PragmaTask(const PragmaTask&) = delete;
@@ -47,9 +48,11 @@ class PragmaTask {
     return *this;
   }
 
-  /// approxfun(f) — the approximate task body.
-  PragmaTask& approxfun(std::function<void()> fn) {
-    options_.approximate = std::move(fn);
+  /// approxfun(f) — the approximate task body.  Captures within the 64-byte
+  /// InlineFn small-buffer limit spawn without heap allocation.
+  template <class F>
+  PragmaTask& approxfun(F&& fn) {
+    options_.approximate = std::forward<F>(fn);
     return *this;
   }
 
@@ -150,8 +153,9 @@ inline GroupId tpc_init_group(Runtime& rt, const std::string& name, double ratio
 }
 
 /// #pragma omp task — the returned builder takes the clause chain.
-[[nodiscard]] inline PragmaTask omp_task(Runtime& rt, std::function<void()> body) {
-  return PragmaTask(rt, std::move(body));
+template <class F>
+[[nodiscard]] PragmaTask omp_task(Runtime& rt, F&& body) {
+  return PragmaTask(rt, std::forward<F>(body));
 }
 
 /// #pragma omp taskwait — the returned builder takes the clause chain.

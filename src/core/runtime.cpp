@@ -14,6 +14,7 @@ Runtime::Runtime(RuntimeConfig config)
     : config_(config),
       tracker_(config.block_bytes),
       policy_(make_policy(config)),
+      pass_through_(policy_->pass_through()),
       group_table_(new std::atomic<TaskGroup*>[kGroupFastTableSize]),
       start_ns_(support::now_ns()) {
   for (std::size_t i = 0; i < kGroupFastTableSize; ++i) {
@@ -25,12 +26,16 @@ Runtime::Runtime(RuntimeConfig config)
 
   // The scheduler's dequeue hook is the policy's worker-side decision point
   // (LQH, §3.4): classification happens on the executing worker, against
-  // worker-local history, with no locks on the path.
+  // worker-local history, with no locks on the path.  The hooks are plain
+  // function pointers over `this` — captureless trampolines, no
+  // std::function type erasure anywhere on the execute path.
   scheduler_ = std::make_unique<Scheduler>(
-      config_.workers, config_.unreliable_workers, config_.steal,
-      [this](const TaskPtr& task, unsigned worker) { execute_task(task, worker); },
-      [this](const TaskPtr& task, unsigned worker) {
-        classify_at_dequeue(task, worker);
+      config_.workers, config_.unreliable_workers, config_.steal, this,
+      [](void* self, Task& task, unsigned worker) {
+        static_cast<Runtime*>(self)->execute_task(task, worker);
+      },
+      [](void* self, Task& task, unsigned worker) {
+        static_cast<Runtime*>(self)->classify_at_dequeue(task, worker);
       });
 
   meter_ = energy::make_best_meter(this);
@@ -122,18 +127,39 @@ void Runtime::spawn_impl(TaskOptions&& options, bool internal) {
     throw std::invalid_argument("task requires an accurate body");
   }
 
-  auto task = std::make_shared<Task>();
+  // Pooled allocation: a recycled slot from this thread's shard (or its
+  // remote-free chain) in the steady state — no heap traffic.
+  TaskRef task = make_task();
   task->accurate = std::move(options.accurate);
   task->approximate = std::move(options.approximate);
   task->significance =
       static_cast<float>(std::clamp(options.significance, 0.0, 1.0));
   task->group = options.group;
-  task->id = next_task_id_.fetch_add(1, std::memory_order_relaxed);
+  // Single-writer (the designated spawner): load+store beats a lock xadd.
+  const TaskId id = next_task_id_.load(std::memory_order_relaxed);
+  next_task_id_.store(id + 1, std::memory_order_relaxed);
+  task->id = id;
   task->internal = internal;
 
   TaskGroup& g = group_ref(task->group);
   g.on_spawn();
-  pending_.fetch_add(1, std::memory_order_acq_rel);
+  // Relaxed: the increment is ordered before the task's publication by the
+  // scheduler's release edges; the completion-side decrement stays acq_rel
+  // so barrier waiters observe a properly ordered zero crossing.
+  pending_.fetch_add(1, std::memory_order_relaxed);
+
+  task->has_footprint = !options.accesses.empty();
+
+  // Spawn fast path: a dependency-free task under a pass-through policy
+  // (LQH/agnostic) is runnable the moment it exists — no policy hold, no
+  // registration hold, no gate arithmetic at all (the gate stays 0 and the
+  // classification happens at dequeue).  This skips three atomic RMWs per
+  // task on the hottest spawn path; buffering policies and tasks with
+  // in()/out() clauses take the general path below.
+  if (!task->has_footprint && pass_through_ && !internal) {
+    scheduler_->enqueue(std::move(task));
+    return;
+  }
 
   // Gate arithmetic.  The final hold count is (2 + deps): hold A for policy
   // classification (released by the Policy via IssueSink), hold B for this
@@ -150,9 +176,9 @@ void Runtime::spawn_impl(TaskOptions&& options, bool internal) {
   // Footprint-free tasks bypass the tracker entirely: they can neither
   // have predecessors nor ever be one, so both the registration here and
   // the completion lookup skip the tracker's global mutex.
-  task->has_footprint = !options.accesses.empty();
   const std::size_t deps =
-      task->has_footprint ? tracker_.register_node(task, options.accesses) : 0;
+      task->has_footprint ? tracker_.register_node(task.get(), options.accesses)
+                          : 0;
   assert(deps + 2 < kSpawnHold && "dependency count exceeds the spawn hold");
   // After this subtraction the gate reads (2 + deps - completed_preds) >= 2,
   // so the zero crossing can only happen via the releases below.
@@ -169,46 +195,55 @@ void Runtime::spawn_impl(TaskOptions&& options, bool internal) {
   }
 
   if (task->release_one()) {  // hold B
-    scheduler_->enqueue(task);
+    scheduler_->enqueue(std::move(task));  // donate the spawner's reference
   }
 }
 
 void Runtime::release(const TaskPtr& task) {
   if (task->release_one()) {
-    scheduler_->enqueue(task);
+    // Donate one fresh reference to the scheduler; the caller keeps its own.
+    task->retain();
+    scheduler_->enqueue_owned(task.get());
   }
 }
 
 void Runtime::release_bulk(const std::vector<TaskPtr>& tasks) {
   // Spawn-batching fast path: a policy window (GTB flush) drops its holds
   // here; every task that becomes runnable is published to the scheduler
-  // as one bulk enqueue instead of |window| individual ones.
-  std::vector<TaskPtr> ready;
-  ready.reserve(tasks.size());
+  // as one bulk enqueue instead of |window| individual ones.  The ready
+  // subset lives in a thread-local scratch buffer — the per-flush
+  // std::vector churn of the shared_ptr era is gone.
+  thread_local std::vector<Task*> ready;
+  ready.clear();
+  if (ready.capacity() < tasks.size()) ready.reserve(tasks.size());
   for (const TaskPtr& t : tasks) {
-    if (t->release_one()) ready.push_back(t);
+    if (t->release_one()) {
+      t->retain();  // the scheduler's in-flight reference
+      ready.push_back(t.get());
+    }
   }
-  scheduler_->enqueue_bulk(ready);
+  scheduler_->enqueue_bulk(ready.data(), ready.size());
+  ready.clear();
 }
 
-void Runtime::classify_at_dequeue(const TaskPtr& task, unsigned worker) {
+void Runtime::classify_at_dequeue(Task& task, unsigned worker) {
   // Policy dequeue hook, invoked by the scheduler's worker loop right
   // after it wins a task.  GTB-classified tasks pass through untouched;
   // LQH/agnostic tasks arrive Undecided and are decided here, against
   // state local to `worker`.
-  if (task->kind == ExecutionKind::Undecided) {
-    task->kind = policy_->decide(*task, worker, *this);
+  if (task.kind == ExecutionKind::Undecided) {
+    task.kind = policy_->decide(task, worker, *this);
   }
 }
 
-void Runtime::execute_task(const TaskPtr& task, unsigned worker) {
-  ExecutionKind kind = task->kind;
+void Runtime::execute_task(Task& task, unsigned worker) {
+  ExecutionKind kind = task.kind;
   if (kind == ExecutionKind::Undecided) {
     // The dequeue hook classifies before execution; this fallback only
     // covers policies that decline to decide.
-    kind = policy_->decide(*task, worker, *this);
+    kind = policy_->decide(task, worker, *this);
   }
-  if (kind == ExecutionKind::Approximate && !task->approximate) {
+  if (kind == ExecutionKind::Approximate && !task.approximate) {
     kind = ExecutionKind::Dropped;  // no approxfun: drop the task (§2)
   }
   // §6 extension: approximate tasks on NTC workers may silently fail; the
@@ -217,24 +252,24 @@ void Runtime::execute_task(const TaskPtr& task, unsigned worker) {
   if (kind == ExecutionKind::Approximate &&
       config_.unreliable_fault_rate > 0.0 &&
       scheduler_->is_unreliable(worker)) {
-    auto rng = support::stream_rng(config_.seed, task->id);
+    auto rng = support::stream_rng(config_.seed, task.id);
     if (rng.uniform() < config_.unreliable_fault_rate) {
       kind = ExecutionKind::Dropped;
       faults_.fetch_add(1, std::memory_order_relaxed);
     }
   }
-  task->kind = kind;
+  task.kind = kind;
 
-  TaskGroup& g = group_ref(task->group);
+  TaskGroup& g = group_ref(task.group);
   const double requested = g.ratio();
 
   try {
     switch (kind) {
       case ExecutionKind::Accurate:
-        task->accurate();
+        task.accurate();
         break;
       case ExecutionKind::Approximate:
-        task->approximate();
+        task.approximate();
         break;
       case ExecutionKind::Dropped:
       case ExecutionKind::Undecided:
@@ -248,24 +283,35 @@ void Runtime::execute_task(const TaskPtr& task, unsigned worker) {
   // Completion order matters: downstream tasks must only start after this
   // task's side effects are visible, which the tracker's mutex guarantees.
   // Multiple dependents becoming runnable at once go out as one batch.
-  if (task->has_footprint) {
-    auto dependents = tracker_.complete(*task);
-    std::vector<TaskPtr> ready;
-    ready.reserve(dependents.size());
-    for (const auto& node : dependents) {
-      auto dep_task = std::static_pointer_cast<Task>(node);
+  // Scratch buffers are thread-local: execute_task is only entered from the
+  // scheduler's (non-reentrant) drain/worker loop, and completions in the
+  // steady state touch no allocator.
+  if (task.has_footprint) {
+    thread_local std::vector<dep::Node*> dependents;
+    thread_local std::vector<Task*> ready;
+    dependents.clear();
+    ready.clear();
+    tracker_.complete(task, dependents);
+    for (dep::Node* node : dependents) {
+      // The tracker's dependents are always Tasks; each pointer carries one
+      // adopted reference that either transfers to the scheduler or drops.
+      Task* dep_task = static_cast<Task*>(node);
       if (dep_task->release_one()) {
-        ready.push_back(std::move(dep_task));
+        ready.push_back(dep_task);
+      } else {
+        dep_task->release();
       }
     }
     if (ready.size() == 1) {
-      scheduler_->enqueue(ready.front());
+      scheduler_->enqueue_owned(ready.front());
     } else if (!ready.empty()) {
-      scheduler_->enqueue_bulk(ready);
+      scheduler_->enqueue_bulk(ready.data(), ready.size());
     }
+    dependents.clear();
+    ready.clear();
   }
 
-  g.on_complete(kind, task->significance, requested, task->internal);
+  g.on_complete(kind, task.significance, requested, task.internal);
   on_task_finished();
 }
 

@@ -104,7 +104,11 @@ class Runtime final : public energy::ActivitySource, private IssueSink {
   /// Spawns a task.  Significance outside [0,1] is clamped.  Throws
   /// std::invalid_argument when no accurate body is provided.
   void spawn(TaskOptions options);
-  void spawn(TaskBuilder&& builder) { spawn(std::move(builder).take()); }
+  /// Builder overload: consumes the builder's options in place (single move
+  /// per body, no intermediate TaskOptions).
+  void spawn(TaskBuilder&& builder) {
+    spawn_impl(std::move(builder).take(), /*internal=*/false);
+  }
 
   /// #pragma omp taskwait — barrier over all tasks spawned so far.
   /// Rethrows the first exception thrown by any task since the last wait.
@@ -141,13 +145,14 @@ class Runtime final : public energy::ActivitySource, private IssueSink {
 
  private:
   // IssueSink.  release_bulk turns a policy window (a GTB flush) into one
-  // batched scheduler enqueue — the spawn-batching fast path.
+  // batched scheduler enqueue — the spawn-batching fast path — using a
+  // thread-local scratch buffer, so a flush allocates nothing.
   void release(const TaskPtr& task) override;
   void release_bulk(const std::vector<TaskPtr>& tasks) override;
   [[nodiscard]] TaskGroup& group_ref(GroupId id) override;
 
-  void execute_task(const TaskPtr& task, unsigned worker);
-  void classify_at_dequeue(const TaskPtr& task, unsigned worker);
+  void execute_task(Task& task, unsigned worker);
+  void classify_at_dequeue(Task& task, unsigned worker);
   void spawn_impl(TaskOptions&& options, bool internal);
   void on_task_finished();
   void rethrow_pending_error();
@@ -156,6 +161,9 @@ class Runtime final : public energy::ActivitySource, private IssueSink {
   RuntimeConfig config_;
   dep::BlockTracker tracker_;
   std::unique_ptr<Policy> policy_;
+  /// Cached Policy::pass_through(): gates the spawn fast path without a
+  /// virtual call per spawn.
+  bool pass_through_ = false;
 
   mutable std::shared_mutex groups_mutex_;
   std::vector<std::unique_ptr<TaskGroup>> groups_;

@@ -22,12 +22,13 @@ thread_local unsigned tls_worker = 0;
 }  // namespace
 
 Scheduler::Scheduler(unsigned workers, unsigned unreliable, bool steal,
-                     ExecuteFn execute, DequeueFn on_dequeue)
+                     void* ctx, ExecuteFn execute, DequeueFn on_dequeue)
     : steal_enabled_(steal),
-      execute_(std::move(execute)),
-      on_dequeue_(std::move(on_dequeue)),
+      ctx_(ctx),
+      execute_(execute),
+      on_dequeue_(on_dequeue),
       ec_(workers) {
-  assert(execute_ && "scheduler needs an execute callback");
+  assert(execute_ != nullptr && "scheduler needs an execute callback");
   worker_total_ = workers;
   if (workers > 0) {
     unreliable = std::min(unreliable, workers - 1);
@@ -60,8 +61,8 @@ Scheduler::~Scheduler() {
   for (auto& t : workers_) t.join();
 
   // A quiesced shutdown leaves every deque and inbox empty.  Debug builds
-  // treat leftovers as fatal; release builds clear the self-pins so an
-  // abandoned task cannot leak through its own reference cycle.
+  // treat leftovers as fatal; release builds drop the donated references so
+  // an abandoned task still returns to the pool.
   bool undrained = false;
   for (auto& slot : slots_) {
     for (unsigned p = 0; p < kPartitions; ++p) {
@@ -70,15 +71,20 @@ Scheduler::~Scheduler() {
         undrained = true;
         Task* next = leftover->next_ready;
         leftover->next_ready = nullptr;
-        leftover->self_pin.reset();
+        leftover->release();
         leftover = next;
       }
       while (Task* t = slot->deque[p].steal()) {
         undrained = true;
-        t->self_pin.reset();
+        t->release();
       }
     }
   }
+  for (Task* t : inline_queue_) {
+    undrained = true;
+    t->release();
+  }
+  inline_queue_.clear();
   assert(!undrained && "scheduler destroyed with undrained tasks");
   (void)undrained;
 }
@@ -129,7 +135,7 @@ unsigned Scheduler::wake_workers(unsigned preferred, Partition part,
   return woken;
 }
 
-void Scheduler::enqueue(const TaskPtr& task) {
+void Scheduler::enqueue_owned(Task* task) {
   assert_enqueue_ok(*task);
 
   if (inline_mode()) {
@@ -146,8 +152,7 @@ void Scheduler::enqueue(const TaskPtr& task) {
   // remote dispatch onto a reliable worker's inbox.
   if (tls_scheduler == this &&
       (part == kAnyWorker || !is_unreliable(tls_worker))) {
-    task->self_pin = task;
-    slots_[tls_worker]->deque[part].push(task.get());
+    slots_[tls_worker]->deque[part].push(task);
     if (steal_enabled_) {
       std::atomic_thread_fence(std::memory_order_seq_cst);
       wake_workers(kNoPreference, part, 1);
@@ -158,16 +163,14 @@ void Scheduler::enqueue(const TaskPtr& task) {
   dispatch_remote(task, part);
 }
 
-void Scheduler::dispatch_remote(const TaskPtr& task, Partition part) {
+void Scheduler::dispatch_remote(Task* task, Partition part) {
   const unsigned target = pick_target(part);
-  task->self_pin = task;
-  Task* raw = task.get();
 
   std::atomic<Task*>& inbox = slots_[target]->inbox[part];
   Task* head = inbox.load(std::memory_order_relaxed);
   do {
-    raw->next_ready = head;
-  } while (!inbox.compare_exchange_weak(head, raw, std::memory_order_release,
+    task->next_ready = head;
+  } while (!inbox.compare_exchange_weak(head, task, std::memory_order_release,
                                         std::memory_order_relaxed));
 
   // First push into an empty inbox wakes the target (or a thief); pushes
@@ -180,10 +183,21 @@ void Scheduler::dispatch_remote(const TaskPtr& task, Partition part) {
   }
 }
 
-void Scheduler::enqueue_bulk(const TaskPtr* tasks, std::size_t count) {
+void Scheduler::enqueue_bulk(std::vector<TaskRef>& tasks) {
+  // Transfer each reference out of the vector into the raw batch; the
+  // scratch is thread-local so repeated windows allocate nothing.
+  thread_local std::vector<Task*> scratch;
+  scratch.clear();
+  scratch.reserve(tasks.size());
+  for (TaskRef& t : tasks) scratch.push_back(t.detach());
+  enqueue_bulk(scratch.data(), scratch.size());
+  scratch.clear();
+}
+
+void Scheduler::enqueue_bulk(Task* const* tasks, std::size_t count) {
   if (count == 0) return;
   if (count == 1) {
-    enqueue(tasks[0]);
+    enqueue_owned(tasks[0]);
     return;
   }
 
@@ -207,12 +221,11 @@ void Scheduler::enqueue_bulk(const TaskPtr* tasks, std::size_t count) {
     unsigned own = 0;
     bool own_any_part = false;
     for (std::size_t i = count; i-- > 0;) {
-      const TaskPtr& task = tasks[i];
+      Task* task = tasks[i];
       assert_enqueue_ok(*task);
       const Partition part = partition_of(*task);
       if (part == kAnyWorker || reliable_owner) {
-        task->self_pin = task;
-        me.deque[part].push(task.get());
+        me.deque[part].push(task);
         ++own;
         own_any_part |= (part == kAnyWorker);
       } else {
@@ -258,12 +271,10 @@ void Scheduler::enqueue_bulk(const TaskPtr* tasks, std::size_t count) {
   bool has_any_part = false;
 
   for (std::size_t i = 0; i < count; ++i) {
-    const TaskPtr& task = tasks[i];
-    assert_enqueue_ok(*task);
-    const Partition part = partition_of(*task);
+    Task* raw = tasks[i];
+    assert_enqueue_ok(*raw);
+    const Partition part = partition_of(*raw);
     const unsigned target = pick_target(part);
-    task->self_pin = task;
-    Task* raw = task.get();
     const std::size_t b = static_cast<std::size_t>(target) * kPartitions + part;
     raw->next_ready = heads[b];
     heads[b] = raw;
@@ -304,12 +315,16 @@ void Scheduler::enqueue_bulk(const TaskPtr* tasks, std::size_t count) {
 void Scheduler::drain_inline() {
   inline_draining_ = true;
   while (!inline_queue_.empty()) {
-    TaskPtr task = std::move(inline_queue_.front());
+    Task* task = inline_queue_.front();
     inline_queue_.pop_front();
-    if (on_dequeue_) on_dequeue_(task, 0);
-    const support::ScopedTimer timer(inline_busy_ns_);
-    execute_(task, 0);
+    if (on_dequeue_ != nullptr) on_dequeue_(ctx_, *task, 0);
+    {
+      const std::uint64_t c0 = support::CycleClock::now();
+      execute_(ctx_, *task, 0);
+      inline_busy_cycles_ += support::CycleClock::elapsed(c0);
+    }
     ++inline_executed_;
+    task->release();  // drop the donated in-flight reference
   }
   inline_draining_ = false;
 }
@@ -448,19 +463,22 @@ bool Scheduler::has_visible_work(unsigned index) const {
 
 void Scheduler::run_task(Task* raw, unsigned index) {
   WorkerSlot& slot = *slots_[index];
-  // Take over the lifetime reference the enqueuer parked on the task.
-  TaskPtr task = std::move(raw->self_pin);
-  assert(task.get() == raw && "task lost its scheduler pin");
   // Dequeue-time policy hook (LQH classification) runs on the executing
   // worker, before the body, outside the busy-time attribution.
-  if (on_dequeue_) on_dequeue_(task, index);
-  std::int64_t ns = 0;
-  {
-    const support::ScopedTimer timer(ns);
-    execute_(task, index);
-  }
-  slot.busy_ns.fetch_add(ns, std::memory_order_relaxed);
-  slot.executed.fetch_add(1, std::memory_order_relaxed);
+  if (on_dequeue_ != nullptr) on_dequeue_(ctx_, *raw, index);
+  const std::uint64_t c0 = support::CycleClock::now();
+  execute_(ctx_, *raw, index);
+  const std::uint64_t cycles = support::CycleClock::elapsed(c0);
+  // Single-writer counters: the owning worker is the only mutator, so a
+  // plain load+store (no lock-prefixed RMW) is enough; readers (stats) are
+  // documented as approximate while workers run.
+  slot.busy_cycles.store(slot.busy_cycles.load(std::memory_order_relaxed) + cycles,
+                         std::memory_order_relaxed);
+  slot.executed.store(slot.executed.load(std::memory_order_relaxed) + 1,
+                      std::memory_order_relaxed);
+  // Drop the in-flight reference the enqueuer donated; typically the last
+  // one, returning the slot to the pool via the remote-free chain.
+  raw->release();
 }
 
 void Scheduler::worker_loop(unsigned index) {
@@ -510,26 +528,28 @@ void Scheduler::worker_loop(unsigned index) {
 
 SchedulerStats Scheduler::stats() const {
   SchedulerStats s;
+  std::uint64_t cycles = inline_busy_cycles_;
   for (const auto& slot : slots_) {
     s.executed += slot->executed.load(std::memory_order_relaxed);
     s.steals += slot->steals.load(std::memory_order_relaxed);
-    s.busy_ns += slot->busy_ns.load(std::memory_order_relaxed);
+    cycles += slot->busy_cycles.load(std::memory_order_relaxed);
   }
   s.executed += inline_executed_;
-  s.busy_ns += inline_busy_ns_;
+  s.busy_ns = support::CycleClock::to_ns(cycles);
   return s;
 }
 
 std::int64_t Scheduler::busy_ns() const { return stats().busy_ns; }
 
 std::pair<std::int64_t, std::int64_t> Scheduler::busy_ns_split() const {
-  std::int64_t reliable = inline_busy_ns_;
-  std::int64_t unreliable = 0;
+  std::uint64_t reliable = inline_busy_cycles_;
+  std::uint64_t unreliable = 0;
   for (std::size_t i = 0; i < slots_.size(); ++i) {
     (is_unreliable(static_cast<unsigned>(i)) ? unreliable : reliable) +=
-        slots_[i]->busy_ns.load(std::memory_order_relaxed);
+        slots_[i]->busy_cycles.load(std::memory_order_relaxed);
   }
-  return {reliable, unreliable};
+  return {support::CycleClock::to_ns(reliable),
+          support::CycleClock::to_ns(unreliable)};
 }
 
 void Scheduler::dump(FILE* out) const {

@@ -34,6 +34,17 @@
 //     a dependents batch) with one CAS per target inbox and a single fence,
 //     then distributes wakes.
 //
+// Lifetime: every raw Task* inside a deque or inbox carries exactly one
+// donated intrusive reference (see task.hpp).  enqueue()/enqueue_bulk()
+// consume the caller's reference; the worker that wins the task releases
+// it after execution.  There is no shared_ptr, no control block, and no
+// per-hop refcount traffic — a task is retained once at enqueue and
+// released once at completion.
+//
+// The execute/dequeue hooks are plain function pointers with an opaque
+// context (no std::function): direct calls, no type-erasure allocation,
+// trivially hoisted by the compiler.
+//
 // The inline mode (zero workers) is unchanged from the seed: synchronous
 // FIFO execution on the enqueuing thread, used by tests for determinism.
 //
@@ -45,7 +56,6 @@
 #include <cstdint>
 #include <cstdio>
 #include <deque>
-#include <functional>
 #include <memory>
 #include <thread>
 #include <utility>
@@ -67,20 +77,21 @@ struct SchedulerStats {
 class Scheduler {
  public:
   /// `execute` runs one task on the given worker index; it must not throw
-  /// (the runtime layer captures task exceptions).
-  using ExecuteFn = std::function<void(const TaskPtr&, unsigned worker)>;
+  /// (the runtime layer captures task exceptions).  `ctx` is the opaque
+  /// pointer passed at construction — the runtime's `this`.
+  using ExecuteFn = void (*)(void* ctx, Task& task, unsigned worker);
 
   /// Optional dequeue hook: called on the executing worker right after it
   /// wins a task and before the body runs.  The runtime wires the policy's
   /// dequeue-time decision point (LQH, §3.4) through this, keeping the
   /// classification worker-local.  Must not throw.
-  using DequeueFn = std::function<void(const TaskPtr&, unsigned worker)>;
+  using DequeueFn = void (*)(void* ctx, Task& task, unsigned worker);
 
   /// The last `unreliable` workers only execute tasks already classified
   /// Approximate/Dropped (see RuntimeConfig::unreliable_workers); clamped
   /// to workers-1.
-  Scheduler(unsigned workers, unsigned unreliable, bool steal,
-            ExecuteFn execute, DequeueFn on_dequeue = {});
+  Scheduler(unsigned workers, unsigned unreliable, bool steal, void* ctx,
+            ExecuteFn execute, DequeueFn on_dequeue = nullptr);
 
   /// Releases every parked worker, drains visible work, joins, and (in
   /// debug builds) asserts that every deque and inbox is empty.
@@ -89,17 +100,23 @@ class Scheduler {
   Scheduler(const Scheduler&) = delete;
   Scheduler& operator=(const Scheduler&) = delete;
 
-  /// Hands a ready (gate == 0) task to a worker; inline mode executes it
-  /// (and anything it transitively readies) before returning.
-  void enqueue(const TaskPtr& task);
+  /// Hands a ready (gate == 0) task to a worker, consuming the reference
+  /// held by `task`; inline mode executes it (and anything it transitively
+  /// readies) before returning.
+  void enqueue(TaskRef task) { enqueue_owned(task.detach()); }
+
+  /// Hot-path variant: takes ownership of one already-counted reference.
+  void enqueue_owned(Task* task);
 
   /// Batched enqueue: publishes all `count` ready tasks with one inbox CAS
   /// per target worker and a single fence, then wakes up to `count` parked
-  /// workers.  Spawn order is preserved per target queue.
-  void enqueue_bulk(const TaskPtr* tasks, std::size_t count);
-  void enqueue_bulk(const std::vector<TaskPtr>& tasks) {
-    enqueue_bulk(tasks.data(), tasks.size());
-  }
+  /// workers.  Spawn order is preserved per target queue.  Consumes one
+  /// reference per task.
+  void enqueue_bulk(Task* const* tasks, std::size_t count);
+
+  /// Convenience for tests and buffered policies: transfers each TaskRef's
+  /// reference to the scheduler, leaving the entries empty.
+  void enqueue_bulk(std::vector<TaskRef>& tasks);
 
   /// True when configured with zero worker threads.
   [[nodiscard]] bool inline_mode() const noexcept { return worker_total_ == 0; }
@@ -145,7 +162,9 @@ class Scheduler {
     ChaseLevDeque<Task*> deque[kPartitions];
     std::atomic<Task*> inbox[kPartitions]{nullptr, nullptr};
 
-    std::atomic<std::int64_t> busy_ns{0};
+    /// Busy time in raw TSC cycles (support::CycleClock); converted to ns
+    /// only on the cold stats path.
+    std::atomic<std::uint64_t> busy_cycles{0};
     std::atomic<std::uint64_t> executed{0};
     std::atomic<std::uint64_t> steals{0};
     std::atomic<WorkerState> state{WorkerState::Scanning};  // diagnostics
@@ -170,7 +189,7 @@ class Scheduler {
   /// hold work.  Only meaningful between prepare_wait and commit_wait.
   [[nodiscard]] bool has_visible_work(unsigned index) const;
 
-  void dispatch_remote(const TaskPtr& task, Partition part);
+  void dispatch_remote(Task* task, Partition part);
   /// Tasks per round-robin step: consecutive remote enqueues share a target
   /// (and its wake) before rotating to the next worker.
   static constexpr unsigned kRouteChunk = 16;
@@ -198,8 +217,9 @@ class Scheduler {
   const bool steal_enabled_;
   unsigned worker_total_ = 0;
   unsigned reliable_count_ = 0;
-  ExecuteFn execute_;
-  DequeueFn on_dequeue_;
+  void* ctx_ = nullptr;
+  ExecuteFn execute_ = nullptr;
+  DequeueFn on_dequeue_ = nullptr;
 
   std::vector<std::unique_ptr<WorkerSlot>> slots_;
   EventCount ec_;
@@ -208,10 +228,11 @@ class Scheduler {
   std::atomic<unsigned> next_any_{0};       ///< round-robin over all workers
   std::atomic<bool> stopping_{false};
 
-  // Inline-mode state (single-threaded by construction).
-  std::deque<TaskPtr> inline_queue_;
+  // Inline-mode state (single-threaded by construction).  Entries carry the
+  // same donated reference as the threaded deques.
+  std::deque<Task*> inline_queue_;
   bool inline_draining_ = false;
-  std::int64_t inline_busy_ns_ = 0;
+  std::uint64_t inline_busy_cycles_ = 0;
   std::uint64_t inline_executed_ = 0;
 };
 

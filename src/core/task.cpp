@@ -1,0 +1,17 @@
+#include "core/task.hpp"
+
+namespace sigrt {
+
+// Out of line so task.hpp does not need the pool instance at every include
+// site; the slot was reset by reset_for_reuse() inside recycle().
+void Task::recycle_to_pool() noexcept { TaskPool::instance().recycle(this); }
+
+TaskRef make_task() {
+  Task* t = TaskPool::instance().allocate();
+  // Relaxed: publication to other threads rides on the scheduler's and
+  // tracker's own release/acquire edges.
+  t->refs_.store(1, std::memory_order_relaxed);
+  return TaskRef::adopt(t);
+}
+
+}  // namespace sigrt

@@ -1,31 +1,49 @@
 // Task descriptor: the runtime-side image of one `#pragma omp task
 // significant(...) approxfun(...) in(...) out(...)` annotation.
+//
+// Lifecycle (the zero-allocation contract):
+//
+//   * Tasks live in slab slots leased from the global task pool
+//     (support/task_pool.hpp) — allocate via make_task(), never new/delete.
+//   * Lifetime is an intrusive atomic refcount inside the Task itself
+//     (retain()/release(), smart-pointer'd by TaskRef).  There is no
+//     shared_ptr control block and no separate allocation: the scheduler
+//     circulates raw Task* that each carry one donated reference.
+//   * When the last reference drops, the slot is reset (bodies destroyed,
+//     buffers keep their capacity) and returned to its owning pool shard —
+//     locally when freed by the spawning thread, through the shard's MPSC
+//     remote-free chain when freed by a worker.
+//   * Bodies are InlineFn (64-byte small-buffer callables): captures within
+//     the SBO limit never touch the heap.
 #pragma once
 
 #include <atomic>
-#include <functional>
-#include <memory>
-#include <vector>
+#include <cstdint>
 
 #include "core/types.hpp"
 #include "dep/block_tracker.hpp"
+#include "support/inline_fn.hpp"
+#include "support/task_pool.hpp"
 
 namespace sigrt {
 
 class Task;
-using TaskPtr = std::shared_ptr<Task>;
+class TaskRef;
+
+/// Pool behind make_task(): per-thread freelists, MPSC remote-free return.
+using TaskPool = support::SlabPool<Task>;
 
 /// A unit of work with a significance value and an optional approximate
-/// body.  Tasks are created by the master thread, classified by a policy,
+/// body.  Tasks are created by a spawning thread, classified by a policy,
 /// gated on their data dependencies and executed (once) by a worker.
-class Task final : public dep::Node {
+class Task final : public dep::Node, public support::PoolSlot<Task> {
  public:
   Task() = default;
 
   // --- immutable after spawn -------------------------------------------
-  std::function<void()> accurate;     ///< required task body
-  std::function<void()> approximate;  ///< optional approxfun(); empty => drop
-  float significance = 1.0f;          ///< in [0, 1]; 1 forces accurate, 0 forces approximate
+  support::InlineFn accurate;     ///< required task body
+  support::InlineFn approximate;  ///< optional approxfun(); empty => drop
+  float significance = 1.0f;      ///< in [0, 1]; 1 forces accurate, 0 forces approximate
   GroupId group = kDefaultGroup;
   TaskId id = 0;
   bool internal = false;  ///< runtime-internal task (wait_on fence): excluded from stats
@@ -52,21 +70,130 @@ class Task final : public dep::Node {
     return gate.fetch_sub(1, std::memory_order_acq_rel) == 1;
   }
 
+  // --- intrusive lifetime -------------------------------------------------
+
+  /// Adds one reference.  Relaxed is sufficient: a thread can only retain
+  /// through a pointer it already owns a reference for (or the pool's
+  /// freshly allocated slot), so the count can never be observed at zero.
+  void retain() noexcept { refs_.fetch_add(1, std::memory_order_relaxed); }
+
+  /// Drops one reference; the last release resets the task and returns its
+  /// slot to the pool.  acq_rel so every side of the task's life
+  /// happens-before the reset, on whichever thread performs it.
+  void release() noexcept {
+    if (refs_.fetch_sub(1, std::memory_order_acq_rel) == 1) recycle_to_pool();
+  }
+
+  /// Pool hook: restores the slot to its freshly-constructed state on the
+  /// freeing thread.  Bodies are destroyed eagerly (captured resources
+  /// release now, not at reuse); the dependents vector keeps its capacity.
+  void reset_for_reuse() noexcept {
+    accurate.reset();
+    approximate.reset();
+    significance = 1.0f;
+    group = kDefaultGroup;
+    id = 0;
+    internal = false;
+    has_footprint = false;
+    kind = ExecutionKind::Undecided;
+    gate.store(0, std::memory_order_relaxed);
+    next_ready = nullptr;
+#ifndef NDEBUG
+    debug_enqueues.store(0, std::memory_order_relaxed);
+#endif
+    reset_dep_state();
+  }
+
   // --- scheduler linkage --------------------------------------------------
-  // The lock-free scheduler circulates raw Task* through its deques and
-  // inbox chains.  Both fields are written by the enqueuing thread before
-  // the pointer is published (release) and consumed by the thread that wins
-  // the pop/steal (acquire), so they need no atomicity of their own.
 
-  /// Keeps the task alive while a raw pointer to it is in flight inside the
-  /// scheduler; moved out by the executing worker.
-  TaskPtr self_pin;
-
-  /// Intrusive link for the per-worker MPSC inbox (Treiber chain).
+  /// Intrusive link for the per-worker MPSC inbox (Treiber chain).  Written
+  /// by the enqueuing thread before the pointer is published (release) and
+  /// consumed by the thread that wins the pop/steal (acquire), so it needs
+  /// no atomicity of its own.
   Task* next_ready = nullptr;
 
-  // Debug-only diagnostics (cheap; used by assertions in the scheduler).
+#ifndef NDEBUG
+  // Debug-only diagnostics: an atomic RMW on every enqueue is measurable on
+  // the spawn hot path, so Release builds compile it out entirely.
   std::atomic<std::uint8_t> debug_enqueues{0};
+#endif
+
+ private:
+  friend TaskRef make_task();
+
+  /// dep::Node lifetime hooks: the tracker pins tasks through these.
+  void ref_retain() noexcept override { retain(); }
+  void ref_release() noexcept override { release(); }
+
+  void recycle_to_pool() noexcept;  // task.cpp: TaskPool::instance().recycle
+
+  std::atomic<std::uint32_t> refs_{0};
 };
+
+/// Intrusive smart pointer over Task: copy retains, move steals, destructor
+/// releases.  adopt()/detach() convert to and from raw owned pointers — the
+/// scheduler's circulation currency.
+class TaskRef {
+ public:
+  constexpr TaskRef() noexcept = default;
+  constexpr TaskRef(std::nullptr_t) noexcept {}  // NOLINT(google-explicit-constructor)
+
+  /// Wraps an already-owned reference without retaining.
+  [[nodiscard]] static TaskRef adopt(Task* task) noexcept {
+    TaskRef r;
+    r.ptr_ = task;
+    return r;
+  }
+
+  TaskRef(const TaskRef& other) noexcept : ptr_(other.ptr_) {
+    if (ptr_ != nullptr) ptr_->retain();
+  }
+  TaskRef(TaskRef&& other) noexcept : ptr_(other.ptr_) { other.ptr_ = nullptr; }
+  TaskRef& operator=(const TaskRef& other) noexcept {
+    TaskRef(other).swap(*this);
+    return *this;
+  }
+  TaskRef& operator=(TaskRef&& other) noexcept {
+    TaskRef(std::move(other)).swap(*this);
+    return *this;
+  }
+  ~TaskRef() {
+    if (ptr_ != nullptr) ptr_->release();
+  }
+
+  void swap(TaskRef& other) noexcept { std::swap(ptr_, other.ptr_); }
+  void reset() noexcept {
+    if (ptr_ != nullptr) {
+      ptr_->release();
+      ptr_ = nullptr;
+    }
+  }
+
+  /// Transfers ownership of the reference to the caller.
+  [[nodiscard]] Task* detach() noexcept {
+    Task* t = ptr_;
+    ptr_ = nullptr;
+    return t;
+  }
+
+  [[nodiscard]] Task* get() const noexcept { return ptr_; }
+  Task& operator*() const noexcept { return *ptr_; }
+  Task* operator->() const noexcept { return ptr_; }
+  [[nodiscard]] explicit operator bool() const noexcept {
+    return ptr_ != nullptr;
+  }
+  friend bool operator==(const TaskRef& a, const TaskRef& b) noexcept {
+    return a.ptr_ == b.ptr_;
+  }
+
+ private:
+  Task* ptr_ = nullptr;
+};
+
+/// Historical alias from the shared_ptr era; same type, same semantics.
+using TaskPtr = TaskRef;
+
+/// Allocates a task from the pool (refcount 1, fully reset state).
+[[nodiscard]] TaskRef make_task();
 
 }  // namespace sigrt

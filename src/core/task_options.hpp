@@ -7,21 +7,27 @@
 //                .significance((i % 9 + 1) / 10.0)           // significant()
 //                .group(sobel)                               // label()
 //                .in(img, N).out(res + i * W, W));           // in() / out()
+//
+// Bodies are stored as support::InlineFn: any callable whose captures fit
+// the 64-byte small-buffer limit (≈ 8 pointers/references) is stored inline
+// and the spawn performs ZERO heap allocations; larger captures still work
+// but cost one allocation at spawn time.  Keep hot-loop captures within the
+// limit — the micro_spawn bench gate measures exactly this.
 #pragma once
 
-#include <functional>
 #include <utility>
 #include <vector>
 
 #include "core/types.hpp"
 #include "dep/block_tracker.hpp"
+#include "support/inline_fn.hpp"
 
 namespace sigrt {
 
 /// Plain-data description of one task to spawn.
 struct TaskOptions {
-  std::function<void()> accurate;     ///< required
-  std::function<void()> approximate;  ///< optional; absent => drop on approximation
+  support::InlineFn accurate;     ///< required
+  support::InlineFn approximate;  ///< optional; absent => drop on approximation
   double significance = 1.0;
   GroupId group = kDefaultGroup;
   std::vector<dep::Access> accesses;
@@ -29,16 +35,19 @@ struct TaskOptions {
 
 class TaskBuilder {
  public:
-  explicit TaskBuilder(std::function<void()> body) {
-    options_.accurate = std::move(body);
+  template <class F>
+  explicit TaskBuilder(F&& body) {
+    options_.accurate = std::forward<F>(body);
   }
 
-  TaskBuilder& approx(std::function<void()> fn) & {
-    options_.approximate = std::move(fn);
+  template <class F>
+  TaskBuilder& approx(F&& fn) & {
+    options_.approximate = std::forward<F>(fn);
     return *this;
   }
-  TaskBuilder&& approx(std::function<void()> fn) && {
-    return std::move(approx(std::move(fn)));
+  template <class F>
+  TaskBuilder&& approx(F&& fn) && {
+    return std::move(approx(std::forward<F>(fn)));
   }
 
   TaskBuilder& significance(double s) & {
@@ -83,16 +92,21 @@ class TaskBuilder {
     return std::move(inout(p, count));
   }
 
-  /// Consumes the builder.
-  [[nodiscard]] TaskOptions take() && { return std::move(options_); }
+  /// Consumes the builder: exposes the options in place (an xvalue, not a
+  /// fresh object) so Runtime::spawn moves each body exactly once, from
+  /// builder storage straight into the task slot.  Bind the result to a
+  /// value (`TaskOptions o = ...take();`) if you need it beyond the
+  /// builder's lifetime.
+  [[nodiscard]] TaskOptions&& take() && noexcept { return std::move(options_); }
 
  private:
   TaskOptions options_;
 };
 
 /// Entry point of the fluent spelling: sigrt::task([...]{ ... }).
-[[nodiscard]] inline TaskBuilder task(std::function<void()> body) {
-  return TaskBuilder(std::move(body));
+template <class F>
+[[nodiscard]] TaskBuilder task(F&& body) {
+  return TaskBuilder(std::forward<F>(body));
 }
 
 }  // namespace sigrt

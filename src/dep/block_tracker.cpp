@@ -24,17 +24,17 @@ std::uint64_t BlockTracker::last_block(const void* ptr,
   return end >> block_shift_;
 }
 
-bool BlockTracker::link(const std::shared_ptr<Node>& pred,
-                        const std::shared_ptr<Node>& succ) {
-  if (!pred || pred.get() == succ.get() || pred->done_) return false;
+bool BlockTracker::link(Node* pred, Node* succ) {
+  if (pred == nullptr || pred == succ || pred->done_) return false;
   if (pred->visit_stamp_ == stamp_) return false;  // already linked this pass
   pred->visit_stamp_ = stamp_;
+  succ->ref_retain();  // the dependents entry owns one reference
   pred->dependents_.push_back(succ);
   ++stats_.edges;
   return true;
 }
 
-std::size_t BlockTracker::register_node(const std::shared_ptr<Node>& node,
+std::size_t BlockTracker::register_node(Node* node,
                                         std::span<const Access> accesses) {
   std::lock_guard lock(mutex_);
   ++stamp_;
@@ -58,38 +58,70 @@ std::size_t BlockTracker::register_node(const std::shared_ptr<Node>& node,
         // WAW: writer after writer.
         if (link(state.last_writer, node)) ++predecessors;
         // WAR: writer after readers.
-        for (const auto& r : state.readers) {
+        for (Node* r : state.readers) {
           if (link(r, node)) ++predecessors;
         }
+        for (Node* r : state.readers) unpark(r);
         state.readers.clear();
+        unpark(state.last_writer);
+        node->ref_retain();
         state.last_writer = node;
+        node->touched_blocks_.push_back(b);
       } else {
+        node->ref_retain();
         state.readers.push_back(node);
+        node->touched_blocks_.push_back(b);
       }
     }
   }
   return predecessors;
 }
 
-std::vector<std::shared_ptr<Node>> BlockTracker::complete(Node& node) {
+void BlockTracker::complete(Node& node, std::vector<Node*>& out) {
   std::lock_guard lock(mutex_);
   node.done_ = true;
-  return std::move(node.dependents_);
+  // Drop every block-map pin still naming this node so the tracker holds
+  // no pointer to it afterwards (pooled tasks recycle promptly; plain test
+  // nodes may be destroyed).  touched_blocks_ may hold duplicates and
+  // blocks where the pin was already displaced by a later writer — both
+  // are no-ops here.
+  for (const std::uint64_t b : node.touched_blocks_) {
+    auto it = blocks_.find(b);
+    if (it == blocks_.end()) continue;  // reset() dropped the block
+    BlockState& state = it->second;
+    if (state.last_writer == &node) {
+      state.last_writer = nullptr;
+      unpark(&node);
+    }
+    for (std::size_t i = 0; i < state.readers.size(); ++i) {
+      if (state.readers[i] == &node) {
+        state.readers[i] = state.readers.back();
+        state.readers.pop_back();
+        unpark(&node);
+        break;  // parked at most once per block per role
+      }
+    }
+  }
+  node.touched_blocks_.clear();
+  // The dependents' references transfer to the caller; the vector keeps its
+  // capacity for the node's next life in the task pool.
+  out.insert(out.end(), node.dependents_.begin(), node.dependents_.end());
+  node.dependents_.clear();
 }
 
-std::vector<std::shared_ptr<Node>> BlockTracker::pending_writers(
-    const void* ptr, std::size_t bytes) {
+std::vector<Node*> BlockTracker::pending_writers(const void* ptr,
+                                                 std::size_t bytes) {
   std::lock_guard lock(mutex_);
   ++stamp_;
-  std::vector<std::shared_ptr<Node>> result;
+  std::vector<Node*> result;
   if (ptr == nullptr || bytes == 0) return result;
   const std::uint64_t lo = first_block(ptr);
   const std::uint64_t hi = last_block(ptr, bytes);
   for (std::uint64_t b = lo; b <= hi; ++b) {
     auto it = blocks_.find(b);
     if (it == blocks_.end()) continue;
-    const auto& w = it->second.last_writer;
-    if (w && !w->done_ && w->visit_stamp_ != stamp_) {
+    Node* w = it->second.last_writer;
+    if (w != nullptr && !w->done_ && w->visit_stamp_ != stamp_) {
       w->visit_stamp_ = stamp_;
       result.push_back(w);
     }
@@ -98,6 +130,10 @@ std::vector<std::shared_ptr<Node>> BlockTracker::pending_writers(
 }
 
 void BlockTracker::reset() {
+  // Precondition: no registered node is still pending, so every pin was
+  // already dropped by complete() — the map entries reference nothing and
+  // are simply forgotten.  Never-completed nodes (test-owned) lose their
+  // no-op pins without being touched.
   std::lock_guard lock(mutex_);
   blocks_.clear();
 }

@@ -12,10 +12,23 @@
 // completion from worker threads; both entry points synchronize on one
 // mutex, which is acceptable because tasks in this model are coarse-grained
 // (the paper makes the same argument for its bookkeeping, §3.4).
+//
+// Lifetime: the tracker circulates raw Node* and pins nodes through the
+// intrusive ref_retain()/ref_release() hooks — one reference per block-map
+// slot (last writer / reader) and one per dependents-list entry.
+// complete() removes every block-map pin of the completing node (each node
+// remembers which blocks it touched), so after complete() the tracker
+// holds no pointer to it.  For sigrt::Task the hooks drive the pooled
+// intrusive refcount; for plain Nodes (tests) they default to no-ops and
+// the caller must keep a registered node alive until it completes (the
+// tracker may read it on any later registration of an overlapping range).
+// The destructor drops any remaining map entries without touching the
+// nodes: with every registered node completed (the runtime barriers before
+// teardown) there are none, and never-completed test nodes are simply
+// forgotten.
 #pragma once
 
 #include <cstdint>
-#include <memory>
 #include <mutex>
 #include <span>
 #include <unordered_map>
@@ -58,16 +71,43 @@ template <typename T>
   return {p, count * sizeof(T), Mode::InOut};
 }
 
-/// Participant in dependence tracking.  sigrt::core::Task derives from this.
-/// All fields are owned by the tracker and only touched under its mutex.
+/// Participant in dependence tracking.  sigrt::Task derives from this.
+/// The dependence fields are owned by the tracker and only touched under
+/// its mutex; the lifetime hooks are called under that same mutex.
 class Node {
  public:
   virtual ~Node() = default;
 
+  /// Lifetime hooks: the tracker retains a node for as long as it appears
+  /// in dependence state (block map or a dependents list) and releases it
+  /// when that slot is dropped or handed to the caller.  Defaults are
+  /// no-ops so standalone Nodes (tests) need no refcount — their owner
+  /// keeps them alive until complete().
+  virtual void ref_retain() noexcept {}
+  virtual void ref_release() noexcept {}
+
+ protected:
+  /// Restores the tracker-owned fields to their freshly-constructed state;
+  /// used by pooled subclasses when a slot is recycled.  A non-empty
+  /// dependents list here means the node is being recycled without having
+  /// gone through complete() (abnormal teardown): the retained successor
+  /// references are dropped so their slots still recycle.  The vectors
+  /// keep their capacity — part of the zero-allocation steady state.
+  void reset_dep_state() noexcept {
+    for (Node* d : dependents_) d->ref_release();
+    dependents_.clear();
+    touched_blocks_.clear();
+    visit_stamp_ = 0;
+    done_ = false;
+  }
+
  private:
   friend class BlockTracker;
-  std::vector<std::shared_ptr<Node>> dependents_;
-  std::uint64_t visit_stamp_ = 0;  // de-duplication during one registration
+  std::vector<Node*> dependents_;  ///< successors; one retained ref each
+  /// Blocks where this node may still be parked as writer/reader (possibly
+  /// with duplicates); complete() walks it to drop the block-map pins.
+  std::vector<std::uint64_t> touched_blocks_;
+  std::uint64_t visit_stamp_ = 0;  ///< de-duplication during one registration
   bool done_ = false;
 };
 
@@ -90,20 +130,26 @@ class BlockTracker {
   /// predecessor (RAW/WAR/WAW).  Returns the number of predecessors found;
   /// the caller must arrange for the node to stay unreleased until that many
   /// complete() notifications have named it as a dependent.
-  std::size_t register_node(const std::shared_ptr<Node>& node,
-                            std::span<const Access> accesses);
+  std::size_t register_node(Node* node, std::span<const Access> accesses);
 
-  /// Marks `node` complete and returns the dependents recorded so far; the
-  /// caller decrements each dependent's gate.  Nodes registered afterwards
-  /// will no longer depend on `node`.
-  [[nodiscard]] std::vector<std::shared_ptr<Node>> complete(Node& node);
+  /// Marks `node` complete, drops every block-map pin still naming it (the
+  /// tracker holds no pointer to the node afterwards) and appends the
+  /// dependents recorded so far to `out` (which is NOT cleared — callers
+  /// reuse scratch buffers).  Each appended pointer carries one retained
+  /// reference that the caller adopts: decrement the dependent's gate,
+  /// then ref_release() it (or hand the reference on).  Nodes registered
+  /// afterwards no longer depend on `node`.
+  void complete(Node& node, std::vector<Node*>& out);
 
   /// Collects the currently unfinished writers overlapping [ptr, ptr+bytes).
-  /// Used by taskwait on(...): the caller waits for exactly these tasks.
-  [[nodiscard]] std::vector<std::shared_ptr<Node>> pending_writers(
-      const void* ptr, std::size_t bytes);
+  /// The returned pointers are NOT retained: they are valid only while the
+  /// caller independently guarantees the writers have not completed (e.g.
+  /// under a barrier, or for test-owned nodes).
+  [[nodiscard]] std::vector<Node*> pending_writers(const void* ptr,
+                                                   std::size_t bytes);
 
-  /// Forgets all history.  Only valid when no tasks are in flight.
+  /// Forgets all history.  Only valid when no tasks are in flight (every
+  /// registered node completed), so the dropped map entries pin nothing.
   void reset();
 
   [[nodiscard]] TrackerStats stats() const;
@@ -111,13 +157,18 @@ class BlockTracker {
 
  private:
   struct BlockState {
-    std::shared_ptr<Node> last_writer;
-    std::vector<std::shared_ptr<Node>> readers;  // readers since last write
+    Node* last_writer = nullptr;  ///< retained while parked here
+    std::vector<Node*> readers;   ///< readers since last write; retained
   };
 
   /// Adds an edge pred -> succ unless pred is done or already linked during
   /// this registration (visit stamp).  Returns true when an edge was added.
-  bool link(const std::shared_ptr<Node>& pred, const std::shared_ptr<Node>& succ);
+  bool link(Node* pred, Node* succ);
+
+  /// Drops the block map's reference on a parked node pointer.
+  static void unpark(Node* node) noexcept {
+    if (node != nullptr) node->ref_release();
+  }
 
   [[nodiscard]] std::uint64_t first_block(const void* ptr) const noexcept;
   [[nodiscard]] std::uint64_t last_block(const void* ptr,

@@ -1,0 +1,140 @@
+// InlineFn: a move-only `void()` callable with small-buffer storage.
+//
+// std::function heap-allocates any capture bigger than its (implementation
+// defined, typically 16-byte) SBO and drags in RTTI + copyability machinery
+// the task hot path never uses.  InlineFn stores captures up to
+// kInlineBytes (64) directly inside the object — sized so that every task
+// body in this repository, and anything capturing up to 8 pointers, spawns
+// without touching the allocator — and falls back to a single heap cell for
+// oversized or potentially-throwing-move captures.  Two function pointers
+// (invoke + manage) replace the vtable; no RTTI, no copy support.
+//
+// The capture-size contract is part of the runtime's zero-allocation
+// guarantee: see docs/architecture.md ("Task lifecycle & memory") and the
+// micro_spawn bench gate, which asserts 0 steady-state allocations per task
+// for bodies within the SBO limit.
+#pragma once
+
+#include <cstddef>
+#include <cstring>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace sigrt::support {
+
+class InlineFn {
+ public:
+  /// Captures up to this many bytes (with fundamental alignment and a
+  /// nothrow move constructor) are stored inline; anything else costs one
+  /// heap allocation at construction.
+  static constexpr std::size_t kInlineBytes = 64;
+
+  InlineFn() = default;
+
+  template <class F,
+            class = std::enable_if_t<
+                !std::is_same_v<std::remove_cvref_t<F>, InlineFn>>>
+  InlineFn(F&& fn) {  // NOLINT(google-explicit-constructor): mirrors std::function
+    emplace(std::forward<F>(fn));
+  }
+
+  InlineFn(InlineFn&& other) noexcept { move_from(other); }
+  InlineFn& operator=(InlineFn&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+
+  template <class F,
+            class = std::enable_if_t<
+                !std::is_same_v<std::remove_cvref_t<F>, InlineFn>>>
+  InlineFn& operator=(F&& fn) {
+    reset();
+    emplace(std::forward<F>(fn));
+    return *this;
+  }
+
+  InlineFn(const InlineFn&) = delete;
+  InlineFn& operator=(const InlineFn&) = delete;
+
+  ~InlineFn() { reset(); }
+
+  /// Destroys the stored callable (releasing captured resources) and
+  /// returns to the empty state.  Safe on an empty InlineFn.
+  void reset() noexcept {
+    if (manage_ != nullptr) manage_(Op::Destroy, buf_, nullptr);
+    invoke_ = nullptr;
+    manage_ = nullptr;
+  }
+
+  [[nodiscard]] explicit operator bool() const noexcept {
+    return invoke_ != nullptr;
+  }
+
+  void operator()() { invoke_(buf_); }
+
+ private:
+  enum class Op : std::uint8_t { Destroy, Relocate };
+  using Invoke = void (*)(void*);
+  using Manage = void (*)(Op, void* src, void* dst) noexcept;
+
+  template <class D>
+  static constexpr bool kFitsInline =
+      sizeof(D) <= kInlineBytes && alignof(D) <= alignof(std::max_align_t) &&
+      std::is_nothrow_move_constructible_v<D>;
+
+  template <class F>
+  void emplace(F&& fn) {
+    using D = std::decay_t<F>;
+    static_assert(std::is_invocable_r_v<void, D&>,
+                  "InlineFn requires a void() callable");
+    if constexpr (kFitsInline<D>) {
+      ::new (static_cast<void*>(buf_)) D(std::forward<F>(fn));
+      invoke_ = [](void* buf) { (*std::launder(reinterpret_cast<D*>(buf)))(); };
+      manage_ = [](Op op, void* src, void* dst) noexcept {
+        D* self = std::launder(reinterpret_cast<D*>(src));
+        if (op == Op::Relocate) ::new (dst) D(std::move(*self));
+        self->~D();
+      };
+    } else {
+      // Heap fallback: buf_ holds a single owning pointer.  Relocation is a
+      // pointer copy, so moved-from heap callables never re-allocate.
+      D* cell = new D(std::forward<F>(fn));
+      std::memcpy(buf_, &cell, sizeof(cell));
+      invoke_ = [](void* buf) {
+        D* cell;
+        std::memcpy(&cell, buf, sizeof(cell));
+        (*cell)();
+      };
+      manage_ = [](Op op, void* src, void* dst) noexcept {
+        if (op == Op::Relocate) {
+          std::memcpy(dst, src, sizeof(D*));
+          return;
+        }
+        D* cell;
+        std::memcpy(&cell, src, sizeof(cell));
+        delete cell;
+      };
+    }
+  }
+
+  /// Precondition: *this is empty.  Leaves `other` empty.
+  void move_from(InlineFn& other) noexcept {
+    if (other.manage_ != nullptr) {
+      other.manage_(Op::Relocate, other.buf_, buf_);
+    }
+    invoke_ = other.invoke_;
+    manage_ = other.manage_;
+    other.invoke_ = nullptr;
+    other.manage_ = nullptr;
+  }
+
+  Invoke invoke_ = nullptr;
+  Manage manage_ = nullptr;
+  alignas(std::max_align_t) unsigned char buf_[kInlineBytes];
+};
+
+}  // namespace sigrt::support

@@ -2,8 +2,13 @@
 // by the benchmark harnesses.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <x86intrin.h>
+#endif
 
 namespace sigrt::support {
 
@@ -44,6 +49,57 @@ class Stopwatch {
  private:
   std::int64_t accum_ns_ = 0;
   std::int64_t start_ns_ = 0;  // 0 == not running
+};
+
+/// Cycle-granularity clock for per-task busy accounting.  A vDSO
+/// clock_gettime costs ~20-25 ns; two of them per task (enter/exit) were
+/// ~10% of the scheduler's per-task budget.  now() is a raw TSC read
+/// (~5 ns); readers convert accumulated cycle deltas to nanoseconds with
+/// to_ns(), which calibrates the TSC rate lazily against the monotonic
+/// clock over the interval since process start — conversion happens on the
+/// cold stats path, never per task.  Non-x86 builds fall back to now_ns()
+/// (cycles are then nanoseconds, ratio 1).
+class CycleClock {
+ public:
+  [[nodiscard]] static std::uint64_t now() noexcept {
+#if defined(__x86_64__) || defined(__i386__)
+    return __rdtsc();
+#else
+    return static_cast<std::uint64_t>(now_ns());
+#endif
+  }
+
+  /// Cycles elapsed since `start`, clamped at zero: on machines without a
+  /// synchronized invariant TSC a thread migrated between cores mid-interval
+  /// can observe a smaller counter, and an unclamped subtraction would wrap
+  /// to ~2^64 and permanently corrupt the accumulator it feeds.
+  [[nodiscard]] static std::uint64_t elapsed(std::uint64_t start) noexcept {
+    const std::uint64_t end = now();
+    return end >= start ? end - start : 0;
+  }
+
+  /// Converts a cycle delta to nanoseconds.  Accuracy improves with the
+  /// length of the calibration window (the process lifetime so far); the
+  /// first call within ~1 ms of startup may be coarse, which only affects
+  /// diagnostic stats read that early.
+  [[nodiscard]] static std::int64_t to_ns(std::uint64_t cycles) noexcept {
+#if defined(__x86_64__) || defined(__i386__)
+    const double r = ns_per_cycle();
+    return static_cast<std::int64_t>(static_cast<double>(cycles) * r);
+#else
+    return static_cast<std::int64_t>(cycles);
+#endif
+  }
+
+ private:
+  [[nodiscard]] static double ns_per_cycle() noexcept {
+    static const std::int64_t anchor_ns = now_ns();
+    static const std::uint64_t anchor_cycles = now();
+    const std::int64_t dn = now_ns() - anchor_ns;
+    const std::uint64_t dc = now() - anchor_cycles;
+    if (dc == 0 || dn <= 0) return 1.0;
+    return static_cast<double>(dn) / static_cast<double>(dc);
+  }
 };
 
 /// RAII timer that adds the scope's duration to an external accumulator.

@@ -13,12 +13,21 @@ using sigrt::dep::BlockTracker;
 using sigrt::dep::Mode;
 using sigrt::dep::Node;
 
+// The tracker circulates raw Node*; these tests own the nodes (shared_ptr
+// for convenience) and rely on the default no-op lifetime hooks.
 std::shared_ptr<Node> make_node() { return std::make_shared<Node>(); }
 
 std::size_t reg(BlockTracker& t, const std::shared_ptr<Node>& n,
                 std::initializer_list<Access> accesses) {
   std::vector<Access> v(accesses);
-  return t.register_node(n, v);
+  return t.register_node(n.get(), v);
+}
+
+// Out-param complete() wrapped back into a value for terse assertions.
+std::vector<Node*> complete(BlockTracker& t, Node& n) {
+  std::vector<Node*> out;
+  t.complete(n, out);
+  return out;
 }
 
 TEST(BlockTracker, FirstWriterHasNoDependencies) {
@@ -72,7 +81,7 @@ TEST(BlockTracker, CompletedPredecessorAddsNoEdge) {
   auto w = make_node();
   auto r = make_node();
   reg(t, w, {sigrt::dep::out(data.data(), data.size())});
-  (void)t.complete(*w);
+  (void)complete(t, *w);
   EXPECT_EQ(reg(t, r, {sigrt::dep::in(data.data(), data.size())}), 0u);
 }
 
@@ -85,7 +94,7 @@ TEST(BlockTracker, CompleteReturnsDependents) {
   reg(t, w, {sigrt::dep::out(data.data(), data.size())});
   reg(t, r1, {sigrt::dep::in(data.data(), data.size())});
   reg(t, r2, {sigrt::dep::in(data.data(), data.size())});
-  auto deps = t.complete(*w);
+  auto deps = complete(t, *w);
   EXPECT_EQ(deps.size(), 2u);
 }
 
@@ -97,7 +106,7 @@ TEST(BlockTracker, MultiBlockAccessDeduplicatesEdges) {
   auto r = make_node();
   reg(t, w, {sigrt::dep::out(data.data(), data.size())});
   EXPECT_EQ(reg(t, r, {sigrt::dep::in(data.data(), data.size())}), 1u);
-  EXPECT_EQ(t.complete(*w).size(), 1u);
+  EXPECT_EQ(complete(t, *w).size(), 1u);
 }
 
 TEST(BlockTracker, DisjointBlocksAreIndependent) {
@@ -121,7 +130,7 @@ TEST(BlockTracker, InOutActsAsReadAndWrite) {
   EXPECT_EQ(reg(t, rw, {sigrt::dep::inout(data.data(), data.size())}), 1u);
   // Subsequent reader depends on the inout node (the new last writer).
   EXPECT_EQ(reg(t, r, {sigrt::dep::in(data.data(), data.size())}), 1u);
-  EXPECT_EQ(t.complete(*rw).size(), 1u);
+  EXPECT_EQ(complete(t, *rw).size(), 1u);
 }
 
 TEST(BlockTracker, SelfOverlapWithinOneRegistrationIsNotADependency) {
@@ -149,8 +158,8 @@ TEST(BlockTracker, PendingWritersFindsUnfinishedWriter) {
   reg(t, w, {sigrt::dep::out(data.data(), data.size())});
   auto pending = t.pending_writers(data.data(), sizeof(data));
   ASSERT_EQ(pending.size(), 1u);
-  EXPECT_EQ(pending[0].get(), w.get());
-  (void)t.complete(*w);
+  EXPECT_EQ(pending[0], w.get());
+  (void)complete(t, *w);
   EXPECT_TRUE(t.pending_writers(data.data(), sizeof(data)).empty());
 }
 
@@ -198,7 +207,7 @@ TEST(BlockTracker, ChainOfWritersLinksPairwise) {
     nodes.push_back(n);
   }
   for (int i = 0; i < 4; ++i) {
-    EXPECT_EQ(t.complete(*nodes[static_cast<std::size_t>(i)]).size(), 1u);
+    EXPECT_EQ(complete(t, *nodes[static_cast<std::size_t>(i)]).size(), 1u);
   }
 }
 

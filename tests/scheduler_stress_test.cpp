@@ -11,21 +11,15 @@
 
 #include "core/scheduler.hpp"
 #include "core/sigrt.hpp"
+#include "scheduler_test_util.hpp"
 
 namespace {
 
 using sigrt::Scheduler;
 using sigrt::Task;
-using sigrt::TaskPtr;
-
-TaskPtr make_ready_task(std::function<void()> body,
-                        sigrt::ExecutionKind kind = sigrt::ExecutionKind::Accurate) {
-  auto t = std::make_shared<Task>();
-  t->accurate = std::move(body);
-  t->kind = kind;
-  t->gate.store(0);
-  return t;
-}
+using sigrt::TaskRef;
+using sigrt::test::exec_thunk;
+using sigrt::test::make_ready_task;
 
 void wait_until(const std::atomic<std::uint64_t>& counter, std::uint64_t target) {
   const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(120);
@@ -51,10 +45,11 @@ TEST(SchedulerStress, HundredThousandTasksAcrossEightWorkers) {
   constexpr unsigned kWorkers = 8;
   std::atomic<std::uint64_t> runs{0};
   {
-    Scheduler s(kWorkers, 0, /*steal=*/true, [&](const TaskPtr& t, unsigned) {
-      t->accurate();
+    auto fn = [&](Task& t, unsigned) {
+      t.accurate();
       runs.fetch_add(1, std::memory_order_acq_rel);
-    });
+    };
+    Scheduler s(kWorkers, 0, /*steal=*/true, &fn, exec_thunk(fn));
     for (std::uint64_t i = 0; i < kTasks; ++i) {
       // A sprinkle of heavier tasks induces imbalance so stealing must
       // engage even under perfectly even initial routing.
@@ -82,12 +77,13 @@ TEST(SchedulerStress, BulkEnqueuePublishesEveryTaskExactlyOnce) {
   constexpr std::uint64_t kBatchSize = 512;
   std::atomic<std::uint64_t> runs{0};
   {
-    Scheduler s(8, 0, /*steal=*/true, [&](const TaskPtr& t, unsigned) {
-      t->accurate();
+    auto fn = [&](Task& t, unsigned) {
+      t.accurate();
       runs.fetch_add(1, std::memory_order_acq_rel);
-    });
+    };
+    Scheduler s(8, 0, /*steal=*/true, &fn, exec_thunk(fn));
     for (std::uint64_t b = 0; b < kBatches; ++b) {
-      std::vector<TaskPtr> window;
+      std::vector<TaskRef> window;
       window.reserve(kBatchSize);
       for (std::uint64_t i = 0; i < kBatchSize; ++i) {
         // Alternate partitions inside one window: Accurate stays on the
@@ -113,13 +109,14 @@ TEST(SchedulerStress, PartitionRuleHoldsUnderChurn) {
   std::atomic<std::uint64_t> runs{0};
   std::atomic<std::uint64_t> violations{0};
   {
-    Scheduler s(8, 3, /*steal=*/true, [&](const TaskPtr& t, unsigned w) {
-      if (t->kind == sigrt::ExecutionKind::Accurate && w >= 5) {
+    auto fn = [&](Task& t, unsigned w) {
+      if (t.kind == sigrt::ExecutionKind::Accurate && w >= 5) {
         violations.fetch_add(1, std::memory_order_relaxed);
       }
-      t->accurate();
+      t.accurate();
       runs.fetch_add(1, std::memory_order_acq_rel);
-    });
+    };
+    Scheduler s(8, 3, /*steal=*/true, &fn, exec_thunk(fn));
     EXPECT_EQ(s.unreliable_count(), 3u);
     for (std::uint64_t i = 0; i < kTasks; ++i) {
       s.enqueue(make_ready_task([] {},
@@ -139,11 +136,12 @@ TEST(SchedulerStress, InlineModeIsDeterministic) {
   std::uint64_t runs = 0;
   std::uint64_t order_check = 0;
   bool in_order = true;
-  Scheduler s(0, 0, /*steal=*/true, [&](const TaskPtr& t, unsigned w) {
+  auto fn = [&](Task& t, unsigned w) {
     EXPECT_EQ(w, 0u);
-    t->accurate();
+    t.accurate();
     ++runs;
-  });
+  };
+  Scheduler s(0, 0, /*steal=*/true, &fn, exec_thunk(fn));
   EXPECT_TRUE(s.inline_mode());
   for (std::uint64_t i = 0; i < kTasks; ++i) {
     s.enqueue(make_ready_task([&, i] {

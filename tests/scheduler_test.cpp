@@ -1,5 +1,6 @@
 // Scheduler tests: round-robin distribution, FIFO order, stealing, inline
-// mode, busy-time accounting.
+// mode, busy-time accounting — over the pooled, intrusively refcounted task
+// lifecycle (tasks come from make_task(), not the heap).
 #include <gtest/gtest.h>
 
 #include <atomic>
@@ -9,27 +10,22 @@
 #include <vector>
 
 #include "core/scheduler.hpp"
+#include "scheduler_test_util.hpp"
 
 namespace {
 
 using sigrt::Scheduler;
 using sigrt::Task;
-using sigrt::TaskPtr;
-
-TaskPtr make_ready_task(std::function<void()> body) {
-  auto t = std::make_shared<Task>();
-  t->accurate = std::move(body);
-  t->kind = sigrt::ExecutionKind::Accurate;
-  t->gate.store(0);
-  return t;
-}
+using sigrt::test::exec_thunk;
+using sigrt::test::make_ready_task;
 
 TEST(Scheduler, InlineModeExecutesImmediately) {
   int runs = 0;
-  Scheduler s(0, 0, true, [&](const TaskPtr& t, unsigned) {
-    t->accurate();
+  auto fn = [&](Task& t, unsigned) {
+    t.accurate();
     ++runs;
-  });
+  };
+  Scheduler s(0, 0, true, &fn, exec_thunk(fn));
   EXPECT_TRUE(s.inline_mode());
   int x = 0;
   s.enqueue(make_ready_task([&] { x = 1; }));
@@ -42,7 +38,8 @@ TEST(Scheduler, InlineModeDrainsCascades) {
   // returns to the outermost caller.
   Scheduler* sp = nullptr;
   std::vector<int> order;
-  Scheduler s(0, 0, true, [&](const TaskPtr& t, unsigned) { t->accurate(); });
+  auto fn = [&](Task& t, unsigned) { t.accurate(); };
+  Scheduler s(0, 0, true, &fn, exec_thunk(fn));
   sp = &s;
   s.enqueue(make_ready_task([&] {
     order.push_back(1);
@@ -56,10 +53,11 @@ TEST(Scheduler, InlineModeDrainsCascades) {
 TEST(Scheduler, ThreadedExecutesEverything) {
   std::atomic<int> runs{0};
   {
-    Scheduler s(4, 0, true, [&](const TaskPtr& t, unsigned) {
-      t->accurate();
+    auto fn = [&](Task& t, unsigned) {
+      t.accurate();
       runs.fetch_add(1);
-    });
+    };
+    Scheduler s(4, 0, true, &fn, exec_thunk(fn));
     for (int i = 0; i < 1000; ++i) {
       s.enqueue(make_ready_task([] {}));
     }
@@ -72,11 +70,12 @@ TEST(Scheduler, WorkerIndexIsWithinRange) {
   std::atomic<bool> ok{true};
   std::atomic<int> runs{0};
   {
-    Scheduler s(3, 0, true, [&](const TaskPtr& t, unsigned w) {
+    auto fn = [&](Task& t, unsigned w) {
       if (w >= 3) ok.store(false);
-      t->accurate();
+      t.accurate();
       runs.fetch_add(1);
-    });
+    };
+    Scheduler s(3, 0, true, &fn, exec_thunk(fn));
     for (int i = 0; i < 100; ++i) s.enqueue(make_ready_task([] {}));
     while (runs.load() < 100) std::this_thread::yield();
   }
@@ -88,10 +87,11 @@ TEST(Scheduler, SingleWorkerPreservesFifoOrder) {
   std::mutex m;
   std::atomic<int> runs{0};
   {
-    Scheduler s(1, 0, false, [&](const TaskPtr& t, unsigned) {
-      t->accurate();
+    auto fn = [&](Task& t, unsigned) {
+      t.accurate();
       runs.fetch_add(1);
-    });
+    };
+    Scheduler s(1, 0, false, &fn, exec_thunk(fn));
     for (int i = 0; i < 50; ++i) {
       s.enqueue(make_ready_task([&, i] {
         std::lock_guard lock(m);
@@ -111,10 +111,11 @@ TEST(Scheduler, StealingMovesWorkOffABlockedWorker) {
   std::atomic<int> done{0};
   std::atomic<bool> release{false};
   {
-    Scheduler s(2, 0, true, [&](const TaskPtr& t, unsigned) {
-      t->accurate();
+    auto fn = [&](Task& t, unsigned) {
+      t.accurate();
       done.fetch_add(1);
-    });
+    };
+    Scheduler s(2, 0, true, &fn, exec_thunk(fn));
     // Blocker lands on worker 0 (round-robin starts there).
     s.enqueue(make_ready_task([&] {
       while (!release.load()) std::this_thread::yield();
@@ -136,10 +137,11 @@ TEST(Scheduler, StealingMovesWorkOffABlockedWorker) {
 
 TEST(Scheduler, BusyTimeAccumulates) {
   std::atomic<int> runs{0};
-  Scheduler s(2, 0, true, [&](const TaskPtr& t, unsigned) {
-    t->accurate();
+  auto fn = [&](Task& t, unsigned) {
+    t.accurate();
     runs.fetch_add(1);
-  });
+  };
+  Scheduler s(2, 0, true, &fn, exec_thunk(fn));
   for (int i = 0; i < 8; ++i) {
     s.enqueue(make_ready_task([] {
       volatile double x = 1.0;
@@ -152,7 +154,8 @@ TEST(Scheduler, BusyTimeAccumulates) {
 }
 
 TEST(Scheduler, InlineBusyTimeCounted) {
-  Scheduler s(0, 0, true, [&](const TaskPtr& t, unsigned) { t->accurate(); });
+  auto fn = [&](Task& t, unsigned) { t.accurate(); };
+  Scheduler s(0, 0, true, &fn, exec_thunk(fn));
   s.enqueue(make_ready_task([] {
     volatile double x = 1.0;
     for (int j = 0; j < 400000; ++j) x = x * 1.0000001 + 0.1;
@@ -163,7 +166,8 @@ TEST(Scheduler, InlineBusyTimeCounted) {
 
 TEST(Scheduler, CleanShutdownWithEmptyQueues) {
   for (int i = 0; i < 10; ++i) {
-    Scheduler s(4, 0, true, [](const TaskPtr& t, unsigned) { t->accurate(); });
+    Scheduler s(4, 0, true, nullptr,
+                [](void*, Task& t, unsigned) { t.accurate(); });
     // Destroy immediately: workers must exit without having run anything.
   }
   SUCCEED();

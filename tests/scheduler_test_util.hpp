@@ -1,0 +1,30 @@
+// Shared helpers for tests that drive the Scheduler directly: pooled ready
+// tasks and the lambda -> (ctx, function-pointer) hook adapter.
+#pragma once
+
+#include <functional>
+#include <utility>
+
+#include "core/scheduler.hpp"
+
+namespace sigrt::test {
+
+/// A pool-allocated task that is immediately runnable (gate == 0).
+inline TaskRef make_ready_task(
+    std::function<void()> body,
+    ExecutionKind kind = ExecutionKind::Accurate) {
+  TaskRef t = make_task();
+  t->accurate = std::move(body);
+  t->kind = kind;
+  t->gate.store(0);
+  return t;
+}
+
+/// Adapts a capturing callable to the scheduler's (ctx, fn-pointer) hook
+/// pair: pass `&fn` as ctx and exec_thunk(fn) as the ExecuteFn/DequeueFn.
+template <class F>
+constexpr Scheduler::ExecuteFn exec_thunk(F&) {
+  return [](void* ctx, Task& t, unsigned w) { (*static_cast<F*>(ctx))(t, w); };
+}
+
+}  // namespace sigrt::test

@@ -52,9 +52,8 @@ TEST(Unreliable, AccurateTasksNeverRunOnUnreliableWorkers) {
 TEST(Unreliable, WorkerClassificationIsExposed) {
   // White-box check of the routing predicate through dump-level state: with
   // 3 workers and 1 unreliable, indices 0..1 are reliable, 2 unreliable.
-  sigrt::Scheduler s(3, 1, true, [](const sigrt::TaskPtr& t, unsigned) {
-    t->accurate();
-  });
+  sigrt::Scheduler s(3, 1, true, nullptr,
+                     [](void*, sigrt::Task& t, unsigned) { t.accurate(); });
   EXPECT_FALSE(s.is_unreliable(0));
   EXPECT_FALSE(s.is_unreliable(1));
   EXPECT_TRUE(s.is_unreliable(2));
@@ -62,9 +61,8 @@ TEST(Unreliable, WorkerClassificationIsExposed) {
 }
 
 TEST(Unreliable, UnreliableCountClampsToKeepOneReliableWorker) {
-  sigrt::Scheduler s(2, 8, true, [](const sigrt::TaskPtr& t, unsigned) {
-    t->accurate();
-  });
+  sigrt::Scheduler s(2, 8, true, nullptr,
+                     [](void*, sigrt::Task& t, unsigned) { t.accurate(); });
   EXPECT_EQ(s.unreliable_count(), 1u);
   EXPECT_FALSE(s.is_unreliable(0));
 }
