@@ -1,0 +1,110 @@
+#!/usr/bin/env python3
+"""Interleaved A/B benchmark comparison for noisy (single-CPU) boxes.
+
+Runs two bench commands alternately (A B A B ...) so machine-wide noise
+lands on both sides equally, parses the LAST line of each run's stdout as
+one JSON record (the BENCH_*.json convention of this repo's drivers),
+flattens nested objects/arrays into dotted metric names, and reports the
+per-metric median of A, median of B, and the B/A ratio.
+
+Usage:
+    ab_compare.py [--runs N] [--label-a OLD] [--label-b NEW]
+                  [--filter SUBSTR] "cmd A" "cmd B"
+
+Commands are shell-split (quote them once); non-numeric JSON fields are
+used to label rows when possible and otherwise ignored.  Exit code is
+always 0 — this is a reporting tool, not a gate.
+"""
+
+import argparse
+import json
+import shlex
+import statistics
+import subprocess
+import sys
+
+
+def run_once(cmd):
+    """Runs `cmd`, returns the JSON object parsed from stdout's last line."""
+    out = subprocess.run(
+        shlex.split(cmd), capture_output=True, text=True, check=True
+    ).stdout
+    lines = [ln for ln in out.strip().splitlines() if ln.strip()]
+    if not lines:
+        raise RuntimeError(f"no output from: {cmd}")
+    return json.loads(lines[-1])
+
+
+def flatten(obj, prefix=""):
+    """Yields (dotted_name, number) for every numeric leaf of obj.
+
+    Array elements of objects are labelled by their non-numeric fields
+    (e.g. cells[shape=chain,workers=8].tasks_per_sec) so records stay
+    comparable when both sides emit the same logical cells.
+    """
+    if isinstance(obj, dict):
+        for key, val in obj.items():
+            yield from flatten(val, f"{prefix}.{key}" if prefix else key)
+    elif isinstance(obj, list):
+        for i, val in enumerate(obj):
+            if isinstance(val, dict):
+                tags = ",".join(
+                    f"{k}={v}"
+                    for k, v in val.items()
+                    if isinstance(v, (str, bool))
+                    or (isinstance(v, int) and k in ("workers", "threads"))
+                )
+                label = f"{prefix}[{tags}]" if tags else f"{prefix}[{i}]"
+            else:
+                label = f"{prefix}[{i}]"
+            yield from flatten(val, label)
+    elif isinstance(obj, bool):
+        pass
+    elif isinstance(obj, (int, float)):
+        yield prefix, float(obj)
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--runs", type=int, default=5,
+                    help="runs per side (default 5)")
+    ap.add_argument("--label-a", default="A")
+    ap.add_argument("--label-b", default="B")
+    ap.add_argument("--filter", default="",
+                    help="only report metrics containing this substring")
+    ap.add_argument("cmd_a")
+    ap.add_argument("cmd_b")
+    args = ap.parse_args()
+
+    samples = {"a": {}, "b": {}}
+    for r in range(args.runs):
+        for side, cmd in (("a", args.cmd_a), ("b", args.cmd_b)):
+            record = run_once(cmd)
+            for name, value in flatten(record):
+                samples[side].setdefault(name, []).append(value)
+            print(f"run {r + 1}/{args.runs} side "
+                  f"{args.label_a if side == 'a' else args.label_b}: ok",
+                  file=sys.stderr)
+
+    common = [m for m in samples["a"] if m in samples["b"]
+              and args.filter in m]
+    if not common:
+        print("no common numeric metrics between the two records",
+              file=sys.stderr)
+        return
+
+    name_w = max(len(m) for m in common)
+    print(f"{'metric':<{name_w}}  {'median ' + args.label_a:>14}  "
+          f"{'median ' + args.label_b:>14}  {'ratio':>7}")
+    for m in common:
+        med_a = statistics.median(samples["a"][m])
+        med_b = statistics.median(samples["b"][m])
+        if med_a != 0:
+            ratio = med_b / med_a
+        else:
+            ratio = 1.0 if med_b == 0 else float("inf")
+        print(f"{m:<{name_w}}  {med_a:>14.4g}  {med_b:>14.4g}  {ratio:>7.3f}")
+
+
+if __name__ == "__main__":
+    main()

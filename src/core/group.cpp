@@ -20,7 +20,8 @@ void TaskGroup::on_spawn() noexcept {
 }
 
 void TaskGroup::on_complete(ExecutionKind kind, float significance,
-                            double requested, bool internal) noexcept {
+                            double requested, bool internal,
+                            unsigned worker_slot) noexcept {
   if (!internal) {
     switch (kind) {
       case ExecutionKind::Accurate:
@@ -36,9 +37,13 @@ void TaskGroup::on_complete(ExecutionKind kind, float significance,
         break;  // unreachable: the scheduler resolves before completion
     }
     if (record_log_) {
-      std::lock_guard lock(log_mutex_);
-      log_.push_back({significance, kind});
-      requested_mass_ += requested;
+      // Worker shards have a single writer, so this lock is uncontended on
+      // the completion hot path (it only ever waits on a report() merge);
+      // the shared fallback shard is the one place writers can collide.
+      LogShard& shard = shard_for(worker_slot);
+      std::lock_guard lock(shard.mutex);
+      shard.log.push_back({significance, kind});
+      shard.requested_mass += requested;
     }
   }
 
@@ -67,11 +72,23 @@ GroupReport TaskGroup::report() const {
   r.approximate = approximate_.load(std::memory_order_relaxed);
   r.dropped = dropped_.load(std::memory_order_relaxed);
 
-  std::lock_guard lock(log_mutex_);
+  // Lazy merge of the per-worker log shards — report() is the cold path,
+  // so the completion side never pays for a combined log.  The shards are
+  // scanned in place (no merged copy); each pass takes one shard lock at
+  // a time, so like the counters above, a report taken while tasks are
+  // completing is approximate.
+  std::size_t log_size = 0;
+  double requested_mass = 0.0;
+  for (const LogShard& shard : log_shards_) {
+    std::lock_guard lock(shard.mutex);
+    log_size += shard.log.size();
+    requested_mass += shard.requested_mass;
+  }
+
   const std::uint64_t total = r.accurate + r.approximate + r.dropped;
   r.mean_requested_ratio =
-      log_.empty() ? r.requested_ratio
-                   : requested_mass_ / static_cast<double>(log_.size());
+      log_size == 0 ? r.requested_ratio
+                    : requested_mass / static_cast<double>(log_size);
 
   // "Inversed significance" tasks (§4.2, Table 2): the disagreement between
   // the actual classification and the ideal one with the *same* accurate
@@ -81,25 +98,38 @@ GroupReport TaskGroup::report() const {
   // (A plain "approximated while any less significant task was accurate"
   // count would let a single low-significance accurate task poison the
   // whole group.)
-  if (!log_.empty() && total > 0 && r.accurate > 0 &&
-      r.accurate < log_.size()) {
+  if (log_size > 0 && total > 0 && r.accurate > 0 && r.accurate < log_size) {
     std::vector<float> sigs;
-    sigs.reserve(log_.size());
-    for (const TaskRecord& t : log_) sigs.push_back(t.significance);
-    const auto kth = sigs.begin() + static_cast<std::ptrdiff_t>(r.accurate - 1);
+    sigs.reserve(log_size);
+    for (const LogShard& shard : log_shards_) {
+      std::lock_guard lock(shard.mutex);
+      for (const TaskRecord& t : shard.log) sigs.push_back(t.significance);
+    }
+    if (sigs.empty()) return r;  // log reset between the two passes
+    const auto kth =
+        sigs.begin() + static_cast<std::ptrdiff_t>(
+                           std::min<std::uint64_t>(r.accurate, sigs.size()) - 1);
     std::nth_element(sigs.begin(), kth, sigs.end(), std::greater<float>());
     const float cutoff = *kth;
 
     std::uint64_t inversed = 0;
-    for (const TaskRecord& t : log_) {
-      if (t.kind == ExecutionKind::Accurate && t.significance < cutoff) {
-        ++inversed;
-      } else if (t.kind != ExecutionKind::Accurate && t.significance > cutoff) {
-        ++inversed;
+    std::size_t scanned = 0;
+    for (const LogShard& shard : log_shards_) {
+      std::lock_guard lock(shard.mutex);
+      for (const TaskRecord& t : shard.log) {
+        if (t.kind == ExecutionKind::Accurate && t.significance < cutoff) {
+          ++inversed;
+        } else if (t.kind != ExecutionKind::Accurate &&
+                   t.significance > cutoff) {
+          ++inversed;
+        }
+        ++scanned;
       }
     }
-    r.inversion_fraction =
-        static_cast<double>(inversed) / static_cast<double>(log_.size());
+    if (scanned > 0) {
+      r.inversion_fraction =
+          static_cast<double>(inversed) / static_cast<double>(scanned);
+    }
   }
   return r;
 }
@@ -109,9 +139,11 @@ void TaskGroup::reset_stats() {
   accurate_.store(0, std::memory_order_relaxed);
   approximate_.store(0, std::memory_order_relaxed);
   dropped_.store(0, std::memory_order_relaxed);
-  std::lock_guard lock(log_mutex_);
-  log_.clear();
-  requested_mass_ = 0.0;
+  for (LogShard& shard : log_shards_) {
+    std::lock_guard lock(shard.mutex);
+    shard.log.clear();
+    shard.requested_mass = 0.0;
+  }
 }
 
 }  // namespace sigrt

@@ -5,6 +5,7 @@
 // accounting reported in Table 2 of the paper.
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
@@ -85,8 +86,15 @@ class TaskGroup {
 
   /// Worker side: a task of this group finished with outcome `kind`.
   /// `requested` is the ratio in effect when the task was classified.
+  /// `worker_slot` routes the task-record append to a per-worker log shard
+  /// (pass the executing worker's index); callers without a worker
+  /// identity (tests, external completions) omit it and share the
+  /// fallback shard — the only shard whose mutex ever sees contention.
   void on_complete(ExecutionKind kind, float significance, double requested,
-                   bool internal) noexcept;
+                   bool internal, unsigned worker_slot = kNoWorkerSlot) noexcept;
+
+  /// Sentinel worker_slot for callers with no worker identity.
+  static constexpr unsigned kNoWorkerSlot = ~0u;
 
   /// Blocks until every spawned task has completed.
   void wait() const;
@@ -117,9 +125,27 @@ class TaskGroup {
   mutable std::mutex wait_mutex_;
   mutable std::condition_variable wait_cv_;
 
-  mutable std::mutex log_mutex_;
-  std::vector<TaskRecord> log_;
-  double requested_mass_ = 0.0;  ///< sum of ratio() at each classification
+  // Task-record log, sharded by executing worker so the per-completion
+  // append never crosses a contended lock: worker w appends to shard
+  // (w & kLogShardMask) — single writer, so its mutex is uncontended
+  // except against a concurrent report()/reset_stats() merge — and
+  // callers without a worker identity share the extra fallback shard,
+  // the only one whose mutex serializes writers.  report() merges the
+  // shards lazily (it is the cold path).
+  static constexpr unsigned kLogShards = 16;  // power of two
+  static constexpr unsigned kLogShardMask = kLogShards - 1;
+  struct alignas(64) LogShard {
+    mutable std::mutex mutex;
+    std::vector<TaskRecord> log;
+    double requested_mass = 0.0;  ///< sum of ratio() at each classification
+  };
+  std::array<LogShard, kLogShards + 1> log_shards_;  // +1: fallback shard
+
+  [[nodiscard]] LogShard& shard_for(unsigned worker_slot) noexcept {
+    return worker_slot == kNoWorkerSlot
+               ? log_shards_[kLogShards]
+               : log_shards_[worker_slot & kLogShardMask];
+  }
 };
 
 }  // namespace sigrt

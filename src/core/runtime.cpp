@@ -161,38 +161,59 @@ void Runtime::spawn_impl(TaskOptions&& options, bool internal) {
     return;
   }
 
-  // Gate arithmetic.  The final hold count is (2 + deps): hold A for policy
-  // classification (released by the Policy via IssueSink), hold B for this
-  // registration (released at the bottom), plus one per unfinished
-  // predecessor.  deps is only known *after* registration, and predecessors
-  // may complete — and decrement the gate — concurrently with it.  Seeding
-  // the gate with a large spawn hold and then subtracting the surplus makes
-  // it impossible for those early decrements to drive the gate to zero
-  // before the dependency count is folded in (with a plain initial value of
-  // 2, two predecessors finishing inside the window double-enqueue the
-  // task).
+  // Gate arithmetic.  The final hold count is (holds + deps): hold B for
+  // this registration (released at the bottom), hold A for policy
+  // classification (released by the Policy via IssueSink) — only taken
+  // when a buffering policy actually needs it, see below — plus one per
+  // unfinished predecessor.  deps is only known *after* registration, and
+  // predecessors may complete — and decrement the gate — concurrently with
+  // it (the striped tracker hands a completing predecessor's dependents
+  // out while the successor's registration is still visiting other
+  // stripes).  Seeding the gate with a large spawn hold and then
+  // subtracting the surplus makes it impossible for those early decrements
+  // to drive the gate to zero before the dependency count is folded in
+  // (with a plain initial value of `holds`, two predecessors finishing
+  // inside the window double-enqueue the task).
+  //
+  // Pass-through policies (LQH/agnostic) never buffer: their on_spawn is an
+  // immediate release of hold A.  Dependent tasks under them skip the
+  // policy hop entirely — no virtual call, one fewer gate RMW — and are
+  // classified at dequeue exactly as on the footprint-free fast path.
+  // Internal fence tasks do the same (they bypass buffering by contract)
+  // but are pinned Accurate here.
+  const bool skip_policy = internal || pass_through_;
+  const std::uint32_t holds = skip_policy ? 1u : 2u;
   constexpr std::uint32_t kSpawnHold = 1u << 20;
   task->gate.store(kSpawnHold, std::memory_order_relaxed);
   // Footprint-free tasks bypass the tracker entirely: they can neither
   // have predecessors nor ever be one, so both the registration here and
-  // the completion lookup skip the tracker's global mutex.
+  // the completion lookup skip the tracker's stripe locks.
   const std::size_t deps =
       task->has_footprint ? tracker_.register_node(task.get(), options.accesses)
                           : 0;
-  assert(deps + 2 < kSpawnHold && "dependency count exceeds the spawn hold");
-  // After this subtraction the gate reads (2 + deps - completed_preds) >= 2,
-  // so the zero crossing can only happen via the releases below.
-  task->gate.fetch_sub(kSpawnHold - 2 - static_cast<std::uint32_t>(deps),
-                       std::memory_order_acq_rel);
+  assert(deps + holds < kSpawnHold && "dependency count exceeds the spawn hold");
 
-  if (internal) {
-    // Internal fence tasks bypass the policy: they are always accurate and
-    // must not be delayed by buffering.
-    task->kind = ExecutionKind::Accurate;
-    release(task);  // hold A
-  } else {
-    policy_->on_spawn(task, *this);  // will release hold A
+  if (skip_policy) {
+    if (internal) {
+      // Internal fence tasks bypass the policy: they are always accurate
+      // and must not be delayed by buffering.
+      task->kind = ExecutionKind::Accurate;
+    }
+    // Fold the surplus subtraction and hold B's release into one RMW: the
+    // gate reaches zero here exactly when every predecessor already
+    // completed inside the registration window.
+    const auto sub = kSpawnHold - static_cast<std::uint32_t>(deps);
+    if (task->gate.fetch_sub(sub, std::memory_order_acq_rel) == sub) {
+      scheduler_->enqueue(std::move(task));  // donate the spawner's reference
+    }
+    return;
   }
+
+  // After this subtraction the gate reads (holds + deps - completed_preds)
+  // >= holds, so the zero crossing can only happen via the releases below.
+  task->gate.fetch_sub(kSpawnHold - holds - static_cast<std::uint32_t>(deps),
+                       std::memory_order_acq_rel);
+  policy_->on_spawn(task, *this);  // will release hold A
 
   if (task->release_one()) {  // hold B
     scheduler_->enqueue(std::move(task));  // donate the spawner's reference
@@ -281,7 +302,11 @@ void Runtime::execute_task(Task& task, unsigned worker) {
   }
 
   // Completion order matters: downstream tasks must only start after this
-  // task's side effects are visible, which the tracker's mutex guarantees.
+  // task's side effects are visible.  The striped tracker guarantees it
+  // through the node-state publish protocol: complete() stores done_ with
+  // release under the node's lock, and a racing registration that skips
+  // the edge observes it with acquire (dependents handed out here ride the
+  // scheduler's publication edges instead).
   // Multiple dependents becoming runnable at once go out as one batch.
   // Scratch buffers are thread-local: execute_task is only entered from the
   // scheduler's (non-reentrant) drain/worker loop, and completions in the
@@ -303,7 +328,9 @@ void Runtime::execute_task(Task& task, unsigned worker) {
       }
     }
     if (ready.size() == 1) {
-      scheduler_->enqueue_owned(ready.front());
+      // Post-body release: this worker pops the lone dependent next, so
+      // the scheduler may skip the thief wake (see enqueue_released).
+      scheduler_->enqueue_released(ready.front());
     } else if (!ready.empty()) {
       scheduler_->enqueue_bulk(ready.data(), ready.size());
     }
@@ -311,7 +338,7 @@ void Runtime::execute_task(Task& task, unsigned worker) {
     ready.clear();
   }
 
-  g.on_complete(kind, task.significance, requested, task.internal);
+  g.on_complete(kind, task.significance, requested, task.internal, worker);
   on_task_finished();
 }
 

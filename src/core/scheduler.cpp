@@ -135,7 +135,7 @@ unsigned Scheduler::wake_workers(unsigned preferred, Partition part,
   return woken;
 }
 
-void Scheduler::enqueue_owned(Task* task) {
+void Scheduler::enqueue_owned(Task* task, bool post_body) {
   assert_enqueue_ok(*task);
 
   if (inline_mode()) {
@@ -146,14 +146,27 @@ void Scheduler::enqueue_owned(Task* task) {
 
   const Partition part = partition_of(*task);
 
-  // Owner fast path: dependents released mid-execution stay on the
-  // releasing worker's own deque — a pure owner push, no shared CAS.  An
-  // unreliable worker may not host kReliableOnly work; it falls through to
-  // remote dispatch onto a reliable worker's inbox.
+  // Owner fast path: dependents released by a worker stay on its own
+  // deque — a pure owner push, no shared CAS.  An unreliable worker may
+  // not host kReliableOnly work; it falls through to remote dispatch onto
+  // a reliable worker's inbox.
   if (tls_scheduler == this &&
       (part == kAnyWorker || !is_unreliable(tls_worker))) {
-    slots_[tls_worker]->deque[part].push(task);
-    if (steal_enabled_) {
+    WorkerSlot& me = *slots_[tls_worker];
+    me.deque[part].push(task);
+    // Post-body release (enqueue_released): the worker returns straight
+    // to its pop loop, so when the pushed task is the only thing in its
+    // deques it is consumed by the worker's own next pop and waking a
+    // thief for it is a guaranteed-futile context switch (the dominant
+    // cost of dependent chains on oversubscribed machines).  Any other
+    // own work — in either partition's deque — voids that premise (the
+    // next pop may pick it instead), so it is advertised.  Mid-body
+    // pushes (post_body == false) always advertise — the body may run
+    // long, or even wait on the pushed task, and the wake is what lets a
+    // thief pick it up.
+    const bool sole_own_work =
+        me.deque[part].size() == 1 && me.deque[1 - part].empty();
+    if (steal_enabled_ && (!post_body || !sole_own_work)) {
       std::atomic_thread_fence(std::memory_order_seq_cst);
       wake_workers(kNoPreference, part, 1);
     }

@@ -106,7 +106,14 @@ class Scheduler {
   void enqueue(TaskRef task) { enqueue_owned(task.detach()); }
 
   /// Hot-path variant: takes ownership of one already-counted reference.
-  void enqueue_owned(Task* task);
+  void enqueue_owned(Task* task) { enqueue_owned(task, /*post_body=*/false); }
+
+  /// Dependent-release variant: identical ownership semantics, but the
+  /// caller asserts it is a worker that has FINISHED its task body and
+  /// returns straight to its pop loop.  That guarantee is what licenses
+  /// the lone-task wake suppression (see enqueue_owned's owner path); a
+  /// mid-body push must use enqueue_owned, whose wake is unconditional.
+  void enqueue_released(Task* task) { enqueue_owned(task, /*post_body=*/true); }
 
   /// Batched enqueue: publishes all `count` ready tasks with one inbox CAS
   /// per target worker and a single fence, then wakes up to `count` parked
@@ -175,6 +182,7 @@ class Scheduler {
   void worker_loop(unsigned index);
   void run_task(Task* raw, unsigned index);
   void drain_inline();
+  void enqueue_owned(Task* task, bool post_body);
 
   /// Owner-side work acquisition: own deques -> own inboxes -> stealing.
   Task* acquire_work(unsigned index);

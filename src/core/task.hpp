@@ -50,7 +50,7 @@ class Task final : public dep::Node, public support::PoolSlot<Task> {
 
   /// True when the task registered in()/out() clauses with the dependence
   /// tracker.  A task without a footprint can never be named a predecessor,
-  /// so its completion skips the tracker's global mutex entirely.
+  /// so its completion skips the tracker's stripe locks entirely.
   bool has_footprint = false;
 
   /// Classification result.  Written exactly once before the task becomes

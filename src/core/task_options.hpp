@@ -12,25 +12,31 @@
 // the 64-byte small-buffer limit (≈ 8 pointers/references) is stored inline
 // and the spawn performs ZERO heap allocations; larger captures still work
 // but cost one allocation at spawn time.  Keep hot-loop captures within the
-// limit — the micro_spawn bench gate measures exactly this.
+// limit — the micro_spawn bench gate measures exactly this.  The clause
+// list follows the same contract: up to kInlineAccesses in()/out() clauses
+// live inline in the options (no heap), longer footprints spill — the
+// micro_deps gate measures the dependent-spawn path.
 #pragma once
 
 #include <utility>
-#include <vector>
 
 #include "core/types.hpp"
 #include "dep/block_tracker.hpp"
 #include "support/inline_fn.hpp"
+#include "support/small_vec.hpp"
 
 namespace sigrt {
 
 /// Plain-data description of one task to spawn.
 struct TaskOptions {
+  /// Clauses stored inline before spilling to the heap.
+  static constexpr std::size_t kInlineAccesses = 6;
+
   support::InlineFn accurate;     ///< required
   support::InlineFn approximate;  ///< optional; absent => drop on approximation
   double significance = 1.0;
   GroupId group = kDefaultGroup;
-  std::vector<dep::Access> accesses;
+  support::SmallVec<dep::Access, kInlineAccesses> accesses;
 };
 
 class TaskBuilder {

@@ -24,108 +24,221 @@ std::uint64_t BlockTracker::last_block(const void* ptr,
   return end >> block_shift_;
 }
 
-bool BlockTracker::link(Node* pred, Node* succ) {
-  if (pred == nullptr || pred == succ || pred->done_) return false;
-  if (pred->visit_stamp_ == stamp_) return false;  // already linked this pass
-  pred->visit_stamp_ = stamp_;
-  succ->ref_retain();  // the dependents entry owns one reference
-  pred->dependents_.push_back(succ);
-  ++stats_.edges;
-  return true;
+std::uint64_t BlockTracker::stripe_mask(std::uint64_t lo,
+                                        std::uint64_t hi) noexcept {
+  if (hi - lo + 1 >= kStripes) return ~std::uint64_t{0};
+  std::uint64_t mask = 0;
+  for (std::uint64_t b = lo; b <= hi; ++b) {
+    mask |= std::uint64_t{1} << stripe_of(b);
+  }
+  return mask;
+}
+
+void BlockTracker::lock_stripes(std::uint64_t mask) noexcept {
+  // Ascending stripe order — the global lock order that keeps concurrent
+  // multi-stripe registrations deadlock-free.
+  for (std::uint64_t m = mask; m != 0; m &= m - 1) {
+    stripes_[static_cast<unsigned>(std::countr_zero(m))].lock.lock();
+  }
+}
+
+void BlockTracker::unlock_stripes(std::uint64_t mask) noexcept {
+  for (std::uint64_t m = mask; m != 0; m &= m - 1) {
+    stripes_[static_cast<unsigned>(std::countr_zero(m))].lock.unlock();
+  }
+}
+
+bool BlockTracker::link(Node* pred, Node* succ, std::uint64_t stamp) {
+  if (pred == nullptr || pred == succ) return false;
+  if (pred->visit_stamp_.load(std::memory_order_relaxed) == stamp) {
+    return false;  // already linked this pass
+  }
+  // Fast path: a predecessor observed done needs no edge.  The acquire
+  // pairs with complete()'s release store, so the successor's registering
+  // thread — and, through the scheduler's publication edges, the worker
+  // that eventually runs it — sees the predecessor's side effects.
+  if (pred->done_.load(std::memory_order_acquire)) return false;
+  bool added = false;
+  pred->dep_lock_.lock();
+  if (!pred->done_.load(std::memory_order_relaxed)) {  // re-check under lock
+    succ->ref_retain();  // the dependents entry owns one reference
+    pred->dependents_.push_back(succ);
+    added = true;
+  }
+  pred->dep_lock_.unlock();
+  if (added) pred->visit_stamp_.store(stamp, std::memory_order_relaxed);
+  return added;
 }
 
 std::size_t BlockTracker::register_node(Node* node,
                                         std::span<const Access> accesses) {
-  std::lock_guard lock(mutex_);
-  ++stamp_;
-  ++stats_.registered_nodes;
-  std::size_t predecessors = 0;
+  // Stamps are process-unique (never reused, never 0), so concurrent
+  // registrations stamping the same predecessor can at worst miss a
+  // de-duplication — a harmless duplicate edge whose gate arithmetic still
+  // balances — never alias each other's stamps.
+  const std::uint64_t stamp = stamp_.fetch_add(1, std::memory_order_relaxed);
+  registered_nodes_.fetch_add(1, std::memory_order_relaxed);
 
+  // Pass 1 (no locks): the stripe set of the whole footprint.
+  std::uint64_t mask = 0;
+  for (const Access& a : accesses) {
+    if (a.ptr == nullptr || a.bytes == 0) continue;
+    mask |= stripe_mask(first_block(a.ptr), last_block(a.ptr, a.bytes));
+  }
+  if (mask == 0) return 0;
+
+  // Pass 2: hold every involved stripe for the duration so conflicting
+  // registrations serialize in one consistent order across all shared
+  // blocks (pairwise edges can then never form a cycle).
+  lock_stripes(mask);
+
+  std::size_t predecessors = 0;
+  std::uint64_t new_edges = 0;
+  std::int64_t parks = 0;
   for (const Access& a : accesses) {
     if (a.ptr == nullptr || a.bytes == 0) continue;
     const std::uint64_t lo = first_block(a.ptr);
     const std::uint64_t hi = last_block(a.ptr, a.bytes);
     for (std::uint64_t b = lo; b <= hi; ++b) {
-      auto [it, inserted] = blocks_.try_emplace(b);
-      if (inserted) ++stats_.blocks_touched;
-      BlockState& state = it->second;
+      Stripe& stripe = stripes_[stripe_of(b)];
+      bool inserted = false;
+      BlockState& state = stripe.map.get_or_insert(b, inserted);
+      if (inserted) ++stripe.blocks_ever;
 
       if (reads(a.mode)) {
         // RAW: reader after writer.
-        if (link(state.last_writer, node)) ++predecessors;
+        if (link(state.last_writer, node, stamp)) {
+          ++predecessors;
+          ++new_edges;
+        }
       }
       if (writes(a.mode)) {
         // WAW: writer after writer.
-        if (link(state.last_writer, node)) ++predecessors;
-        // WAR: writer after readers.
-        for (Node* r : state.readers) {
-          if (link(r, node)) ++predecessors;
+        if (link(state.last_writer, node, stamp)) {
+          ++predecessors;
+          ++new_edges;
         }
-        for (Node* r : state.readers) unpark(r);
-        state.readers.clear();
-        unpark(state.last_writer);
-        node->ref_retain();
-        state.last_writer = node;
-        node->touched_blocks_.push_back(b);
+        // WAR: writer after readers — link each, then drop its pin.  A
+        // reader pin parked by an earlier access of this same registration
+        // is displaced by adjusting the local park count, not the shared
+        // reference.
+        state.for_each_reader([&](Node* r) {
+          if (r == node) {
+            --parks;
+            return;
+          }
+          if (link(r, node, stamp)) {
+            ++predecessors;
+            ++new_edges;
+          }
+          unpin(r);
+        });
+        state.clear_readers();
+        // A later write clause of this same registration may find the node
+        // already parked as this block's writer; the existing pin stands
+        // (unpin here would transiently underflow the not-yet-published
+        // pin count).
+        if (state.last_writer != node) {
+          if (state.last_writer != nullptr) unpin(state.last_writer);
+          state.last_writer = node;
+          ++parks;
+          node->touched_blocks_.push_back(b);
+        }
       } else {
-        node->ref_retain();
-        state.readers.push_back(node);
+        state.add_reader(node);
+        ++parks;
         node->touched_blocks_.push_back(b);
       }
     }
   }
+
+  // One retained reference backs every pin of this registration; the pin
+  // count is published before the stripe locks drop, so any later
+  // displacement finds it in place.
+  if (parks > 0) {
+    node->ref_retain();
+    node->pin_count_.fetch_add(static_cast<std::uint32_t>(parks),
+                               std::memory_order_relaxed);
+  }
+
+  unlock_stripes(mask);
+  if (new_edges != 0) edges_.fetch_add(new_edges, std::memory_order_relaxed);
   return predecessors;
 }
 
 void BlockTracker::complete(Node& node, std::vector<Node*>& out) {
-  std::lock_guard lock(mutex_);
-  node.done_ = true;
-  // Drop every block-map pin still naming this node so the tracker holds
-  // no pointer to it afterwards (pooled tasks recycle promptly; plain test
-  // nodes may be destroyed).  touched_blocks_ may hold duplicates and
-  // blocks where the pin was already displaced by a later writer — both
-  // are no-ops here.
-  for (const std::uint64_t b : node.touched_blocks_) {
-    auto it = blocks_.find(b);
-    if (it == blocks_.end()) continue;  // reset() dropped the block
-    BlockState& state = it->second;
-    if (state.last_writer == &node) {
-      state.last_writer = nullptr;
-      unpark(&node);
-    }
-    for (std::size_t i = 0; i < state.readers.size(); ++i) {
-      if (state.readers[i] == &node) {
-        state.readers[i] = state.readers.back();
-        state.readers.pop_back();
-        unpark(&node);
-        break;  // parked at most once per block per role
-      }
-    }
-  }
-  node.touched_blocks_.clear();
+  // Phase 1 — publish: set done_ and harvest the dependents, all under the
+  // node's dep_lock_ so the last racing link() either lands before the
+  // harvest (and is collected here) or observes done_ (and adds no edge).
+  // No stripe lock is held, keeping the stripe→node lock order one-way.
+  node.dep_lock_.lock();
+  node.done_.store(true, std::memory_order_release);
   // The dependents' references transfer to the caller; the vector keeps its
   // capacity for the node's next life in the task pool.
   out.insert(out.end(), node.dependents_.begin(), node.dependents_.end());
   node.dependents_.clear();
+  node.dep_lock_.unlock();
+
+  // Phase 2 — unpin: drop every block-map pin still naming this node, one
+  // stripe at a time, so the tracker holds no pointer to it afterwards
+  // (pooled tasks recycle promptly; plain test nodes may be destroyed).
+  // touched_blocks_ may hold duplicates and blocks where the pin was
+  // already displaced by a later writer — both are no-ops here.  A
+  // registration that meanwhile finds a still-parked pin sees done_ and
+  // links nothing.
+  if (node.touched_blocks_.empty()) return;
+  std::uint64_t mask = 0;
+  for (const std::uint64_t b : node.touched_blocks_) {
+    mask |= std::uint64_t{1} << stripe_of(b);
+  }
+  for (std::uint64_t m = mask; m != 0; m &= m - 1) {
+    const auto s = static_cast<unsigned>(std::countr_zero(m));
+    Stripe& stripe = stripes_[s];
+    stripe.lock.lock();
+    for (const std::uint64_t b : node.touched_blocks_) {
+      if (stripe_of(b) != s) continue;
+      BlockState* state = stripe.map.find(b);
+      if (state == nullptr) continue;  // reset() dropped the block
+      if (state->last_writer == &node) {
+        state->last_writer = nullptr;
+        unpin(&node);
+      }
+      // Parked at most once per block per role.
+      if (state->remove_reader(&node)) unpin(&node);
+    }
+    stripe.lock.unlock();
+  }
+  node.touched_blocks_.clear();
 }
 
 std::vector<Node*> BlockTracker::pending_writers(const void* ptr,
                                                  std::size_t bytes) {
-  std::lock_guard lock(mutex_);
-  ++stamp_;
   std::vector<Node*> result;
   if (ptr == nullptr || bytes == 0) return result;
+  const std::uint64_t stamp = stamp_.fetch_add(1, std::memory_order_relaxed);
   const std::uint64_t lo = first_block(ptr);
   const std::uint64_t hi = last_block(ptr, bytes);
+  // One linear pass over the range, re-locking only when the block's
+  // stripe changes.  At most one stripe lock is held at a time, so the
+  // visit order (block order, not ascending stripe order) cannot deadlock.
+  Stripe* locked = nullptr;
   for (std::uint64_t b = lo; b <= hi; ++b) {
-    auto it = blocks_.find(b);
-    if (it == blocks_.end()) continue;
-    Node* w = it->second.last_writer;
-    if (w != nullptr && !w->done_ && w->visit_stamp_ != stamp_) {
-      w->visit_stamp_ = stamp_;
+    Stripe& stripe = stripes_[stripe_of(b)];
+    if (&stripe != locked) {
+      if (locked != nullptr) locked->lock.unlock();
+      stripe.lock.lock();
+      locked = &stripe;
+    }
+    BlockState* state = stripe.map.find(b);
+    if (state == nullptr) continue;
+    Node* w = state->last_writer;
+    if (w != nullptr && !w->done_.load(std::memory_order_acquire) &&
+        w->visit_stamp_.load(std::memory_order_relaxed) != stamp) {
+      w->visit_stamp_.store(stamp, std::memory_order_relaxed);
       result.push_back(w);
     }
   }
+  if (locked != nullptr) locked->lock.unlock();
   return result;
 }
 
@@ -134,13 +247,23 @@ void BlockTracker::reset() {
   // already dropped by complete() — the map entries reference nothing and
   // are simply forgotten.  Never-completed nodes (test-owned) lose their
   // no-op pins without being touched.
-  std::lock_guard lock(mutex_);
-  blocks_.clear();
+  for (Stripe& stripe : stripes_) {
+    stripe.lock.lock();
+    stripe.map.clear();
+    stripe.lock.unlock();
+  }
 }
 
 TrackerStats BlockTracker::stats() const {
-  std::lock_guard lock(mutex_);
-  return stats_;
+  TrackerStats s;
+  s.registered_nodes = registered_nodes_.load(std::memory_order_relaxed);
+  s.edges = edges_.load(std::memory_order_relaxed);
+  for (const Stripe& stripe : stripes_) {
+    stripe.lock.lock();
+    s.blocks_touched += stripe.blocks_ever;
+    stripe.lock.unlock();
+  }
+  return s;
 }
 
 }  // namespace sigrt::dep

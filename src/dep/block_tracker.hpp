@@ -9,30 +9,67 @@
 //
 // The tracker is policy-agnostic: it neither schedules nor executes.  The
 // runtime registers each task at spawn time (master thread) and notifies
-// completion from worker threads; both entry points synchronize on one
-// mutex, which is acceptable because tasks in this model are coarse-grained
-// (the paper makes the same argument for its bookkeeping, §3.4).
+// completion from worker threads.  Unlike the paper's single bookkeeping
+// lock (§3.4 argues one is acceptable for coarse tasks), this tracker is
+// striped and mostly lock-free so fine-grained dependent workloads scale:
+//
+//   * The block map is sharded into kStripes cache-line-padded stripes by
+//     a hash of the block index; each stripe owns an open-addressed flat
+//     table (support::FlatBlockMap) whose BlockStates are reset, never
+//     freed, preserving the zero-allocation steady state.
+//   * register_node() computes the stripe set of the whole footprint up
+//     front and holds those stripe locks — acquired in ascending stripe
+//     order — for the duration of the registration.  Conflicting
+//     registrations therefore serialize in one consistent order across
+//     every shared block, which is what keeps the discovered task graph
+//     acyclic; disjoint footprints proceed in parallel.
+//   * Per-node dependence state lives outside the stripe locks: an atomic
+//     done_ flag and a spinlocked dependents_ list implement a
+//     publish/observe protocol (see "Node-state protocol" below) so that
+//     link() under one stripe can race complete() of the same predecessor
+//     without lost wakeups or double releases.
+//
+// Node-state protocol.  complete() first acquires the node's dep_lock_,
+// stores done_ = true (release) and harvests the dependents list; only
+// then does it visit the stripes to drop the node's block-map pins.  A
+// racing link() checks done_ (acquire) before and after taking the same
+// dep_lock_: if it observes done_, the predecessor's side effects are
+// already visible (the acquire pairs with complete's release) and no edge
+// is needed; otherwise the append happens under the lock and complete()
+// is guaranteed to harvest it.  An edge is counted in register_node()'s
+// return value exactly when the corresponding dependents entry was
+// appended, so the caller's gate arithmetic always balances.
+//
+// Lock order (deadlock freedom): stripe locks are only ever acquired in
+// ascending stripe order, and a node's dep_lock_ is only acquired either
+// alone (complete phase 1) or while holding stripe locks (link), never
+// the other way around.
 //
 // Lifetime: the tracker circulates raw Node* and pins nodes through the
-// intrusive ref_retain()/ref_release() hooks — one reference per block-map
-// slot (last writer / reader) and one per dependents-list entry.
+// intrusive ref_retain()/ref_release() hooks — one shared reference
+// covering all of a registration's block-map pins (last writer / reader
+// slots, counted by Node::pin_count_) and one reference per
+// dependents-list entry.
 // complete() removes every block-map pin of the completing node (each node
-// remembers which blocks it touched), so after complete() the tracker
-// holds no pointer to it.  For sigrt::Task the hooks drive the pooled
-// intrusive refcount; for plain Nodes (tests) they default to no-ops and
-// the caller must keep a registered node alive until it completes (the
-// tracker may read it on any later registration of an overlapping range).
-// The destructor drops any remaining map entries without touching the
-// nodes: with every registered node completed (the runtime barriers before
-// teardown) there are none, and never-completed test nodes are simply
-// forgotten.
+// remembers which blocks it touched), so after complete() returns the
+// tracker holds no pointer to it.  For sigrt::Task the hooks drive the
+// pooled intrusive refcount; for plain Nodes (tests) they default to
+// no-ops and the caller must keep a registered node alive until it
+// completes (the tracker may read it on any later registration of an
+// overlapping range).  The destructor drops any remaining map entries
+// without touching the nodes: with every registered node completed (the
+// runtime barriers before teardown) there are none, and never-completed
+// test nodes are simply forgotten.
 #pragma once
 
+#include <array>
+#include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <span>
-#include <unordered_map>
 #include <vector>
+
+#include "support/flat_block_map.hpp"
+#include "support/spinlock.hpp"
 
 namespace sigrt::dep {
 
@@ -72,8 +109,11 @@ template <typename T>
 }
 
 /// Participant in dependence tracking.  sigrt::Task derives from this.
-/// The dependence fields are owned by the tracker and only touched under
-/// its mutex; the lifetime hooks are called under that same mutex.
+/// done_ and dependents_ are the publish/observe half of the protocol in
+/// the header comment (dep_lock_ + atomics, touched by link/complete from
+/// any thread); touched_blocks_ is only ever written by the registering
+/// thread and read by the completing one, which the runtime orders through
+/// the task's publication to the scheduler.
 class Node {
  public:
   virtual ~Node() = default;
@@ -97,18 +137,29 @@ class Node {
     for (Node* d : dependents_) d->ref_release();
     dependents_.clear();
     touched_blocks_.clear();
-    visit_stamp_ = 0;
-    done_ = false;
+    visit_stamp_.store(0, std::memory_order_relaxed);
+    pin_count_.store(0, std::memory_order_relaxed);
+    done_.store(false, std::memory_order_relaxed);
   }
 
  private:
   friend class BlockTracker;
+  support::SpinLock dep_lock_;     ///< guards dependents_ and the done_ edge
+  std::atomic<bool> done_{false};  ///< set (release) under dep_lock_ by complete()
   std::vector<Node*> dependents_;  ///< successors; one retained ref each
   /// Blocks where this node may still be parked as writer/reader (possibly
   /// with duplicates); complete() walks it to drop the block-map pins.
   std::vector<std::uint64_t> touched_blocks_;
-  std::uint64_t visit_stamp_ = 0;  ///< de-duplication during one registration
-  bool done_ = false;
+  /// De-duplication during one registration / pending_writers scan; stamp
+  /// values are process-unique, so a stale stamp can never false-positive.
+  std::atomic<std::uint64_t> visit_stamp_{0};
+  /// Live block-map pins.  All pins of one registration share a single
+  /// retained reference: register_node() counts its parks and retains
+  /// once; whoever drops a pin (a displacing writer, complete() phase 2)
+  /// decrements, and the count's zero crossing releases the shared
+  /// reference.  This keeps the per-block cost to one relaxed RMW instead
+  /// of two virtual refcount hooks.
+  std::atomic<std::uint32_t> pin_count_{0};
 };
 
 /// Aggregate counters for tests and diagnostics.
@@ -120,6 +171,10 @@ struct TrackerStats {
 
 class BlockTracker {
  public:
+  /// Stripe count: fits a whole footprint's stripe set into one uint64
+  /// mask, which makes sorted-order multi-stripe locking a ctz loop.
+  static constexpr unsigned kStripes = 64;
+
   /// `block_bytes` must be a power of two.
   explicit BlockTracker(std::size_t block_bytes = 1024);
 
@@ -129,7 +184,10 @@ class BlockTracker {
   /// Registers `node`'s footprint and wires edges from every unfinished
   /// predecessor (RAW/WAR/WAW).  Returns the number of predecessors found;
   /// the caller must arrange for the node to stay unreleased until that many
-  /// complete() notifications have named it as a dependent.
+  /// complete() notifications have named it as a dependent.  Predecessors
+  /// may complete concurrently with the registration — callers seed their
+  /// gate with a surplus hold (see Runtime::spawn_impl) so early
+  /// notifications cannot zero it before this count is folded in.
   std::size_t register_node(Node* node, std::span<const Access> accesses);
 
   /// Marks `node` complete, drops every block-map pin still naming it (the
@@ -141,10 +199,17 @@ class BlockTracker {
   /// afterwards no longer depend on `node`.
   void complete(Node& node, std::vector<Node*>& out);
 
-  /// Collects the currently unfinished writers overlapping [ptr, ptr+bytes).
-  /// The returned pointers are NOT retained: they are valid only while the
-  /// caller independently guarantees the writers have not completed (e.g.
-  /// under a barrier, or for test-owned nodes).
+  /// Collects the currently unfinished writers overlapping [ptr, ptr+bytes)
+  /// in one linear pass over the range, holding at most one stripe lock at
+  /// a time (re-locking when the block's stripe changes).
+  ///
+  /// Non-retained-pointer contract (the one place it is documented): the
+  /// returned pointers carry NO reference and are revalidated by nothing —
+  /// they are valid only while the caller independently guarantees the
+  /// writers have not completed (e.g. under a barrier, or for test-owned
+  /// nodes).  A writer that completes between the stripe visits may or may
+  /// not appear; one that completes after the call returns leaves a
+  /// dangling entry.
   [[nodiscard]] std::vector<Node*> pending_writers(const void* ptr,
                                                    std::size_t bytes);
 
@@ -156,18 +221,100 @@ class BlockTracker {
   [[nodiscard]] std::size_t block_bytes() const noexcept { return block_bytes_; }
 
  private:
+  /// Per-block history.  Readers since the last write live in a small
+  /// inline array that spills into a vector; both are reset — never freed —
+  /// when readers are displaced, so a warm block never allocates.
   struct BlockState {
+    static constexpr unsigned kInlineReaders = 6;
+
     Node* last_writer = nullptr;  ///< retained while parked here
-    std::vector<Node*> readers;   ///< readers since last write; retained
+    std::uint32_t reader_count = 0;
+    std::array<Node*, kInlineReaders> readers_inline{};
+    std::vector<Node*> readers_spill;  ///< readers beyond the inline array
+
+    void add_reader(Node* n) {
+      if (reader_count < kInlineReaders) {
+        readers_inline[reader_count] = n;
+      } else {
+        readers_spill.push_back(n);
+      }
+      ++reader_count;
+    }
+
+    /// Swap-removes one occurrence of `n`; true when found.
+    bool remove_reader(Node* n) noexcept {
+      const std::uint32_t inline_count =
+          reader_count < kInlineReaders ? reader_count : kInlineReaders;
+      for (std::uint32_t i = 0; i < inline_count; ++i) {
+        if (readers_inline[i] != n) continue;
+        if (!readers_spill.empty()) {
+          readers_inline[i] = readers_spill.back();
+          readers_spill.pop_back();
+        } else {
+          readers_inline[i] = readers_inline[inline_count - 1];
+        }
+        --reader_count;
+        return true;
+      }
+      for (std::size_t i = 0; i < readers_spill.size(); ++i) {
+        if (readers_spill[i] != n) continue;
+        readers_spill[i] = readers_spill.back();
+        readers_spill.pop_back();
+        --reader_count;
+        return true;
+      }
+      return false;
+    }
+
+    template <typename F>
+    void for_each_reader(F&& f) {
+      const std::uint32_t inline_count =
+          reader_count < kInlineReaders ? reader_count : kInlineReaders;
+      for (std::uint32_t i = 0; i < inline_count; ++i) f(readers_inline[i]);
+      for (Node* n : readers_spill) f(n);
+    }
+
+    void clear_readers() noexcept {
+      reader_count = 0;
+      readers_spill.clear();  // capacity kept: reset, not freed
+    }
   };
 
-  /// Adds an edge pred -> succ unless pred is done or already linked during
-  /// this registration (visit stamp).  Returns true when an edge was added.
-  bool link(Node* pred, Node* succ);
+  /// One shard of the block map.  Padded so neighbouring stripes never
+  /// share a cache line under concurrent register/complete traffic.
+  struct alignas(64) Stripe {
+    mutable support::SpinLock lock;
+    support::FlatBlockMap<BlockState> map;  // guarded by lock
+    std::uint64_t blocks_ever = 0;          ///< distinct keys; guarded by lock
+  };
 
-  /// Drops the block map's reference on a parked node pointer.
-  static void unpark(Node* node) noexcept {
-    if (node != nullptr) node->ref_release();
+  [[nodiscard]] static unsigned stripe_of(std::uint64_t block) noexcept {
+    // Fibonacci hash: consecutive block indices of one array scatter over
+    // stripes instead of marching through them in lockstep.
+    return static_cast<unsigned>((block * 0x9E3779B97F4A7C15ULL) >> 58);
+  }
+
+  /// Builds the stripe mask of [lo, hi]; a range covering >= kStripes
+  /// blocks short-circuits to all-ones.
+  [[nodiscard]] static std::uint64_t stripe_mask(std::uint64_t lo,
+                                                 std::uint64_t hi) noexcept;
+
+  void lock_stripes(std::uint64_t mask) noexcept;
+  void unlock_stripes(std::uint64_t mask) noexcept;
+
+  /// Adds an edge pred -> succ unless pred is done or already linked during
+  /// this pass (visit stamp).  Returns true when an edge was added.  Must
+  /// be called while holding the stripe lock that parked `pred` (the pin is
+  /// what keeps the pointer alive).
+  bool link(Node* pred, Node* succ, std::uint64_t stamp);
+
+  /// Drops one block-map pin of `node`; the last pin releases the shared
+  /// registration reference.  Caller must hold the stripe lock the pin was
+  /// found under (which is what makes the pointer still dereferencable).
+  static void unpin(Node* node) noexcept {
+    if (node->pin_count_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      node->ref_release();
+    }
   }
 
   [[nodiscard]] std::uint64_t first_block(const void* ptr) const noexcept;
@@ -177,10 +324,13 @@ class BlockTracker {
   const std::size_t block_bytes_;
   const unsigned block_shift_;
 
-  mutable std::mutex mutex_;
-  std::unordered_map<std::uint64_t, BlockState> blocks_;
-  std::uint64_t stamp_ = 0;
-  TrackerStats stats_{};
+  std::array<Stripe, kStripes> stripes_;
+
+  /// Registration/scan stamp source.  Starts at 1 so a freshly reset
+  /// node's visit_stamp_ of 0 never matches a live stamp.
+  std::atomic<std::uint64_t> stamp_{1};
+  std::atomic<std::uint64_t> registered_nodes_{0};
+  std::atomic<std::uint64_t> edges_{0};
 };
 
 }  // namespace sigrt::dep

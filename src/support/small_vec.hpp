@@ -1,0 +1,82 @@
+// Small-buffer vector for spawn-time clause lists: the first N elements
+// live inline (no heap), longer sequences spill wholesale into a
+// std::vector.  Storage is always contiguous, so callers can view the
+// contents as a std::span either way.
+//
+// Built for TaskOptions::accesses — a handful of trivially-copyable
+// in()/out() clauses per task — where the std::vector it replaces cost one
+// heap allocation on every footprint-carrying spawn (the dominant
+// per-spawn allocation once tasks themselves are pooled).
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <span>
+#include <type_traits>
+#include <vector>
+
+namespace sigrt::support {
+
+template <typename T, std::size_t N>
+class SmallVec {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "SmallVec is restricted to trivially copyable elements");
+  static_assert(N > 0);
+
+ public:
+  SmallVec() = default;
+  SmallVec(SmallVec&&) noexcept = default;
+  SmallVec& operator=(SmallVec&&) noexcept = default;
+  SmallVec(const SmallVec&) = default;
+  SmallVec& operator=(const SmallVec&) = default;
+
+  void push_back(const T& v) {
+    if (!spill_.empty()) {
+      spill_.push_back(v);
+    } else if (inline_count_ < N) {
+      inline_[inline_count_++] = v;
+    } else {
+      spill_.reserve(N * 2);
+      spill_.assign(inline_.begin(), inline_.end());
+      spill_.push_back(v);
+      inline_count_ = 0;
+    }
+  }
+
+  void clear() noexcept {
+    inline_count_ = 0;
+    spill_.clear();
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept {
+    return spill_.empty() ? inline_count_ : spill_.size();
+  }
+  [[nodiscard]] bool empty() const noexcept { return size() == 0; }
+
+  [[nodiscard]] const T* data() const noexcept {
+    return spill_.empty() ? inline_.data() : spill_.data();
+  }
+  [[nodiscard]] T* data() noexcept {
+    return spill_.empty() ? inline_.data() : spill_.data();
+  }
+
+  [[nodiscard]] const T& operator[](std::size_t i) const noexcept {
+    return data()[i];
+  }
+  [[nodiscard]] T& operator[](std::size_t i) noexcept { return data()[i]; }
+
+  [[nodiscard]] const T* begin() const noexcept { return data(); }
+  [[nodiscard]] const T* end() const noexcept { return data() + size(); }
+  [[nodiscard]] T* begin() noexcept { return data(); }
+  [[nodiscard]] T* end() noexcept { return data() + size(); }
+
+  // NOLINTNEXTLINE(google-explicit-constructor): span is the read view
+  operator std::span<const T>() const noexcept { return {data(), size()}; }
+
+ private:
+  std::array<T, N> inline_{};
+  std::size_t inline_count_ = 0;
+  std::vector<T> spill_;
+};
+
+}  // namespace sigrt::support

@@ -8,8 +8,15 @@
 // brute-force conflict oracle over recorded start/end timestamps.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <array>
 #include <atomic>
+#include <bit>
+#include <chrono>
+#include <map>
+#include <thread>
 #include <tuple>
+#include <utility>
 #include <vector>
 
 #include "core/sigrt.hpp"
@@ -136,5 +143,338 @@ INSTANTIATE_TEST_SUITE_P(
         {4, 64, 120, 8},
     }),
     param_name);
+
+// ---------------------------------------------------------------------------
+// Direct tracker oracles: the striped tracker is exercised without the
+// runtime so its own contracts (edge counts, refcount balance, conflict
+// exclusion) can be checked exactly.
+
+using sigrt::dep::Access;
+using sigrt::dep::BlockTracker;
+using sigrt::dep::Mode;
+using sigrt::dep::Node;
+
+// Single-threaded reference implementation of the block tracker's
+// semantics — the pre-striping single-map algorithm, reduced to indices.
+// The striped tracker, driven serially, must agree with it exactly.
+class ReferenceTracker {
+ public:
+  explicit ReferenceTracker(std::size_t block_bytes, std::size_t nodes)
+      : shift_(static_cast<unsigned>(std::countr_zero(block_bytes))),
+        nodes_(nodes) {}
+
+  std::size_t register_node(std::size_t id, const std::vector<Access>& accesses) {
+    ++stamp_;
+    std::size_t preds = 0;
+    for (const Access& a : accesses) {
+      if (a.ptr == nullptr || a.bytes == 0) continue;
+      const auto base =
+          static_cast<std::uint64_t>(reinterpret_cast<std::uintptr_t>(a.ptr));
+      const std::uint64_t lo = base >> shift_;
+      const std::uint64_t hi = (base + a.bytes - 1) >> shift_;
+      for (std::uint64_t b = lo; b <= hi; ++b) {
+        BlockState& st = blocks_[b];
+        if (sigrt::dep::reads(a.mode) && link(st.writer, id)) ++preds;
+        if (sigrt::dep::writes(a.mode)) {
+          if (link(st.writer, id)) ++preds;
+          for (std::size_t r : st.readers) {
+            if (link(static_cast<std::ptrdiff_t>(r), id)) ++preds;
+          }
+          st.readers.clear();
+          st.writer = static_cast<std::ptrdiff_t>(id);
+        } else {
+          st.readers.push_back(id);
+        }
+      }
+    }
+    return preds;
+  }
+
+  std::vector<std::size_t> complete(std::size_t id) {
+    nodes_[id].done = true;
+    for (auto& [b, st] : blocks_) {
+      if (st.writer == static_cast<std::ptrdiff_t>(id)) st.writer = -1;
+      std::erase(st.readers, id);
+    }
+    auto out = std::move(nodes_[id].dependents);
+    nodes_[id].dependents.clear();
+    return out;
+  }
+
+ private:
+  struct RefNode {
+    bool done = false;
+    std::uint64_t visit = 0;
+    std::vector<std::size_t> dependents;
+  };
+  struct BlockState {
+    std::ptrdiff_t writer = -1;
+    std::vector<std::size_t> readers;
+  };
+
+  bool link(std::ptrdiff_t pred, std::size_t succ) {
+    if (pred < 0 || static_cast<std::size_t>(pred) == succ) return false;
+    RefNode& p = nodes_[static_cast<std::size_t>(pred)];
+    if (p.done || p.visit == stamp_) return false;
+    p.visit = stamp_;
+    p.dependents.push_back(succ);
+    return true;
+  }
+
+  unsigned shift_;
+  std::uint64_t stamp_ = 0;
+  std::vector<RefNode> nodes_;
+  std::map<std::uint64_t, BlockState> blocks_;
+};
+
+TEST(DepOracle, SerializedStripedTrackerMatchesReference) {
+  constexpr std::size_t kBlock = 64;
+  constexpr std::size_t kNodes = 300;
+  constexpr std::size_t kArena = 64 * kBlock;
+  static std::vector<std::uint8_t> arena(kArena);
+
+  for (std::uint64_t seed : {11u, 22u, 33u}) {
+    BlockTracker tracker(kBlock);
+    ReferenceTracker reference(kBlock, kNodes);
+    std::vector<Node> nodes(kNodes);
+    sigrt::support::Xoshiro256 rng(seed);
+
+    std::vector<std::size_t> live;  // registered, not yet completed
+    std::size_t next = 0;
+    std::uint64_t ops = 0;
+    while (next < kNodes || !live.empty()) {
+      const bool can_register = next < kNodes;
+      const bool do_register =
+          can_register && (live.empty() || rng.bounded(2) == 0);
+      if (do_register) {
+        std::vector<Access> accesses;
+        const std::size_t n = 1 + rng.bounded(3);
+        for (std::size_t a = 0; a < n; ++a) {
+          const std::size_t off = rng.bounded(kArena - 1);
+          std::size_t bytes = 1 + rng.bounded(4 * kBlock);
+          if (off + bytes > kArena) bytes = kArena - off;
+          const auto m = rng.bounded(3);
+          accesses.push_back(
+              {arena.data() + off, bytes,
+               m == 0 ? Mode::In : (m == 1 ? Mode::Out : Mode::InOut)});
+        }
+        const std::size_t got = tracker.register_node(&nodes[next], accesses);
+        const std::size_t want = reference.register_node(next, accesses);
+        ASSERT_EQ(got, want) << "register #" << next << " seed " << seed;
+        live.push_back(next);
+        ++next;
+      } else {
+        const std::size_t pick = rng.bounded(live.size());
+        const std::size_t id = live[pick];
+        live[pick] = live.back();
+        live.pop_back();
+        std::vector<Node*> out;
+        tracker.complete(nodes[id], out);
+        std::vector<std::size_t> got;
+        got.reserve(out.size());
+        for (Node* n : out) {
+          got.push_back(static_cast<std::size_t>(n - nodes.data()));
+        }
+        std::vector<std::size_t> want = reference.complete(id);
+        std::sort(got.begin(), got.end());
+        std::sort(want.begin(), want.end());
+        ASSERT_EQ(got, want) << "complete #" << id << " seed " << seed;
+      }
+      ++ops;
+    }
+    ASSERT_EQ(ops, kNodes * 2);
+  }
+}
+
+// Node with instrumented lifetime hooks and a runtime-style gate, for
+// driving the tracker from multiple threads without the runtime.
+class CountingNode : public Node {
+ public:
+  void ref_retain() noexcept override {
+    retains.fetch_add(1, std::memory_order_relaxed);
+  }
+  void ref_release() noexcept override {
+    releases.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  std::atomic<std::uint64_t> retains{0};
+  std::atomic<std::uint64_t> releases{0};
+  std::atomic<std::uint32_t> gate{0};
+};
+
+struct OracleParams {
+  unsigned threads;
+  std::size_t nodes_per_thread;
+  std::uint64_t seed;
+};
+
+// T threads register/complete overlapping random footprints directly
+// against one tracker.  Checked properties:
+//   * conflict exclusion — two tasks whose footprints conflict at block
+//     granularity never execute concurrently (per-block writer/reader
+//     occupancy counters);
+//   * edge balance — every predecessor counted by register_node() is
+//     handed out by exactly one complete(), and the tracker's edge stat
+//     agrees;
+//   * refcount balance — after all nodes complete, every retain is paired
+//     with a release (the tracker pins nothing);
+//   * progress — a cycle in the discovered graph (the striping hazard this
+//     guards against) would deadlock the gates; the bounded spin turns
+//     that into a failure instead of a hang.
+class DepConcurrentOracle : public testing::TestWithParam<OracleParams> {};
+
+TEST_P(DepConcurrentOracle, ConflictExclusionEdgeAndRefBalance) {
+  const OracleParams& p = GetParam();
+  constexpr std::size_t kBlock = 64;
+  constexpr std::size_t kBlocks = 48;  // small arena: heavy overlap
+  constexpr std::size_t kArena = kBlocks * kBlock;
+  constexpr std::uint32_t kHold = 1u << 20;
+  static std::vector<std::uint8_t> arena(kArena);
+
+  BlockTracker tracker(kBlock);
+  const std::size_t total = p.threads * p.nodes_per_thread;
+  std::vector<CountingNode> nodes(total);
+
+  // Per-block occupancy the "execution" phase checks against.
+  std::array<std::atomic<int>, kBlocks> writers{};
+  std::array<std::atomic<int>, kBlocks> readers{};
+  std::atomic<std::uint64_t> violations{0};
+  std::atomic<std::uint64_t> deps_found{0};
+  std::atomic<std::uint64_t> deps_handed{0};
+  std::atomic<bool> stuck{false};
+
+  std::atomic<unsigned> start_gate{0};
+
+  auto worker = [&](unsigned tid) {
+    // Rendezvous so every thread's work window overlaps (a lone thread
+    // racing ahead would make the exclusion check vacuous).
+    start_gate.fetch_add(1, std::memory_order_acq_rel);
+    while (start_gate.load(std::memory_order_acquire) < p.threads) {
+      std::this_thread::yield();
+    }
+    sigrt::support::Xoshiro256 rng(p.seed * 977 + tid);
+    std::vector<Node*> out;
+    for (std::size_t i = 0; i < p.nodes_per_thread; ++i) {
+      CountingNode& node = nodes[tid * p.nodes_per_thread + i];
+
+      // Random footprint: 1-3 accesses of 1-4 blocks each.  The occupancy
+      // oracle's footprint is de-duplicated per block (a task may name a
+      // block through several accesses; against *itself* that is never a
+      // conflict).
+      std::vector<Access> accesses;
+      std::array<std::uint8_t, kBlocks> role{};  // 1 = read, 2 = write
+      const std::size_t n = 1 + rng.bounded(3);
+      for (std::size_t a = 0; a < n; ++a) {
+        const std::size_t lo = rng.bounded(kBlocks);
+        const std::size_t span = 1 + rng.bounded(4);
+        const std::size_t hi = std::min(lo + span, kBlocks);
+        const auto m = rng.bounded(3);
+        const Mode mode =
+            m == 0 ? Mode::In : (m == 1 ? Mode::Out : Mode::InOut);
+        accesses.push_back(
+            {arena.data() + lo * kBlock, (hi - lo) * kBlock, mode});
+        for (std::size_t b = lo; b < hi; ++b) {
+          role[b] = std::max<std::uint8_t>(
+              role[b], sigrt::dep::writes(mode) ? 2 : 1);
+        }
+      }
+      std::vector<std::pair<std::size_t, bool>> foot;  // (block, writes)
+      for (std::size_t b = 0; b < kBlocks; ++b) {
+        if (role[b] != 0) foot.emplace_back(b, role[b] == 2);
+      }
+
+      // Runtime-style gate protocol: surplus hold, register, fold in the
+      // dependency count, wait for predecessors.
+      node.gate.store(kHold, std::memory_order_relaxed);
+      const std::size_t deps = tracker.register_node(&node, accesses);
+      deps_found.fetch_add(deps, std::memory_order_relaxed);
+      node.gate.fetch_sub(kHold - static_cast<std::uint32_t>(deps),
+                          std::memory_order_acq_rel);
+      // On a single-CPU box threads only interleave at yield points; one
+      // here (between register and execute) maximizes the window in which
+      // another thread must observe this node's parked pins.
+      std::this_thread::yield();
+
+      const auto spin_start = std::chrono::steady_clock::now();
+      while (node.gate.load(std::memory_order_acquire) != 0) {
+        std::this_thread::yield();
+        if (std::chrono::steady_clock::now() - spin_start >
+            std::chrono::seconds(60)) {
+          stuck.store(true, std::memory_order_relaxed);
+          return;  // cycle / lost wakeup: fail below instead of hanging
+        }
+      }
+
+      // "Execute": occupy every block of the footprint and verify no
+      // conflicting occupant, with block-granular reader/writer rules.
+      for (const auto& [b, w] : foot) {
+        if (w) {
+          if (writers[b].fetch_add(1, std::memory_order_acq_rel) != 0 ||
+              readers[b].load(std::memory_order_acquire) != 0) {
+            violations.fetch_add(1, std::memory_order_relaxed);
+          }
+        } else {
+          readers[b].fetch_add(1, std::memory_order_acq_rel);
+          if (writers[b].load(std::memory_order_acquire) != 0) {
+            violations.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      }
+      volatile unsigned sink = 0;
+      for (int spin = 0; spin < 500; ++spin) {
+        sink = sink + static_cast<unsigned>(spin);
+      }
+      for (const auto& [b, w] : foot) {
+        (w ? writers[b] : readers[b]).fetch_sub(1, std::memory_order_acq_rel);
+      }
+
+      // Complete: adopt each handed-out dependent, open its gate, release.
+      out.clear();
+      tracker.complete(node, out);
+      deps_handed.fetch_add(out.size(), std::memory_order_relaxed);
+      for (Node* d : out) {
+        auto* dep = static_cast<CountingNode*>(d);
+        dep->gate.fetch_sub(1, std::memory_order_acq_rel);
+        dep->ref_release();
+      }
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(p.threads);
+  for (unsigned t = 0; t < p.threads; ++t) threads.emplace_back(worker, t);
+  for (auto& t : threads) t.join();
+
+  ASSERT_FALSE(stuck.load()) << "gate never opened: graph cycle or lost wakeup";
+  EXPECT_EQ(violations.load(), 0u);
+  EXPECT_EQ(deps_found.load(), deps_handed.load());
+  EXPECT_EQ(tracker.stats().edges, deps_found.load());
+  EXPECT_EQ(tracker.stats().registered_nodes, total);
+  for (std::size_t i = 0; i < total; ++i) {
+    EXPECT_EQ(nodes[i].retains.load(), nodes[i].releases.load())
+        << "unbalanced refcount on node " << i;
+    EXPECT_EQ(nodes[i].gate.load(), 0u);
+  }
+  // The small arena must actually produce cross-thread edges, or the
+  // exclusion check is vacuous.  The floor is loose: how often threads
+  // catch each other in flight depends on the scheduler (and on TSan's
+  // slowdown), not just on the arena.
+  EXPECT_GT(deps_found.load(), total / 8);
+}
+
+std::string oracle_name(const testing::TestParamInfo<OracleParams>& info) {
+  return "t" + std::to_string(info.param.threads) + "_n" +
+         std::to_string(info.param.nodes_per_thread) + "_s" +
+         std::to_string(info.param.seed);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, DepConcurrentOracle,
+                         testing::ValuesIn(std::vector<OracleParams>{
+                             {2, 600, 1},
+                             {4, 400, 2},
+                             {4, 400, 3},
+                             {8, 200, 4},
+                         }),
+                         oracle_name);
 
 }  // namespace
