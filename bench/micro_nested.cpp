@@ -1,0 +1,204 @@
+// Nested-parallelism gate: divide-and-conquer fib with any-thread spawn
+// and an in-task taskwait (helping barrier) on every interior node —
+// the workload shape the single-spawner contract could not express.
+//
+// Interior nodes are pinned significant (they carry the tree structure:
+// approximating one would prune its whole subtree and collapse the
+// workload), while leaf significance decays with depth (sig =
+// 0.97^depth), so under LQH with ratio < 1 the runtime skips a depth-
+// weighted share of the leaf work — the paper's quality knob applied at
+// the bottom of a divide-and-conquer recursion.
+//
+// Cells: {agnostic, LQH ratio 0.5} x {1, 2, 8} workers.  Like micro_spawn/micro_deps, the driver counts heap
+// allocations through an instrumented global operator new and warms up
+// until a full round allocates nothing, so the steady-state
+// allocs-per-task column extends the zero-allocation contract to the
+// nested spawn + helping-barrier path.  Output is one JSON line
+// (BENCH_micro_nested.json in CI); CLI arguments are accepted and ignored
+// for harness compatibility.
+#include <atomic>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <new>
+#include <vector>
+
+#include "core/sigrt.hpp"
+#include "support/timer.hpp"
+
+namespace {
+
+std::atomic<std::uint64_t> g_allocs{0};
+
+void* counted_alloc(std::size_t size) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size != 0 ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+
+void* counted_alloc_aligned(std::size_t size, std::size_t align) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  const std::size_t rounded = (size + align - 1) / align * align;
+  if (void* p = std::aligned_alloc(align, rounded != 0 ? rounded : align)) {
+    return p;
+  }
+  throw std::bad_alloc();
+}
+
+}  // namespace
+
+void* operator new(std::size_t size) { return counted_alloc(size); }
+void* operator new[](std::size_t size) { return counted_alloc(size); }
+void* operator new(std::size_t size, std::align_val_t align) {
+  return counted_alloc_aligned(size, static_cast<std::size_t>(align));
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return counted_alloc_aligned(size, static_cast<std::size_t>(align));
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+
+namespace {
+
+// fib(40) with cutoff 20: recursion depth 20, ~21k interior+leaf tasks on
+// the full (agnostic) tree.
+constexpr int kFibN = 40;
+constexpr int kCutoff = 20;
+constexpr double kSigDecay = 0.97;
+
+std::uint64_t fib_iterative(int n) {
+  std::uint64_t a = 0, b = 1;
+  for (int i = 0; i < n; ++i) {
+    const std::uint64_t next = a + b;
+    a = b;
+    b = next;
+  }
+  return a;
+}
+
+std::atomic<std::uint64_t> g_sink{0};  // keeps leaf work observable
+
+void spawn_node(sigrt::Runtime& rt, int n, int depth);
+
+void run_accurate(sigrt::Runtime& rt, int n, int depth) {
+  if (n < kCutoff) {
+    g_sink.fetch_add(fib_iterative(n), std::memory_order_relaxed);
+    return;
+  }
+  spawn_node(rt, n - 1, depth + 1);
+  spawn_node(rt, n - 2, depth + 1);
+  rt.wait_all();  // in-task: helping barrier over this node's children
+}
+
+void spawn_node(sigrt::Runtime& rt, int n, int depth) {
+  // Interior nodes carry the recursion: significance 1.0 pins them
+  // accurate under every policy.  Leaves degrade with depth.
+  const double sig = n >= kCutoff ? 1.0 : std::pow(kSigDecay, depth);
+  rt.spawn(sigrt::task([&rt, n, depth] { run_accurate(rt, n, depth); })
+               // A leaf's approximate body skips its fib slice entirely.
+               .approx([] {})
+               .significance(sig));
+}
+
+std::uint64_t nested_round(sigrt::Runtime& rt) {
+  const std::uint64_t before = rt.stats().spawned;
+  spawn_node(rt, kFibN, 0);
+  rt.wait_all();  // top level: global barrier
+  return rt.stats().spawned - before;
+}
+
+struct NestedRecord {
+  const char* policy = "";
+  double ratio = 1.0;
+  unsigned workers = 0;
+  std::uint64_t tasks = 0;
+  std::uint64_t accurate = 0;
+  std::uint64_t approximate = 0;
+  std::uint64_t allocs = 0;
+  double allocs_per_task = 0.0;
+  double wall_s = 0.0;
+  double tasks_per_sec = 0.0;
+};
+
+NestedRecord measure(sigrt::PolicyKind policy, double ratio, unsigned workers,
+                     int max_warmup) {
+  sigrt::RuntimeConfig c;
+  c.workers = workers;
+  c.policy = policy;
+  c.default_ratio = ratio;
+  c.record_task_log = false;
+  sigrt::Runtime rt(c);
+
+  // Warm-up: grow the task pool, the LQH histories and every helping
+  // scratch frame to the workload's high-water mark, repeating until a
+  // full round allocates nothing.
+  for (int r = 0; r < max_warmup; ++r) {
+    const std::uint64_t before = g_allocs.load(std::memory_order_relaxed);
+    (void)nested_round(rt);
+    if (r > 0 && g_allocs.load(std::memory_order_relaxed) == before) break;
+  }
+
+  const auto r0 = rt.group_report(sigrt::kDefaultGroup);
+  const std::uint64_t a0 = g_allocs.load(std::memory_order_relaxed);
+  const std::int64_t t0 = sigrt::support::now_ns();
+  const std::uint64_t tasks = nested_round(rt);
+  const std::int64_t t1 = sigrt::support::now_ns();
+  const std::uint64_t a1 = g_allocs.load(std::memory_order_relaxed);
+  const auto r1 = rt.group_report(sigrt::kDefaultGroup);
+
+  NestedRecord rec;
+  rec.policy = sigrt::to_string(policy);
+  rec.ratio = ratio;
+  rec.workers = workers;
+  rec.tasks = tasks;
+  rec.accurate = r1.accurate - r0.accurate;
+  rec.approximate = r1.approximate - r0.approximate;
+  rec.allocs = a1 - a0;
+  rec.allocs_per_task =
+      tasks == 0 ? 0.0
+                 : static_cast<double>(rec.allocs) / static_cast<double>(tasks);
+  rec.wall_s = static_cast<double>(t1 - t0) * 1e-9;
+  if (rec.wall_s > 0) {
+    rec.tasks_per_sec = static_cast<double>(tasks) / rec.wall_s;
+  }
+  return rec;
+}
+
+}  // namespace
+
+int main(int, char**) {
+  constexpr unsigned kWorkerSweep[] = {1, 2, 8};
+  std::vector<NestedRecord> records;
+  for (unsigned w : kWorkerSweep) {
+    records.push_back(
+        measure(sigrt::PolicyKind::Agnostic, 1.0, w, /*max_warmup=*/6));
+    records.push_back(measure(sigrt::PolicyKind::LQH, 0.5, w, /*max_warmup=*/6));
+  }
+
+  std::printf("{\"bench\":\"micro_nested\",\"fib_n\":%d,\"cutoff\":%d,"
+              "\"depth\":%d,\"sig_decay\":%.2f,\"cells\":[",
+              kFibN, kCutoff, kFibN - kCutoff, kSigDecay);
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const NestedRecord& r = records[i];
+    std::printf(
+        "%s{\"policy\":\"%s\",\"ratio\":%.2f,\"workers\":%u,\"tasks\":%" PRIu64
+        ",\"accurate\":%" PRIu64 ",\"approximate\":%" PRIu64
+        ",\"allocs\":%" PRIu64
+        ",\"allocs_per_task\":%.6f,\"wall_s\":%.6f,\"tasks_per_sec\":%.1f}",
+        i == 0 ? "" : ",", r.policy, r.ratio, r.workers, r.tasks, r.accurate,
+        r.approximate, r.allocs, r.allocs_per_task, r.wall_s, r.tasks_per_sec);
+  }
+  std::printf("]}\n");
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Recursive divide-and-conquer through the pragma surface: the nested
+// OpenMP-tasking idiom the paper's programming model is built on, now
+// expressible because spawn/taskwait are safe from inside task bodies.
+//
+//   // #pragma omp task shared(a)
+//   // { fib_task(n-1, &a); }
+//   // #pragma omp task shared(b)
+//   // { fib_task(n-2, &b); }
+//   // #pragma omp taskwait
+//   *out = a + b;
+//
+// The in-task taskwait barriers on the enclosing task's children and runs
+// as a helping loop — the worker keeps executing (its own children first,
+// then steals), so any worker count >= 1 completes without deadlock.
+//
+// Usage: example_fib_recursive [n] [cutoff] [workers]
+// Defaults n=40 cutoff=20: a task tree of depth 20 (~21k tasks), each leaf
+// finishing the remainder iteratively.
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/sigrt.hpp"
+#include "support/timer.hpp"
+
+namespace {
+
+std::uint64_t fib_iterative(int n) {
+  std::uint64_t a = 0, b = 1;
+  for (int i = 0; i < n; ++i) {
+    const std::uint64_t next = a + b;
+    a = b;
+    b = next;
+  }
+  return a;
+}
+
+void fib_task(sigrt::Runtime& rt, int n, int cutoff, std::uint64_t* out) {
+  if (n < cutoff) {
+    *out = fib_iterative(n);
+    return;
+  }
+  std::uint64_t a = 0;
+  std::uint64_t b = 0;
+  // The children write a/b on this frame; the taskwait below keeps the
+  // frame alive until both finished, exactly like the OpenMP original.
+  sigrt::omp_task(rt, [&rt, n, cutoff, &a] { fib_task(rt, n - 1, cutoff, &a); })
+      .significant(1.0);
+  sigrt::omp_task(rt, [&rt, n, cutoff, &b] { fib_task(rt, n - 2, cutoff, &b); })
+      .significant(1.0);
+  sigrt::omp_taskwait(rt);
+  *out = a + b;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int n = argc > 1 ? std::atoi(argv[1]) : 40;
+  const int cutoff = argc > 2 ? std::atoi(argv[2]) : 20;
+  sigrt::RuntimeConfig config;
+  if (argc > 3) config.workers = static_cast<unsigned>(std::atoi(argv[3]));
+  config.policy = sigrt::PolicyKind::LQH;
+
+  sigrt::Runtime rt(config);
+  std::uint64_t result = 0;
+  const std::int64_t t0 = sigrt::support::now_ns();
+  fib_task(rt, n, cutoff, &result);
+  rt.wait_all();
+  const double wall_s = static_cast<double>(sigrt::support::now_ns() - t0) * 1e-9;
+
+  const std::uint64_t expected = fib_iterative(n);
+  const auto stats = rt.stats();
+  std::printf("fib(%d) = %" PRIu64 " (expected %" PRIu64 ", %s)\n", n, result,
+              expected, result == expected ? "ok" : "MISMATCH");
+  std::printf("workers=%u tasks=%" PRIu64 " steals=%" PRIu64 " wall=%.3fs\n",
+              rt.config().workers, stats.spawned, stats.steals, wall_s);
+  return result == expected ? 0 : 1;
+}

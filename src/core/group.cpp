@@ -1,6 +1,7 @@
 #include "core/group.hpp"
 
 #include <algorithm>
+#include <cassert>
 #include <functional>
 #include <limits>
 #include <vector>
@@ -10,12 +11,12 @@ namespace sigrt {
 TaskGroup::TaskGroup(GroupId id, std::string name, double ratio, bool record_log)
     : id_(id), name_(std::move(name)), record_log_(record_log), ratio_(ratio) {}
 
-void TaskGroup::on_spawn() noexcept {
+void TaskGroup::on_spawn(bool internal) noexcept {
   // Both relaxed: spawn-side increments are ordered before the task's
   // publication by the scheduler's release edges; the completion-side
   // decrement keeps acq_rel so barrier waiters see an ordered zero
   // crossing.
-  spawned_.fetch_add(1, std::memory_order_relaxed);
+  if (!internal) spawned_.fetch_add(1, std::memory_order_relaxed);
   pending_.fetch_add(1, std::memory_order_relaxed);
 }
 
@@ -34,7 +35,10 @@ void TaskGroup::on_complete(ExecutionKind kind, float significance,
         dropped_.fetch_add(1, std::memory_order_relaxed);
         break;
       case ExecutionKind::Undecided:
-        break;  // unreachable: the scheduler resolves before completion
+        // execute_task normalizes before completion; an Undecided arrival
+        // would silently break spawned == accurate+approximate+dropped.
+        assert(false && "Undecided task reached completion accounting");
+        break;
     }
     if (record_log_) {
       // Worker shards have a single writer, so this lock is uncontended on
@@ -58,6 +62,13 @@ void TaskGroup::on_complete(ExecutionKind kind, float significance,
 void TaskGroup::wait() const {
   std::unique_lock lock(wait_mutex_);
   wait_cv_.wait(lock, [this] {
+    return pending_.load(std::memory_order_acquire) == 0;
+  });
+}
+
+bool TaskGroup::wait_for(std::chrono::milliseconds timeout) const {
+  std::unique_lock lock(wait_mutex_);
+  return wait_cv_.wait_for(lock, timeout, [this] {
     return pending_.load(std::memory_order_acquire) == 0;
   });
 }

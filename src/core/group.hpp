@@ -7,6 +7,7 @@
 
 #include <array>
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <mutex>
@@ -81,8 +82,11 @@ class TaskGroup {
     return ratio_.load(std::memory_order_relaxed);
   }
 
-  /// Master side: a task joined this group.
-  void on_spawn() noexcept;
+  /// Spawn side (any thread): a task joined this group.  Internal tasks
+  /// (wait_on fences) count toward the barrier (`pending`) but not toward
+  /// `spawned`, mirroring on_complete's exclusion — so every report obeys
+  /// spawned == accurate + approximate + dropped once the group quiesces.
+  void on_spawn(bool internal = false) noexcept;
 
   /// Worker side: a task of this group finished with outcome `kind`.
   /// `requested` is the ratio in effect when the task was classified.
@@ -98,6 +102,13 @@ class TaskGroup {
 
   /// Blocks until every spawned task has completed.
   void wait() const;
+
+  /// Bounded wait: blocks until the group quiesced or `timeout` elapsed;
+  /// returns true when pending reached zero.  Runtime barriers use this to
+  /// interleave waiting with policy re-flushes — a task body may spawn
+  /// into a buffering policy's window DURING the barrier, and the window
+  /// would otherwise never flush.
+  [[nodiscard]] bool wait_for(std::chrono::milliseconds timeout) const;
 
   [[nodiscard]] std::uint64_t pending() const noexcept {
     return pending_.load(std::memory_order_acquire);

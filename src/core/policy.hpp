@@ -62,12 +62,17 @@ class Policy {
   /// dependency-free tasks — the spawn fast path.
   [[nodiscard]] virtual bool pass_through() const noexcept { return false; }
 
-  /// Master thread: a new task was spawned (dependencies already
-  /// registered).  The policy must eventually release() it.
+  /// Spawning thread — ANY thread under the nested-parallelism contract,
+  /// including workers inside task bodies and concurrent user threads: a
+  /// new task was spawned (dependencies already registered).  The policy
+  /// must eventually release() it.  Buffering policies must synchronize
+  /// their own state (GTB guards its windows with a mutex).
   virtual void on_spawn(const TaskPtr& task, IssueSink& sink) = 0;
 
-  /// Master thread: barrier reached (taskwait).  Classify and release every
-  /// buffered task of `group` (kAllGroups = every group).
+  /// Barrier reached (taskwait) — again from any thread, possibly several
+  /// concurrently.  Classify and release every buffered task of `group`
+  /// (kAllGroups = every group); each buffered task must be released
+  /// exactly once across concurrent flushes.
   virtual void flush(GroupId group, IssueSink& sink) = 0;
 
   /// Worker `worker_index`: classify a task that reached execution still

@@ -13,24 +13,55 @@ GtbPolicy::GtbPolicy(std::size_t buffer_capacity, bool max_buffer)
       max_buffer_(max_buffer) {}
 
 void GtbPolicy::on_spawn(const TaskPtr& task, IssueSink& sink) {
-  auto& window = buffers_[task->group];
-  window.push_back(task);
-  if (window.size() >= capacity_) {
-    classify_and_release(task->group, window, sink);
+  // Buffer under the lock; classify a full window outside it (see the
+  // header's thread-safety note).  The moved-from vector stays in the map
+  // with its capacity released — the next spawn re-grows it, which is the
+  // same cost profile as the clear() of the single-spawner era.
+  std::vector<TaskPtr> window;
+  {
+    std::lock_guard lock(mutex_);
+    auto& buffer = buffers_[task->group];
+    buffer.push_back(task);
+    if (buffer.size() >= capacity_) {
+      window = std::move(buffer);
+      buffer.clear();
+    }
+  }
+  if (window.empty()) return;
+  classify_and_release(task->group, window, sink);  // leaves window cleared
+  // Return the window's storage to the map slot so the next fill does not
+  // re-grow a capacity-0 vector — on_spawn is the spawn hot path and the
+  // steady state should not cycle the allocator once per window.  Skip if
+  // concurrent spawns already repopulated (or re-grew) the slot.
+  std::lock_guard lock(mutex_);
+  auto& buffer = buffers_[task->group];
+  if (buffer.empty() && buffer.capacity() < window.capacity()) {
+    buffer.swap(window);
   }
 }
 
 void GtbPolicy::flush(GroupId group, IssueSink& sink) {
-  if (group == kAllGroups) {
-    for (auto& [gid, window] : buffers_) {
-      classify_and_release(gid, window, sink);
+  // Move every targeted window out under the lock, then classify/release
+  // without it.  A spawn racing the barrier may land after the move and
+  // stay buffered for the next flush — the same task is never released
+  // twice, and the flushing thread's own spawns (which happened-before its
+  // barrier) are always included.
+  std::vector<std::pair<GroupId, std::vector<TaskPtr>>> taken;
+  {
+    std::lock_guard lock(mutex_);
+    if (group == kAllGroups) {
+      for (auto& [gid, window] : buffers_) {
+        if (window.empty()) continue;
+        taken.emplace_back(gid, std::move(window));
+        window.clear();
+      }
+    } else if (auto it = buffers_.find(group);
+               it != buffers_.end() && !it->second.empty()) {
+      taken.emplace_back(group, std::move(it->second));
+      it->second.clear();
     }
-    return;
   }
-  auto it = buffers_.find(group);
-  if (it != buffers_.end()) {
-    classify_and_release(group, it->second, sink);
-  }
+  for (auto& [gid, window] : taken) classify_and_release(gid, window, sink);
 }
 
 void GtbPolicy::classify_and_release(GroupId group, std::vector<TaskPtr>& window,

@@ -1,14 +1,24 @@
 // Global Task Buffering (GTB), §3.3 / Listing 4 of the paper.
 //
-// The master thread buffers tasks per group instead of issuing them.  When
-// the buffer fills, or a barrier flushes it, the buffered window is sorted
-// by significance and the top ratio()·window tasks are classified accurate,
+// Spawned tasks are buffered per group instead of issued.  When a buffer
+// fills, or a barrier flushes it, the buffered window is sorted by
+// significance and the top ratio()·window tasks are classified accurate,
 // the rest approximate.  With an unbounded buffer (GTBMaxBuffer / Oracle)
 // the classification is exact: it equals the offline-optimal assignment.
+//
+// Thread safety (the any-thread spawn contract): the per-group windows are
+// guarded by one mutex, held only while mutating the buffers — a window
+// that fills or flushes is MOVED out under the lock and classified/released
+// outside it, so concurrent spawners never serialize behind a sort, two
+// barriers flushing concurrently each release a disjoint window exactly
+// once, and a release that executes inline (zero-worker mode) can
+// recursively spawn into this policy without self-deadlock.
 #pragma once
 
 #include <cstddef>
+#include <mutex>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "core/policy.hpp"
@@ -40,7 +50,8 @@ class GtbPolicy : public Policy {
 
   const std::size_t capacity_;
   const bool max_buffer_;
-  // Master-thread only: no locking needed (spawn/flush are master-side).
+  // Guards buffers_ only; classification runs on moved-out windows.
+  std::mutex mutex_;
   std::unordered_map<GroupId, std::vector<TaskPtr>> buffers_;
 };
 

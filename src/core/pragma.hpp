@@ -21,6 +21,12 @@
 // Clause semantics match the paper exactly; see DESIGN.md §2 for the
 // substitution rationale.  The statement "executes" at the end of the full
 // expression (destructor), like a pragma applying to the following line.
+//
+// Nesting works exactly as in OpenMP: a task body may itself issue
+// omp_task (the child parents to the enclosing task) and omp_taskwait
+// (which, inside a task, barriers on that task's children via the
+// runtime's helping loop — the worker never blocks).  See
+// examples/fib_recursive.cpp for the divide-and-conquer idiom.
 #pragma once
 
 #include <functional>
@@ -121,12 +127,21 @@ class PragmaTaskwait {
     return *this;
   }
 
+  // Clause-application order is part of the contract: ratio() lands BEFORE
+  // the wait in every branch, because the wait's policy flush is what
+  // classifies a GTB-buffered barrier window — applied after, the window
+  // would be classified at the stale ratio.  tests/pragma_test.cpp pins
+  // this ordering.
   ~PragmaTaskwait() noexcept(false) {
     if (label_) {
       const GroupId g = rt_.ensure_group(*label_);
       if (ratio_) rt_.set_ratio(g, *ratio_);
       rt_.wait_group(g);
     } else if (on_ptr_ != nullptr) {
+      // An unlabeled ratio() targets the default group (as in the plain
+      // taskwait branch below) — previously the clause was silently
+      // dropped when combined with on().
+      if (ratio_) rt_.set_ratio(kDefaultGroup, *ratio_);
       rt_.wait_on(on_ptr_, on_bytes_);
     } else {
       if (ratio_) rt_.set_ratio(kDefaultGroup, *ratio_);

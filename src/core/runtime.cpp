@@ -2,13 +2,73 @@
 
 #include <algorithm>
 #include <cassert>
-#include <future>
+#include <chrono>
 #include <stdexcept>
+#include <thread>
 
 #include "support/rng.hpp"
 #include "support/timer.hpp"
 
 namespace sigrt {
+
+namespace {
+
+// Current-task frame: which task is executing on the calling thread, and on
+// behalf of which runtime.  spawn_impl reads it to wire parent/child edges
+// (nested spawn) and the wait_* entry points read it to choose the helping
+// path.  Saved/restored around every body, so it stays correct under
+// helping re-entrancy and across nested runtimes sharing one thread.
+struct ThreadTaskFrame {
+  Runtime* runtime = nullptr;
+  Task* task = nullptr;
+};
+thread_local ThreadTaskFrame tls_task_frame;
+
+// Completion scratch, leased per execute_task completion section instead of
+// being a bare thread_local vector: an in-task taskwait re-enters
+// execute_task (helping), so per-thread scratch must be a stack of frames,
+// not a single slot.  Frames are pooled per thread and keep their capacity,
+// preserving the zero-allocation steady state; the pool only grows if
+// completion sections ever truly overlap on one thread.
+struct CompletionScratch {
+  std::vector<dep::Node*> dependents;
+  std::vector<Task*> ready;
+  CompletionScratch* next = nullptr;
+};
+
+struct ScratchPool {
+  CompletionScratch* head = nullptr;
+  ~ScratchPool() {
+    while (head != nullptr) {
+      CompletionScratch* next = head->next;
+      delete head;
+      head = next;
+    }
+  }
+};
+thread_local ScratchPool tls_scratch_pool;
+
+CompletionScratch* acquire_scratch() {
+  if (CompletionScratch* s = tls_scratch_pool.head) {
+    tls_scratch_pool.head = s->next;
+    s->next = nullptr;
+    return s;
+  }
+  return new CompletionScratch;
+}
+
+void release_scratch(CompletionScratch* s) noexcept {
+  s->dependents.clear();
+  s->ready.clear();
+  s->next = tls_scratch_pool.head;
+  tls_scratch_pool.head = s;
+}
+
+}  // namespace
+
+TaskId current_task_id() noexcept {
+  return tls_task_frame.task != nullptr ? tls_task_frame.task->id : 0;
+}
 
 Runtime::Runtime(RuntimeConfig config)
     : config_(config),
@@ -135,14 +195,27 @@ void Runtime::spawn_impl(TaskOptions&& options, bool internal) {
   task->significance =
       static_cast<float>(std::clamp(options.significance, 0.0, 1.0));
   task->group = options.group;
-  // Single-writer (the designated spawner): load+store beats a lock xadd.
-  const TaskId id = next_task_id_.load(std::memory_order_relaxed);
-  next_task_id_.store(id + 1, std::memory_order_relaxed);
-  task->id = id;
+  // Multi-producer id mint: serve dispatchers, user threads and task bodies
+  // all spawn concurrently now, and ids must stay unique — they key the
+  // deterministic stream_rng fault stream and task-log attribution.  One
+  // relaxed fetch_add; uniqueness needs no ordering.
+  task->id = next_task_id_.fetch_add(1, std::memory_order_relaxed);
   task->internal = internal;
 
+  // Nested spawn: record the spawning task (if any) as parent so an
+  // in-task taskwait can barrier on exactly its children.  The child pins
+  // the parent with one retained reference until its completion performs
+  // the counter decrement — the parent may finish its body (and drop the
+  // scheduler's in-flight reference) before the child ever runs.
+  if (Task* parent = tls_task_frame.runtime == this ? tls_task_frame.task
+                                                    : nullptr) {
+    parent->retain();
+    parent->children.fetch_add(1, std::memory_order_relaxed);
+    task->parent = parent;
+  }
+
   TaskGroup& g = group_ref(task->group);
-  g.on_spawn();
+  g.on_spawn(internal);
   // Relaxed: the increment is ordered before the task's publication by the
   // scheduler's release edges; the completion-side decrement stays acq_rel
   // so barrier waiters observe a properly ordered zero crossing.
@@ -279,11 +352,27 @@ void Runtime::execute_task(Task& task, unsigned worker) {
       faults_.fetch_add(1, std::memory_order_relaxed);
     }
   }
+  // Normalize before running/completing: a policy that declines to decide
+  // must not leak Undecided into completion — the no-op accounting branch
+  // would break spawned == accurate + approximate + dropped in reports.
+  // Undecided-at-execution is a policy bug (every shipped policy decides by
+  // here), so debug builds assert; release builds run the accurate body,
+  // the conservative reading of "no decision was made".
+  if (kind == ExecutionKind::Undecided) {
+    assert(false && "task reached execution still Undecided");
+    kind = ExecutionKind::Accurate;
+  }
   task.kind = kind;
 
   TaskGroup& g = group_ref(task.group);
   const double requested = g.ratio();
 
+  // Publish this task as the thread's current frame for the body's
+  // duration: nested spawns parent to it, and an in-task taskwait detects
+  // the helping path through it.  Save/restore (not set/clear) keeps the
+  // outer frame correct when a helping barrier re-enters execute_task.
+  const ThreadTaskFrame saved_frame = tls_task_frame;
+  tls_task_frame = {this, &task};
   try {
     switch (kind) {
       case ExecutionKind::Accurate:
@@ -300,6 +389,7 @@ void Runtime::execute_task(Task& task, unsigned worker) {
     std::lock_guard lock(error_mutex_);
     if (!first_error_) first_error_ = std::current_exception();
   }
+  tls_task_frame = saved_frame;
 
   // Completion order matters: downstream tasks must only start after this
   // task's side effects are visible.  The striped tracker guarantees it
@@ -308,37 +398,44 @@ void Runtime::execute_task(Task& task, unsigned worker) {
   // the edge observes it with acquire (dependents handed out here ride the
   // scheduler's publication edges instead).
   // Multiple dependents becoming runnable at once go out as one batch.
-  // Scratch buffers are thread-local: execute_task is only entered from the
-  // scheduler's (non-reentrant) drain/worker loop, and completions in the
-  // steady state touch no allocator.
+  // Scratch frames are leased from a per-thread pool (capacity-stable, so
+  // steady-state completions touch no allocator) rather than being a flat
+  // thread_local: execute_task is re-entrant under helping barriers, and a
+  // frame per completion section stays correct at any nesting depth.
   if (task.has_footprint) {
-    thread_local std::vector<dep::Node*> dependents;
-    thread_local std::vector<Task*> ready;
-    dependents.clear();
-    ready.clear();
-    tracker_.complete(task, dependents);
-    for (dep::Node* node : dependents) {
+    CompletionScratch* scratch = acquire_scratch();
+    tracker_.complete(task, scratch->dependents);
+    for (dep::Node* node : scratch->dependents) {
       // The tracker's dependents are always Tasks; each pointer carries one
       // adopted reference that either transfers to the scheduler or drops.
       Task* dep_task = static_cast<Task*>(node);
       if (dep_task->release_one()) {
-        ready.push_back(dep_task);
+        scratch->ready.push_back(dep_task);
       } else {
         dep_task->release();
       }
     }
-    if (ready.size() == 1) {
+    if (scratch->ready.size() == 1) {
       // Post-body release: this worker pops the lone dependent next, so
       // the scheduler may skip the thief wake (see enqueue_released).
-      scheduler_->enqueue_released(ready.front());
-    } else if (!ready.empty()) {
-      scheduler_->enqueue_bulk(ready.data(), ready.size());
+      scheduler_->enqueue_released(scratch->ready.front());
+    } else if (!scratch->ready.empty()) {
+      scheduler_->enqueue_bulk(scratch->ready.data(), scratch->ready.size());
     }
-    dependents.clear();
-    ready.clear();
+    release_scratch(scratch);
   }
 
   g.on_complete(kind, task.significance, requested, task.internal, worker);
+
+  // Nested barrier accounting: this completion is what an in-task taskwait
+  // in the parent is waiting for.  acq_rel pairs with the waiter's acquire
+  // load, ordering this task's side effects (and its on_complete above)
+  // before the barrier opens; then drop the child's pin on the parent.
+  if (Task* parent = task.parent) {
+    parent->children.fetch_sub(1, std::memory_order_acq_rel);
+    parent->release();
+  }
+
   on_task_finished();
 }
 
@@ -349,14 +446,75 @@ void Runtime::on_task_finished() {
   }
 }
 
+template <typename Done>
+void Runtime::help_until(Done done) {
+  // Helping barrier: a worker inside a task body must never block its OS
+  // thread on a barrier — every worker doing so (recursive fan-out does
+  // exactly this) would deadlock the pool.  Instead the waiter keeps
+  // executing tasks: its own deque first (where its children just landed),
+  // then inbox/steals.  When nothing is acquirable but the barrier still
+  // holds, the awaited tasks are in flight on other workers; completions
+  // carry no helper signal, so back off with yields (the common
+  // microsecond case) escalating to short sleeps (the long-tail case)
+  // rather than a futex the completer would have to find and kick.
+  int idle = 0;
+  while (!done()) {
+    if (scheduler_->help_one()) {
+      idle = 0;
+      continue;
+    }
+    if (++idle < 16) {
+      std::this_thread::yield();
+    } else {
+      // Nothing acquirable but the barrier still holds.  Under a
+      // buffering policy, re-flush before sleeping: a task executed
+      // meanwhile (here or on another worker) may have spawned into a
+      // window, and the barrier's entry-time flush cannot have seen it —
+      // without this the awaited task sits in the buffer forever.
+      if (!pass_through_) policy_->flush(kAllGroups, *this);
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+    }
+  }
+}
+
 void Runtime::wait_all() {
   policy_->flush(kAllGroups, *this);
-  std::unique_lock lock(wait_mutex_);
-  wait_cv_.wait(lock, [this] {
+  if (Task* self = tls_task_frame.runtime == this ? tls_task_frame.task
+                                                  : nullptr) {
+    // In-task taskwait (OpenMP semantics): barrier over THIS task's
+    // children only.  A global pending==0 barrier would count the waiting
+    // task itself — and any sibling waiter — and never open.
+    help_until([self] {
+      return self->children.load(std::memory_order_acquire) == 0;
+    });
+    rethrow_pending_error();
+    return;
+  }
+  blocking_wait([this] {
     return pending_.load(std::memory_order_acquire) == 0;
   });
-  lock.unlock();
   rethrow_pending_error();
+}
+
+template <typename Done>
+void Runtime::blocking_wait(Done done) {
+  std::unique_lock lock(wait_mutex_);
+  if (pass_through_) {
+    // Nothing ever sits in a pass-through policy: a pure sleep, woken by
+    // the barrier condition's crossing.  (A timed poll here measurably
+    // preempts the workers on single-CPU boxes — keep it wake-driven.)
+    wait_cv_.wait(lock, done);
+    return;
+  }
+  // Buffering policy: task bodies may spawn into a window DURING this
+  // barrier (nested spawn with no in-task taskwait), and the barrier's
+  // entry flush cannot have seen those — re-flush on every timeout so the
+  // barrier stays live.  The condition's wake still arrives immediately.
+  while (!wait_cv_.wait_for(lock, std::chrono::milliseconds(1), done)) {
+    lock.unlock();
+    policy_->flush(kAllGroups, *this);
+    lock.lock();
+  }
 }
 
 void Runtime::wait_group(GroupId group) {
@@ -364,7 +522,35 @@ void Runtime::wait_group(GroupId group) {
   // on a still-buffered task of another group, and a partial flush would
   // deadlock the barrier.
   policy_->flush(kAllGroups, *this);
-  group_ref(group).wait();
+  TaskGroup& g = group_ref(group);
+  if (tls_task_frame.runtime == this && tls_task_frame.task != nullptr) {
+    // In-task group barrier: help until the group quiesces.  The waiting
+    // task itself stays pending in its group until after its body returns,
+    // so it is excluded from its own barrier; two tasks of one group both
+    // group-waiting on it would deadlock (see the header contract).  The
+    // same hazard arises transitively: a helping waiter may have SUSPENDED
+    // another task of `group` beneath it on this worker's stack (an
+    // in-task wait_all picked this task up), and that task can never
+    // complete while we spin here.  Prefer in-task wait_all (children
+    // scope, immune by construction) or wait on groups whose tasks do not
+    // themselves barrier; see the ROADMAP open item on descendant-scoped
+    // group waits.
+    const std::uint64_t self_in_group =
+        tls_task_frame.task->group == group ? 1u : 0u;
+    help_until([&g, self_in_group] { return g.pending() <= self_in_group; });
+    rethrow_pending_error();
+    return;
+  }
+  // Same split as wait_all: wake-driven under pass-through policies, a
+  // timed re-flush loop under buffering ones (a body may spawn group
+  // members into a window during the barrier).
+  if (pass_through_) {
+    g.wait();
+  } else {
+    while (!g.wait_for(std::chrono::milliseconds(1))) {
+      policy_->flush(kAllGroups, *this);
+    }
+  }
   rethrow_pending_error();
 }
 
@@ -372,16 +558,32 @@ void Runtime::wait_on(const void* ptr, std::size_t bytes) {
   policy_->flush(kAllGroups, *this);
 
   // A fence task with an in() clause on the range depends on exactly the
-  // pending writers of that range; its completion signals the future.
-  std::promise<void> done;
-  auto fut = done.get_future();
+  // pending writers of that range; its completion raises `done`.  The
+  // flag lives on this stack frame: both exits below strictly outlive the
+  // fence's completion.
+  std::atomic<bool> done{false};
+  const bool helping =
+      tls_task_frame.runtime == this && tls_task_frame.task != nullptr;
   TaskOptions fence;
-  fence.accurate = [&done] { done.set_value(); };
+  fence.accurate = [this, &done] {
+    done.store(true, std::memory_order_release);
+    // Blocking (non-helping) waiters sleep on wait_cv_; the lock/notify
+    // pair closes their check-then-sleep window.  Helping waiters poll.
+    std::lock_guard lock(wait_mutex_);
+    wait_cv_.notify_all();
+  };
   fence.significance = 1.0;
   fence.group = kDefaultGroup;
   fence.accesses.push_back({ptr, bytes, dep::Mode::In});
   spawn_impl(std::move(fence), /*internal=*/true);
-  fut.wait();
+  if (helping) {
+    help_until([&done] { return done.load(std::memory_order_acquire); });
+  } else {
+    // blocking_wait's re-flush also covers the fence: a concurrent
+    // spawner may have registered a writer of this range in the tracker
+    // and then parked it in a window AFTER our entry flush.
+    blocking_wait([&done] { return done.load(std::memory_order_acquire); });
+  }
   rethrow_pending_error();
 }
 

@@ -16,11 +16,34 @@
 //   }
 //   rt.wait_group(sobel);   // #pragma omp taskwait label(sobel) ratio(0.35)
 //
-// Threading contract: spawn/wait_* are master-thread calls (one designated
-// spawner); task bodies run on workers; create_group/ensure_group/set_ratio
-// are safe from any thread (the group table is lock-free and the ratio is a
-// relaxed atomic — see the table in docs/architecture.md); stats and
-// activity are readable from any thread.
+// Threading contract (any-thread): spawn(), wait_all(), wait_group() and
+// wait_on() are safe from ANY thread — multiple concurrent spawner threads,
+// and task bodies themselves (nested parallelism, the OpenMP tasking model
+// the paper lowers to).  Specifics:
+//
+//   * Worker-side spawns push straight into the calling worker's own
+//     Chase-Lev deque (no inbox hop); task ids are minted from one atomic
+//     counter, unique across any number of concurrent spawners.
+//   * A taskwait issued from inside a task body never blocks the worker's
+//     OS thread: it enters a helping loop that drains/steals and executes
+//     tasks until the barrier opens.  In-task wait_all() barriers on the
+//     calling task's CHILDREN (OpenMP `#pragma omp taskwait` semantics) —
+//     a global pending==0 barrier would count the waiting task itself and
+//     deadlock sibling waiters.  Top-level wait_all() keeps the global
+//     everything-spawned-so-far barrier.  In-task wait_group(g) helps
+//     until g quiesces, excluding the waiting task itself when it belongs
+//     to g; two tasks of one group both group-waiting on it deadlock
+//     (documented limitation, see ROADMAP open items).
+//   * create_group/ensure_group/set_ratio are safe from any thread (the
+//     group table is lock-free and the ratio is a relaxed atomic — see the
+//     table in docs/architecture.md); stats and activity are readable from
+//     any thread.
+//   * Exception — inline mode (workers == 0): execution happens
+//     synchronously on the enqueuing thread over an unsynchronized queue
+//     (the deterministic single-threaded twin used by tests), so the
+//     any-thread contract requires workers >= 1.  Inline-mode clients must
+//     drive the runtime from one thread at a time; nesting (spawn/taskwait
+//     from inside bodies) is fully supported there.
 #pragma once
 
 #include <atomic>
@@ -110,15 +133,20 @@ class Runtime final : public energy::ActivitySource, private IssueSink {
     spawn_impl(std::move(builder).take(), /*internal=*/false);
   }
 
-  /// #pragma omp taskwait — barrier over all tasks spawned so far.
-  /// Rethrows the first exception thrown by any task since the last wait.
+  /// #pragma omp taskwait — from outside any task body: barrier over all
+  /// tasks spawned so far; from inside one: barrier over the calling
+  /// task's children, executed as a non-blocking helping loop (see the
+  /// header comment).  Rethrows the first exception thrown by any task
+  /// since the last wait.
   void wait_all();
 
-  /// #pragma omp taskwait label(...) — barrier over one group.
+  /// #pragma omp taskwait label(...) — barrier over one group.  In-task
+  /// callers help instead of blocking and exclude themselves from the
+  /// group's pending count.
   void wait_group(GroupId group);
 
   /// #pragma omp taskwait on(...) — waits for the pending writers of the
-  /// given byte range.
+  /// given byte range.  In-task callers help instead of blocking.
   void wait_on(const void* ptr, std::size_t bytes);
 
   // --- introspection -------------------------------------------------------
@@ -154,6 +182,19 @@ class Runtime final : public energy::ActivitySource, private IssueSink {
   void execute_task(Task& task, unsigned worker);
   void classify_at_dequeue(Task& task, unsigned worker);
   void spawn_impl(TaskOptions&& options, bool internal);
+  /// Helping barrier core: runs/steals tasks on the calling thread until
+  /// `done()` holds, backing off (yield, then microsleeps) when no work is
+  /// acquirable.  Only entered from inside a task body of this runtime.
+  template <typename Done>
+  void help_until(Done done);
+  /// Blocking barrier core (non-task threads), on wait_mutex_/wait_cv_:
+  /// a pure wake-driven sleep under pass-through policies, a 1 ms timed
+  /// loop re-flushing the policy under buffering ones — a task body may
+  /// spawn into a window DURING the barrier, invisible to the entry
+  /// flush.  Shared by wait_all and wait_on (wait_group sleeps on the
+  /// group's own condvar).
+  template <typename Done>
+  void blocking_wait(Done done);
   void on_task_finished();
   void rethrow_pending_error();
   void publish_group(GroupId id, TaskGroup* group) noexcept;
@@ -189,5 +230,10 @@ class Runtime final : public energy::ActivitySource, private IssueSink {
   std::unique_ptr<Scheduler> scheduler_;  // after policy_: callback uses both
   std::unique_ptr<energy::Meter> meter_;
 };
+
+/// Id of the task currently executing on the calling thread, or 0 when the
+/// caller is not inside a task body.  Thread-local, nesting-aware (helping
+/// re-entrancy restores the outer task's id when the inner one finishes).
+[[nodiscard]] TaskId current_task_id() noexcept;
 
 }  // namespace sigrt

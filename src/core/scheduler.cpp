@@ -19,6 +19,13 @@ namespace {
 thread_local Scheduler* tls_scheduler = nullptr;
 thread_local unsigned tls_worker = 0;
 
+// Cycles charged by execution frames nested inside the current one: an
+// in-task taskwait re-enters execution on this thread (help_one), and the
+// outer frame's wall-clock span includes every inner task it helped run.
+// Each frame subtracts its inner charges so busy accounting is EXCLUSIVE —
+// summing to real execution time instead of inflating with nesting depth.
+thread_local std::uint64_t tls_inner_cycles = 0;
+
 }  // namespace
 
 Scheduler::Scheduler(unsigned workers, unsigned unreliable, bool steal,
@@ -325,17 +332,41 @@ void Scheduler::enqueue_bulk(Task* const* tasks, std::size_t count) {
   }
 }
 
+bool Scheduler::on_worker_thread() const noexcept {
+  return tls_scheduler == this;
+}
+
+bool Scheduler::help_one() {
+  if (inline_mode()) {
+    // Inline help: run the NEWEST queued task — the waiting body's own
+    // children sit at the back, so LIFO help descends depth-first and the
+    // C++ stack grows with the task-tree depth, exactly like the threaded
+    // owner-deque pop.  (FIFO help would chew through every pending
+    // sibling breadth-first, nesting one stack frame per task in the
+    // system — a guaranteed overflow on recursive fan-out.)  Safe to
+    // interleave with an active drain_inline loop: same thread, and the
+    // loop re-checks emptiness every iteration.
+    if (inline_queue_.empty()) return false;
+    Task* task = inline_queue_.back();
+    inline_queue_.pop_back();
+    inline_busy_cycles_ += run_body_timed(*task, 0);
+    ++inline_executed_;
+    task->release();
+    return true;
+  }
+  if (tls_scheduler != this) return false;
+  Task* raw = acquire_work(tls_worker);
+  if (raw == nullptr) return false;
+  run_task(raw, tls_worker);
+  return true;
+}
+
 void Scheduler::drain_inline() {
   inline_draining_ = true;
   while (!inline_queue_.empty()) {
     Task* task = inline_queue_.front();
     inline_queue_.pop_front();
-    if (on_dequeue_ != nullptr) on_dequeue_(ctx_, *task, 0);
-    {
-      const std::uint64_t c0 = support::CycleClock::now();
-      execute_(ctx_, *task, 0);
-      inline_busy_cycles_ += support::CycleClock::elapsed(c0);
-    }
+    inline_busy_cycles_ += run_body_timed(*task, 0);
     ++inline_executed_;
     task->release();  // drop the donated in-flight reference
   }
@@ -474,14 +505,27 @@ bool Scheduler::has_visible_work(unsigned index) const {
   return false;
 }
 
-void Scheduler::run_task(Task* raw, unsigned index) {
-  WorkerSlot& slot = *slots_[index];
+std::uint64_t Scheduler::run_body_timed(Task& task, unsigned worker) {
   // Dequeue-time policy hook (LQH classification) runs on the executing
   // worker, before the body, outside the busy-time attribution.
-  if (on_dequeue_ != nullptr) on_dequeue_(ctx_, *raw, index);
+  if (on_dequeue_ != nullptr) on_dequeue_(ctx_, task, worker);
+  const std::uint64_t saved_inner = tls_inner_cycles;
+  tls_inner_cycles = 0;
   const std::uint64_t c0 = support::CycleClock::now();
-  execute_(ctx_, *raw, index);
-  const std::uint64_t cycles = support::CycleClock::elapsed(c0);
+  execute_(ctx_, task, worker);
+  const std::uint64_t inclusive = support::CycleClock::elapsed(c0);
+  const std::uint64_t exclusive =
+      inclusive - std::min(inclusive, tls_inner_cycles);
+  // Charge this frame's full span to the enclosing frame (if any); at the
+  // top level the accumulated value is never read — the next frame's
+  // save/zero discards it.
+  tls_inner_cycles = saved_inner + inclusive;
+  return exclusive;
+}
+
+void Scheduler::run_task(Task* raw, unsigned index) {
+  WorkerSlot& slot = *slots_[index];
+  const std::uint64_t cycles = run_body_timed(*raw, index);
   // Single-writer counters: the owning worker is the only mutator, so a
   // plain load+store (no lock-prefixed RMW) is enough; readers (stats) are
   // documented as approximate while workers run.

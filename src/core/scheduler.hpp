@@ -128,6 +128,21 @@ class Scheduler {
   /// True when configured with zero worker threads.
   [[nodiscard]] bool inline_mode() const noexcept { return worker_total_ == 0; }
 
+  /// True when the calling thread is one of THIS scheduler's workers
+  /// (i.e. a task body is on the call stack).  Thread-local identity, so
+  /// nested or concurrent runtimes sharing a thread never confuse workers.
+  [[nodiscard]] bool on_worker_thread() const noexcept;
+
+  /// Helping drain for in-task barriers: acquires and runs ONE task on the
+  /// calling thread — the calling worker's own deques/inbox first, then a
+  /// steal — and returns true if a task ran.  Returns false when no work is
+  /// acquirable, or when the calling thread is neither a worker of this
+  /// scheduler nor the inline-mode owner.  Re-entrant: the executed body
+  /// may itself spawn, wait (help), or throw (captured by the runtime).
+  /// Never parks — a helping waiter must stay responsive to its own
+  /// barrier condition, which no eventcount signal announces.
+  bool help_one();
+
   /// Fixed at construction before any worker thread starts — safe to read
   /// from workers while the constructor is still emplacing threads.
   [[nodiscard]] unsigned worker_count() const noexcept { return worker_total_; }
@@ -181,6 +196,10 @@ class Scheduler {
 
   void worker_loop(unsigned index);
   void run_task(Task* raw, unsigned index);
+  /// Dequeue hook + body, returning the busy cycles EXCLUSIVE of execution
+  /// frames nested inside the body (helping barriers re-enter execution on
+  /// this thread; their cycles are charged once, by the inner frame).
+  std::uint64_t run_body_timed(Task& task, unsigned worker);
   void drain_inline();
   void enqueue_owned(Task* task, bool post_body);
 

@@ -53,6 +53,20 @@ class Task final : public dep::Node, public support::PoolSlot<Task> {
   /// so its completion skips the tracker's stripe locks entirely.
   bool has_footprint = false;
 
+  // --- nested parallelism -------------------------------------------------
+
+  /// The task whose body spawned this one; nullptr for top-level spawns.
+  /// A child pins its parent with one retained reference from spawn until
+  /// its own completion decrements `children`, so the counter stays valid
+  /// even when the parent's body returns before the child runs.
+  Task* parent = nullptr;
+
+  /// Live (spawned but not yet completed) children of this task.  An
+  /// in-task taskwait is a helping barrier on exactly this counter: the
+  /// completion-side fetch_sub is acq_rel and the waiter's load is acquire,
+  /// so every child's side effects are visible when the barrier opens.
+  std::atomic<std::uint32_t> children{0};
+
   /// Classification result.  Written exactly once before the task becomes
   /// runnable (GTB/Oracle) or at dequeue time on the executing worker (LQH),
   /// then read only by that worker — no concurrent access in either case.
@@ -95,6 +109,8 @@ class Task final : public dep::Node, public support::PoolSlot<Task> {
     id = 0;
     internal = false;
     has_footprint = false;
+    parent = nullptr;
+    children.store(0, std::memory_order_relaxed);
     kind = ExecutionKind::Undecided;
     gate.store(0, std::memory_order_relaxed);
     next_ready = nullptr;

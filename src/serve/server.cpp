@@ -29,24 +29,40 @@ RuntimeConfig serving_config(RuntimeConfig c) {
   return c;
 }
 
+/// Dispatcher-tier width.  Inline mode (workers == 0) executes on the
+/// enqueuing thread over an unsynchronized queue — single client thread
+/// only — so a sharded dispatcher tier would race on it; sharding
+/// requires real workers.
+unsigned dispatcher_count(const ServerOptions& options) {
+  const unsigned requested = std::max(1u, options.dispatcher_threads);
+  return options.runtime.workers == 0 ? 1u : requested;
+}
+
 }  // namespace
 
 Server::Server(ServerOptions options)
     : options_(options),
       runtime_(std::make_unique<Runtime>(serving_config(options.runtime))) {
   for (auto& slot : classes_) slot.store(nullptr, std::memory_order_relaxed);
-  dispatcher_ = std::thread([this] { dispatcher_loop(); });
-  if (options_.epoch_ms > 0.0) {
-    try {
-      controller_ = std::thread([this] { controller_loop(); });
-    } catch (...) {
-      // Thread creation failed (e.g. EAGAIN): stop and join the dispatcher
-      // before rethrowing — destroying a joinable std::thread terminates.
-      running_.store(false, std::memory_order_release);
-      wake_dispatcher();
-      dispatcher_.join();
-      throw;
+  const unsigned dispatchers = dispatcher_count(options_);
+  // Any failure past the first thread must stop and join what already
+  // started — destroying a joinable std::thread terminates.
+  try {
+    dispatchers_.reserve(dispatchers);
+    for (unsigned i = 0; i < dispatchers; ++i) {
+      dispatchers_.emplace_back([this] { dispatcher_loop(); });
     }
+    if (options_.epoch_ms > 0.0) {
+      controller_ = std::thread([this] { controller_loop(); });
+    }
+  } catch (...) {
+    running_.store(false, std::memory_order_release);
+    {
+      std::lock_guard lock(wake_mutex_);
+      wake_cv_.notify_all();
+    }
+    for (auto& d : dispatchers_) d.join();
+    throw;
   }
 }
 
@@ -107,55 +123,69 @@ Admission Server::submit(ClassId cls, Job job) {
 }
 
 void Server::wake_dispatcher() noexcept {
-  // Guarded wake (the eventcount idiom): under load the dispatcher is
-  // almost never idle, so the common case is one acquire load, not a
-  // contended RMW on every submit.  The acquire load is not part of the
-  // seq_cst Dekker handshake, but a missed wake only costs the park's 1 ms
-  // timeout, never a hang.
-  if (dispatcher_idle_.load(std::memory_order_acquire) &&
-      dispatcher_idle_.exchange(false, std::memory_order_seq_cst)) {
+  // Guarded wake (the eventcount idiom): under load no dispatcher is ever
+  // idle, so the common case is one acquire load, not a lock + notify on
+  // every submit.  While dispatchers ARE parked, the wake_pending_ token
+  // lets exactly one producer of a burst pay the lock+notify and the rest
+  // skip — without it every submit in the park window serializes on
+  // wake_mutex_.  None of this is a seq_cst Dekker handshake; a missed
+  // wake only costs the park's 1 ms timeout, never a hang.
+  if (idle_dispatchers_.load(std::memory_order_acquire) == 0) return;
+  if (wake_pending_.exchange(true, std::memory_order_seq_cst)) return;
+  {
     std::lock_guard lock(wake_mutex_);
     wake_cv_.notify_one();
   }
+  wake_pending_.store(false, std::memory_order_release);
 }
 
 void Server::dispatcher_loop() {
   using namespace std::chrono_literals;
+  // Per-dispatcher perforation rotors: each dispatcher enforces the drop
+  // fraction over its own batch stream, so N dispatchers never race on an
+  // accumulator (the aggregate drop rate converges to the same level).
+  std::vector<double> rotor(kMaxClasses, 0.0);
   while (true) {
+    // pop_all_fifo is a single exchange, so N dispatchers draining the
+    // same queue each take a disjoint FIFO batch.
     Request* head = queue_.pop_all_fifo();
     if (head == nullptr) {
       if (!running_.load(std::memory_order_acquire)) break;
       // Two-phase park: announce idle, re-check, then wait with a timeout
-      // backstop (the flag+notify pair handles the common case; the timeout
-      // makes a lost wakeup cost 1 ms, never a hang).
-      dispatcher_idle_.store(true, std::memory_order_seq_cst);
+      // backstop (the count+notify pair handles the common case; the
+      // timeout makes a lost wakeup cost 1 ms, never a hang).
+      idle_dispatchers_.fetch_add(1, std::memory_order_seq_cst);
       if (!queue_.empty() || !running_.load(std::memory_order_acquire)) {
-        dispatcher_idle_.store(false, std::memory_order_relaxed);
+        idle_dispatchers_.fetch_sub(1, std::memory_order_relaxed);
         continue;
       }
-      std::unique_lock lock(wake_mutex_);
-      wake_cv_.wait_for(lock, 1ms, [this] {
-        return !dispatcher_idle_.load(std::memory_order_acquire) ||
-               !running_.load(std::memory_order_acquire);
-      });
-      dispatcher_idle_.store(false, std::memory_order_relaxed);
+      {
+        std::unique_lock lock(wake_mutex_);
+        wake_cv_.wait_for(lock, 1ms, [this] {
+          return !queue_.empty() || !running_.load(std::memory_order_acquire);
+        });
+      }
+      idle_dispatchers_.fetch_sub(1, std::memory_order_relaxed);
       continue;
     }
     while (head != nullptr) {
       Request* next = head->next;
-      dispatch(head);
+      dispatch(head, rotor.data());
       head = next;
     }
   }
 
   // Graceful drain: serve everything admitted before the stop, then let the
-  // runtime finish it.  Task-body exceptions are the application's concern
-  // (request bodies are expected to capture their own failures); swallow
-  // rather than tear down the process from a detached context.
+  // runtime finish it.  Every dispatcher drains (the exchange hands each a
+  // disjoint remainder) and every dispatcher barriers, so close() joining
+  // any of them implies the admitted work is done.  Task-body exceptions
+  // are the application's concern (request bodies are expected to capture
+  // their own failures); swallow rather than tear down the process from a
+  // detached context.
   while (Request* head = queue_.pop_all_fifo()) {
     while (head != nullptr) {
       Request* next = head->next;
-      dispatch(head);
+      dispatch(head, rotor.data());
       head = next;
     }
   }
@@ -165,7 +195,7 @@ void Server::dispatcher_loop() {
   }
 }
 
-void Server::dispatch(Request* r) {
+void Server::dispatch(Request* r, double* rotor) {
   ClassState& s = class_ref(r->cls);
 
   // Rung 2 of the ladder: drop a deterministic fraction of admitted
@@ -173,9 +203,9 @@ void Server::dispatch(Request* r) {
   // the controller thread.  Perforated requests complete for accounting but
   // record no latency — their ~0 queue time would mask the overload the
   // controller is reacting to.
-  s.perforation_acc += s.perforation.load(std::memory_order_relaxed);
-  if (s.perforation_acc >= 1.0) {
-    s.perforation_acc -= 1.0;
+  rotor[r->cls] += s.perforation.load(std::memory_order_relaxed);
+  if (rotor[r->cls] >= 1.0) {
+    rotor[r->cls] -= 1.0;
     s.perforated.fetch_add(1, std::memory_order_relaxed);
     s.in_flight.fetch_sub(1, std::memory_order_acq_rel);
     delete r;
@@ -283,8 +313,14 @@ void Server::close() {
   }
 
   running_.store(false, std::memory_order_release);
-  wake_dispatcher();
-  if (dispatcher_.joinable()) dispatcher_.join();
+  {
+    // Shutdown wake: every parked dispatcher must observe the flag.
+    std::lock_guard lock(wake_mutex_);
+    wake_cv_.notify_all();
+  }
+  for (auto& d : dispatchers_) {
+    if (d.joinable()) d.join();
+  }
 
   // Shed anything that raced the intake flip.  A racer that passed the
   // accepting_ check holds an in_flight reservation from before its push,

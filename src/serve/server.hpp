@@ -15,11 +15,14 @@
 // Three moving parts above the Runtime facade:
 //   * admission (client threads): per-class in-flight bound with a
 //     shed-or-degrade policy, then one CAS into the MPSC request queue;
-//   * dispatcher (one thread): drains the queue in FIFO order, applies the
-//     controller's perforation level, and spawns each request as one
-//     significance-carrying task into the class's group.  The dispatcher is
-//     the runtime's single spawner — the "master" of the threading
-//     contract;
+//   * dispatchers (N threads, ServerOptions::dispatcher_threads): drain the
+//     queue in batches, apply the controller's perforation level, and spawn
+//     each request as one significance-carrying task into the class's
+//     group.  Spawning is safe from any thread (the runtime's any-thread
+//     contract), so the dispatcher tier shards horizontally: each pop takes
+//     the whole pending chain, batches stay FIFO internally, and with N > 1
+//     batches from different dispatchers may interleave (per-request
+//     latency accounting is unaffected);
 //   * QoS controller (one thread): every epoch, diffs each class's sharded
 //     latency histogram into a window, computes p99 + in-flight depth, and
 //     retargets the group's ratio() through Runtime::set_ratio — the
@@ -64,6 +67,14 @@ struct ServerOptions {
   /// ratios stay wherever register_class/set_ratio put them (used by the
   /// deterministic admission tests and by callers driving ratios manually).
   double epoch_ms = 10.0;
+
+  /// Dispatcher (spawner) threads draining the admission queue; clamped to
+  /// >= 1, and to exactly 1 when the runtime is inline (workers == 0,
+  /// whose synchronous queue admits a single client thread).  One
+  /// dispatcher preserves global FIFO dispatch order; more remove the
+  /// single-spawner bottleneck under high submit rates at the cost of
+  /// batch interleaving between dispatchers.
+  unsigned dispatcher_threads = 1;
 };
 
 class Server {
@@ -115,7 +126,6 @@ class Server {
 
     support::ShardedHistogram latency;
     std::atomic<double> perforation{0.0};
-    double perforation_acc = 0.0;  ///< dispatcher-only drop rotor
 
     std::atomic<std::size_t> in_flight{0};
     std::atomic<std::uint64_t> submitted{0};
@@ -132,7 +142,10 @@ class Server {
   [[nodiscard]] ClassState& class_ref(ClassId cls) const;
 
   void dispatcher_loop();
-  void dispatch(Request* r);
+  /// `rotor` is the calling dispatcher's per-class perforation accumulator
+  /// (kMaxClasses entries) — dispatcher-local, so N dispatchers never race
+  /// on it; each enforces the drop fraction over its own batch stream.
+  void dispatch(Request* r, double* rotor);
   void complete(Request* r, Outcome outcome);
   void wake_dispatcher() noexcept;
 
@@ -151,7 +164,12 @@ class Server {
   std::atomic<bool> accepting_{true};
   std::atomic<bool> running_{true};
 
-  std::atomic<bool> dispatcher_idle_{false};
+  /// Count of dispatchers currently announcing idle (two-phase park); a
+  /// producer only pays the notify when this is nonzero.
+  std::atomic<unsigned> idle_dispatchers_{0};
+  /// Single-flight token for the producer-side wake: one producer per
+  /// burst takes the lock+notify, the rest skip (see wake_dispatcher).
+  std::atomic<bool> wake_pending_{false};
   std::mutex wake_mutex_;
   std::condition_variable wake_cv_;
 
@@ -162,7 +180,7 @@ class Server {
   std::mutex close_mutex_;
   bool closed_ = false;  ///< close_mutex_
 
-  std::thread dispatcher_;
+  std::vector<std::thread> dispatchers_;
   std::thread controller_;
 };
 

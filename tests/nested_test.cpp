@@ -1,0 +1,281 @@
+// Nested-parallelism tests: any-thread spawn, in-task taskwait (helping
+// barrier), recursive fan-out at several worker counts, group barriers
+// issued from inside task bodies, and nested spawn under a buffering
+// policy.  This suite runs under TSan in CI — it is the data-race gate
+// for the multi-spawner runtime contract.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "core/sigrt.hpp"
+
+namespace {
+
+using sigrt::ExecutionKind;
+using sigrt::PolicyKind;
+using sigrt::Runtime;
+using sigrt::RuntimeConfig;
+
+RuntimeConfig workers_config(unsigned workers,
+                             PolicyKind p = PolicyKind::Agnostic) {
+  RuntimeConfig c;
+  c.workers = workers;
+  c.policy = p;
+  return c;
+}
+
+std::uint64_t fib_iterative(int n) {
+  std::uint64_t a = 0, b = 1;
+  for (int i = 0; i < n; ++i) {
+    const std::uint64_t next = a + b;
+    a = b;
+    b = next;
+  }
+  return a;
+}
+
+// Divide-and-conquer fib: every interior node spawns two children and
+// issues an in-task taskwait before combining — the workload shape the
+// old single-spawner contract could not express at all.
+void fib_task(Runtime& rt, int n, int cutoff, std::uint64_t* out) {
+  if (n < cutoff) {
+    *out = fib_iterative(n);
+    return;
+  }
+  std::uint64_t a = 0;
+  std::uint64_t b = 0;
+  rt.spawn(sigrt::task([&rt, n, cutoff, &a] { fib_task(rt, n - 1, cutoff, &a); }));
+  rt.spawn(sigrt::task([&rt, n, cutoff, &b] { fib_task(rt, n - 2, cutoff, &b); }));
+  rt.wait_all();  // in-task: barriers on this task's two children
+  *out = a + b;
+}
+
+class NestedFib : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(NestedFib, RecursiveFibWithInTaskTaskwait) {
+  // Depth >= 20 levels of nested spawn+taskwait (n - cutoff = 20).
+  constexpr int kN = 32;
+  constexpr int kCutoff = 12;
+  Runtime rt(workers_config(GetParam()));
+  std::uint64_t result = 0;
+  rt.spawn(sigrt::task(
+      [&rt, &result] { fib_task(rt, kN, kCutoff, &result); }));
+  rt.wait_all();
+  EXPECT_EQ(result, fib_iterative(kN));
+}
+
+INSTANTIATE_TEST_SUITE_P(WorkerSweep, NestedFib,
+                         ::testing::Values(0u, 1u, 2u, 8u));
+
+class NestedFanOut : public ::testing::TestWithParam<unsigned> {};
+
+// K-ary fan-out with a taskwait at every level: stresses many concurrent
+// helping barriers (every interior node of the tree is simultaneously a
+// worker, a spawner and a waiter).
+TEST_P(NestedFanOut, FanOutWithBarrierAtEveryDepth) {
+  constexpr int kArity = 4;
+  constexpr int kDepth = 6;  // (4^7 - 1) / 3 = 5461 tasks
+  Runtime rt(workers_config(GetParam()));
+  std::atomic<std::uint64_t> nodes{0};
+
+  struct Node {
+    static void run(Runtime& rt, std::atomic<std::uint64_t>& count, int depth) {
+      count.fetch_add(1, std::memory_order_relaxed);
+      if (depth == 0) return;
+      for (int k = 0; k < kArity; ++k) {
+        rt.spawn(sigrt::task(
+            [&rt, &count, depth] { run(rt, count, depth - 1); }));
+      }
+      rt.wait_all();  // in-task: children-only barrier
+    }
+  };
+
+  rt.spawn(sigrt::task([&rt, &nodes] { Node::run(rt, nodes, kDepth); }));
+  rt.wait_all();
+
+  std::uint64_t expected = 0;
+  std::uint64_t level = 1;
+  for (int d = 0; d <= kDepth; ++d, level *= kArity) expected += level;
+  EXPECT_EQ(nodes.load(), expected);
+  const auto r = rt.group_report(sigrt::kDefaultGroup);
+  EXPECT_EQ(r.spawned, expected);
+  EXPECT_EQ(r.spawned, r.accurate + r.approximate + r.dropped);
+}
+
+INSTANTIATE_TEST_SUITE_P(WorkerSweep, NestedFanOut,
+                         ::testing::Values(1u, 2u, 8u));
+
+TEST(Nested, InTaskTaskwaitWaitsChildrenNotSiblings) {
+  // Two sibling tasks each spawn a child and taskwait.  With global
+  // pending==0 semantics both siblings would deadlock; with children-only
+  // semantics each proceeds as soon as its own child finished.
+  Runtime rt(workers_config(2));
+  std::atomic<int> done{0};
+  for (int s = 0; s < 2; ++s) {
+    rt.spawn(sigrt::task([&rt, &done] {
+      std::atomic<bool> child_done{false};
+      rt.spawn(sigrt::task([&child_done] { child_done.store(true); }));
+      rt.wait_all();  // must only wait for OUR child
+      EXPECT_TRUE(child_done.load());
+      done.fetch_add(1);
+    }));
+  }
+  rt.wait_all();
+  EXPECT_EQ(done.load(), 2);
+}
+
+TEST(Nested, InTaskWaitGroupQuiescesOtherGroup) {
+  Runtime rt(workers_config(2));
+  const auto inner = rt.create_group("inner", 1.0);
+  std::atomic<int> inner_done{0};
+  std::atomic<bool> checked{false};
+  rt.spawn(sigrt::task([&] {
+    for (int i = 0; i < 8; ++i) {
+      rt.spawn(sigrt::task([&inner_done] { inner_done.fetch_add(1); })
+                   .group(inner));
+    }
+    rt.wait_group(inner);  // in-task group barrier from a worker
+    EXPECT_EQ(inner_done.load(), 8);
+    checked.store(true);
+  }));
+  rt.wait_all();
+  EXPECT_TRUE(checked.load());
+  const auto r = rt.group_report(inner);
+  EXPECT_EQ(r.spawned, 8u);
+  EXPECT_EQ(r.spawned, r.accurate + r.approximate + r.dropped);
+}
+
+TEST(Nested, InTaskWaitOnWaitsRangeWriters) {
+  Runtime rt(workers_config(2));
+  alignas(1024) static int data[256];
+  data[7] = 0;
+  std::atomic<bool> checked{false};
+  rt.spawn(sigrt::task([&] {
+    rt.spawn(sigrt::task([] { data[7] = 99; }).out(data, 256));
+    rt.wait_on(data, sizeof(data));  // helping, not blocking
+    EXPECT_EQ(data[7], 99);
+    checked.store(true);
+  }));
+  rt.wait_all();
+  EXPECT_TRUE(checked.load());
+}
+
+class NestedGtb : public ::testing::TestWithParam<unsigned> {};
+
+// Nested spawn under a buffering policy: children spawned from a task body
+// land in the (now mutex-guarded) GTB window, and the in-task taskwait's
+// flush is what releases them — on every worker count, including inline.
+TEST_P(NestedGtb, BufferedChildrenFlushFromInsideTask) {
+  RuntimeConfig c = workers_config(GetParam(), PolicyKind::GTB);
+  c.gtb_buffer = 4;  // force several mid-stream window flushes too
+  Runtime rt(c);
+  std::atomic<int> leaves{0};
+  rt.spawn(sigrt::task([&rt, &leaves] {
+    for (int i = 0; i < 10; ++i) {
+      rt.spawn(sigrt::task([&leaves] { leaves.fetch_add(1); })
+                   .significance(0.5)
+                   .approx([&leaves] { leaves.fetch_add(1); }));
+    }
+    rt.wait_all();
+    EXPECT_EQ(leaves.load(), 10);
+  }));
+  rt.wait_all();
+  EXPECT_EQ(leaves.load(), 10);
+  const auto r = rt.group_report(sigrt::kDefaultGroup);
+  EXPECT_EQ(r.spawned, 11u);
+  EXPECT_EQ(r.spawned, r.accurate + r.approximate + r.dropped);
+}
+
+INSTANTIATE_TEST_SUITE_P(WorkerSweep, NestedGtb,
+                         ::testing::Values(0u, 1u, 2u, 8u));
+
+class NestedGtbNoWait : public ::testing::TestWithParam<unsigned> {};
+
+// Liveness regression: children spawned into a buffering policy DURING a
+// barrier (the parent never taskwaits, so only the top-level barrier can
+// flush them) must not hang the barrier — wait_all re-flushes on its
+// timed wait, and helping loops re-flush in their backoff branch.
+TEST_P(NestedGtbNoWait, UnwaitedBufferedChildrenStillFlushAtTopBarrier) {
+  Runtime rt(workers_config(GetParam(), PolicyKind::GTBMaxBuffer));
+  std::atomic<int> ran{0};
+  rt.spawn(sigrt::task([&rt, &ran] {
+    for (int i = 0; i < 3; ++i) {
+      rt.spawn(sigrt::task([&ran] { ran.fetch_add(1); }));
+    }
+    // No in-task taskwait: the children sit in the GTB window until the
+    // top-level barrier's re-flush releases them.
+  }));
+  rt.wait_all();
+  EXPECT_EQ(ran.load(), 3);
+}
+
+INSTANTIATE_TEST_SUITE_P(WorkerSweep, NestedGtbNoWait,
+                         ::testing::Values(0u, 1u, 2u, 8u));
+
+TEST(Nested, ConcurrentUserThreadsSpawnSafely) {
+  // The multi-spawner half of the contract without task nesting: several
+  // plain user threads spawning into one runtime concurrently.
+  Runtime rt(workers_config(2));
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 2000;
+  std::atomic<std::uint64_t> ran{0};
+  std::vector<std::thread> spawners;
+  spawners.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    spawners.emplace_back([&rt, &ran] {
+      for (int i = 0; i < kPerThread; ++i) {
+        rt.spawn(sigrt::task([&ran] { ran.fetch_add(1, std::memory_order_relaxed); }));
+      }
+    });
+  }
+  for (auto& t : spawners) t.join();
+  rt.wait_all();
+  EXPECT_EQ(ran.load(), static_cast<std::uint64_t>(kThreads) * kPerThread);
+  const auto r = rt.group_report(sigrt::kDefaultGroup);
+  EXPECT_EQ(r.spawned, static_cast<std::uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(r.spawned, r.accurate + r.approximate + r.dropped);
+}
+
+TEST(Nested, ExceptionInNestedChildReachesTopLevelWait) {
+  Runtime rt(workers_config(2));
+  rt.spawn(sigrt::task([&rt] {
+    rt.spawn(sigrt::task([] { throw std::runtime_error("deep failure"); }));
+    // No in-task wait: the error must still surface at the top barrier.
+  }));
+  EXPECT_THROW(rt.wait_all(), std::runtime_error);
+}
+
+TEST(Nested, BusyTimeStaysExclusiveUnderHelping) {
+  // A helping taskwait re-enters execution, so the outer task's wall span
+  // covers every helped child; inclusive accounting would inflate busy
+  // time roughly linearly with tree depth.  Exclusive accounting keeps it
+  // physically possible: busy <= workers x wall (with generous slack for
+  // scheduling noise).
+  Runtime rt(workers_config(2));
+  // Anchor the TSC->ns calibration before the workload: CycleClock's ratio
+  // is computed over the window since its first use, and a first-use
+  // window of microseconds makes busy_s noise (documented in timer.hpp).
+  (void)rt.stats();
+  std::uint64_t result = 0;
+  rt.spawn(sigrt::task([&rt, &result] { fib_task(rt, 26, 12, &result); }));
+  rt.wait_all();
+  EXPECT_EQ(result, fib_iterative(26));
+  const auto s = rt.stats();
+  EXPECT_GT(s.busy_s, 0.0);
+  EXPECT_LE(s.busy_s, s.wall_s * 2.0 * 1.5);
+}
+
+TEST(Nested, CurrentTaskIdVisibleInsideBody) {
+  Runtime rt(workers_config(1));
+  EXPECT_EQ(sigrt::current_task_id(), 0u);
+  std::atomic<sigrt::TaskId> seen{0};
+  rt.spawn(sigrt::task([&seen] { seen.store(sigrt::current_task_id()); }));
+  rt.wait_all();
+  EXPECT_NE(seen.load(), 0u);
+  EXPECT_EQ(sigrt::current_task_id(), 0u);
+}
+
+}  // namespace

@@ -156,4 +156,36 @@ TEST(Pragma, MatchesExplicitApiClassification) {
   EXPECT_EQ(with_pragma(), with_api());
 }
 
+// Regression: ~PragmaTaskwait must apply the ratio() clause BEFORE the
+// wait's policy flush.  GTB(MaxBuffer) classifies the whole barrier window
+// at the flush — applied after, this window would be classified at the
+// group's stale ratio (1.0 here) and run fully accurate.
+TEST(Pragma, TaskwaitRatioAppliesBeforeBarrierFlush) {
+  Runtime rt(config(PolicyKind::GTBMaxBuffer));
+  int accurate = 0;
+  int approx = 0;
+  for (int i = 0; i < 10; ++i) {
+    // Group "g" is created at ratio 1.0 by the first labeled task; only
+    // the barrier's clause carries the real target.
+    omp_task(rt, [&] { ++accurate; })
+        .label("g")
+        .significant((i % 9 + 1) / 10.0)
+        .approxfun([&] { ++approx; });
+  }
+  omp_taskwait(rt).label("g").ratio(0.5);
+  EXPECT_EQ(accurate, 5);
+  EXPECT_EQ(approx, 5);
+}
+
+// Regression: a ratio() clause combined with on() was silently dropped;
+// like the plain-taskwait branch it must retarget the default group, and
+// do so before the wait.
+TEST(Pragma, TaskwaitOnAppliesRatioClause) {
+  Runtime rt(config());
+  alignas(1024) static int data[16];
+  omp_task(rt, [] { data[0] = 1; }).out(data, 16);
+  omp_taskwait(rt).on(data, sizeof(data)).ratio(0.7);
+  EXPECT_DOUBLE_EQ(rt.group(sigrt::kDefaultGroup).ratio(), 0.7);
+}
+
 }  // namespace

@@ -2,8 +2,11 @@
 // inline vs threaded execution, wait_on.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
+#include <mutex>
 #include <numeric>
+#include <thread>
 #include <vector>
 
 #include "core/sigrt.hpp"
@@ -359,6 +362,74 @@ TEST(Runtime, DiamondDependencyPattern) {
   ASSERT_EQ(log.size(), 4u);
   EXPECT_EQ(log.front(), 0);
   EXPECT_EQ(log.back(), 3);
+}
+
+// Multi-spawner id-uniqueness oracle: concurrent spawners (serve
+// dispatchers, user threads, task bodies) must never mint duplicate
+// TaskIds — ids key the deterministic stream_rng fault stream and task-log
+// attribution.  The single-writer load+store this replaces loses ids under
+// exactly this interleaving.
+TEST(Runtime, ConcurrentSpawnersMintUniqueTaskIds) {
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 2000;
+  Runtime rt(threaded_config(2));
+  std::mutex mu;
+  std::vector<sigrt::TaskId> ids;
+  ids.reserve(kThreads * kPerThread);
+
+  std::vector<std::thread> spawners;
+  spawners.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    spawners.emplace_back([&] {
+      for (int i = 0; i < kPerThread; ++i) {
+        rt.spawn(sigrt::task([&] {
+          const sigrt::TaskId id = sigrt::current_task_id();
+          std::lock_guard lock(mu);
+          ids.push_back(id);
+        }));
+      }
+    });
+  }
+  for (auto& t : spawners) t.join();
+  rt.wait_all();
+
+  ASSERT_EQ(ids.size(), static_cast<std::size_t>(kThreads) * kPerThread);
+  std::sort(ids.begin(), ids.end());
+  EXPECT_NE(ids.front(), 0u);
+  EXPECT_TRUE(std::adjacent_find(ids.begin(), ids.end()) == ids.end())
+      << "duplicate task id minted by concurrent spawners";
+}
+
+// Accounting invariant: after a barrier, every group report must satisfy
+// spawned == accurate + approximate + dropped, for every policy — an
+// Undecided completion (or an internal fence slipping into `spawned`)
+// breaks it silently.
+TEST(Runtime, GroupReportInvariantHoldsAcrossPolicies) {
+  const PolicyKind kPolicies[] = {PolicyKind::Agnostic, PolicyKind::GTB,
+                                  PolicyKind::GTBMaxBuffer, PolicyKind::LQH,
+                                  PolicyKind::Oracle};
+  for (const PolicyKind policy : kPolicies) {
+    for (const unsigned workers : {0u, 2u}) {
+      Runtime rt(threaded_config(workers, policy));
+      const auto g = rt.create_group("mix", 0.5);
+      alignas(1024) static int data[64];
+      for (int i = 0; i < 40; ++i) {
+        auto b = sigrt::task([] {}).significance((i % 10) / 10.0).group(g);
+        if (i % 2 == 0) b.approx([] {});  // odd tasks drop when approximated
+        rt.spawn(std::move(b));
+      }
+      rt.spawn(sigrt::task([] { data[0] = 1; }).out(data, 64).group(g));
+      rt.wait_on(data, sizeof(data));  // internal fence: excluded everywhere
+      rt.wait_group(g);
+      const auto r = rt.group_report(g);
+      EXPECT_EQ(r.spawned, 41u) << sigrt::to_string(policy);
+      EXPECT_EQ(r.spawned, r.accurate + r.approximate + r.dropped)
+          << sigrt::to_string(policy) << " workers=" << workers;
+      const auto def = rt.group_report(sigrt::kDefaultGroup);
+      EXPECT_EQ(def.spawned, def.accurate + def.approximate + def.dropped)
+          << "fence leaked into default-group spawned count";
+    }
+  }
 }
 
 }  // namespace

@@ -398,4 +398,81 @@ TEST(ServerStress, ConcurrentSubmittersAreAccountedExactly) {
   if (r.served() > 0) EXPECT_GT(r.p50_ms, 0.0);
 }
 
+// Sharded dispatcher tier: N spawner threads drain the admission queue
+// concurrently (the runtime's any-thread spawn contract).  Accounting must
+// stay exact — every admitted request served exactly once, nothing leaked.
+TEST(ServerStress, ShardedDispatchersServeEveryAdmittedRequest) {
+  ServerOptions so;
+  so.runtime.workers = 2;
+  so.epoch_ms = 0.0;  // deterministic: no controller retargeting
+  so.dispatcher_threads = 3;
+  Server srv(so);
+
+  RequestClassConfig cfg;
+  cfg.name = "sharded";
+  cfg.qos.deadline_ns = 10e6;
+  cfg.max_in_flight = 4096;
+  const ClassId cls = srv.register_class(cfg);
+
+  constexpr int kThreads = 3;
+  constexpr int kPerThread = 400;
+  std::atomic<std::uint64_t> ran{0};
+  std::vector<std::thread> producers;
+  for (int t = 0; t < kThreads; ++t) {
+    producers.emplace_back([&] {
+      for (int i = 0; i < kPerThread; ++i) {
+        const Admission a = srv.submit(
+            cls, {[&ran] { ran.fetch_add(1, std::memory_order_relaxed); },
+                  [&ran] { ran.fetch_add(1, std::memory_order_relaxed); },
+                  0.5});
+        EXPECT_NE(a, Admission::Shed);  // bound is far above the load
+      }
+    });
+  }
+  for (auto& p : producers) p.join();
+  srv.close();
+
+  const ClassReport r = srv.class_report(cls);
+  EXPECT_EQ(r.submitted, static_cast<std::uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(r.served(), r.submitted);  // no perforation without a controller
+  EXPECT_EQ(ran.load(), r.submitted);  // each request's body ran exactly once
+  EXPECT_EQ(r.in_flight, 0u);
+  EXPECT_EQ(r.shed, 0u);
+}
+
+// An inline runtime (workers == 0) executes on the enqueuing thread over
+// an unsynchronized queue — the server must clamp the dispatcher tier to
+// one thread there, and still serve everything exactly once.
+TEST(ServerStress, InlineRuntimeClampsDispatcherSharding) {
+  ServerOptions so;
+  so.runtime.workers = 0;
+  so.epoch_ms = 0.0;
+  so.dispatcher_threads = 3;  // must be clamped to 1 internally
+  Server srv(so);
+
+  RequestClassConfig cfg;
+  cfg.name = "inline";
+  cfg.max_in_flight = 4096;
+  const ClassId cls = srv.register_class(cfg);
+
+  std::atomic<std::uint64_t> ran{0};
+  std::vector<std::thread> producers;
+  for (int t = 0; t < 2; ++t) {
+    producers.emplace_back([&] {
+      for (int i = 0; i < 200; ++i) {
+        (void)srv.submit(
+            cls, {[&ran] { ran.fetch_add(1, std::memory_order_relaxed); },
+                  nullptr, 1.0});
+      }
+    });
+  }
+  for (auto& p : producers) p.join();
+  srv.close();
+
+  const ClassReport r = srv.class_report(cls);
+  EXPECT_EQ(r.served(), r.submitted);
+  EXPECT_EQ(ran.load(), r.submitted);
+  EXPECT_EQ(r.in_flight, 0u);
+}
+
 }  // namespace
