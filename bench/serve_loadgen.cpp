@@ -30,6 +30,7 @@
 #include "serve/serve.hpp"
 #include "support/image.hpp"
 #include "support/rng.hpp"
+#include "support/simd.hpp"
 #include "support/timer.hpp"
 
 namespace {
@@ -158,13 +159,15 @@ void run_tier(const char* tier, double mult, double seconds,
     const ClassReport r = srv.class_report(ids[i]);
     std::printf(
         "{\"bench\":\"serve_loadgen\",\"tier\":\"%s\",\"class\":\"%s\","
+        "\"simd\":\"%s\","
         "\"workers\":%u,\"rate_hz\":%.1f,\"seconds\":%.2f,"
         "\"accurate_cost_ms\":%.3f,\"deadline_ms\":%.1f,"
         "\"submitted\":%" PRIu64 ",\"shed\":%" PRIu64 ",\"degraded\":%" PRIu64
         ",\"perforated\":%" PRIu64 ",\"served\":%" PRIu64
         ",\"throughput_hz\":%.1f,\"p50_ms\":%.3f,\"p99_ms\":%.3f,"
         "\"mean_ms\":%.3f,\"ratio\":%.3f,\"achieved_ratio\":%.3f}\n",
-        tier, r.name.c_str(), workers, rates_hz[i], seconds,
+        tier, r.name.c_str(), support::simd::to_string(support::simd::active()),
+        workers, rates_hz[i], seconds,
         workloads[i].accurate_cost_s * 1e3, r.deadline_ms, r.submitted, r.shed,
         r.degraded, r.perforated, r.served(),
         static_cast<double>(r.served()) / seconds, r.p50_ms, r.p99_ms,

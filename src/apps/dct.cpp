@@ -3,6 +3,7 @@
 #include <array>
 #include <cmath>
 
+#include "apps/kernels.hpp"
 #include "metrics/quality.hpp"
 #include "perforation/perforate.hpp"
 
@@ -14,15 +15,16 @@ using support::Image;
 
 constexpr double kPi = 3.14159265358979323846;
 
-/// cos((2x+1)*u*pi/16) lookup, built once.
-const std::array<std::array<double, kBlock>, kBlock>& cos_table() {
+/// cos((2x+1)*u*pi/16) lookup, flat row-major ct[u*8+x] (the layout the
+/// SIMD kernel consumes), built once.
+const std::array<double, kBlock * kBlock>& cos_table() {
   static const auto table = [] {
-    std::array<std::array<double, kBlock>, kBlock> t{};
+    std::array<double, kBlock * kBlock> t{};
     for (std::size_t u = 0; u < kBlock; ++u) {
       for (std::size_t x = 0; x < kBlock; ++x) {
-        t[u][x] = std::cos((2.0 * static_cast<double>(x) + 1.0) *
-                           static_cast<double>(u) * kPi /
-                           (2.0 * static_cast<double>(kBlock)));
+        t[u * kBlock + x] = std::cos((2.0 * static_cast<double>(x) + 1.0) *
+                                     static_cast<double>(u) * kPi /
+                                     (2.0 * static_cast<double>(kBlock)));
       }
     }
     return t;
@@ -30,38 +32,30 @@ const std::array<std::array<double, kBlock>, kBlock>& cos_table() {
   return table;
 }
 
-double alpha(std::size_t u) {
-  return u == 0 ? std::sqrt(1.0 / static_cast<double>(kBlock))
-                : std::sqrt(2.0 / static_cast<double>(kBlock));
-}
-
-/// Computes coefficient (u, v) of the 8x8 block at (bx, by).  Pixel values
-/// are centered at zero (-128) as in JPEG.
-float coefficient(const Image& img, std::size_t bx, std::size_t by,
-                  std::size_t u, std::size_t v) {
-  const auto& ct = cos_table();
-  double acc = 0.0;
-  for (std::size_t y = 0; y < kBlock; ++y) {
-    const std::uint8_t* row = img.row(by * kBlock + y) + bx * kBlock;
-    for (std::size_t x = 0; x < kBlock; ++x) {
-      acc += (static_cast<double>(row[x]) - 128.0) * ct[u][x] * ct[v][y];
+const std::array<double, kBlock>& alpha_table() {
+  static const auto table = [] {
+    std::array<double, kBlock> t{};
+    for (std::size_t u = 0; u < kBlock; ++u) {
+      t[u] = u == 0 ? std::sqrt(1.0 / static_cast<double>(kBlock))
+                    : std::sqrt(2.0 / static_cast<double>(kBlock));
     }
-  }
-  return static_cast<float>(alpha(u) * alpha(v) * acc);
+    return t;
+  }();
+  return table;
 }
 
 /// Task body: one diagonal band (all (u,v) with u+v == band) for every
-/// block in one stripe of block-rows.
+/// block in one stripe of block-rows.  Per block the dispatched kernel
+/// centers the 8x8 pixels once and computes the band's coefficients with
+/// vectorized inner sums.
 void band_task(float* coeffs, const Image& img, std::size_t blocks_x,
                std::size_t by, std::size_t band) {
+  const double* ct = cos_table().data();
+  const double* alpha = alpha_table().data();
   for (std::size_t bx = 0; bx < blocks_x; ++bx) {
     float* block = coeffs + (by * blocks_x + bx) * kBlock * kBlock;
-    for (std::size_t u = 0; u < kBlock; ++u) {
-      if (band < u) break;
-      const std::size_t v = band - u;
-      if (v >= kBlock) continue;
-      block[v * kBlock + u] = coefficient(img, bx, by, u, v);
-    }
+    kern::dct_block_band(block, img.data(), img.width(), bx * kBlock,
+                         by * kBlock, band, ct, alpha);
   }
 }
 
@@ -97,6 +91,7 @@ std::vector<float> reference(const Image& input) {
 Image inverse(const std::vector<float>& coeffs, std::size_t width,
               std::size_t height) {
   const auto& ct = cos_table();
+  const auto& alpha = alpha_table();
   const std::size_t blocks_x = width / kBlock;
   const std::size_t blocks_y = height / kBlock;
   Image out(width, height);
@@ -108,8 +103,8 @@ Image inverse(const std::vector<float>& coeffs, std::size_t width,
           double acc = 0.0;
           for (std::size_t v = 0; v < kBlock; ++v) {
             for (std::size_t u = 0; u < kBlock; ++u) {
-              acc += alpha(u) * alpha(v) * block[v * kBlock + u] * ct[u][x] *
-                     ct[v][y];
+              acc += alpha[u] * alpha[v] * block[v * kBlock + u] *
+                     ct[u * kBlock + x] * ct[v * kBlock + y];
             }
           }
           const double p = acc + 128.0;

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
+#include "apps/kernels.hpp"
 #include "metrics/quality.hpp"
 #include "perforation/perforate.hpp"
 #include "support/rng.hpp"
@@ -46,52 +48,72 @@ System make_system(const Options& opt) {
   return sys;
 }
 
-/// Accurate row-block update: full row sums.
+/// Accurate row-block update: full row sums, vectorized via the dispatched
+/// dot kernel (the diagonal term is summed then subtracted, as before).
 void block_task(const System& sys, const std::vector<double>& x,
                 std::vector<double>& x_new, std::size_t row_begin,
                 std::size_t row_end) {
   const std::size_t n = sys.n;
   for (std::size_t i = row_begin; i < row_end; ++i) {
     const double* row = sys.a.data() + i * n;
-    double acc = 0.0;
-    for (std::size_t j = 0; j < n; ++j) acc += row[j] * x[j];
+    double acc = kern::dot_span(row, x.data(), n);
     acc -= row[i] * x[i];
     x_new[i] = (sys.b[i] - acc) / row[i];
   }
 }
 
+/// Surviving column spans of the perforated inner loop, precomputed once —
+/// a compiler applying loop perforation would emit the strided loop
+/// directly, so the selection is not part of the measured region's work.
+/// Block shape yields dense aligned runs (vectorizable); the scattered
+/// shapes yield unit runs, i.e. the classic scalar comparator.
+struct PerforationPlan {
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> runs;  // [begin, end)
+  std::vector<std::uint8_t> kept;  // per-column coverage (diagonal handling)
+};
+
+PerforationPlan perforation_plan(std::size_t n, double rate,
+                                 perforation::Shape shape, std::size_t block) {
+  PerforationPlan plan;
+  plan.kept.assign(n, 0);
+  const auto add_run = [&](std::size_t begin, std::size_t end) {
+    plan.runs.emplace_back(static_cast<std::uint32_t>(begin),
+                           static_cast<std::uint32_t>(end));
+    for (std::size_t j = begin; j < end; ++j) plan.kept[j] = 1;
+  };
+  if (shape == perforation::Shape::Block) {
+    perforation::perforate_blocks(0, n, rate, add_run, block);
+  } else {
+    perforation::for_each(
+        0, n, rate, [&](std::size_t j) { add_run(j, j + 1); }, shape);
+  }
+  return plan;
+}
+
 /// Blind perforation comparator: the inner accumulation loop skips a
-/// fraction of the matrix-row terms (modulo-spread), with no notion of
-/// which terms matter.  §4.2 observes this converges in fewer sweeps (the
-/// skipped terms shrink the effective spectral radius) at a solution offset
-/// from the true one.
+/// fraction of the matrix-row terms, with no notion of which terms matter.
+/// §4.2 observes this converges in fewer sweeps (the skipped terms shrink
+/// the effective spectral radius) at a solution offset from the true one.
+/// Wide runs (Shape::Block) go through the vector dot kernel; unit runs
+/// (scattered shapes) stay scalar — exactly the fight between perforation
+/// and vectorization the Block shape resolves.
 void block_task_perforated(const System& sys, const std::vector<double>& x,
                            std::vector<double>& x_new, std::size_t row_begin,
-                           std::size_t row_end,
-                           const std::vector<std::uint32_t>& kept_cols) {
+                           std::size_t row_end, const PerforationPlan& plan) {
   const std::size_t n = sys.n;
   for (std::size_t i = row_begin; i < row_end; ++i) {
     const double* row = sys.a.data() + i * n;
     double acc = 0.0;
-    for (const std::uint32_t j : kept_cols) {
-      if (j == i) continue;  // the diagonal is never part of the sum
-      acc += row[j] * x[j];
+    for (const auto& [lo, hi] : plan.runs) {
+      if (hi - lo >= 8) {
+        acc += kern::dot_span(row + lo, x.data() + lo, hi - lo);
+      } else {
+        for (std::size_t j = lo; j < hi; ++j) acc += row[j] * x[j];
+      }
     }
+    if (plan.kept[i] != 0) acc -= row[i] * x[i];  // diagonal never in the sum
     x_new[i] = (sys.b[i] - acc) / row[i];
   }
-}
-
-/// Surviving column indices of the perforated inner loop (Modulo shape).
-/// Precomputed once — a compiler applying loop perforation would emit the
-/// strided loop directly, so the selection is not part of the measured
-/// region's work.
-std::vector<std::uint32_t> perforation_kept_columns(std::size_t n, double rate) {
-  std::vector<std::uint32_t> kept;
-  kept.reserve(n);
-  perforation::for_each(0, n, rate, [&](std::size_t j) {
-    kept.push_back(static_cast<std::uint32_t>(j));
-  });
-  return kept;
 }
 
 /// Approximate row-block update: only the diagonal band — the upper-right
@@ -104,8 +126,7 @@ void block_task_appr(const System& sys, const std::vector<double>& x,
     const double* row = sys.a.data() + i * n;
     const std::size_t lo = i > band ? i - band : 0;
     const std::size_t hi = std::min(n, i + band + 1);
-    double acc = 0.0;
-    for (std::size_t j = lo; j < hi; ++j) acc += row[j] * x[j];
+    double acc = kern::dot_span(row + lo, x.data() + lo, hi - lo);
     acc -= row[i] * x[i];
     x_new[i] = (sys.b[i] - acc) / row[i];
   }
@@ -158,10 +179,12 @@ RunResult run(const Options& options, Solution* out) {
 
   std::vector<double> x(options.n, 0.0);
   std::vector<double> x_new(options.n, 0.0);
-  const std::vector<std::uint32_t> kept_cols =
+  const PerforationPlan plan =
       options.common.variant == Variant::Perforated
-          ? perforation_kept_columns(options.n, options.perforation_rate)
-          : std::vector<std::uint32_t>{};
+          ? perforation_plan(options.n, options.perforation_rate,
+                             options.perforation_shape,
+                             options.perforation_block)
+          : PerforationPlan{};
   Solution sol;
 
   run_measured(options.common, result, [&](Runtime& rt) {
@@ -185,7 +208,7 @@ RunResult run(const Options& options, Solution* out) {
           // count as the accurate run, each task doing (1 - rate) of the
           // row terms with no significance information.
           rt.spawn(task([&, lo, hi] {
-                     block_task_perforated(sys, x, x_new, lo, hi, kept_cols);
+                     block_task_perforated(sys, x, x_new, lo, hi, plan);
                    })
                        .group(g)
                        .in(sys.a.data() + lo * sys.n, (hi - lo) * sys.n)

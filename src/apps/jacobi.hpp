@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "apps/common.hpp"
+#include "perforation/perforate.hpp"
 
 namespace sigrt::apps::jacobi {
 
@@ -31,6 +32,13 @@ struct Options {
   /// The Figure 2 harness sets this to (1 - provided_ratio) of the GTB run
   /// so the perforated version "executes the same number of tasks" (§4.1).
   double perforation_rate = 0.25;
+  /// Shape of the perforated inner accumulation loop.  Block (the default)
+  /// drops aligned column blocks so the surviving runs stay dense vector
+  /// spans; Modulo reproduces the classic scattered-column comparator,
+  /// which defeats vectorization.
+  perforation::Shape perforation_shape = perforation::Shape::Block;
+  /// Column-block stride for Shape::Block (multiple of the vector width).
+  std::size_t perforation_block = perforation::kDefaultBlock;
 };
 
 [[nodiscard]] double tolerance_for(Degree degree) noexcept;

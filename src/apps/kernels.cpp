@@ -1,0 +1,39 @@
+#include "apps/kernels.hpp"
+
+namespace sigrt::apps::kern {
+
+namespace {
+
+/// Dispatch slots indexed by Isa.  Filled once: each level maps to the best
+/// table actually compiled into this binary (AVX2 -> SSE2 -> scalar,
+/// NEON -> scalar).  support::simd clamps the *active* level to the
+/// hardware, so a compiled-in table is only reached when it can execute.
+struct Slots {
+  const KernelTable* t[support::simd::kIsaCount];
+
+  Slots() noexcept {
+    using support::simd::Isa;
+    const KernelTable* scalar = detail::table_scalar();
+    const KernelTable* base = detail::table_base();
+    const KernelTable* avx2 = detail::table_avx2();
+
+    const KernelTable* sse2 =
+        (base != nullptr && base->isa == Isa::SSE2) ? base : scalar;
+    const KernelTable* neon =
+        (base != nullptr && base->isa == Isa::NEON) ? base : scalar;
+
+    t[static_cast<std::size_t>(Isa::Scalar)] = scalar;
+    t[static_cast<std::size_t>(Isa::SSE2)] = sse2;
+    t[static_cast<std::size_t>(Isa::AVX2)] = avx2 != nullptr ? avx2 : sse2;
+    t[static_cast<std::size_t>(Isa::NEON)] = neon;
+  }
+};
+
+}  // namespace
+
+const KernelTable& table_for(support::simd::Isa isa) noexcept {
+  static const Slots slots;
+  return *slots.t[static_cast<std::size_t>(isa)];
+}
+
+}  // namespace sigrt::apps::kern

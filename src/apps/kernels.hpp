@@ -1,0 +1,125 @@
+// Runtime-dispatched app kernels (sobel / dct / jacobi / kmeans hot loops).
+//
+// Each kernel is compiled once per ISA level (kernels_scalar.cpp at default
+// flags, kernels_base.cpp picking up the architecture baseline — SSE2 on
+// x86-64, NEON on aarch64 — and kernels_avx2.cpp built with -mavx2 -mfma)
+// from the shared implementation in kernels_impl.inl, and dispatched through
+// a per-level function-pointer table selected by support::simd::active().
+//
+// Numerics contract (asserted by tests/simd_test.cpp):
+//  - sobel (integer output): bit-exact across every level.  The accurate
+//    magnitude sqrt(sx^2+sy^2) is computed in float on all levels; for the
+//    representable tap range (|sx|,|sy| <= 1020) float and double sqrt
+//    truncate to the same byte, so this also matches the paper's double
+//    formula.
+//  - dct / jacobi / kmeans (floating point): vector levels reassociate the
+//    accumulations (and may contract to FMA), so results agree with the
+//    scalar level to a ULP-scaled epsilon, not bitwise.  Within one level
+//    results are deterministic, and every caller (reference() included)
+//    routes through the same dispatched kernel, so reference comparisons in
+//    the app harnesses stay self-consistent.
+//
+// Alignment contract: no kernel requires aligned pointers — all vector
+// loads/stores are unaligned, and every span entry point accepts arbitrary
+// [begin, end) sub-ranges (odd widths, unaligned offsets) with scalar tails.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "support/simd.hpp"
+
+namespace sigrt::apps::kern {
+
+/// One fully-resolved kernel set for one ISA level.
+struct KernelTable {
+  support::simd::Isa isa = support::simd::Isa::Scalar;
+
+  /// Sobel row span [x0, x1) of row `row` (caller guarantees the 1-pixel
+  /// halo: 1 <= x0 <= x1 <= w-1, 1 <= row < h-1).  Accurate taps +
+  /// sqrt(sx^2+sy^2); approximate taps + |sx|+|sy| (Listing 1).
+  void (*sobel_row_accurate)(std::uint8_t* res, const std::uint8_t* img,
+                             std::size_t w, std::size_t row, std::size_t x0,
+                             std::size_t x1) = nullptr;
+  void (*sobel_row_approx)(std::uint8_t* res, const std::uint8_t* img,
+                           std::size_t w, std::size_t row, std::size_t x0,
+                           std::size_t x1) = nullptr;
+
+  /// All coefficients (u, v) with u+v == band of the 8x8 block whose
+  /// top-left pixel is (px0, py0); writes block[v*8 + u].  `ct` is the 8x8
+  /// cosine table ct[u*8+x] = cos((2x+1)u*pi/16); `alpha` the 8 norm factors.
+  void (*dct_block_band)(float* block, const std::uint8_t* img,
+                         std::size_t stride, std::size_t px0, std::size_t py0,
+                         std::size_t band, const double* ct,
+                         const double* alpha) = nullptr;
+
+  /// sum_i a[i]*b[i] (jacobi row updates; dct inner sums).
+  double (*dot_span)(const double* a, const double* b, std::size_t n) = nullptr;
+
+  /// sum_i (a[i]-b[i])^2 (kmeans distances).
+  double (*sq_dist_span)(const double* a, const double* b,
+                         std::size_t n) = nullptr;
+
+  /// argmin_c sq_dist(p, centroids + c*dims, use_dims); first strict minimum
+  /// wins (same tie-break as the historical scalar loop).
+  std::size_t (*nearest_centroid)(const double* p, const double* centroids,
+                                  std::size_t k, std::size_t dims,
+                                  std::size_t use_dims) = nullptr;
+};
+
+namespace detail {
+/// Per-TU table getters; a level that is not compiled in returns nullptr.
+const KernelTable* table_scalar() noexcept;
+const KernelTable* table_base() noexcept;   // SSE2 (x86) or NEON (aarch64)
+const KernelTable* table_avx2() noexcept;
+}  // namespace detail
+
+/// Table for an explicit level, degrading to the best compiled-in fallback
+/// (AVX2 -> SSE2 -> scalar, NEON -> scalar).  Never null.
+[[nodiscard]] const KernelTable& table_for(support::simd::Isa isa) noexcept;
+
+/// Table for the current support::simd::active() level.
+[[nodiscard]] inline const KernelTable& table() noexcept {
+  return table_for(support::simd::active());
+}
+
+// --- dispatched convenience wrappers --------------------------------------
+
+inline void sobel_row_accurate(std::uint8_t* res, const std::uint8_t* img,
+                               std::size_t w, std::size_t row, std::size_t x0,
+                               std::size_t x1) {
+  table().sobel_row_accurate(res, img, w, row, x0, x1);
+}
+
+inline void sobel_row_approx(std::uint8_t* res, const std::uint8_t* img,
+                             std::size_t w, std::size_t row, std::size_t x0,
+                             std::size_t x1) {
+  table().sobel_row_approx(res, img, w, row, x0, x1);
+}
+
+inline void dct_block_band(float* block, const std::uint8_t* img,
+                           std::size_t stride, std::size_t px0, std::size_t py0,
+                           std::size_t band, const double* ct,
+                           const double* alpha) {
+  table().dct_block_band(block, img, stride, px0, py0, band, ct, alpha);
+}
+
+[[nodiscard]] inline double dot_span(const double* a, const double* b,
+                                     std::size_t n) {
+  return table().dot_span(a, b, n);
+}
+
+[[nodiscard]] inline double sq_dist_span(const double* a, const double* b,
+                                         std::size_t n) {
+  return table().sq_dist_span(a, b, n);
+}
+
+[[nodiscard]] inline std::size_t nearest_centroid(const double* p,
+                                                  const double* centroids,
+                                                  std::size_t k,
+                                                  std::size_t dims,
+                                                  std::size_t use_dims) {
+  return table().nearest_centroid(p, centroids, k, dims, use_dims);
+}
+
+}  // namespace sigrt::apps::kern

@@ -1,0 +1,23 @@
+// AVX2+FMA kernel instantiation.  CMake compiles this TU with -mavx2 -mfma
+// on x86 when the compiler supports it; anywhere else (or under
+// -DSIGRT_SIMD_FORCE=scalar, which drops the flags) the guards fail and the
+// TU only exports a null table — dispatch then falls back to SSE2/scalar.
+// Runtime CPUID gating lives in support::simd::detected(), so a binary that
+// carries this table never executes it on hardware without AVX2+FMA.
+#include "apps/kernels.hpp"
+
+#if !defined(SIGRT_SIMD_FORCE_SCALAR) && defined(__AVX2__) && defined(__FMA__)
+
+#define SIGRT_KIMPL_NS avx2
+#define SIGRT_KIMPL_LEVEL 2
+#define SIGRT_KIMPL_ISA ::sigrt::support::simd::Isa::AVX2
+#define SIGRT_KIMPL_TABLE_FN detail::table_avx2
+#include "apps/kernels_impl.inl"
+
+#else
+
+namespace sigrt::apps::kern {
+const KernelTable* detail::table_avx2() noexcept { return nullptr; }
+}  // namespace sigrt::apps::kern
+
+#endif

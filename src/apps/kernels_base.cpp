@@ -1,0 +1,31 @@
+// Architecture-baseline kernel instantiation, built at the default compiler
+// flags: SSE2 on x86-64 (part of the ABI baseline), NEON on AArch64.  On
+// other architectures — or under -DSIGRT_SIMD_FORCE=scalar — this TU only
+// exports a null table and dispatch falls back to the scalar instantiation.
+#include "apps/kernels.hpp"
+
+#if !defined(SIGRT_SIMD_FORCE_SCALAR) && \
+    (defined(__x86_64__) || defined(_M_X64))
+
+#define SIGRT_KIMPL_NS sse2
+#define SIGRT_KIMPL_LEVEL 1
+#define SIGRT_KIMPL_ISA ::sigrt::support::simd::Isa::SSE2
+#define SIGRT_KIMPL_TABLE_FN detail::table_base
+#include "apps/kernels_impl.inl"
+
+#elif !defined(SIGRT_SIMD_FORCE_SCALAR) && defined(__aarch64__) && \
+    defined(__ARM_NEON)
+
+#define SIGRT_KIMPL_NS neon
+#define SIGRT_KIMPL_LEVEL 3
+#define SIGRT_KIMPL_ISA ::sigrt::support::simd::Isa::NEON
+#define SIGRT_KIMPL_TABLE_FN detail::table_base
+#include "apps/kernels_impl.inl"
+
+#else
+
+namespace sigrt::apps::kern {
+const KernelTable* detail::table_base() noexcept { return nullptr; }
+}  // namespace sigrt::apps::kern
+
+#endif

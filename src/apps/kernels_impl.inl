@@ -1,0 +1,497 @@
+// Shared multi-ISA kernel implementation.  Included (never compiled on its
+// own) by kernels_scalar.cpp / kernels_base.cpp / kernels_avx2.cpp with:
+//
+//   SIGRT_KIMPL_NS     namespace for this instantiation (scalar/sse2/...)
+//   SIGRT_KIMPL_LEVEL  0 = scalar, 1 = SSE2, 2 = AVX2+FMA, 3 = NEON (A64)
+//   SIGRT_KIMPL_ISA    the support::simd::Isa enumerator to stamp the table
+//
+// Every vector path loads/stores unaligned, reads no byte outside the spans
+// its contract allows (audited per load below), and finishes with the scalar
+// tail loop, so span boundaries can be arbitrary.
+#ifndef SIGRT_KIMPL_NS
+#error "kernels_impl.inl must be included with SIGRT_KIMPL_NS defined"
+#endif
+
+#include <cmath>
+#include <cstring>
+
+#include "apps/kernels.hpp"
+
+#if SIGRT_KIMPL_LEVEL == 1 || SIGRT_KIMPL_LEVEL == 2
+#include <immintrin.h>
+#elif SIGRT_KIMPL_LEVEL == 3
+#include <arm_neon.h>
+#endif
+
+namespace sigrt::apps::kern {
+namespace SIGRT_KIMPL_NS {
+namespace {
+
+// --- scalar building blocks (used by every level for tails) ---------------
+
+inline int sbl_x(const std::uint8_t* img, std::size_t w, std::size_t y,
+                 std::size_t x) {
+  return img[(y - 1) * w + x - 1] + 2 * img[y * w + x - 1] +
+         img[(y + 1) * w + x - 1] - img[(y - 1) * w + x + 1] -
+         2 * img[y * w + x + 1] - img[(y + 1) * w + x + 1];
+}
+
+inline int sbl_y(const std::uint8_t* img, std::size_t w, std::size_t y,
+                 std::size_t x) {
+  return img[(y - 1) * w + x - 1] + 2 * img[(y - 1) * w + x] +
+         img[(y - 1) * w + x + 1] - img[(y + 1) * w + x - 1] -
+         2 * img[(y + 1) * w + x] - img[(y + 1) * w + x + 1];
+}
+
+inline int sbl_x_appr(const std::uint8_t* img, std::size_t w, std::size_t y,
+                      std::size_t x) {
+  return 2 * img[y * w + x - 1] + img[(y + 1) * w + x - 1] -
+         2 * img[y * w + x + 1] - img[(y + 1) * w + x + 1];
+}
+
+inline int sbl_y_appr(const std::uint8_t* img, std::size_t w, std::size_t y,
+                      std::size_t x) {
+  return 2 * img[(y - 1) * w + x] + img[(y - 1) * w + x + 1] -
+         2 * img[(y + 1) * w + x] - img[(y + 1) * w + x + 1];
+}
+
+inline std::uint8_t sobel_accurate_pixel(const std::uint8_t* img,
+                                         std::size_t w, std::size_t y,
+                                         std::size_t x) {
+  const int sx = sbl_x(img, w, y, x);
+  const int sy = sbl_y(img, w, y, x);
+  // float sqrt: |sx|,|sy| <= 1020, so sx^2+sy^2 < 2^24 is exact in float and
+  // the correctly-rounded sqrt truncates to the same byte as the double
+  // formula of Listing 1 (see kernels.hpp).
+  const float p = std::sqrt(static_cast<float>(sx * sx + sy * sy));
+  return p > 255.0f ? 255 : static_cast<std::uint8_t>(p);
+}
+
+inline std::uint8_t sobel_approx_pixel(const std::uint8_t* img, std::size_t w,
+                                       std::size_t y, std::size_t x) {
+  const int p = std::abs(sbl_x_appr(img, w, y, x)) +
+                std::abs(sbl_y_appr(img, w, y, x));
+  return p > 255 ? 255 : static_cast<std::uint8_t>(p);
+}
+
+[[maybe_unused]] inline double dot_scalar(const double* a, const double* b,
+                                          std::size_t n) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < n; ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+[[maybe_unused]] inline double sq_dist_scalar(const double* a, const double* b,
+                                              std::size_t n) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double d = a[i] - b[i];
+    acc += d * d;
+  }
+  return acc;
+}
+
+// --- vector building blocks -----------------------------------------------
+
+#if SIGRT_KIMPL_LEVEL == 1  // SSE2
+
+/// 4 pixels zero-extended to epi32 (exactly 4 bytes read).
+inline __m128i load4_epi32(const std::uint8_t* p) {
+  int tmp;
+  std::memcpy(&tmp, p, 4);
+  __m128i v = _mm_cvtsi32_si128(tmp);
+  v = _mm_unpacklo_epi8(v, _mm_setzero_si128());
+  return _mm_unpacklo_epi16(v, _mm_setzero_si128());
+}
+
+/// 8 pixels zero-extended to epi16 (exactly 8 bytes read).
+inline __m128i load8_epi16(const std::uint8_t* p) {
+  __m128i v = _mm_loadl_epi64(reinterpret_cast<const __m128i*>(p));
+  return _mm_unpacklo_epi8(v, _mm_setzero_si128());
+}
+
+inline __m128i abs_epi16(__m128i v) {  // SSE2 has no pabsw
+  return _mm_max_epi16(v, _mm_sub_epi16(_mm_setzero_si128(), v));
+}
+
+inline double hsum_pd(__m128d v) {
+  __m128d hi = _mm_unpackhi_pd(v, v);
+  return _mm_cvtsd_f64(_mm_add_sd(v, hi));
+}
+
+/// Fixed-tree 8-element dot (dct inner sum): ((p0c0+p1c1)+(p2c2+p3c3)) + ...
+inline double dot8(const double* a, const double* b) {
+  const __m128d v0 = _mm_mul_pd(_mm_loadu_pd(a + 0), _mm_loadu_pd(b + 0));
+  const __m128d v1 = _mm_mul_pd(_mm_loadu_pd(a + 2), _mm_loadu_pd(b + 2));
+  const __m128d v2 = _mm_mul_pd(_mm_loadu_pd(a + 4), _mm_loadu_pd(b + 4));
+  const __m128d v3 = _mm_mul_pd(_mm_loadu_pd(a + 6), _mm_loadu_pd(b + 6));
+  return hsum_pd(_mm_add_pd(_mm_add_pd(v0, v1), _mm_add_pd(v2, v3)));
+}
+
+#elif SIGRT_KIMPL_LEVEL == 2  // AVX2 + FMA
+
+/// 8 pixels zero-extended to epi32 (exactly 8 bytes read).
+inline __m256i load8_epi32(const std::uint8_t* p) {
+  const __m128i v = _mm_loadl_epi64(reinterpret_cast<const __m128i*>(p));
+  return _mm256_cvtepu8_epi32(v);
+}
+
+/// 16 pixels zero-extended to epi16 (exactly 16 bytes read).
+inline __m256i load16_epi16(const std::uint8_t* p) {
+  return _mm256_cvtepu8_epi16(
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(p)));
+}
+
+inline double hsum_pd(__m256d v) {
+  const __m128d lo = _mm256_castpd256_pd128(v);
+  const __m128d hi = _mm256_extractf128_pd(v, 1);
+  const __m128d s = _mm_add_pd(lo, hi);
+  return _mm_cvtsd_f64(_mm_add_sd(s, _mm_unpackhi_pd(s, s)));
+}
+
+inline double dot8(const double* a, const double* b) {
+  __m256d acc = _mm256_mul_pd(_mm256_loadu_pd(a), _mm256_loadu_pd(b));
+  acc = _mm256_fmadd_pd(_mm256_loadu_pd(a + 4), _mm256_loadu_pd(b + 4), acc);
+  return hsum_pd(acc);
+}
+
+#elif SIGRT_KIMPL_LEVEL == 3  // NEON (AArch64)
+
+/// 4 pixels zero-extended to u32 lanes (exactly 4 bytes read).
+inline uint32x4_t load4_u32(const std::uint8_t* p) {
+  std::uint32_t tmp;
+  std::memcpy(&tmp, p, 4);
+  const uint8x8_t b = vcreate_u8(static_cast<std::uint64_t>(tmp));
+  const uint16x8_t w16 = vmovl_u8(b);
+  return vmovl_u16(vget_low_u16(w16));
+}
+
+inline double dot8(const double* a, const double* b) {
+  float64x2_t acc0 = vmulq_f64(vld1q_f64(a + 0), vld1q_f64(b + 0));
+  float64x2_t acc1 = vmulq_f64(vld1q_f64(a + 2), vld1q_f64(b + 2));
+  acc0 = vfmaq_f64(acc0, vld1q_f64(a + 4), vld1q_f64(b + 4));
+  acc1 = vfmaq_f64(acc1, vld1q_f64(a + 6), vld1q_f64(b + 6));
+  return vaddvq_f64(vaddq_f64(acc0, acc1));
+}
+
+#else  // scalar
+
+inline double dot8(const double* a, const double* b) {
+  double acc = 0.0;
+  for (std::size_t x = 0; x < 8; ++x) acc += a[x] * b[x];
+  return acc;
+}
+
+#endif
+
+// --- sobel ----------------------------------------------------------------
+
+void sobel_row_accurate_impl(std::uint8_t* res, const std::uint8_t* img,
+                             std::size_t w, std::size_t row, std::size_t x0,
+                             std::size_t x1) {
+  std::size_t x = x0;
+  const std::uint8_t* up = img + (row - 1) * w;
+  const std::uint8_t* mid = img + row * w;
+  const std::uint8_t* dn = img + (row + 1) * w;
+  std::uint8_t* out = res + row * w;
+  (void)up;
+  (void)mid;
+  (void)dn;
+  (void)out;
+
+#if SIGRT_KIMPL_LEVEL == 1
+  for (; x + 4 <= x1; x += 4) {
+    const __m128i ul = load4_epi32(up + x - 1), uc = load4_epi32(up + x),
+                  ur = load4_epi32(up + x + 1);
+    const __m128i ml = load4_epi32(mid + x - 1), mr = load4_epi32(mid + x + 1);
+    const __m128i dl = load4_epi32(dn + x - 1), dc = load4_epi32(dn + x),
+                  dr = load4_epi32(dn + x + 1);
+    const __m128i sx = _mm_sub_epi32(
+        _mm_add_epi32(_mm_add_epi32(ul, dl), _mm_slli_epi32(ml, 1)),
+        _mm_add_epi32(_mm_add_epi32(ur, dr), _mm_slli_epi32(mr, 1)));
+    const __m128i sy = _mm_sub_epi32(
+        _mm_add_epi32(_mm_add_epi32(ul, ur), _mm_slli_epi32(uc, 1)),
+        _mm_add_epi32(_mm_add_epi32(dl, dr), _mm_slli_epi32(dc, 1)));
+    const __m128 sxf = _mm_cvtepi32_ps(sx), syf = _mm_cvtepi32_ps(sy);
+    const __m128 mag = _mm_sqrt_ps(
+        _mm_add_ps(_mm_mul_ps(sxf, sxf), _mm_mul_ps(syf, syf)));
+    // Truncate; packs/packus saturate >255 to 255 (== the scalar clamp).
+    const __m128i q = _mm_cvttps_epi32(mag);
+    const __m128i b = _mm_packus_epi16(_mm_packs_epi32(q, q), _mm_setzero_si128());
+    const int out4 = _mm_cvtsi128_si32(b);
+    std::memcpy(out + x, &out4, 4);
+  }
+#elif SIGRT_KIMPL_LEVEL == 2
+  for (; x + 8 <= x1; x += 8) {
+    const __m256i ul = load8_epi32(up + x - 1), uc = load8_epi32(up + x),
+                  ur = load8_epi32(up + x + 1);
+    const __m256i ml = load8_epi32(mid + x - 1), mr = load8_epi32(mid + x + 1);
+    const __m256i dl = load8_epi32(dn + x - 1), dc = load8_epi32(dn + x),
+                  dr = load8_epi32(dn + x + 1);
+    const __m256i sx = _mm256_sub_epi32(
+        _mm256_add_epi32(_mm256_add_epi32(ul, dl), _mm256_slli_epi32(ml, 1)),
+        _mm256_add_epi32(_mm256_add_epi32(ur, dr), _mm256_slli_epi32(mr, 1)));
+    const __m256i sy = _mm256_sub_epi32(
+        _mm256_add_epi32(_mm256_add_epi32(ul, ur), _mm256_slli_epi32(uc, 1)),
+        _mm256_add_epi32(_mm256_add_epi32(dl, dr), _mm256_slli_epi32(dc, 1)));
+    const __m256 sxf = _mm256_cvtepi32_ps(sx), syf = _mm256_cvtepi32_ps(sy);
+    const __m256 mag = _mm256_sqrt_ps(
+        _mm256_add_ps(_mm256_mul_ps(sxf, sxf), _mm256_mul_ps(syf, syf)));
+    const __m256i q = _mm256_cvttps_epi32(mag);
+    const __m128i lo = _mm256_castsi256_si128(q);
+    const __m128i hi = _mm256_extracti128_si256(q, 1);
+    const __m128i w16 = _mm_packs_epi32(lo, hi);
+    const __m128i b = _mm_packus_epi16(w16, _mm_setzero_si128());
+    _mm_storel_epi64(reinterpret_cast<__m128i*>(out + x), b);
+  }
+#elif SIGRT_KIMPL_LEVEL == 3
+  for (; x + 4 <= x1; x += 4) {
+    const int32x4_t ul = vreinterpretq_s32_u32(load4_u32(up + x - 1));
+    const int32x4_t uc = vreinterpretq_s32_u32(load4_u32(up + x));
+    const int32x4_t ur = vreinterpretq_s32_u32(load4_u32(up + x + 1));
+    const int32x4_t ml = vreinterpretq_s32_u32(load4_u32(mid + x - 1));
+    const int32x4_t mr = vreinterpretq_s32_u32(load4_u32(mid + x + 1));
+    const int32x4_t dl = vreinterpretq_s32_u32(load4_u32(dn + x - 1));
+    const int32x4_t dc = vreinterpretq_s32_u32(load4_u32(dn + x));
+    const int32x4_t dr = vreinterpretq_s32_u32(load4_u32(dn + x + 1));
+    const int32x4_t sx = vsubq_s32(
+        vaddq_s32(vaddq_s32(ul, dl), vshlq_n_s32(ml, 1)),
+        vaddq_s32(vaddq_s32(ur, dr), vshlq_n_s32(mr, 1)));
+    const int32x4_t sy = vsubq_s32(
+        vaddq_s32(vaddq_s32(ul, ur), vshlq_n_s32(uc, 1)),
+        vaddq_s32(vaddq_s32(dl, dr), vshlq_n_s32(dc, 1)));
+    const float32x4_t sxf = vcvtq_f32_s32(sx), syf = vcvtq_f32_s32(sy);
+    const float32x4_t mag =
+        vsqrtq_f32(vaddq_f32(vmulq_f32(sxf, sxf), vmulq_f32(syf, syf)));
+    const uint32x4_t q = vcvtq_u32_f32(mag);  // truncates toward zero
+    const uint16x4_t w16 = vqmovn_u32(q);
+    const uint8x8_t b = vqmovn_u16(vcombine_u16(w16, w16));
+    const std::uint32_t out4 = vget_lane_u32(vreinterpret_u32_u8(b), 0);
+    std::memcpy(out + x, &out4, 4);
+  }
+#endif
+
+  for (; x < x1; ++x) res[row * w + x] = sobel_accurate_pixel(img, w, row, x);
+}
+
+void sobel_row_approx_impl(std::uint8_t* res, const std::uint8_t* img,
+                           std::size_t w, std::size_t row, std::size_t x0,
+                           std::size_t x1) {
+  std::size_t x = x0;
+  const std::uint8_t* up = img + (row - 1) * w;
+  const std::uint8_t* mid = img + row * w;
+  const std::uint8_t* dn = img + (row + 1) * w;
+  std::uint8_t* out = res + row * w;
+  (void)up;
+  (void)mid;
+  (void)dn;
+  (void)out;
+
+#if SIGRT_KIMPL_LEVEL == 1
+  for (; x + 8 <= x1; x += 8) {
+    const __m128i ml = load8_epi16(mid + x - 1), mr = load8_epi16(mid + x + 1);
+    const __m128i dl = load8_epi16(dn + x - 1), dr = load8_epi16(dn + x + 1);
+    const __m128i uc = load8_epi16(up + x), ur = load8_epi16(up + x + 1);
+    const __m128i dc = load8_epi16(dn + x);
+    const __m128i sx = _mm_sub_epi16(_mm_add_epi16(_mm_slli_epi16(ml, 1), dl),
+                                     _mm_add_epi16(_mm_slli_epi16(mr, 1), dr));
+    const __m128i sy = _mm_sub_epi16(_mm_add_epi16(_mm_slli_epi16(uc, 1), ur),
+                                     _mm_add_epi16(_mm_slli_epi16(dc, 1), dr));
+    const __m128i p = _mm_add_epi16(abs_epi16(sx), abs_epi16(sy));
+    _mm_storel_epi64(reinterpret_cast<__m128i*>(out + x),
+                     _mm_packus_epi16(p, _mm_setzero_si128()));
+  }
+#elif SIGRT_KIMPL_LEVEL == 2
+  for (; x + 16 <= x1; x += 16) {
+    const __m256i ml = load16_epi16(mid + x - 1), mr = load16_epi16(mid + x + 1);
+    const __m256i dl = load16_epi16(dn + x - 1), dr = load16_epi16(dn + x + 1);
+    const __m256i uc = load16_epi16(up + x), ur = load16_epi16(up + x + 1);
+    const __m256i dc = load16_epi16(dn + x);
+    const __m256i sx =
+        _mm256_sub_epi16(_mm256_add_epi16(_mm256_slli_epi16(ml, 1), dl),
+                         _mm256_add_epi16(_mm256_slli_epi16(mr, 1), dr));
+    const __m256i sy =
+        _mm256_sub_epi16(_mm256_add_epi16(_mm256_slli_epi16(uc, 1), ur),
+                         _mm256_add_epi16(_mm256_slli_epi16(dc, 1), dr));
+    const __m256i p = _mm256_add_epi16(_mm256_abs_epi16(sx),
+                                       _mm256_abs_epi16(sy));
+    const __m128i b = _mm_packus_epi16(_mm256_castsi256_si128(p),
+                                       _mm256_extracti128_si256(p, 1));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out + x), b);
+  }
+#elif SIGRT_KIMPL_LEVEL == 3
+  for (; x + 8 <= x1; x += 8) {
+    const int16x8_t ml = vreinterpretq_s16_u16(vmovl_u8(vld1_u8(mid + x - 1)));
+    const int16x8_t mr = vreinterpretq_s16_u16(vmovl_u8(vld1_u8(mid + x + 1)));
+    const int16x8_t dl = vreinterpretq_s16_u16(vmovl_u8(vld1_u8(dn + x - 1)));
+    const int16x8_t dr = vreinterpretq_s16_u16(vmovl_u8(vld1_u8(dn + x + 1)));
+    const int16x8_t uc = vreinterpretq_s16_u16(vmovl_u8(vld1_u8(up + x)));
+    const int16x8_t ur = vreinterpretq_s16_u16(vmovl_u8(vld1_u8(up + x + 1)));
+    const int16x8_t dc = vreinterpretq_s16_u16(vmovl_u8(vld1_u8(dn + x)));
+    const int16x8_t sx = vsubq_s16(vaddq_s16(vshlq_n_s16(ml, 1), dl),
+                                   vaddq_s16(vshlq_n_s16(mr, 1), dr));
+    const int16x8_t sy = vsubq_s16(vaddq_s16(vshlq_n_s16(uc, 1), ur),
+                                   vaddq_s16(vshlq_n_s16(dc, 1), dr));
+    const int16x8_t p = vaddq_s16(vabsq_s16(sx), vabsq_s16(sy));
+    vst1_u8(out + x, vqmovun_s16(p));  // saturates to [0, 255]
+  }
+#endif
+
+  for (; x < x1; ++x) res[row * w + x] = sobel_approx_pixel(img, w, row, x);
+}
+
+// --- dct ------------------------------------------------------------------
+
+void dct_block_band_impl(float* block, const std::uint8_t* img,
+                         std::size_t stride, std::size_t px0, std::size_t py0,
+                         std::size_t band, const double* ct,
+                         const double* alpha) {
+  // Center the 8x8 pixel block once per (block, band) — the historic scalar
+  // code re-read and re-centered it per coefficient.
+  double px[64];
+  for (std::size_t y = 0; y < 8; ++y) {
+    const std::uint8_t* row = img + (py0 + y) * stride + px0;
+    for (std::size_t x = 0; x < 8; ++x) {
+      px[y * 8 + x] = static_cast<double>(row[x]) - 128.0;
+    }
+  }
+  for (std::size_t u = 0; u <= band && u < 8; ++u) {
+    const std::size_t v = band - u;
+    if (v >= 8) continue;
+    const double* ctu = ct + u * 8;
+    const double* ctv = ct + v * 8;
+    double acc = 0.0;
+    for (std::size_t y = 0; y < 8; ++y) acc += ctv[y] * dot8(px + y * 8, ctu);
+    block[v * 8 + u] = static_cast<float>(alpha[u] * alpha[v] * acc);
+  }
+}
+
+// --- generic spans (jacobi / kmeans) --------------------------------------
+
+double dot_span_impl(const double* a, const double* b, std::size_t n) {
+  std::size_t i = 0;
+  double acc = 0.0;
+  (void)i;
+
+#if SIGRT_KIMPL_LEVEL == 1
+  __m128d acc0 = _mm_setzero_pd(), acc1 = _mm_setzero_pd();
+  for (; i + 4 <= n; i += 4) {
+    acc0 = _mm_add_pd(acc0, _mm_mul_pd(_mm_loadu_pd(a + i), _mm_loadu_pd(b + i)));
+    acc1 = _mm_add_pd(acc1,
+                      _mm_mul_pd(_mm_loadu_pd(a + i + 2), _mm_loadu_pd(b + i + 2)));
+  }
+  acc = hsum_pd(_mm_add_pd(acc0, acc1));
+#elif SIGRT_KIMPL_LEVEL == 2
+  __m256d acc0 = _mm256_setzero_pd(), acc1 = _mm256_setzero_pd();
+  for (; i + 8 <= n; i += 8) {
+    acc0 = _mm256_fmadd_pd(_mm256_loadu_pd(a + i), _mm256_loadu_pd(b + i), acc0);
+    acc1 = _mm256_fmadd_pd(_mm256_loadu_pd(a + i + 4), _mm256_loadu_pd(b + i + 4),
+                           acc1);
+  }
+  if (i + 4 <= n) {
+    acc0 = _mm256_fmadd_pd(_mm256_loadu_pd(a + i), _mm256_loadu_pd(b + i), acc0);
+    i += 4;
+  }
+  acc = hsum_pd(_mm256_add_pd(acc0, acc1));
+#elif SIGRT_KIMPL_LEVEL == 3
+  float64x2_t acc0 = vdupq_n_f64(0.0), acc1 = vdupq_n_f64(0.0);
+  for (; i + 4 <= n; i += 4) {
+    acc0 = vfmaq_f64(acc0, vld1q_f64(a + i), vld1q_f64(b + i));
+    acc1 = vfmaq_f64(acc1, vld1q_f64(a + i + 2), vld1q_f64(b + i + 2));
+  }
+  acc = vaddvq_f64(vaddq_f64(acc0, acc1));
+#endif
+
+#if SIGRT_KIMPL_LEVEL == 0
+  acc = dot_scalar(a, b, n);
+#else
+  for (; i < n; ++i) acc += a[i] * b[i];
+#endif
+  return acc;
+}
+
+double sq_dist_span_impl(const double* a, const double* b, std::size_t n) {
+  std::size_t i = 0;
+  double acc = 0.0;
+  (void)i;
+
+#if SIGRT_KIMPL_LEVEL == 1
+  __m128d acc0 = _mm_setzero_pd(), acc1 = _mm_setzero_pd();
+  for (; i + 4 <= n; i += 4) {
+    const __m128d d0 = _mm_sub_pd(_mm_loadu_pd(a + i), _mm_loadu_pd(b + i));
+    const __m128d d1 =
+        _mm_sub_pd(_mm_loadu_pd(a + i + 2), _mm_loadu_pd(b + i + 2));
+    acc0 = _mm_add_pd(acc0, _mm_mul_pd(d0, d0));
+    acc1 = _mm_add_pd(acc1, _mm_mul_pd(d1, d1));
+  }
+  acc = hsum_pd(_mm_add_pd(acc0, acc1));
+#elif SIGRT_KIMPL_LEVEL == 2
+  __m256d acc0 = _mm256_setzero_pd(), acc1 = _mm256_setzero_pd();
+  for (; i + 8 <= n; i += 8) {
+    const __m256d d0 = _mm256_sub_pd(_mm256_loadu_pd(a + i), _mm256_loadu_pd(b + i));
+    const __m256d d1 = _mm256_sub_pd(_mm256_loadu_pd(a + i + 4),
+                                     _mm256_loadu_pd(b + i + 4));
+    acc0 = _mm256_fmadd_pd(d0, d0, acc0);
+    acc1 = _mm256_fmadd_pd(d1, d1, acc1);
+  }
+  if (i + 4 <= n) {
+    const __m256d d0 = _mm256_sub_pd(_mm256_loadu_pd(a + i), _mm256_loadu_pd(b + i));
+    acc0 = _mm256_fmadd_pd(d0, d0, acc0);
+    i += 4;
+  }
+  acc = hsum_pd(_mm256_add_pd(acc0, acc1));
+#elif SIGRT_KIMPL_LEVEL == 3
+  float64x2_t acc0 = vdupq_n_f64(0.0), acc1 = vdupq_n_f64(0.0);
+  for (; i + 4 <= n; i += 4) {
+    const float64x2_t d0 = vsubq_f64(vld1q_f64(a + i), vld1q_f64(b + i));
+    const float64x2_t d1 = vsubq_f64(vld1q_f64(a + i + 2), vld1q_f64(b + i + 2));
+    acc0 = vfmaq_f64(acc0, d0, d0);
+    acc1 = vfmaq_f64(acc1, d1, d1);
+  }
+  acc = vaddvq_f64(vaddq_f64(acc0, acc1));
+#endif
+
+#if SIGRT_KIMPL_LEVEL == 0
+  acc = sq_dist_scalar(a, b, n);
+#else
+  for (; i < n; ++i) {
+    const double d = a[i] - b[i];
+    acc += d * d;
+  }
+#endif
+  return acc;
+}
+
+std::size_t nearest_centroid_impl(const double* p, const double* centroids,
+                                  std::size_t k, std::size_t dims,
+                                  std::size_t use_dims) {
+  std::size_t best = 0;
+  double best_d = sq_dist_span_impl(p, centroids, use_dims);
+  for (std::size_t c = 1; c < k; ++c) {
+    const double d = sq_dist_span_impl(p, centroids + c * dims, use_dims);
+    if (d < best_d) {
+      best_d = d;
+      best = c;
+    }
+  }
+  return best;
+}
+
+const KernelTable kTable = {
+    SIGRT_KIMPL_ISA,
+    &sobel_row_accurate_impl,
+    &sobel_row_approx_impl,
+    &dct_block_band_impl,
+    &dot_span_impl,
+    &sq_dist_span_impl,
+    &nearest_centroid_impl,
+};
+
+}  // namespace
+}  // namespace SIGRT_KIMPL_NS
+
+const KernelTable* SIGRT_KIMPL_TABLE_FN() noexcept {
+  return &SIGRT_KIMPL_NS::kTable;
+}
+
+}  // namespace sigrt::apps::kern

@@ -1,0 +1,8 @@
+// Scalar kernel instantiation — always compiled, the dispatch fallback for
+// every level that is missing from the binary (and the only level under
+// -DSIGRT_SIMD_FORCE=scalar).
+#define SIGRT_KIMPL_NS scalar
+#define SIGRT_KIMPL_LEVEL 0
+#define SIGRT_KIMPL_ISA ::sigrt::support::simd::Isa::Scalar
+#define SIGRT_KIMPL_TABLE_FN detail::table_scalar
+#include "apps/kernels_impl.inl"

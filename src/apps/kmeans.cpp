@@ -3,8 +3,8 @@
 #include <algorithm>
 #include <cmath>
 #include <cstring>
-#include <limits>
 
+#include "apps/kernels.hpp"
 #include "metrics/quality.hpp"
 #include "perforation/perforate.hpp"
 #include "support/rng.hpp"
@@ -58,47 +58,21 @@ std::vector<double> initial_centroids(const Options& opt,
   return c;
 }
 
+// Distance inner loops dispatch to the SIMD kernel layer: the accurate
+// assignment uses the full squared euclidean distance, the approximate one
+// "a simpler version of the euclidean distance, considering only a subset
+// (1/8) of the dimensions" (§4.1) — same kernel, use_dims = dims/8 (the
+// accurate path already elides the sqrt, so the saving is the 8x cut).
+
 std::size_t nearest_full(const double* p, const double* centroids,
                          std::size_t k, std::size_t dims) {
-  std::size_t best = 0;
-  double best_d = std::numeric_limits<double>::infinity();
-  for (std::size_t c = 0; c < k; ++c) {
-    double acc = 0.0;
-    const double* ct = centroids + c * dims;
-    for (std::size_t d = 0; d < dims; ++d) {
-      const double diff = p[d] - ct[d];
-      acc += diff * diff;
-    }
-    if (acc < best_d) {
-      best_d = acc;
-      best = c;
-    }
-  }
-  return best;
+  return kern::nearest_centroid(p, centroids, k, dims, dims);
 }
 
-/// Approximate distance: "a simpler version of the euclidean distance,
-/// considering only a subset (1/8) of the dimensions" (§4.1) — squared L2
-/// over dims/8 axes (no extra simplification needed: the accurate path
-/// already elides the sqrt, so the saving is the 8x dimension cut).
 std::size_t nearest_approx(const double* p, const double* centroids,
                            std::size_t k, std::size_t dims) {
   const std::size_t sub = std::max<std::size_t>(1, dims / 8);
-  std::size_t best = 0;
-  double best_d = std::numeric_limits<double>::infinity();
-  for (std::size_t c = 0; c < k; ++c) {
-    double acc = 0.0;
-    const double* ct = centroids + c * dims;
-    for (std::size_t d = 0; d < sub; ++d) {
-      const double diff = p[d] - ct[d];
-      acc += diff * diff;
-    }
-    if (acc < best_d) {
-      best_d = acc;
-      best = c;
-    }
-  }
-  return best;
+  return kern::nearest_centroid(p, centroids, k, dims, sub);
 }
 
 /// Mutable per-iteration workspace shared by the task bodies.

@@ -1,7 +1,6 @@
 #include "apps/sobel.hpp"
 
-#include <cmath>
-
+#include "apps/kernels.hpp"
 #include "metrics/quality.hpp"
 #include "perforation/perforate.hpp"
 
@@ -11,52 +10,19 @@ namespace {
 
 using support::Image;
 
-// --- filter kernels, transcribed from Listing 1 of the paper --------------
+// Row task bodies dispatch to the SIMD kernel layer (kernels.hpp): the
+// accurate variant keeps Listing 1's full taps and sqrt(sx^2+sy^2) magnitude,
+// the approximate variant the reduced taps and |sx|+|sy| — vectorized
+// SSE2/AVX2/NEON with a scalar fallback, byte-identical across levels.
 
-int sblX(const std::uint8_t* img, std::size_t w, std::size_t y, std::size_t x) {
-  return img[(y - 1) * w + x - 1] + 2 * img[y * w + x - 1] +
-         img[(y + 1) * w + x - 1] - img[(y - 1) * w + x + 1] -
-         2 * img[y * w + x + 1] - img[(y + 1) * w + x + 1];
-}
-
-int sblY(const std::uint8_t* img, std::size_t w, std::size_t y, std::size_t x) {
-  return img[(y - 1) * w + x - 1] + 2 * img[(y - 1) * w + x] +
-         img[(y - 1) * w + x + 1] - img[(y + 1) * w + x - 1] -
-         2 * img[(y + 1) * w + x] - img[(y + 1) * w + x + 1];
-}
-
-// Approximate variants omit one third of the taps (lines 11/13 of Listing 1).
-int sblX_appr(const std::uint8_t* img, std::size_t w, std::size_t y,
-              std::size_t x) {
-  return 2 * img[y * w + x - 1] + img[(y + 1) * w + x - 1] -
-         2 * img[y * w + x + 1] - img[(y + 1) * w + x + 1];
-}
-
-int sblY_appr(const std::uint8_t* img, std::size_t w, std::size_t y,
-              std::size_t x) {
-  return 2 * img[(y - 1) * w + x] + img[(y - 1) * w + x + 1] -
-         2 * img[(y + 1) * w + x] - img[(y + 1) * w + x + 1];
-}
-
-// Accurate row task: p = sqrt(sx^2 + sy^2), exactly as the paper writes it
-// (pow/sqrt deliberately kept — their cost is part of the accurate body).
 void sbl_task(std::uint8_t* res, const std::uint8_t* img, std::size_t w,
               std::size_t row) {
-  for (std::size_t j = 1; j + 1 < w; ++j) {
-    const double p = std::sqrt(std::pow(sblX(img, w, row, j), 2) +
-                               std::pow(sblY(img, w, row, j), 2));
-    res[row * w + j] = p > 255.0 ? 255 : static_cast<std::uint8_t>(p);
-  }
+  kern::sobel_row_accurate(res, img, w, row, 1, w - 1);
 }
 
-// Approximate row task: |sx| + |sy| over the reduced stencils.
 void sbl_task_appr(std::uint8_t* res, const std::uint8_t* img, std::size_t w,
                    std::size_t row) {
-  for (std::size_t j = 1; j + 1 < w; ++j) {
-    const int p =
-        std::abs(sblX_appr(img, w, row, j)) + std::abs(sblY_appr(img, w, row, j));
-    res[row * w + j] = p > 255 ? 255 : static_cast<std::uint8_t>(p);
-  }
+  kern::sobel_row_approx(res, img, w, row, 1, w - 1);
 }
 
 // Listing 1: significance cycles over rows so approximated rows are spread

@@ -1,0 +1,96 @@
+#include "support/simd.hpp"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace sigrt::support::simd {
+
+namespace {
+
+Isa detect_hardware() noexcept {
+  if constexpr (kForceScalar) return Isa::Scalar;
+#if defined(__x86_64__) || defined(_M_X64) || defined(__i386__)
+#if defined(__GNUC__) || defined(__clang__)
+  if (__builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma")) {
+    return Isa::AVX2;
+  }
+#endif
+  // SSE2 is part of the x86-64 baseline (and checked on 32-bit).
+#if defined(__x86_64__) || defined(_M_X64)
+  return Isa::SSE2;
+#else
+  return __builtin_cpu_supports("sse2") ? Isa::SSE2 : Isa::Scalar;
+#endif
+#elif defined(__aarch64__) || defined(__ARM_NEON)
+  return Isa::NEON;
+#else
+  return Isa::Scalar;
+#endif
+}
+
+/// Clamp a requested level to what the hardware can execute.  Levels are not
+/// totally ordered across architectures (NEON vs SSE2), so clamping means:
+/// anything the hardware cannot run degrades to the highest runnable level
+/// on its own architecture, ultimately Scalar.
+Isa clamp_to_hardware(Isa requested, Isa hw) noexcept {
+  if (requested == Isa::Scalar || requested == hw) return requested;
+  switch (requested) {
+    case Isa::AVX2: return hw == Isa::SSE2 ? Isa::SSE2 : Isa::Scalar;
+    case Isa::SSE2: return hw == Isa::AVX2 ? Isa::SSE2 : Isa::Scalar;
+    case Isa::NEON: return Isa::Scalar;  // hw != NEON here
+    default: return Isa::Scalar;
+  }
+}
+
+std::atomic<Isa>& active_slot() noexcept {
+  // First touch applies the env override on top of hardware detection.
+  static std::atomic<Isa> slot{[] {
+    Isa level = detect_hardware();
+    if (const char* env = std::getenv("SIGRT_SIMD")) {
+      Isa parsed;
+      if (parse_isa(env, &parsed)) {
+        level = clamp_to_hardware(parsed, detect_hardware());
+      }
+    }
+    return level;
+  }()};
+  return slot;
+}
+
+}  // namespace
+
+bool parse_isa(const char* name, Isa* out) noexcept {
+  if (name == nullptr || out == nullptr) return false;
+  if (std::strcmp(name, "scalar") == 0) { *out = Isa::Scalar; return true; }
+  if (std::strcmp(name, "sse2") == 0) { *out = Isa::SSE2; return true; }
+  if (std::strcmp(name, "avx2") == 0) { *out = Isa::AVX2; return true; }
+  if (std::strcmp(name, "neon") == 0) { *out = Isa::NEON; return true; }
+  return false;
+}
+
+Isa detected() noexcept {
+  static const Isa hw = detect_hardware();
+  return hw;
+}
+
+Isa active() noexcept {
+  return active_slot().load(std::memory_order_relaxed);
+}
+
+Isa set_active(Isa isa) noexcept {
+  const Isa effective = clamp_to_hardware(isa, detected());
+  active_slot().store(effective, std::memory_order_relaxed);
+  return effective;
+}
+
+Isa refresh_from_env() noexcept {
+  Isa level = detected();
+  if (const char* env = std::getenv("SIGRT_SIMD")) {
+    Isa parsed;
+    if (parse_isa(env, &parsed)) level = clamp_to_hardware(parsed, detected());
+  }
+  active_slot().store(level, std::memory_order_relaxed);
+  return level;
+}
+
+}  // namespace sigrt::support::simd

@@ -1,0 +1,94 @@
+// Runtime-dispatched SIMD facade (ROADMAP direction 4).
+//
+// The app kernels (sobel, dct, jacobi, kmeans) are compiled several times at
+// different ISA levels — scalar always, the architecture baseline (SSE2 on
+// x86-64, NEON on aarch64) at default flags, and AVX2+FMA in a dedicated TU
+// built with -mavx2 -mfma — and dispatched through a function-pointer table
+// selected here.  This header owns the *level* vocabulary and the selection
+// rules; the kernels themselves live in src/apps/kernels.hpp.
+//
+// Selection, in priority order:
+//   1. compile-time force   -DSIGRT_SIMD_FORCE=scalar (CMake cache var) pins
+//      everything to the scalar fallback and excludes the vector TUs — the
+//      CI leg that keeps the portable path green.
+//   2. hardware detection   CPUID (via __builtin_cpu_supports) on x86; NEON
+//      is unconditional on aarch64.  Runs once, at first use.
+//   3. env override         SIGRT_SIMD=scalar|sse2|avx2|neon lowers (never
+//      raises past the hardware) the active level at process start.
+//   4. set_active()         test hook for sweeping dispatch levels in one
+//      process; also clamped to the detected hardware.
+//
+// Threading: the active level is a relaxed atomic.  It is expected to be set
+// once at startup (or from a single test thread between kernel invocations);
+// kernels read it per call, so a change is picked up by the next call.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace sigrt::support::simd {
+
+/// Instruction-set levels the kernel tables can be built for.  Values index
+/// the dispatch table; Scalar is always present.
+enum class Isa : std::uint8_t {
+  Scalar = 0,
+  SSE2 = 1,
+  AVX2 = 2,
+  NEON = 3,
+};
+inline constexpr std::size_t kIsaCount = 4;
+
+[[nodiscard]] constexpr const char* to_string(Isa isa) noexcept {
+  switch (isa) {
+    case Isa::Scalar: return "scalar";
+    case Isa::SSE2: return "sse2";
+    case Isa::AVX2: return "avx2";
+    case Isa::NEON: return "neon";
+  }
+  return "?";
+}
+
+/// True when the build pins dispatch to the scalar fallback
+/// (-DSIGRT_SIMD_FORCE=scalar).
+#if defined(SIGRT_SIMD_FORCE_SCALAR)
+inline constexpr bool kForceScalar = true;
+#else
+inline constexpr bool kForceScalar = false;
+#endif
+
+/// Vector width in bytes at a level (scalar reported as one 8-byte lane).
+[[nodiscard]] constexpr std::size_t width_bytes(Isa isa) noexcept {
+  switch (isa) {
+    case Isa::Scalar: return 8;
+    case Isa::SSE2: return 16;
+    case Isa::AVX2: return 32;
+    case Isa::NEON: return 16;
+  }
+  return 8;
+}
+
+/// double lanes per vector at a level.
+[[nodiscard]] constexpr std::size_t lanes_f64(Isa isa) noexcept {
+  return width_bytes(isa) / 8;
+}
+
+/// Parses a level name ("scalar", "sse2", "avx2", "neon"); returns false on
+/// anything else and leaves `out` untouched.
+[[nodiscard]] bool parse_isa(const char* name, Isa* out) noexcept;
+
+/// Highest level this hardware (plus the compile-time force) supports.
+/// Detected once; subsequent calls are a load.
+[[nodiscard]] Isa detected() noexcept;
+
+/// Current dispatch level.  Starts at detected() lowered by SIGRT_SIMD.
+[[nodiscard]] Isa active() noexcept;
+
+/// Sets the dispatch level, clamped to detected().  Returns the level that
+/// actually took effect (tests sweep levels through this).
+Isa set_active(Isa isa) noexcept;
+
+/// Re-reads the SIGRT_SIMD env override and applies it (exposed so tests can
+/// exercise the override without re-execing).  Returns the resulting level.
+Isa refresh_from_env() noexcept;
+
+}  // namespace sigrt::support::simd

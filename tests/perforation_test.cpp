@@ -1,7 +1,9 @@
 // Loop-perforation baseline tests.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <utility>
 #include <vector>
 
 #include "perforation/perforate.hpp"
@@ -21,14 +23,16 @@ std::vector<std::size_t> survivors(std::size_t n, double rate, Shape shape,
 }
 
 TEST(Perforation, RateZeroKeepsEverything) {
-  for (const Shape shape : {Shape::Modulo, Shape::Truncate, Shape::Random}) {
+  for (const Shape shape :
+       {Shape::Modulo, Shape::Truncate, Shape::Random, Shape::Block}) {
     const auto idx = survivors(100, 0.0, shape);
     EXPECT_EQ(idx.size(), 100u);
   }
 }
 
 TEST(Perforation, RateOneDropsEverything) {
-  for (const Shape shape : {Shape::Modulo, Shape::Truncate, Shape::Random}) {
+  for (const Shape shape :
+       {Shape::Modulo, Shape::Truncate, Shape::Random, Shape::Block}) {
     EXPECT_TRUE(survivors(100, 1.0, shape).empty());
   }
 }
@@ -95,6 +99,109 @@ TEST(Perforation, NonZeroBeginRespected) {
 TEST(Perforation, OutOfRangeRatesClamp) {
   EXPECT_EQ(survivors(50, -0.5, Shape::Modulo).size(), 50u);
   EXPECT_TRUE(survivors(50, 1.5, Shape::Modulo).empty());
+  EXPECT_EQ(survivors(50, -0.5, Shape::Block).size(), 50u);
+  EXPECT_TRUE(survivors(50, 1.5, Shape::Block).empty());
+}
+
+// --- Shape::Block / perforate_blocks ---------------------------------------
+
+using RunList = std::vector<std::pair<std::size_t, std::size_t>>;
+
+RunList block_runs(std::size_t begin, std::size_t end, double rate,
+                   std::size_t block, Stats* stats_out = nullptr) {
+  RunList runs;
+  const Stats s = sigrt::perforation::perforate_blocks(
+      begin, end, rate,
+      [&](std::size_t lo, std::size_t hi) { runs.emplace_back(lo, hi); },
+      block);
+  if (stats_out != nullptr) *stats_out = s;
+  return runs;
+}
+
+TEST(Perforation, BlockKeepsApproximateShare) {
+  // 1000 isn't a multiple of the stride, so the tail block is partial; the
+  // executed fraction must still track the rate to one block's quantization.
+  for (const double rate : {0.1, 0.25, 0.5, 0.7, 0.9}) {
+    Stats s;
+    survivors(1000, rate, Shape::Block, &s);
+    EXPECT_EQ(s.executed + s.skipped, 1000u) << "rate " << rate;
+    EXPECT_NEAR(s.executed_fraction(), 1.0 - rate, 16.0 / 1000.0 + 0.01)
+        << "rate " << rate;
+  }
+}
+
+TEST(Perforation, BlockSurvivorsAreWholeAlignedBlocks) {
+  const std::size_t n = 1000, blk = 16;
+  const auto idx = survivors(n, 0.5, Shape::Block);
+  // Group survivors by block: every touched block must be fully present
+  // (its real size, for the partial tail block).
+  std::vector<std::size_t> per_block((n + blk - 1) / blk, 0);
+  for (const std::size_t i : idx) ++per_block[i / blk];
+  for (std::size_t b = 0; b < per_block.size(); ++b) {
+    if (per_block[b] == 0) continue;
+    const std::size_t size = std::min(n, (b + 1) * blk) - b * blk;
+    EXPECT_EQ(per_block[b], size) << "block " << b;
+  }
+}
+
+TEST(Perforation, BlockTailCountsRealIterations) {
+  // 24 iterations, stride 16: block 0 (16 wide) is dropped at rate 0.5,
+  // block 1 survives but holds only 8 real iterations.  The counters must
+  // reflect real sizes, not full strides.
+  Stats s;
+  const RunList runs = block_runs(0, 24, 0.5, 16, &s);
+  EXPECT_EQ(s.executed, 8u);
+  EXPECT_EQ(s.skipped, 16u);
+  EXPECT_DOUBLE_EQ(s.executed_fraction(), 8.0 / 24.0);
+  ASSERT_EQ(runs.size(), 1u);
+  EXPECT_EQ(runs[0], (std::pair<std::size_t, std::size_t>{16, 24}));
+}
+
+TEST(Perforation, BlockCoalescesAdjacentSurvivors) {
+  // rate 0.25 over 4 blocks keeps blocks 1..3 — one maximal dense run.
+  const RunList runs = block_runs(0, 64, 0.25, 16);
+  ASSERT_EQ(runs.size(), 1u);
+  EXPECT_EQ(runs[0], (std::pair<std::size_t, std::size_t>{16, 64}));
+}
+
+TEST(Perforation, BlockRunsRespectNonZeroBegin) {
+  Stats s;
+  const RunList runs = block_runs(100, 164, 0.25, 16, &s);
+  ASSERT_EQ(runs.size(), 1u);
+  EXPECT_EQ(runs[0], (std::pair<std::size_t, std::size_t>{116, 164}));
+  EXPECT_EQ(s.executed, 48u);
+  EXPECT_EQ(s.skipped, 16u);
+}
+
+TEST(Perforation, BlockForEachAgreesWithPerforateBlocks) {
+  for (const double rate : {0.0, 0.3, 0.5, 0.8, 1.0}) {
+    Stats direct_stats;
+    const RunList runs = block_runs(0, 777, rate, 16, &direct_stats);
+    std::vector<std::size_t> from_runs;
+    for (const auto& [lo, hi] : runs) {
+      for (std::size_t i = lo; i < hi; ++i) from_runs.push_back(i);
+    }
+    Stats adapter_stats;
+    const auto idx = survivors(777, rate, Shape::Block, &adapter_stats);
+    EXPECT_EQ(idx, from_runs) << "rate " << rate;
+    EXPECT_EQ(adapter_stats.executed, direct_stats.executed) << "rate " << rate;
+    EXPECT_EQ(adapter_stats.skipped, direct_stats.skipped) << "rate " << rate;
+  }
+}
+
+TEST(Perforation, BlockEmptyRangeIsNoop) {
+  Stats s;
+  EXPECT_TRUE(block_runs(5, 5, 0.5, 16, &s).empty());
+  EXPECT_EQ(s.executed, 0u);
+  EXPECT_DOUBLE_EQ(s.executed_fraction(), 1.0);
+}
+
+TEST(Perforation, BlockZeroStrideDegradesToUnitBlocks) {
+  Stats s;
+  const RunList runs = block_runs(0, 10, 0.5, 0, &s);
+  EXPECT_EQ(s.executed, 5u);
+  EXPECT_EQ(s.skipped, 5u);
+  for (const auto& [lo, hi] : runs) EXPECT_LT(lo, hi);
 }
 
 }  // namespace

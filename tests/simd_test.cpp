@@ -1,0 +1,341 @@
+// SIMD kernel-layer tests: numerics contract of apps/kernels.hpp across
+// every compiled-in dispatch level, plus the support::simd selection rules.
+//
+// The sweep is hardware-agnostic: it collects the distinct kernel tables
+// reachable through table_for() (on a scalar-forced build or a bare host
+// that is just the scalar table) and checks each against the scalar level —
+// bit-exact for the integer sobel kernels, ULP-scaled for the floating-point
+// ones (vector levels reassociate and may contract to FMA).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <vector>
+
+#include "apps/kernels.hpp"
+#include "support/rng.hpp"
+#include "support/simd.hpp"
+
+namespace {
+
+namespace kern = sigrt::apps::kern;
+namespace simd = sigrt::support::simd;
+using simd::Isa;
+
+/// Restores the dispatch level (and the env override) on scope exit so test
+/// order never leaks a forced level.
+struct ActiveLevelGuard {
+  Isa prev = simd::active();
+  ~ActiveLevelGuard() {
+    ::unsetenv("SIGRT_SIMD");
+    simd::set_active(prev);
+  }
+};
+
+/// The distinct non-scalar kernel tables this binary can dispatch to.
+std::vector<const kern::KernelTable*> vector_tables() {
+  std::vector<const kern::KernelTable*> tables;
+  const kern::KernelTable* scalar = &kern::table_for(Isa::Scalar);
+  for (const Isa isa : {Isa::SSE2, Isa::AVX2, Isa::NEON}) {
+    const kern::KernelTable* t = &kern::table_for(isa);
+    if (t == scalar) continue;
+    if (std::find(tables.begin(), tables.end(), t) == tables.end()) {
+      tables.push_back(t);
+    }
+  }
+  return tables;
+}
+
+std::vector<std::uint8_t> random_image(std::size_t w, std::size_t h,
+                                       std::uint64_t seed) {
+  sigrt::support::Xoshiro256 rng(seed);
+  std::vector<std::uint8_t> img(w * h);
+  for (auto& p : img) {
+    p = static_cast<std::uint8_t>(rng.uniform(0.0, 256.0));
+  }
+  return img;
+}
+
+std::vector<double> random_doubles(std::size_t n, std::uint64_t seed,
+                                   double lo = -1.0, double hi = 1.0) {
+  sigrt::support::Xoshiro256 rng(seed);
+  std::vector<double> v(n);
+  for (auto& x : v) x = rng.uniform(lo, hi);
+  return v;
+}
+
+// --- selection rules -------------------------------------------------------
+
+TEST(Simd, TableIsNeverNull) {
+  for (const Isa isa : {Isa::Scalar, Isa::SSE2, Isa::AVX2, Isa::NEON}) {
+    const kern::KernelTable& t = kern::table_for(isa);
+    EXPECT_NE(t.sobel_row_accurate, nullptr) << simd::to_string(isa);
+    EXPECT_NE(t.sobel_row_approx, nullptr) << simd::to_string(isa);
+    EXPECT_NE(t.dct_block_band, nullptr) << simd::to_string(isa);
+    EXPECT_NE(t.dot_span, nullptr) << simd::to_string(isa);
+    EXPECT_NE(t.sq_dist_span, nullptr) << simd::to_string(isa);
+    EXPECT_NE(t.nearest_centroid, nullptr) << simd::to_string(isa);
+  }
+}
+
+TEST(Simd, ScalarTableIsScalar) {
+  EXPECT_EQ(kern::table_for(Isa::Scalar).isa, Isa::Scalar);
+}
+
+TEST(Simd, SetActiveClampsToHardware) {
+  ActiveLevelGuard guard;
+  // Scalar is always grantable; anything else comes back as a level the
+  // hardware can actually run (identity when supported).
+  EXPECT_EQ(simd::set_active(Isa::Scalar), Isa::Scalar);
+  EXPECT_EQ(simd::active(), Isa::Scalar);
+  EXPECT_EQ(simd::set_active(simd::detected()), simd::detected());
+  for (const Isa isa : {Isa::SSE2, Isa::AVX2, Isa::NEON}) {
+    const Isa got = simd::set_active(isa);
+    EXPECT_EQ(got, simd::active());
+    if (got == isa) continue;  // hardware supports it directly
+    // Clamped: never above the detected level's family, scalar at worst.
+    EXPECT_EQ(got, simd::set_active(got)) << simd::to_string(isa);
+  }
+}
+
+TEST(Simd, ForceScalarBuildDetectsScalar) {
+  if (simd::kForceScalar) {
+    EXPECT_EQ(simd::detected(), Isa::Scalar);
+    EXPECT_EQ(simd::set_active(Isa::AVX2), Isa::Scalar);
+  }
+}
+
+TEST(Simd, ParseIsaRoundTrips) {
+  for (const Isa isa : {Isa::Scalar, Isa::SSE2, Isa::AVX2, Isa::NEON}) {
+    Isa out = Isa::Scalar;
+    EXPECT_TRUE(simd::parse_isa(simd::to_string(isa), &out));
+    EXPECT_EQ(out, isa);
+  }
+  Isa out = Isa::AVX2;
+  EXPECT_FALSE(simd::parse_isa("avx512", &out));
+  EXPECT_FALSE(simd::parse_isa("", &out));
+  EXPECT_FALSE(simd::parse_isa(nullptr, &out));
+  EXPECT_EQ(out, Isa::AVX2);  // failures leave the slot untouched
+}
+
+TEST(Simd, EnvOverrideLowersActiveLevel) {
+  ActiveLevelGuard guard;
+  ASSERT_EQ(::setenv("SIGRT_SIMD", "scalar", 1), 0);
+  EXPECT_EQ(simd::refresh_from_env(), Isa::Scalar);
+  EXPECT_EQ(simd::active(), Isa::Scalar);
+  // Unparsable values fall back to the detected level.
+  ASSERT_EQ(::setenv("SIGRT_SIMD", "warp9", 1), 0);
+  EXPECT_EQ(simd::refresh_from_env(), simd::detected());
+  ::unsetenv("SIGRT_SIMD");
+  EXPECT_EQ(simd::refresh_from_env(), simd::detected());
+}
+
+TEST(Simd, DispatchFollowsActiveLevel) {
+  ActiveLevelGuard guard;
+  simd::set_active(Isa::Scalar);
+  EXPECT_EQ(&kern::table(), &kern::table_for(Isa::Scalar));
+  simd::set_active(simd::detected());
+  EXPECT_EQ(&kern::table(), &kern::table_for(simd::detected()));
+}
+
+// --- sobel: bit-exact across levels ----------------------------------------
+
+// Odd widths and sub-spans starting at unaligned offsets exercise the
+// vector kernels' tails and edge handling.
+void check_sobel_level(const kern::KernelTable& t, bool approx) {
+  const kern::KernelTable& ref = kern::table_for(Isa::Scalar);
+  for (const std::size_t w : {3u, 4u, 5u, 7u, 9u, 16u, 17u, 33u, 64u, 129u}) {
+    const std::size_t h = 13;
+    const auto img = random_image(w, h, 1000 + w);
+    std::vector<std::uint8_t> expect(w * h, 0), got(w * h, 0);
+    // Full interior span plus offset sub-spans.
+    std::vector<std::pair<std::size_t, std::size_t>> spans = {{1, w - 1}};
+    if (w >= 7) {
+      spans.emplace_back(2, w - 2);
+      spans.emplace_back(3, w - 1);
+    }
+    for (const auto& [x0, x1] : spans) {
+      for (std::size_t row = 1; row + 1 < h; ++row) {
+        if (approx) {
+          ref.sobel_row_approx(expect.data(), img.data(), w, row, x0, x1);
+          t.sobel_row_approx(got.data(), img.data(), w, row, x0, x1);
+        } else {
+          ref.sobel_row_accurate(expect.data(), img.data(), w, row, x0, x1);
+          t.sobel_row_accurate(got.data(), img.data(), w, row, x0, x1);
+        }
+      }
+      EXPECT_EQ(expect, got) << simd::to_string(t.isa) << " w=" << w << " span ["
+                             << x0 << "," << x1 << ")";
+    }
+  }
+}
+
+TEST(Simd, SobelAccurateBitExactAcrossLevels) {
+  for (const auto* t : vector_tables()) check_sobel_level(*t, false);
+}
+
+TEST(Simd, SobelApproxBitExactAcrossLevels) {
+  for (const auto* t : vector_tables()) check_sobel_level(*t, true);
+}
+
+// Saturation: a white-on-black edge drives sx^2+sy^2 far past 255^2; every
+// level must clamp to exactly 255, and flat regions to exactly 0.
+TEST(Simd, SobelSaturatesIdentically) {
+  const std::size_t w = 32, h = 8;
+  std::vector<std::uint8_t> img(w * h, 0);
+  for (std::size_t y = 0; y < h; ++y) {
+    for (std::size_t x = w / 2; x < w; ++x) img[y * w + x] = 255;
+  }
+  const kern::KernelTable& ref = kern::table_for(Isa::Scalar);
+  std::vector<std::uint8_t> expect(w * h, 0);
+  for (std::size_t row = 1; row + 1 < h; ++row) {
+    ref.sobel_row_accurate(expect.data(), img.data(), w, row, 1, w - 1);
+  }
+  EXPECT_EQ(*std::max_element(expect.begin(), expect.end()), 255u);
+  EXPECT_EQ(*std::min_element(expect.begin(), expect.end()), 0u);
+  for (const auto* t : vector_tables()) {
+    std::vector<std::uint8_t> got(w * h, 0);
+    for (std::size_t row = 1; row + 1 < h; ++row) {
+      t->sobel_row_accurate(got.data(), img.data(), w, row, 1, w - 1);
+    }
+    EXPECT_EQ(expect, got) << simd::to_string(t->isa);
+  }
+}
+
+// --- float kernels: ULP-scaled agreement across levels ----------------------
+
+// Reassociated/FMA-contracted sums agree with the strictly-ordered scalar
+// sum to an error bounded by a small multiple of the magnitude sum's ulp.
+double dot_tolerance(const double* a, const double* b, std::size_t n) {
+  double mag = 1.0;
+  for (std::size_t i = 0; i < n; ++i) mag += std::abs(a[i] * b[i]);
+  return mag * 1e-13;
+}
+
+const std::size_t kSpanSizes[] = {0,  1,  2,  3,  4,  5,  7,  8,
+                                  9,  15, 16, 17, 31, 32, 33, 100,
+                                  127, 1024};
+
+TEST(Simd, DotSpanMatchesScalarWithinUlps) {
+  const kern::KernelTable& ref = kern::table_for(Isa::Scalar);
+  const auto a = random_doubles(1100, 7);
+  const auto b = random_doubles(1100, 8);
+  for (const auto* t : vector_tables()) {
+    for (const std::size_t n : kSpanSizes) {
+      for (const std::size_t off : {0u, 1u, 3u}) {  // unaligned starts
+        const double expect = ref.dot_span(a.data() + off, b.data() + off, n);
+        const double got = t->dot_span(a.data() + off, b.data() + off, n);
+        EXPECT_NEAR(got, expect, dot_tolerance(a.data() + off, b.data() + off, n))
+            << simd::to_string(t->isa) << " n=" << n << " off=" << off;
+      }
+    }
+  }
+}
+
+TEST(Simd, SqDistSpanMatchesScalarWithinUlps) {
+  const kern::KernelTable& ref = kern::table_for(Isa::Scalar);
+  const auto a = random_doubles(1100, 9, -5.0, 5.0);
+  const auto b = random_doubles(1100, 10, -5.0, 5.0);
+  for (const auto* t : vector_tables()) {
+    for (const std::size_t n : kSpanSizes) {
+      for (const std::size_t off : {0u, 1u, 3u}) {
+        const double expect = ref.sq_dist_span(a.data() + off, b.data() + off, n);
+        const double got = t->sq_dist_span(a.data() + off, b.data() + off, n);
+        EXPECT_NEAR(got, expect, 1e-13 * (1.0 + expect))
+            << simd::to_string(t->isa) << " n=" << n << " off=" << off;
+      }
+    }
+  }
+}
+
+TEST(Simd, NearestCentroidAgreesAcrossLevels) {
+  // Well-separated blobs: reassociation error (~1e-13) cannot flip an
+  // argmin whose margins are O(1), so the index must agree exactly.
+  const std::size_t k = 8, dims = 19;  // odd dims: vector tail in every level
+  const kern::KernelTable& ref = kern::table_for(Isa::Scalar);
+  sigrt::support::Xoshiro256 rng(11);
+  std::vector<double> centroids(k * dims);
+  for (std::size_t c = 0; c < k; ++c) {
+    for (std::size_t d = 0; d < dims; ++d) {
+      centroids[c * dims + d] = static_cast<double>(c) * 8.0 + rng.uniform(-1.0, 1.0);
+    }
+  }
+  for (std::size_t trial = 0; trial < 200; ++trial) {
+    std::vector<double> p(dims);
+    const std::size_t home = trial % k;
+    for (std::size_t d = 0; d < dims; ++d) {
+      p[d] = static_cast<double>(home) * 8.0 + rng.uniform(-2.5, 2.5);
+    }
+    for (const std::size_t use_dims : {dims, dims / 2, std::size_t{2}}) {
+      const std::size_t expect =
+          ref.nearest_centroid(p.data(), centroids.data(), k, dims, use_dims);
+      for (const auto* t : vector_tables()) {
+        EXPECT_EQ(t->nearest_centroid(p.data(), centroids.data(), k, dims,
+                                      use_dims),
+                  expect)
+            << simd::to_string(t->isa) << " trial=" << trial
+            << " use_dims=" << use_dims;
+      }
+    }
+  }
+}
+
+TEST(Simd, NearestCentroidFirstMinimumWinsOnTies) {
+  // Centroids 0 and 2 are identical; every level computes their distances
+  // with the same instruction sequence, so the tie is exact and the first
+  // index must win.
+  const std::size_t k = 3, dims = 16;
+  std::vector<double> centroids(k * dims, 0.0);
+  for (std::size_t d = 0; d < dims; ++d) {
+    centroids[0 * dims + d] = 1.0;
+    centroids[1 * dims + d] = 50.0;
+    centroids[2 * dims + d] = 1.0;
+  }
+  const std::vector<double> p(dims, 1.25);
+  EXPECT_EQ(kern::table_for(Isa::Scalar)
+                .nearest_centroid(p.data(), centroids.data(), k, dims, dims),
+            0u);
+  for (const auto* t : vector_tables()) {
+    EXPECT_EQ(t->nearest_centroid(p.data(), centroids.data(), k, dims, dims), 0u)
+        << simd::to_string(t->isa);
+  }
+}
+
+TEST(Simd, DctBlockBandMatchesScalar) {
+  constexpr double kPi = 3.14159265358979323846;
+  double ct[64], alpha[8];
+  for (std::size_t u = 0; u < 8; ++u) {
+    for (std::size_t x = 0; x < 8; ++x) {
+      ct[u * 8 + x] = std::cos((2.0 * static_cast<double>(x) + 1.0) *
+                               static_cast<double>(u) * kPi / 16.0);
+    }
+    alpha[u] = u == 0 ? std::sqrt(1.0 / 8.0) : std::sqrt(2.0 / 8.0);
+  }
+  const std::size_t w = 40, h = 32;
+  const auto img = random_image(w, h, 77);
+  const kern::KernelTable& ref = kern::table_for(Isa::Scalar);
+  // Blocks at aligned and odd offsets (the kernel takes arbitrary origins).
+  const std::pair<std::size_t, std::size_t> origins[] = {
+      {0, 0}, {8, 16}, {24, 24}, {3, 5}, {31, 17}};
+  for (const auto& [px0, py0] : origins) {
+    for (std::size_t band = 0; band < 15; ++band) {
+      float expect[64] = {0}, got[64] = {0};
+      ref.dct_block_band(expect, img.data(), w, px0, py0, band, ct, alpha);
+      for (const auto* t : vector_tables()) {
+        std::fill(std::begin(got), std::end(got), 0.0f);
+        t->dct_block_band(got, img.data(), w, px0, py0, band, ct, alpha);
+        for (std::size_t i = 0; i < 64; ++i) {
+          // Coefficients are O(1000); float storage quantizes at ~6e-5 of
+          // magnitude, so 2e-4 absolute + relative slack covers reassociation.
+          EXPECT_NEAR(got[i], expect[i], 2e-4 + 1e-6 * std::abs(expect[i]))
+              << simd::to_string(t->isa) << " band=" << band << " origin=("
+              << px0 << "," << py0 << ") i=" << i;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
