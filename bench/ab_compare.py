@@ -9,7 +9,11 @@ per-metric median of A, median of B, and the B/A ratio.
 
 Usage:
     ab_compare.py [--runs N] [--label-a OLD] [--label-b NEW]
-                  [--filter SUBSTR] "cmd A" "cmd B"
+                  [--filter SUBSTR] [--strip-tag KEY] "cmd A" "cmd B"
+
+--strip-tag KEY (repeatable) drops a tag from cell labels so records that
+differ only in that tag stay comparable — e.g. --strip-tag transport diffs
+serve_loadgen's in-process cells against its --tcp wire cells.
 
 Commands are shell-split (quote them once); non-numeric JSON fields are
 used to label rows when possible and otherwise ignored.  Exit code is
@@ -35,29 +39,33 @@ def run_once(cmd):
     return json.loads(lines[-1])
 
 
-def flatten(obj, prefix=""):
+def flatten(obj, prefix="", strip_tags=()):
     """Yields (dotted_name, number) for every numeric leaf of obj.
 
     Array elements of objects are labelled by their non-numeric fields
     (e.g. cells[shape=chain,workers=8].tasks_per_sec) so records stay
-    comparable when both sides emit the same logical cells.
+    comparable when both sides emit the same logical cells.  Tag keys in
+    `strip_tags` are left out of labels (see --strip-tag).
     """
     if isinstance(obj, dict):
         for key, val in obj.items():
-            yield from flatten(val, f"{prefix}.{key}" if prefix else key)
+            yield from flatten(val, f"{prefix}.{key}" if prefix else key,
+                               strip_tags)
     elif isinstance(obj, list):
         for i, val in enumerate(obj):
             if isinstance(val, dict):
                 tags = ",".join(
                     f"{k}={v}"
                     for k, v in val.items()
-                    if isinstance(v, (str, bool))
-                    or (isinstance(v, int) and k in ("workers", "threads"))
+                    if k not in strip_tags
+                    and (isinstance(v, (str, bool))
+                         or (isinstance(v, int) and k in ("workers",
+                                                          "threads")))
                 )
                 label = f"{prefix}[{tags}]" if tags else f"{prefix}[{i}]"
             else:
                 label = f"{prefix}[{i}]"
-            yield from flatten(val, label)
+            yield from flatten(val, label, strip_tags)
     elif isinstance(obj, bool):
         pass
     elif isinstance(obj, (int, float)):
@@ -72,6 +80,8 @@ def main():
     ap.add_argument("--label-b", default="B")
     ap.add_argument("--filter", default="",
                     help="only report metrics containing this substring")
+    ap.add_argument("--strip-tag", action="append", default=[],
+                    help="drop this tag key from cell labels (repeatable)")
     ap.add_argument("cmd_a")
     ap.add_argument("cmd_b")
     args = ap.parse_args()
@@ -80,7 +90,7 @@ def main():
     for r in range(args.runs):
         for side, cmd in (("a", args.cmd_a), ("b", args.cmd_b)):
             record = run_once(cmd)
-            for name, value in flatten(record):
+            for name, value in flatten(record, strip_tags=args.strip_tag):
                 samples[side].setdefault(name, []).append(value)
             print(f"run {r + 1}/{args.runs} side "
                   f"{args.label_a if side == 'a' else args.label_b}: ok",

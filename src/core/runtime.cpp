@@ -18,9 +18,15 @@ namespace {
 // (nested spawn) and the wait_* entry points read it to choose the helping
 // path.  Saved/restored around every body, so it stays correct under
 // helping re-entrancy and across nested runtimes sharing one thread.
+// `prev` chains to the frame this one displaced (the saved copy lives on
+// execute_task's stack, so it outlives the body): the chain enumerates
+// every task suspended beneath the current one on this thread, which is
+// exactly the set a helping barrier can never complete — wait_group walks
+// it to fail fast on self-deadlocking group waits.
 struct ThreadTaskFrame {
   Runtime* runtime = nullptr;
   Task* task = nullptr;
+  const ThreadTaskFrame* prev = nullptr;
 };
 thread_local ThreadTaskFrame tls_task_frame;
 
@@ -372,7 +378,7 @@ void Runtime::execute_task(Task& task, unsigned worker) {
   // the helping path through it.  Save/restore (not set/clear) keeps the
   // outer frame correct when a helping barrier re-enters execute_task.
   const ThreadTaskFrame saved_frame = tls_task_frame;
-  tls_task_frame = {this, &task};
+  tls_task_frame = {this, &task, &saved_frame};
   try {
     switch (kind) {
       case ExecutionKind::Accurate:
@@ -524,20 +530,32 @@ void Runtime::wait_group(GroupId group) {
   policy_->flush(kAllGroups, *this);
   TaskGroup& g = group_ref(group);
   if (tls_task_frame.runtime == this && tls_task_frame.task != nullptr) {
-    // In-task group barrier: help until the group quiesces.  The waiting
-    // task itself stays pending in its group until after its body returns,
-    // so it is excluded from its own barrier; two tasks of one group both
-    // group-waiting on it would deadlock (see the header contract).  The
-    // same hazard arises transitively: a helping waiter may have SUSPENDED
-    // another task of `group` beneath it on this worker's stack (an
-    // in-task wait_all picked this task up), and that task can never
-    // complete while we spin here.  Prefer in-task wait_all (children
-    // scope, immune by construction) or wait on groups whose tasks do not
-    // themselves barrier; see the ROADMAP open item on descendant-scoped
-    // group waits.
-    const std::uint64_t self_in_group =
-        tls_task_frame.task->group == group ? 1u : 0u;
-    help_until([&g, self_in_group] { return g.pending() <= self_in_group; });
+    // In-task group barrier: help until the group quiesces.  First, fail
+    // fast on the self-deadlock shapes (the ROADMAP carry-over): a member
+    // of `group` waiting on its own group stays pending until after its
+    // body returns, so the barrier it spins on can never open once a
+    // second member does the same — and the hazard arises transitively
+    // when a helping barrier has SUSPENDED another task of `group` beneath
+    // this one on the worker's stack (an in-task wait_all picked it up;
+    // it cannot complete while we spin above it).  The frame chain
+    // enumerates exactly the tasks this thread has suspended, so any
+    // `group` member on it means the wait can hang — throw instead of
+    // deadlocking.  Prefer in-task wait_all (children scope, immune by
+    // construction) or wait on groups whose tasks do not themselves
+    // barrier.
+    for (const ThreadTaskFrame* f = &tls_task_frame; f != nullptr;
+         f = f->prev) {
+      if (f->runtime == this && f->task != nullptr &&
+          f->task->group == group) {
+        throw std::logic_error(
+            "sigrt: wait_group(" + group_ref(group).name() +
+            ") from inside a task of that group would deadlock: the "
+            "waiting/suspended task stays pending until its body returns, "
+            "so the group can never quiesce under it; wait_all() scopes to "
+            "children and is safe here");
+      }
+    }
+    help_until([&g] { return g.pending() == 0; });
     rethrow_pending_error();
     return;
   }

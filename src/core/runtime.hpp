@@ -31,9 +31,11 @@
 //     a global pending==0 barrier would count the waiting task itself and
 //     deadlock sibling waiters.  Top-level wait_all() keeps the global
 //     everything-spawned-so-far barrier.  In-task wait_group(g) helps
-//     until g quiesces, excluding the waiting task itself when it belongs
-//     to g; two tasks of one group both group-waiting on it deadlock
-//     (documented limitation, see ROADMAP open items).
+//     until g quiesces; calling it from inside a task of g itself — or
+//     while a task of g sits suspended beneath the caller on the worker's
+//     helping stack — can never open (the waiter stays pending in g until
+//     its body returns) and throws std::logic_error instead of
+//     deadlocking.  Use in-task wait_all() (children scope) there.
 //   * create_group/ensure_group/set_ratio are safe from any thread (the
 //     group table is lock-free and the ratio is a relaxed atomic — see the
 //     table in docs/architecture.md); stats and activity are readable from
@@ -141,8 +143,10 @@ class Runtime final : public energy::ActivitySource, private IssueSink {
   void wait_all();
 
   /// #pragma omp taskwait label(...) — barrier over one group.  In-task
-  /// callers help instead of blocking and exclude themselves from the
-  /// group's pending count.
+  /// callers help instead of blocking.  Throws std::logic_error when the
+  /// calling task (or any task suspended beneath it on this thread's
+  /// helping stack) belongs to `group` — that wait can never open; see the
+  /// header comment.
   void wait_group(GroupId group);
 
   /// #pragma omp taskwait on(...) — waits for the pending writers of the

@@ -1,0 +1,98 @@
+#include "net/client.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <stdexcept>
+#include <system_error>
+
+namespace sigrt::net {
+
+namespace {
+
+[[noreturn]] void throw_errno(const char* what) {
+  throw std::system_error(errno, std::generic_category(), what);
+}
+
+}  // namespace
+
+void Client::connect(const std::string& host, std::uint16_t port) {
+  close();
+  fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd_ < 0) throw_errno("socket");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    close();
+    throw std::invalid_argument("net::Client: bad IPv4 address: " + host);
+  }
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    const int err = errno;
+    close();
+    throw std::system_error(err, std::generic_category(), "connect");
+  }
+  int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+}
+
+void Client::flush() {
+  std::size_t off = 0;
+  while (off < wbuf_.size()) {
+    const ssize_t n =
+        ::send(fd_, wbuf_.data() + off, wbuf_.size() - off, MSG_NOSIGNAL);
+    if (n > 0) {
+      off += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    throw_errno("send");
+  }
+  wbuf_.clear();
+}
+
+bool Client::read_response(Response& out) {
+  for (;;) {
+    FrameView f;
+    if (reader_.next_frame(f)) {
+      if (f.size < kResponseHeaderBytes) {
+        throw std::runtime_error("net::Client: short response frame");
+      }
+      out.header = ResponseHeader::decode(f.data);
+      out.payload.assign(f.data + kResponseHeaderBytes, f.data + f.size);
+      return true;
+    }
+    std::uint8_t* tail = reader_.writable_tail(16 * 1024);
+    const ssize_t n = ::read(fd_, tail, 16 * 1024);
+    if (n > 0) {
+      reader_.commit(static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n == 0) return false;  // orderly EOF
+    if (errno == EINTR) continue;
+    throw_errno("read");
+  }
+}
+
+void Client::set_receive_timeout_ms(int ms) {
+  timeval tv{};
+  tv.tv_sec = ms / 1000;
+  tv.tv_usec = (ms % 1000) * 1000;
+  if (::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv) != 0) {
+    throw_errno("setsockopt(SO_RCVTIMEO)");
+  }
+}
+
+void Client::close() noexcept {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+}  // namespace sigrt::net

@@ -1,0 +1,69 @@
+// Minimal blocking TCP client for the net frontend's wire protocol —
+// the counterpart loadgen clients and tests speak to NetServer with.
+//
+// Writes are buffered: enqueue() appends framed requests to a local buffer
+// and flush() pushes the whole batch in one (or few) write(2) calls, so an
+// open-loop generator can pipeline hundreds of requests per syscall.
+// Reads are blocking and frame-at-a-time; responses may arrive out of
+// request order (EDF reorders) — correlate by RequestHeader::id.
+//
+// Not thread-safe: one Client per thread.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/framing.hpp"
+#include "net/protocol.hpp"
+
+namespace sigrt::net {
+
+class Client {
+ public:
+  Client() = default;
+  ~Client() { close(); }
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Connects (blocking) to host:port.  Throws std::system_error.
+  void connect(const std::string& host, std::uint16_t port);
+
+  [[nodiscard]] bool connected() const noexcept { return fd_ >= 0; }
+
+  /// Appends one framed request to the write buffer (no I/O).
+  void enqueue(const RequestHeader& header, const void* payload,
+               std::size_t payload_bytes) {
+    append_frame(wbuf_, header, kRequestHeaderBytes, payload, payload_bytes);
+  }
+
+  /// Blocking write of everything enqueued.  Throws std::system_error on a
+  /// broken connection.
+  void flush();
+
+  struct Response {
+    ResponseHeader header;
+    std::vector<std::uint8_t> payload;  ///< capacity reused across reads
+  };
+
+  /// Blocking read of the next response frame.  Returns false on orderly
+  /// EOF; throws std::system_error on error, std::runtime_error on a
+  /// malformed frame.  With a receive timeout set, an idle socket raises
+  /// std::system_error(EAGAIN) — partial-frame state is preserved, so the
+  /// caller can check its exit condition and call again.
+  [[nodiscard]] bool read_response(Response& out);
+
+  /// SO_RCVTIMEO for read_response: lets a reader loop wake up and check
+  /// an exit flag instead of blocking forever on a quiet connection.
+  void set_receive_timeout_ms(int ms);
+
+  void close() noexcept;
+
+ private:
+  int fd_ = -1;
+  std::vector<std::uint8_t> wbuf_;
+  FrameReader reader_;
+};
+
+}  // namespace sigrt::net

@@ -1,0 +1,99 @@
+// Per-connection framing state machine: turns an arbitrary byte stream
+// (short reads, coalesced frames, frames split across reads) back into
+// length-prefixed frame bodies.
+//
+// Socket-free by design so the decode logic is unit-testable without a
+// poller: the owner appends raw bytes (writable_tail/commit pair — read(2)
+// lands directly in the buffer, no intermediate copy) and then iterates
+// complete frames with next_frame().  The buffer grows to the connection's
+// high-water mark once and is then reused; consumed bytes are compacted
+// lazily (only when the parser has consumed more than it retains), so
+// steady-state traffic costs one memmove amortized over many frames and no
+// allocator traffic.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <stdexcept>
+#include <vector>
+
+#include "net/protocol.hpp"
+
+namespace sigrt::net {
+
+/// One decoded frame body (valid until the next mutating FrameReader call).
+struct FrameView {
+  const std::uint8_t* data = nullptr;
+  std::size_t size = 0;
+};
+
+class FrameReader {
+ public:
+  explicit FrameReader(std::uint32_t max_frame = kMaxFrameBytes)
+      : max_frame_(max_frame) {}
+
+  /// Reserves `hint` writable bytes at the tail and returns them; fill some
+  /// prefix (e.g. via read(2)) and commit() how many were written.
+  [[nodiscard]] std::uint8_t* writable_tail(std::size_t hint) {
+    compact();
+    if (buf_.size() - end_ < hint) buf_.resize(end_ + hint);
+    return buf_.data() + end_;
+  }
+
+  void commit(std::size_t n) noexcept { end_ += n; }
+
+  /// Extracts the next complete frame body, if any.  Returns false when
+  /// more bytes are needed.  Throws std::length_error on a length prefix
+  /// beyond the frame cap (protocol error: close the connection).
+  [[nodiscard]] bool next_frame(FrameView& out) {
+    const std::size_t avail = end_ - pos_;
+    if (avail < kLenPrefixBytes) return false;
+    const std::uint32_t len = get_u32(buf_.data() + pos_);
+    if (len > max_frame_) {
+      throw std::length_error("net: frame length exceeds cap");
+    }
+    if (avail < kLenPrefixBytes + len) return false;
+    out.data = buf_.data() + pos_ + kLenPrefixBytes;
+    out.size = len;
+    pos_ += kLenPrefixBytes + len;
+    return true;
+  }
+
+  /// Bytes buffered but not yet consumed (a partial frame).
+  [[nodiscard]] std::size_t pending() const noexcept { return end_ - pos_; }
+
+ private:
+  void compact() noexcept {
+    if (pos_ == 0) return;
+    const std::size_t live = end_ - pos_;
+    // Lazy: only pay the memmove when it reclaims more than it moves.
+    if (pos_ < live) return;
+    std::memmove(buf_.data(), buf_.data() + pos_, live);
+    pos_ = 0;
+    end_ = live;
+  }
+
+  std::uint32_t max_frame_;
+  std::vector<std::uint8_t> buf_;
+  std::size_t pos_ = 0;  ///< start of unconsumed bytes
+  std::size_t end_ = 0;  ///< end of valid bytes
+};
+
+/// Appends one framed message (len prefix + header + payload) to `out`.
+/// Shared by the client (requests) and the server's response path; `out`
+/// keeps its capacity across calls.
+template <typename Header>
+void append_frame(std::vector<std::uint8_t>& out, const Header& header,
+                  std::size_t header_bytes, const void* payload,
+                  std::size_t payload_bytes) {
+  const std::size_t start = out.size();
+  out.resize(start + kLenPrefixBytes + header_bytes + payload_bytes);
+  std::uint8_t* p = out.data() + start;
+  put_u32(p, static_cast<std::uint32_t>(header_bytes + payload_bytes));
+  header.encode(p + kLenPrefixBytes);
+  if (payload_bytes != 0) {
+    std::memcpy(p + kLenPrefixBytes + header_bytes, payload, payload_bytes);
+  }
+}
+
+}  // namespace sigrt::net

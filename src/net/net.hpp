@@ -1,0 +1,7 @@
+// Umbrella header for the network frontend.
+#pragma once
+
+#include "net/client.hpp"     // IWYU pragma: export
+#include "net/framing.hpp"    // IWYU pragma: export
+#include "net/net_server.hpp" // IWYU pragma: export
+#include "net/protocol.hpp"   // IWYU pragma: export

@@ -1,0 +1,145 @@
+// Wire protocol of the network frontend: length-prefixed binary frames.
+//
+//   frame    := u32 body_len | body                  (little-endian u32)
+//   request  := RequestHeader (32 B) | payload
+//   response := ResponseHeader (24 B) | payload
+//
+// RequestHeader:
+//   u32 id          client-chosen correlation id, echoed verbatim
+//   u32 tenant      serve::TenantId (validated against the registry)
+//   u32 cls         serve::ClassId — picks the QoS class / task group
+//   u32 kernel      picks the registered handler (the computation)
+//   i64 deadline_ns relative latency budget; 0 = the class's QoS deadline
+//   u64 reserved    must be 0
+//
+// ResponseHeader:
+//   u32 id          echo of the request id
+//   u32 status      Status below
+//   i64 server_ns   admission-to-completion time observed by the server
+//   u64 reserved    0
+//
+// Responses may arrive out of request order on one connection (EDF
+// reorders, approximation changes service time); clients correlate by id.
+// Everything is encoded with memcpy-based put/get — no struct punning, no
+// padding or endianness surprises (the protocol is little-endian on the
+// wire; this runtime targets little-endian hosts and the helpers below
+// would be the single place to swap).
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+
+namespace sigrt::net {
+
+inline constexpr std::size_t kLenPrefixBytes = 4;
+inline constexpr std::size_t kRequestHeaderBytes = 32;
+inline constexpr std::size_t kResponseHeaderBytes = 24;
+
+/// Hard cap on one frame body; a length prefix beyond it is a protocol
+/// error and closes the connection (a corrupt prefix must not make the
+/// server buffer gigabytes).
+inline constexpr std::uint32_t kMaxFrameBytes = 1u << 20;
+
+/// Response status codes (wire values are stable API).
+enum class Status : std::uint32_t {
+  Ok = 0,          ///< accurate body ran; payload is the full result
+  OkApprox = 1,    ///< approximate body ran; payload is the degraded result
+  OkDropped = 2,   ///< degraded with no approximate handler: empty payload
+  Shed = 3,        ///< admission refused (quota) or dropped before a body
+                   ///< ran (perforation, shutdown); empty payload
+  BadFrame = 4,    ///< malformed frame (short header, nonzero reserved)
+  BadClass = 5,    ///< unknown request class
+  BadTenant = 6,   ///< unknown tenant id
+  BadKernel = 7,   ///< unknown kernel id
+};
+
+[[nodiscard]] constexpr const char* to_string(Status s) noexcept {
+  switch (s) {
+    case Status::Ok: return "ok";
+    case Status::OkApprox: return "ok_approx";
+    case Status::OkDropped: return "ok_dropped";
+    case Status::Shed: return "shed";
+    case Status::BadFrame: return "bad_frame";
+    case Status::BadClass: return "bad_class";
+    case Status::BadTenant: return "bad_tenant";
+    case Status::BadKernel: return "bad_kernel";
+  }
+  return "?";
+}
+
+inline void put_u32(std::uint8_t* p, std::uint32_t v) noexcept {
+  std::memcpy(p, &v, sizeof v);
+}
+inline void put_u64(std::uint8_t* p, std::uint64_t v) noexcept {
+  std::memcpy(p, &v, sizeof v);
+}
+inline void put_i64(std::uint8_t* p, std::int64_t v) noexcept {
+  std::memcpy(p, &v, sizeof v);
+}
+[[nodiscard]] inline std::uint32_t get_u32(const std::uint8_t* p) noexcept {
+  std::uint32_t v;
+  std::memcpy(&v, p, sizeof v);
+  return v;
+}
+[[nodiscard]] inline std::uint64_t get_u64(const std::uint8_t* p) noexcept {
+  std::uint64_t v;
+  std::memcpy(&v, p, sizeof v);
+  return v;
+}
+[[nodiscard]] inline std::int64_t get_i64(const std::uint8_t* p) noexcept {
+  std::int64_t v;
+  std::memcpy(&v, p, sizeof v);
+  return v;
+}
+
+struct RequestHeader {
+  std::uint32_t id = 0;
+  std::uint32_t tenant = 0;
+  std::uint32_t cls = 0;
+  std::uint32_t kernel = 0;
+  std::int64_t deadline_ns = 0;
+  std::uint64_t reserved = 0;
+
+  void encode(std::uint8_t* p) const noexcept {
+    put_u32(p + 0, id);
+    put_u32(p + 4, tenant);
+    put_u32(p + 8, cls);
+    put_u32(p + 12, kernel);
+    put_i64(p + 16, deadline_ns);
+    put_u64(p + 24, reserved);
+  }
+  static RequestHeader decode(const std::uint8_t* p) noexcept {
+    RequestHeader h;
+    h.id = get_u32(p + 0);
+    h.tenant = get_u32(p + 4);
+    h.cls = get_u32(p + 8);
+    h.kernel = get_u32(p + 12);
+    h.deadline_ns = get_i64(p + 16);
+    h.reserved = get_u64(p + 24);
+    return h;
+  }
+};
+
+struct ResponseHeader {
+  std::uint32_t id = 0;
+  Status status = Status::Ok;
+  std::int64_t server_ns = 0;
+  std::uint64_t reserved = 0;
+
+  void encode(std::uint8_t* p) const noexcept {
+    put_u32(p + 0, id);
+    put_u32(p + 4, static_cast<std::uint32_t>(status));
+    put_i64(p + 8, server_ns);
+    put_u64(p + 16, reserved);
+  }
+  static ResponseHeader decode(const std::uint8_t* p) noexcept {
+    ResponseHeader h;
+    h.id = get_u32(p + 0);
+    h.status = static_cast<Status>(get_u32(p + 4));
+    h.server_ns = get_i64(p + 8);
+    h.reserved = get_u64(p + 16);
+    return h;
+  }
+};
+
+}  // namespace sigrt::net

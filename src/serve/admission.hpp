@@ -1,17 +1,29 @@
-// Lock-free MPSC request queue: the hand-off between submitting client
-// threads and the server's single dispatcher thread.
+// Hand-off structures between submitting client threads and the server's
+// dispatcher tier.
 //
-// Same idiom as the scheduler's per-worker inboxes (see architecture.md): a
-// Treiber chain linked through Request::next, one CAS per push, consumed
-// wholesale with one exchange and reversed to FIFO order.  The *bound* is
-// not here — admission control is per class and counts in-flight requests
-// (queued + executing), not queue depth, so back-pressure survives the
-// hand-off into the scheduler; see Server::submit.
+// Two stages:
+//
+//   * RequestQueue — lock-free MPSC staging queue (the scheduler-inbox
+//     idiom): submitters take one CAS per push; a dispatcher consumes the
+//     whole chain with one exchange.  The *bound* is not here — admission
+//     control counts in-flight requests (queued + executing) per class and
+//     per tenant, not queue depth, so back-pressure survives the hand-off
+//     into the scheduler; see Server::submit.
+//   * EdfQueue — per-class earliest-deadline-first heap the dispatchers
+//     drain the staging chain into.  Within a class, requests issue to the
+//     runtime in deadline order (not arrival order), throttled by the
+//     class's dispatch window, so under backlog the p99 the QosController
+//     regulates reflects urgency.  Spinlocked: push/pop are a few dozen
+//     instructions, and with N dispatchers the lock also serializes the
+//     heap's issue order.
 #pragma once
 
 #include <atomic>
+#include <cstddef>
+#include <vector>
 
 #include "serve/request.hpp"
+#include "support/spinlock.hpp"
 
 namespace sigrt::serve {
 
@@ -51,6 +63,72 @@ class RequestQueue {
 
  private:
   std::atomic<Request*> head_{nullptr};
+};
+
+/// Min-heap on Request::deadline_ns.  The backing vector grows to the
+/// high-water mark once and is then reused — steady-state traffic touches
+/// no allocator here.  size() is readable lock-free (a relaxed mirror of
+/// the heap size) so dispatch-eligibility scans and completion-side wake
+/// checks never take the lock.
+class EdfQueue {
+ public:
+  EdfQueue() = default;
+  EdfQueue(const EdfQueue&) = delete;
+  EdfQueue& operator=(const EdfQueue&) = delete;
+
+  void push(Request* r) {
+    std::lock_guard lock(lock_);
+    heap_.push_back(r);
+    sift_up(heap_.size() - 1);
+    size_.store(heap_.size(), std::memory_order_relaxed);
+  }
+
+  /// Pops the earliest deadline, or nullptr when empty.
+  [[nodiscard]] Request* try_pop() {
+    std::lock_guard lock(lock_);
+    if (heap_.empty()) return nullptr;
+    Request* top = heap_.front();
+    heap_.front() = heap_.back();
+    heap_.pop_back();
+    if (!heap_.empty()) sift_down(0);
+    size_.store(heap_.size(), std::memory_order_relaxed);
+    return top;
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept {
+    return size_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void sift_up(std::size_t i) noexcept {
+    while (i > 0) {
+      const std::size_t parent = (i - 1) / 2;
+      if (heap_[parent]->deadline_ns <= heap_[i]->deadline_ns) break;
+      std::swap(heap_[parent], heap_[i]);
+      i = parent;
+    }
+  }
+
+  void sift_down(std::size_t i) noexcept {
+    const std::size_t n = heap_.size();
+    for (;;) {
+      std::size_t smallest = i;
+      const std::size_t l = 2 * i + 1, r = 2 * i + 2;
+      if (l < n && heap_[l]->deadline_ns < heap_[smallest]->deadline_ns) {
+        smallest = l;
+      }
+      if (r < n && heap_[r]->deadline_ns < heap_[smallest]->deadline_ns) {
+        smallest = r;
+      }
+      if (smallest == i) return;
+      std::swap(heap_[smallest], heap_[i]);
+      i = smallest;
+    }
+  }
+
+  support::SpinLock lock_;
+  std::vector<Request*> heap_;  ///< lock_
+  std::atomic<std::size_t> size_{0};
 };
 
 }  // namespace sigrt::serve

@@ -7,6 +7,13 @@
 // the accurate body is the full-quality response, the optional approximate
 // body the degraded one (absent => a "drop"-style class that answers with
 // an empty/partial result when degraded, like DCT truncating bands).
+//
+// Requests additionally carry a *tenant*: admission is per-tenant x
+// per-class, so one tenant's overload sheds its own Degradable/BestEffort
+// traffic before another tenant's Critical class feels anything (see
+// Server::submit), and a *deadline*: within a class the dispatcher issues
+// admitted requests in earliest-deadline-first order, so the p99 the
+// QosController regulates reflects urgency, not arrival order.
 #pragma once
 
 #include <cstddef>
@@ -16,10 +23,36 @@
 #include <vector>
 
 #include "serve/qos_controller.hpp"
+#include "support/spinlock.hpp"
 
 namespace sigrt::serve {
 
 using ClassId = std::uint32_t;
+using TenantId = std::uint32_t;
+
+/// Tenant 0 always exists: submissions without a tenant land here.  Its
+/// default quotas are effectively unbounded, so single-tenant callers see
+/// exactly the per-class admission semantics.
+inline constexpr TenantId kDefaultTenant = 0;
+
+/// How a class's traffic behaves when its tenant is over its fairness
+/// watermark (see TenantConfig::fair_in_flight).  Ordered by protection:
+/// BestEffort sheds first, Degradable degrades, Critical is untouched up to
+/// the tenant's hard quota.
+enum class Criticality : std::uint8_t {
+  Critical,    ///< admitted at full quality while the tenant is under quota
+  Degradable,  ///< served through the approximate body when over the share
+  BestEffort,  ///< shed outright when over the share
+};
+
+[[nodiscard]] constexpr const char* to_string(Criticality c) noexcept {
+  switch (c) {
+    case Criticality::Critical: return "critical";
+    case Criticality::Degradable: return "degradable";
+    case Criticality::BestEffort: return "besteffort";
+  }
+  return "?";
+}
 
 /// Static configuration of one request class.
 struct RequestClassConfig {
@@ -27,6 +60,10 @@ struct RequestClassConfig {
 
   /// Deadline, AIMD gains and backlog watermarks of the class controller.
   QosOptions qos;
+
+  /// How this class's traffic yields when its *tenant* is over the fairness
+  /// watermark.  Class-level watermarks below apply regardless.
+  Criticality criticality = Criticality::Degradable;
 
   /// Admission bound: submissions while `max_in_flight` requests of this
   /// class are admitted-but-uncompleted are shed (rung 3 of the ladder).
@@ -38,7 +75,29 @@ struct RequestClassConfig {
   std::size_t degrade_in_flight = 0;
 };
 
-/// One unit of client work.  Exactly one of the two bodies runs per request.
+/// Static configuration of one tenant.  Quotas count the tenant's in-flight
+/// requests across every class, so a tenant flooding one class consumes its
+/// own budget, not the budget of the others.  Isolation is complete when
+/// the sum of tenant hard quotas stays within each class's max_in_flight
+/// (then the shared class bound never binds for a compliant tenant).
+struct TenantConfig {
+  std::string name;
+
+  /// Hard quota: submissions while this many of the tenant's requests are
+  /// in flight are shed, whatever the class's criticality.
+  std::size_t max_in_flight = static_cast<std::size_t>(1) << 40;
+
+  /// Fairness watermark (soft share).  Above it the tenant's BestEffort
+  /// submissions are shed and its Degradable submissions are admitted
+  /// degraded; Critical traffic is untouched until the hard quota.
+  /// 0 disables the watermark.
+  std::size_t fair_in_flight = 0;
+};
+
+/// One unit of client work.  Exactly one of the two bodies runs per request
+/// — unless the request is dropped without running any body (dispatcher
+/// perforation, or shutdown racing the submit), in which case `on_drop`
+/// fires instead.
 struct Job {
   std::function<void()> accurate;     ///< required: full-quality response
   std::function<void()> approximate;  ///< optional: degraded response
@@ -47,13 +106,24 @@ struct Job {
   /// accurate, <= 0.0 pins it approximate.  The default sits mid-scale so
   /// requests are degradable out of the box.
   double significance = 0.5;
+
+  /// Fires (on the dispatcher thread — keep it cheap and non-blocking) when
+  /// an *admitted* request is dropped without a body running: perforation
+  /// rung 2, or a shutdown shed.  Network frontends use it to answer the
+  /// client instead of leaving the connection hanging.  Optional.
+  std::function<void()> on_drop;
+
+  /// Relative latency budget in nanoseconds; the request's absolute EDF
+  /// deadline is arrival + budget.  0 uses the class's QoS deadline, which
+  /// preserves FIFO order among budget-less requests of one class.
+  std::int64_t deadline_ns = 0;
 };
 
 /// Admission verdict returned by Server::submit.
 enum class Admission : std::uint8_t {
   Admitted,  ///< queued for full-quality service
   Degraded,  ///< queued, but will be served through the approximate body
-  Shed,      ///< rejected: class at max_in_flight (or server closed)
+  Shed,      ///< rejected: a quota was exceeded (or the server closed)
 };
 
 [[nodiscard]] constexpr const char* to_string(Admission a) noexcept {
@@ -67,18 +137,67 @@ enum class Admission : std::uint8_t {
 
 /// Internal queue node: one submitted request in flight between admission
 /// and completion.  Owned by whoever holds the raw pointer; linked through
-/// `next` while inside the MPSC admission queue.
+/// `next` while inside the MPSC staging queue or the server's free pool.
 struct Request {
   Job job;
   ClassId cls = 0;
+  TenantId tenant = kDefaultTenant;
   std::int64_t arrival_ns = 0;
+  std::int64_t deadline_ns = 0;  ///< absolute: arrival + budget (EDF key)
   bool degraded = false;
   Request* next = nullptr;
+};
+
+/// Free pool of Request nodes: acquire on submit, release on completion.
+/// A spinlocked Treiber chain — both sections are a few instructions, and
+/// at serving rates (tens of thousands of requests/s) the lock is
+/// uncontended.  Pooling removes the per-request new/delete pair from the
+/// admission/dispatch hot path; a released node keeps its Job storage
+/// cleared (captures must not outlive the request) but the node itself is
+/// reused, so steady-state traffic allocates nothing here.
+class RequestPool {
+ public:
+  RequestPool() = default;
+  RequestPool(const RequestPool&) = delete;
+  RequestPool& operator=(const RequestPool&) = delete;
+
+  ~RequestPool() {
+    Request* r = free_;
+    while (r != nullptr) {
+      Request* next = r->next;
+      delete r;
+      r = next;
+    }
+  }
+
+  [[nodiscard]] Request* acquire() {
+    {
+      std::lock_guard lock(lock_);
+      if (Request* r = free_) {
+        free_ = r->next;
+        r->next = nullptr;
+        return r;
+      }
+    }
+    return new Request;
+  }
+
+  void release(Request* r) noexcept {
+    r->job = Job{};  // run captured destructors now, not at pool teardown
+    std::lock_guard lock(lock_);
+    r->next = free_;
+    free_ = r;
+  }
+
+ private:
+  support::SpinLock lock_;
+  Request* free_ = nullptr;  ///< lock_
 };
 
 /// Per-class counters and latency digest, safe to snapshot from any thread.
 struct ClassReport {
   std::string name;
+  Criticality criticality = Criticality::Degradable;
   double deadline_ms = 0.0;
   double ratio = 1.0;        ///< current group ratio() knob
   double perforation = 0.0;  ///< current dispatcher perforation level
@@ -109,8 +228,48 @@ struct ClassReport {
   }
 };
 
+/// One (tenant, class) accounting cell.
+struct TenantClassCell {
+  ClassId cls = 0;
+  std::string class_name;
+  std::uint64_t submitted = 0;  ///< admitted (including degraded)
+  std::uint64_t shed = 0;
+  std::uint64_t degraded = 0;
+  std::uint64_t perforated = 0;
+  std::uint64_t served_accurate = 0;
+  std::uint64_t served_approximate = 0;
+  std::uint64_t served_dropped = 0;
+  std::size_t in_flight = 0;
+
+  [[nodiscard]] std::uint64_t served() const noexcept {
+    return served_accurate + served_approximate + served_dropped;
+  }
+};
+
+/// Per-tenant counters: the total plus one cell per registered class.
+struct TenantReport {
+  TenantId id = kDefaultTenant;
+  std::string name;
+  std::size_t in_flight = 0;
+  std::size_t max_in_flight = 0;
+  std::size_t fair_in_flight = 0;
+  std::vector<TenantClassCell> cells;
+
+  [[nodiscard]] std::uint64_t submitted() const noexcept {
+    std::uint64_t n = 0;
+    for (const auto& c : cells) n += c.submitted;
+    return n;
+  }
+  [[nodiscard]] std::uint64_t shed() const noexcept {
+    std::uint64_t n = 0;
+    for (const auto& c : cells) n += c.shed;
+    return n;
+  }
+};
+
 struct ServerStats {
   std::vector<ClassReport> classes;
+  std::vector<TenantReport> tenants;
 
   [[nodiscard]] std::uint64_t total_submitted() const noexcept {
     std::uint64_t n = 0;

@@ -41,16 +41,20 @@ unsigned dispatcher_count(const ServerOptions& options) {
 }  // namespace
 
 Server::Server(ServerOptions options)
-    : options_(options),
-      runtime_(std::make_unique<Runtime>(serving_config(options.runtime))) {
+    : options_(std::move(options)),
+      runtime_(std::make_unique<Runtime>(serving_config(options_.runtime))) {
   for (auto& slot : classes_) slot.store(nullptr, std::memory_order_relaxed);
+  for (auto& slot : tenants_) slot.store(nullptr, std::memory_order_relaxed);
+  // Tenant 0 pre-exists with unbounded quotas, so tenant-oblivious callers
+  // (and every pre-tenant test) see exactly the per-class semantics.
+  register_tenant(TenantConfig{.name = "default"});
   const unsigned dispatchers = dispatcher_count(options_);
   // Any failure past the first thread must stop and join what already
   // started — destroying a joinable std::thread terminates.
   try {
     dispatchers_.reserve(dispatchers);
     for (unsigned i = 0; i < dispatchers; ++i) {
-      dispatchers_.emplace_back([this] { dispatcher_loop(); });
+      dispatchers_.emplace_back([this, i] { dispatcher_loop(i); });
     }
     if (options_.epoch_ms > 0.0) {
       controller_ = std::thread([this] { controller_loop(); });
@@ -87,6 +91,20 @@ ClassId Server::register_class(RequestClassConfig config) {
   return id;
 }
 
+TenantId Server::register_tenant(TenantConfig config) {
+  std::lock_guard lock(register_mutex_);
+  const std::uint32_t id = tenant_count_.load(std::memory_order_relaxed);
+  if (id >= kMaxTenants) {
+    throw std::length_error("serve::Server: too many tenants");
+  }
+  auto state = std::make_unique<TenantState>(std::move(config));
+  TenantState* ptr = state.get();
+  owned_tenants_.push_back(std::move(state));
+  tenants_[id].store(ptr, std::memory_order_release);
+  tenant_count_.store(id + 1, std::memory_order_release);
+  return id;
+}
+
 Server::ClassState& Server::class_ref(ClassId cls) const {
   if (cls >= class_count_.load(std::memory_order_acquire)) {
     throw std::out_of_range("serve::Server: unknown request class");
@@ -94,29 +112,97 @@ Server::ClassState& Server::class_ref(ClassId cls) const {
   return *classes_[cls].load(std::memory_order_acquire);
 }
 
-Admission Server::submit(ClassId cls, Job job) {
+Server::TenantState& Server::tenant_ref(TenantId tenant) const {
+  if (tenant >= tenant_count_.load(std::memory_order_acquire)) {
+    throw std::out_of_range("serve::Server: unknown tenant");
+  }
+  return *tenants_[tenant].load(std::memory_order_acquire);
+}
+
+std::size_t Server::window_for() const noexcept {
+  if (options_.edf_window != 0) return options_.edf_window;
+  return std::max<std::size_t>(4, 2 * runtime_->config().workers);
+}
+
+Admission Server::submit(ClassId cls, TenantId tenant, Job job) {
   ClassState& s = class_ref(cls);
+  TenantState& t = tenant_ref(tenant);
+  Cell& cell = t.cells[cls];
   if (!accepting_.load(std::memory_order_acquire)) {
     s.shed.fetch_add(1, std::memory_order_relaxed);
+    cell.shed.fetch_add(1, std::memory_order_relaxed);
     return Admission::Shed;
   }
 
-  // Admission bound on *in-flight* requests (queued + executing), so the
-  // back-pressure survives the hand-off into the scheduler.  Optimistic
-  // reserve-then-check keeps the hot path to one RMW.
+  // Tenant-first admission, so one tenant's overload consumes its own
+  // budget before it can touch the shared class bound.  Both reservations
+  // are optimistic (reserve-then-check, one RMW each) and unwound in
+  // reverse on any shed so the ordering invariant "tenant slot held while
+  // class slot held" is never violated.
+  //
+  // Rung order per submission:
+  //   1. tenant hard quota        -> shed, whatever the class criticality
+  //   2. tenant fairness share    -> BestEffort sheds, Degradable degrades,
+  //                                  Critical passes untouched
+  //   3. class max_in_flight      -> shed (the shared backstop)
+  //   4. class degrade watermark  -> degrade
+  const std::size_t t_depth =
+      t.in_flight.fetch_add(1, std::memory_order_acq_rel) + 1;
+  if (t_depth > t.cfg.max_in_flight) {
+    t.in_flight.fetch_sub(1, std::memory_order_acq_rel);
+    s.shed.fetch_add(1, std::memory_order_relaxed);
+    cell.shed.fetch_add(1, std::memory_order_relaxed);
+    return Admission::Shed;
+  }
+  bool degraded = false;
+  if (t.cfg.fair_in_flight != 0 && t_depth > t.cfg.fair_in_flight) {
+    switch (s.cfg.criticality) {
+      case Criticality::BestEffort:
+        t.in_flight.fetch_sub(1, std::memory_order_acq_rel);
+        s.shed.fetch_add(1, std::memory_order_relaxed);
+        cell.shed.fetch_add(1, std::memory_order_relaxed);
+        return Admission::Shed;
+      case Criticality::Degradable:
+        degraded = true;
+        break;
+      case Criticality::Critical:
+        break;
+    }
+  }
+
+  // Class-level bound on *in-flight* requests (queued + executing), so the
+  // back-pressure survives the hand-off into the scheduler.
   const std::size_t depth =
       s.in_flight.fetch_add(1, std::memory_order_acq_rel) + 1;
   if (depth > s.cfg.max_in_flight) {
     s.in_flight.fetch_sub(1, std::memory_order_acq_rel);
+    t.in_flight.fetch_sub(1, std::memory_order_acq_rel);
     s.shed.fetch_add(1, std::memory_order_relaxed);
+    cell.shed.fetch_add(1, std::memory_order_relaxed);
     return Admission::Shed;
   }
-  const bool degraded =
-      s.cfg.degrade_in_flight != 0 && depth > s.cfg.degrade_in_flight;
+  degraded |= s.cfg.degrade_in_flight != 0 && depth > s.cfg.degrade_in_flight;
 
-  auto* r = new Request{std::move(job), cls, support::now_ns(), degraded, nullptr};
+  const std::int64_t now = support::now_ns();
+  const std::int64_t budget =
+      job.deadline_ns > 0 ? job.deadline_ns
+                          : static_cast<std::int64_t>(s.cfg.qos.deadline_ns);
+
+  Request* r = pool_.acquire();
+  r->job = std::move(job);
+  r->cls = cls;
+  r->tenant = tenant;
+  r->arrival_ns = now;
+  r->deadline_ns = now + budget;
+  r->degraded = degraded;
+
+  cell.in_flight.fetch_add(1, std::memory_order_relaxed);
   s.submitted.fetch_add(1, std::memory_order_relaxed);
-  if (degraded) s.degraded.fetch_add(1, std::memory_order_relaxed);
+  cell.submitted.fetch_add(1, std::memory_order_relaxed);
+  if (degraded) {
+    s.degraded.fetch_add(1, std::memory_order_relaxed);
+    cell.degraded.fetch_add(1, std::memory_order_relaxed);
+  }
   queue_.push(r);
   wake_dispatcher();
   return degraded ? Admission::Degraded : Admission::Admitted;
@@ -139,60 +225,121 @@ void Server::wake_dispatcher() noexcept {
   wake_pending_.store(false, std::memory_order_release);
 }
 
-void Server::dispatcher_loop() {
-  using namespace std::chrono_literals;
-  // Per-dispatcher perforation rotors: each dispatcher enforces the drop
-  // fraction over its own batch stream, so N dispatchers never race on an
-  // accumulator (the aggregate drop rate converges to the same level).
-  std::vector<double> rotor(kMaxClasses, 0.0);
-  while (true) {
-    // pop_all_fifo is a single exchange, so N dispatchers draining the
-    // same queue each take a disjoint FIFO batch.
-    Request* head = queue_.pop_all_fifo();
-    if (head == nullptr) {
-      if (!running_.load(std::memory_order_acquire)) break;
-      // Two-phase park: announce idle, re-check, then wait with a timeout
-      // backstop (the count+notify pair handles the common case; the
-      // timeout makes a lost wakeup cost 1 ms, never a hang).
-      idle_dispatchers_.fetch_add(1, std::memory_order_seq_cst);
-      if (!queue_.empty() || !running_.load(std::memory_order_acquire)) {
-        idle_dispatchers_.fetch_sub(1, std::memory_order_relaxed);
-        continue;
-      }
-      {
-        std::unique_lock lock(wake_mutex_);
-        wake_cv_.wait_for(lock, 1ms, [this] {
-          return !queue_.empty() || !running_.load(std::memory_order_acquire);
-        });
-      }
-      idle_dispatchers_.fetch_sub(1, std::memory_order_relaxed);
-      continue;
-    }
-    while (head != nullptr) {
-      Request* next = head->next;
-      dispatch(head, rotor.data());
-      head = next;
-    }
-  }
-
-  // Graceful drain: serve everything admitted before the stop, then let the
-  // runtime finish it.  Every dispatcher drains (the exchange hands each a
-  // disjoint remainder) and every dispatcher barriers, so close() joining
-  // any of them implies the admitted work is done.  Task-body exceptions
-  // are the application's concern (request bodies are expected to capture
-  // their own failures); swallow rather than tear down the process from a
-  // detached context.
+std::size_t Server::drain_staging() {
+  std::size_t moved = 0;
+  // pop_all_fifo is a single exchange, so N dispatchers draining the same
+  // queue each take a disjoint batch; the per-class heap then restores a
+  // global order (EDF) regardless of which dispatcher carried the request.
   while (Request* head = queue_.pop_all_fifo()) {
     while (head != nullptr) {
       Request* next = head->next;
-      dispatch(head, rotor.data());
+      class_ref(head->cls).edf.push(head);
+      ++moved;
       head = next;
     }
+  }
+  return moved;
+}
+
+std::size_t Server::issue_edf(double* rotor, bool bounded) {
+  const std::uint32_t n = class_count_.load(std::memory_order_acquire);
+  const std::size_t window = window_for();
+  std::size_t issued = 0;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    ClassState& s = *classes_[i].load(std::memory_order_acquire);
+    while (s.edf.size() > 0) {
+      if (bounded &&
+          s.in_runtime.load(std::memory_order_relaxed) >= window) {
+        break;
+      }
+      Request* r = s.edf.try_pop();
+      if (r == nullptr) break;  // another dispatcher won the race
+      dispatch(r, rotor);
+      ++issued;
+    }
+  }
+  return issued;
+}
+
+bool Server::has_issuable() const noexcept {
+  const std::uint32_t n = class_count_.load(std::memory_order_acquire);
+  const std::size_t window = window_for();
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const ClassState& s = *classes_[i].load(std::memory_order_acquire);
+    if (s.edf.size() > 0 &&
+        s.in_runtime.load(std::memory_order_relaxed) < window) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void Server::dispatcher_loop(unsigned index) {
+  using namespace std::chrono_literals;
+  if (options_.thread_start_hook) options_.thread_start_hook("dispatcher", index);
+  // Per-dispatcher perforation rotors: each dispatcher enforces the drop
+  // fraction over its own issue stream, so N dispatchers never race on an
+  // accumulator (the aggregate drop rate converges to the same level).
+  std::vector<double> rotor(kMaxClasses, 0.0);
+  while (true) {
+    const std::size_t moved = drain_staging();
+    const std::size_t issued = issue_edf(rotor.data(), /*bounded=*/true);
+    if (moved + issued != 0) continue;
+
+    if (!running_.load(std::memory_order_acquire)) break;
+    // Two-phase park: announce idle, re-check, then wait with a timeout
+    // backstop (the count+notify pair handles the common case; the timeout
+    // makes a lost wakeup cost 1 ms, never a hang).  Completions re-open
+    // dispatch windows, so they wake us too (see complete()).
+    idle_dispatchers_.fetch_add(1, std::memory_order_seq_cst);
+    if (!queue_.empty() || has_issuable() ||
+        !running_.load(std::memory_order_acquire)) {
+      idle_dispatchers_.fetch_sub(1, std::memory_order_relaxed);
+      continue;
+    }
+    {
+      std::unique_lock lock(wake_mutex_);
+      wake_cv_.wait_for(lock, 1ms, [this] {
+        return !queue_.empty() || has_issuable() ||
+               !running_.load(std::memory_order_acquire);
+      });
+    }
+    idle_dispatchers_.fetch_sub(1, std::memory_order_relaxed);
+  }
+
+  // Graceful drain: issue everything admitted before the stop — ignoring
+  // dispatch windows, there is nothing left to reorder against — then let
+  // the runtime finish it.  Every dispatcher drains (staging batches and
+  // heap pops both hand out disjoint requests) and every dispatcher
+  // barriers, so close() joining any of them implies the admitted work is
+  // done.  Task-body exceptions are the application's concern (request
+  // bodies are expected to capture their own failures); swallow rather
+  // than tear down the process from a detached context.
+  for (;;) {
+    const std::size_t moved = drain_staging();
+    const std::size_t issued = issue_edf(rotor.data(), /*bounded=*/false);
+    if (moved + issued == 0) break;
   }
   try {
     runtime_->wait_all();
   } catch (...) {
   }
+}
+
+void Server::drop_admitted(Request* r) {
+  ClassState& s = class_ref(r->cls);
+  TenantState& t = tenant_ref(r->tenant);
+  Cell& cell = t.cells[r->cls];
+  if (r->job.on_drop) {
+    try {
+      r->job.on_drop();
+    } catch (...) {
+    }
+  }
+  cell.in_flight.fetch_sub(1, std::memory_order_relaxed);
+  t.in_flight.fetch_sub(1, std::memory_order_acq_rel);
+  s.in_flight.fetch_sub(1, std::memory_order_acq_rel);
+  pool_.release(r);
 }
 
 void Server::dispatch(Request* r, double* rotor) {
@@ -206,11 +353,14 @@ void Server::dispatch(Request* r, double* rotor) {
   rotor[r->cls] += s.perforation.load(std::memory_order_relaxed);
   if (rotor[r->cls] >= 1.0) {
     rotor[r->cls] -= 1.0;
+    TenantState& t = tenant_ref(r->tenant);
     s.perforated.fetch_add(1, std::memory_order_relaxed);
-    s.in_flight.fetch_sub(1, std::memory_order_acq_rel);
-    delete r;
+    t.cells[r->cls].perforated.fetch_add(1, std::memory_order_relaxed);
+    drop_admitted(r);
     return;
   }
+
+  s.in_runtime.fetch_add(1, std::memory_order_relaxed);
 
   auto approx_body = [this, r] {
     if (r->job.approximate) {
@@ -241,24 +391,36 @@ void Server::dispatch(Request* r, double* rotor) {
 
 void Server::complete(Request* r, Outcome outcome) {
   ClassState& s = class_ref(r->cls);
+  TenantState& t = tenant_ref(r->tenant);
+  Cell& cell = t.cells[r->cls];
   const std::int64_t latency = support::now_ns() - r->arrival_ns;
   s.latency.record(latency > 0 ? static_cast<std::uint64_t>(latency) : 0);
   switch (outcome) {
     case Outcome::Accurate:
       s.served_accurate.fetch_add(1, std::memory_order_relaxed);
+      cell.served_accurate.fetch_add(1, std::memory_order_relaxed);
       break;
     case Outcome::Approximate:
       s.served_approximate.fetch_add(1, std::memory_order_relaxed);
+      cell.served_approximate.fetch_add(1, std::memory_order_relaxed);
       break;
     case Outcome::Dropped:
       s.served_dropped.fetch_add(1, std::memory_order_relaxed);
+      cell.served_dropped.fetch_add(1, std::memory_order_relaxed);
       break;
   }
+  pool_.release(r);  // node fields dead past this line
+  s.in_runtime.fetch_sub(1, std::memory_order_relaxed);
+  cell.in_flight.fetch_sub(1, std::memory_order_relaxed);
+  t.in_flight.fetch_sub(1, std::memory_order_acq_rel);
   s.in_flight.fetch_sub(1, std::memory_order_acq_rel);
-  delete r;
+  // The freed window slot may unblock this class's EDF backlog; the guarded
+  // wake is one relaxed load when no dispatcher is parked.
+  if (s.edf.size() > 0) wake_dispatcher();
 }
 
 void Server::controller_loop() {
+  if (options_.thread_start_hook) options_.thread_start_hook("controller", 0);
   while (true) {
     {
       std::unique_lock lock(controller_mutex_);
@@ -323,21 +485,24 @@ void Server::close() {
   }
 
   // Shed anything that raced the intake flip.  A racer that passed the
-  // accepting_ check holds an in_flight reservation from before its push,
-  // and everything the dispatcher admitted has completed (wait_all above),
-  // so nonzero in_flight now means exactly "a submit is between its
+  // accepting_ check holds its reservations from before its push, and
+  // everything the dispatchers admitted has completed (wait_all above), so
+  // nonzero in_flight now means exactly "a submit is between its
   // reservation and its push" — a few instructions away.  Loop until every
   // reservation is either pushed-and-shed here or released by the racer's
   // own over-capacity path, so no Request leaks and no slot stays stranded.
+  // on_drop still fires for these (the network frontend answers the client
+  // with a shed status instead of hanging the connection).
   const std::uint32_t n = class_count_.load(std::memory_order_acquire);
   for (;;) {
     while (Request* head = queue_.pop_all_fifo()) {
       while (head != nullptr) {
         Request* next = head->next;
         ClassState& s = class_ref(head->cls);
+        TenantState& t = tenant_ref(head->tenant);
         s.shed.fetch_add(1, std::memory_order_relaxed);
-        s.in_flight.fetch_sub(1, std::memory_order_acq_rel);
-        delete head;
+        t.cells[head->cls].shed.fetch_add(1, std::memory_order_relaxed);
+        drop_admitted(head);
         head = next;
       }
     }
@@ -355,6 +520,7 @@ ClassReport Server::class_report(ClassId cls) const {
   const ClassState& s = class_ref(cls);
   ClassReport r;
   r.name = s.cfg.name;
+  r.criticality = s.cfg.criticality;
   r.deadline_ms = s.cfg.qos.deadline_ns * 1e-6;
   r.ratio = runtime_->group(s.group).ratio();
   r.perforation = s.perforation.load(std::memory_order_relaxed);
@@ -374,11 +540,43 @@ ClassReport Server::class_report(ClassId cls) const {
   return r;
 }
 
+TenantReport Server::tenant_report(TenantId tenant) const {
+  const TenantState& t = tenant_ref(tenant);
+  TenantReport out;
+  out.id = tenant;
+  out.name = t.cfg.name;
+  out.in_flight = t.in_flight.load(std::memory_order_relaxed);
+  out.max_in_flight = t.cfg.max_in_flight;
+  out.fair_in_flight = t.cfg.fair_in_flight;
+  const std::uint32_t n = class_count_.load(std::memory_order_acquire);
+  out.cells.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const Cell& c = t.cells[i];
+    TenantClassCell cell;
+    cell.cls = i;
+    cell.class_name = classes_[i].load(std::memory_order_acquire)->cfg.name;
+    cell.submitted = c.submitted.load(std::memory_order_relaxed);
+    cell.shed = c.shed.load(std::memory_order_relaxed);
+    cell.degraded = c.degraded.load(std::memory_order_relaxed);
+    cell.perforated = c.perforated.load(std::memory_order_relaxed);
+    cell.served_accurate = c.served_accurate.load(std::memory_order_relaxed);
+    cell.served_approximate =
+        c.served_approximate.load(std::memory_order_relaxed);
+    cell.served_dropped = c.served_dropped.load(std::memory_order_relaxed);
+    cell.in_flight = c.in_flight.load(std::memory_order_relaxed);
+    out.cells.push_back(std::move(cell));
+  }
+  return out;
+}
+
 ServerStats Server::stats() const {
   ServerStats out;
   const std::uint32_t n = class_count_.load(std::memory_order_acquire);
   out.classes.reserve(n);
   for (std::uint32_t i = 0; i < n; ++i) out.classes.push_back(class_report(i));
+  const std::uint32_t tn = tenant_count_.load(std::memory_order_acquire);
+  out.tenants.reserve(tn);
+  for (std::uint32_t i = 0; i < tn; ++i) out.tenants.push_back(tenant_report(i));
   return out;
 }
 

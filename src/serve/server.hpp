@@ -7,35 +7,41 @@
 //   cfg.qos.deadline_ns = 25e6;      // p99 objective: 25 ms
 //   cfg.qos.quality_floor = 0.2;     // never serve < 20% accurate
 //   const auto cls = srv.register_class(cfg);
+//   const auto t = srv.register_tenant({.name = "acme", .max_in_flight = 64});
 //   ...
-//   srv.submit(cls, {.accurate = [=] { full_filter(req); },
-//                    .approximate = [=] { cheap_filter(req); },
-//                    .significance = 0.6});
+//   srv.submit(cls, t, {.accurate = [=] { full_filter(req); },
+//                       .approximate = [=] { cheap_filter(req); },
+//                       .significance = 0.6});
 //
 // Three moving parts above the Runtime facade:
-//   * admission (client threads): per-class in-flight bound with a
-//     shed-or-degrade policy, then one CAS into the MPSC request queue;
+//   * admission (client threads): per-tenant x per-class in-flight
+//     accounting with a shed-or-degrade policy — a tenant over its fairness
+//     watermark sheds its own BestEffort and degrades its own Degradable
+//     traffic before any other tenant's Critical class feels load — then
+//     one CAS into the MPSC staging queue;
 //   * dispatchers (N threads, ServerOptions::dispatcher_threads): drain the
-//     queue in batches, apply the controller's perforation level, and spawn
-//     each request as one significance-carrying task into the class's
+//     staging queue into per-class EDF heaps and issue, earliest deadline
+//     first, up to each class's dispatch window of in-runtime requests;
+//     issued requests pass the controller's perforation rotor and are
+//     spawned as one significance-carrying task each into the class's
 //     group.  Spawning is safe from any thread (the runtime's any-thread
-//     contract), so the dispatcher tier shards horizontally: each pop takes
-//     the whole pending chain, batches stay FIFO internally, and with N > 1
-//     batches from different dispatchers may interleave (per-request
-//     latency accounting is unaffected);
+//     contract), so the dispatcher tier shards horizontally; the per-class
+//     heap lock keeps EDF order global across dispatchers;
 //   * QoS controller (one thread): every epoch, diffs each class's sharded
 //     latency histogram into a window, computes p99 + in-flight depth, and
 //     retargets the group's ratio() through Runtime::set_ratio — the
 //     any-thread relaxed-atomic contract documented in architecture.md.
 //
-// Threading contract: register_class/submit/stats/class_report are safe
-// from any thread; submit must not race close()/destruction (quiesce your
-// producers first — late racers are shed, never leaked).
+// Threading contract: register_class/register_tenant/submit/stats/
+// class_report are safe from any thread; submit must not race
+// close()/destruction (quiesce your producers first — late racers are
+// shed, never leaked; their on_drop still fires).
 #pragma once
 
 #include <array>
 #include <atomic>
 #include <condition_variable>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <thread>
@@ -71,10 +77,23 @@ struct ServerOptions {
   /// Dispatcher (spawner) threads draining the admission queue; clamped to
   /// >= 1, and to exactly 1 when the runtime is inline (workers == 0,
   /// whose synchronous queue admits a single client thread).  One
-  /// dispatcher preserves global FIFO dispatch order; more remove the
-  /// single-spawner bottleneck under high submit rates at the cost of
-  /// batch interleaving between dispatchers.
+  /// dispatcher preserves global EDF issue order trivially; more remove
+  /// the single-spawner bottleneck under high submit rates (the per-class
+  /// heap lock still serializes each class's issue order).
   unsigned dispatcher_threads = 1;
+
+  /// Per-class dispatch window: at most this many of a class's requests
+  /// sit inside the runtime (spawned, not yet completed) at once; the rest
+  /// wait in the class's EDF heap where a later, more urgent arrival can
+  /// still overtake them.  0 = auto (max(4, 2 x workers)).  Small windows
+  /// sharpen EDF at a small pipelining cost; large ones converge to FIFO.
+  std::size_t edf_window = 0;
+
+  /// Called at the start of every thread the server owns (role is
+  /// "dispatcher" or "controller"; network frontends reuse it for their
+  /// pollers).  Benchmarks use it to tag serve-tier threads for
+  /// allocation instrumentation.  Optional.
+  std::function<void(const char* role, unsigned index)> thread_start_hook;
 };
 
 class Server {
@@ -92,16 +111,37 @@ class Server {
   /// std::length_error beyond kMaxClasses.
   ClassId register_class(RequestClassConfig config);
 
-  /// Admission control + enqueue.  Any thread.  Shed requests never touch
-  /// the runtime; Degraded ones are served through the approximate body.
-  Admission submit(ClassId cls, Job job);
+  /// Registers a tenant.  Any thread; throws std::length_error beyond
+  /// kMaxTenants.  Tenant 0 ("default", unbounded) always exists.
+  TenantId register_tenant(TenantConfig config);
+
+  /// Admission control + enqueue for the default tenant.  Any thread.
+  /// Shed requests never touch the runtime; Degraded ones are served
+  /// through the approximate body.
+  Admission submit(ClassId cls, Job job) {
+    return submit(cls, kDefaultTenant, std::move(job));
+  }
+
+  /// Tenant-aware admission: the request must clear the tenant's quota and
+  /// fairness watermark AND the class's bounds, in that order.
+  Admission submit(ClassId cls, TenantId tenant, Job job);
 
   /// Stops intake, serves everything already admitted, then joins the
   /// dispatcher and controller threads.  Idempotent.
   void close();
 
   [[nodiscard]] ClassReport class_report(ClassId cls) const;
+  [[nodiscard]] TenantReport tenant_report(TenantId tenant) const;
   [[nodiscard]] ServerStats stats() const;
+
+  /// Cheap validity bounds (one acquire load each) so frontends can reject
+  /// unknown ids without exception control flow on the request path.
+  [[nodiscard]] std::size_t class_count() const noexcept {
+    return class_count_.load(std::memory_order_acquire);
+  }
+  [[nodiscard]] std::size_t tenant_count() const noexcept {
+    return tenant_count_.load(std::memory_order_acquire);
+  }
 
   /// Zeroes every class's latency histogram — windowing tool for tests and
   /// benchmarks that want steady-state percentiles after a warmup phase.
@@ -111,8 +151,30 @@ class Server {
   [[nodiscard]] Runtime& runtime() noexcept { return *runtime_; }
 
   static constexpr std::size_t kMaxClasses = 64;
+  static constexpr std::size_t kMaxTenants = 32;
 
  private:
+  /// One (tenant, class) accounting cell: every counter a TenantClassCell
+  /// reports, maintained at admission/completion time.
+  struct Cell {
+    std::atomic<std::size_t> in_flight{0};
+    std::atomic<std::uint64_t> submitted{0};
+    std::atomic<std::uint64_t> shed{0};
+    std::atomic<std::uint64_t> degraded{0};
+    std::atomic<std::uint64_t> perforated{0};
+    std::atomic<std::uint64_t> served_accurate{0};
+    std::atomic<std::uint64_t> served_approximate{0};
+    std::atomic<std::uint64_t> served_dropped{0};
+  };
+
+  struct TenantState {
+    explicit TenantState(TenantConfig cfg_in) : cfg(std::move(cfg_in)) {}
+
+    TenantConfig cfg;
+    std::atomic<std::size_t> in_flight{0};  ///< across all classes
+    std::array<Cell, kMaxClasses> cells{};
+  };
+
   struct ClassState {
     ClassState(RequestClassConfig cfg_in, unsigned shards)
         : cfg(std::move(cfg_in)), qos(cfg.qos), latency(shards) {}
@@ -127,6 +189,11 @@ class Server {
     support::ShardedHistogram latency;
     std::atomic<double> perforation{0.0};
 
+    /// EDF stage: admitted requests waiting to be issued, and the count of
+    /// issued-but-uncompleted requests the dispatch window throttles.
+    EdfQueue edf;
+    std::atomic<std::size_t> in_runtime{0};
+
     std::atomic<std::size_t> in_flight{0};
     std::atomic<std::uint64_t> submitted{0};
     std::atomic<std::uint64_t> shed{0};
@@ -140,14 +207,27 @@ class Server {
   enum class Outcome : std::uint8_t { Accurate, Approximate, Dropped };
 
   [[nodiscard]] ClassState& class_ref(ClassId cls) const;
+  [[nodiscard]] TenantState& tenant_ref(TenantId tenant) const;
+  [[nodiscard]] std::size_t window_for() const noexcept;
 
-  void dispatcher_loop();
+  void dispatcher_loop(unsigned index);
+  /// Moves the staging chain into the per-class EDF heaps; returns how many
+  /// requests moved.
+  std::size_t drain_staging();
+  /// Issues EDF heads while dispatch windows allow (`bounded`), or drains
+  /// the heaps completely (shutdown).  Returns how many requests issued.
+  std::size_t issue_edf(double* rotor, bool bounded);
   /// `rotor` is the calling dispatcher's per-class perforation accumulator
   /// (kMaxClasses entries) — dispatcher-local, so N dispatchers never race
   /// on it; each enforces the drop fraction over its own batch stream.
   void dispatch(Request* r, double* rotor);
   void complete(Request* r, Outcome outcome);
+  /// Drops an admitted request without running a body (perforation or
+  /// shutdown): fires on_drop, bumps `shed`/`perforated` style counters via
+  /// the caller, releases the in-flight reservations and recycles the node.
+  void drop_admitted(Request* r);
   void wake_dispatcher() noexcept;
+  [[nodiscard]] bool has_issuable() const noexcept;
 
   void controller_loop();
   void controller_tick();
@@ -157,10 +237,14 @@ class Server {
 
   std::array<std::atomic<ClassState*>, kMaxClasses> classes_{};
   std::atomic<std::uint32_t> class_count_{0};
+  std::array<std::atomic<TenantState*>, kMaxTenants> tenants_{};
+  std::atomic<std::uint32_t> tenant_count_{0};
   mutable std::mutex register_mutex_;
-  std::vector<std::unique_ptr<ClassState>> owned_classes_;  ///< register_mutex_
+  std::vector<std::unique_ptr<ClassState>> owned_classes_;   ///< register_mutex_
+  std::vector<std::unique_ptr<TenantState>> owned_tenants_;  ///< register_mutex_
 
   RequestQueue queue_;
+  RequestPool pool_;
   std::atomic<bool> accepting_{true};
   std::atomic<bool> running_{true};
 

@@ -148,6 +148,56 @@ TEST(Nested, InTaskWaitGroupQuiescesOtherGroup) {
   EXPECT_EQ(r.spawned, r.accurate + r.approximate + r.dropped);
 }
 
+TEST(Nested, InTaskSameGroupWaitGroupThrows) {
+  // ROADMAP carry-over deadlock shape: a task of group g calling
+  // wait_group(g) stays pending in g until its own body returns, so the
+  // barrier can never open once a second member does the same.  The
+  // runtime now detects the shape at the wait and throws instead of
+  // spinning forever in the helping loop.
+  Runtime rt(workers_config(2));
+  const auto g = rt.create_group("self", 1.0);
+  std::atomic<bool> threw{false};
+  rt.spawn(sigrt::task([&] {
+             try {
+               rt.wait_group(g);  // same group as the calling task
+             } catch (const std::logic_error&) {
+               threw.store(true);
+             }
+           })
+               .group(g));
+  rt.wait_all();
+  EXPECT_TRUE(threw.load());
+
+  // The classic two-waiter deadlock: both members throw rather than hang,
+  // and the error surfaces at the top-level barrier as usual.
+  std::atomic<int> threw_count{0};
+  for (int i = 0; i < 2; ++i) {
+    rt.spawn(sigrt::task([&] {
+               try {
+                 rt.wait_group(g);
+               } catch (const std::logic_error&) {
+                 threw_count.fetch_add(1);
+               }
+             })
+                 .group(g));
+  }
+  rt.wait_all();
+  EXPECT_EQ(threw_count.load(), 2);
+
+  // Waiting on a DIFFERENT group from inside a task stays legal (covered
+  // further by InTaskWaitGroupQuiescesOtherGroup).
+  const auto other = rt.create_group("other", 1.0);
+  std::atomic<bool> ok{false};
+  rt.spawn(sigrt::task([&] {
+             rt.spawn(sigrt::task([] {}).group(other));
+             rt.wait_group(other);
+             ok.store(true);
+           })
+               .group(g));
+  rt.wait_all();
+  EXPECT_TRUE(ok.load());
+}
+
 TEST(Nested, InTaskWaitOnWaitsRangeWriters) {
   Runtime rt(workers_config(2));
   alignas(1024) static int data[256];

@@ -7,6 +7,7 @@
 #include <chrono>
 #include <cmath>
 #include <cstdint>
+#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -473,6 +474,312 @@ TEST(ServerStress, InlineRuntimeClampsDispatcherSharding) {
   EXPECT_EQ(r.served(), r.submitted);
   EXPECT_EQ(ran.load(), r.submitted);
   EXPECT_EQ(r.in_flight, 0u);
+}
+
+// --- Tenants: per-tenant x per-class admission ---------------------------
+
+TEST(Tenants, HardQuotaShedsExactlyPerTenant) {
+  ServerOptions so;
+  so.runtime.workers = 1;
+  so.epoch_ms = 0.0;
+  Server srv(so);
+
+  RequestClassConfig cfg;
+  cfg.name = "work";
+  cfg.max_in_flight = 1024;  // the class bound never binds here
+  const ClassId cls = srv.register_class(cfg);
+  const TenantId a = srv.register_tenant({.name = "a", .max_in_flight = 8});
+  const TenantId b = srv.register_tenant({.name = "b", .max_in_flight = 16});
+
+  std::atomic<bool> gate{false};
+  const auto gated = [&gate] {
+    while (!gate.load(std::memory_order_acquire)) {
+      std::this_thread::sleep_for(std::chrono::microseconds(100));
+    }
+  };
+
+  int shed_a = 0, shed_b = 0;
+  for (int i = 0; i < 32; ++i) {
+    if (srv.submit(cls, a, {gated, gated, 1.0}) == Admission::Shed) ++shed_a;
+    if (srv.submit(cls, b, {gated, gated, 1.0}) == Admission::Shed) ++shed_b;
+  }
+  // Nothing completes while the gate is closed, so each tenant's quota
+  // gives an exact oracle: a admits 8 of 32, b admits 16 of 32.
+  EXPECT_EQ(shed_a, 24);
+  EXPECT_EQ(shed_b, 16);
+  gate.store(true, std::memory_order_release);
+  srv.close();
+
+  const TenantReport ra = srv.tenant_report(a);
+  const TenantReport rb = srv.tenant_report(b);
+  ASSERT_EQ(ra.cells.size(), 1u);
+  EXPECT_EQ(ra.cells[cls].submitted, 8u);
+  EXPECT_EQ(ra.cells[cls].shed, 24u);
+  EXPECT_EQ(ra.cells[cls].served(), 8u);
+  EXPECT_EQ(ra.cells[cls].served_accurate, 8u);
+  EXPECT_EQ(ra.in_flight, 0u);
+  EXPECT_EQ(rb.cells[cls].submitted, 16u);
+  EXPECT_EQ(rb.cells[cls].shed, 16u);
+  EXPECT_EQ(rb.in_flight, 0u);
+
+  // The class-level counters are the sum over tenants; the default tenant
+  // saw no traffic.
+  const ClassReport rc = srv.class_report(cls);
+  EXPECT_EQ(rc.submitted, 24u);
+  EXPECT_EQ(rc.shed, 40u);
+  EXPECT_EQ(rc.served(), 24u);
+  EXPECT_EQ(srv.tenant_report(kDefaultTenant).cells[cls].submitted, 0u);
+}
+
+TEST(Tenants, FairnessWatermarkTriagesByCriticality) {
+  ServerOptions so;
+  so.runtime.workers = 1;
+  so.epoch_ms = 0.0;
+  Server srv(so);
+
+  RequestClassConfig crit_cfg;
+  crit_cfg.name = "crit";
+  crit_cfg.criticality = Criticality::Critical;
+  crit_cfg.max_in_flight = 1024;
+  RequestClassConfig deg_cfg;
+  deg_cfg.name = "deg";
+  deg_cfg.criticality = Criticality::Degradable;
+  deg_cfg.max_in_flight = 1024;
+  RequestClassConfig be_cfg;
+  be_cfg.name = "be";
+  be_cfg.criticality = Criticality::BestEffort;
+  be_cfg.max_in_flight = 1024;
+  const ClassId crit = srv.register_class(crit_cfg);
+  const ClassId deg = srv.register_class(deg_cfg);
+  const ClassId be = srv.register_class(be_cfg);
+
+  const TenantId t =
+      srv.register_tenant({.name = "t", .max_in_flight = 8, .fair_in_flight = 4});
+
+  std::atomic<bool> gate{false};
+  const auto gated = [&gate] {
+    while (!gate.load(std::memory_order_acquire)) {
+      std::this_thread::sleep_for(std::chrono::microseconds(100));
+    }
+  };
+  const auto sub = [&](ClassId c) { return srv.submit(c, t, {gated, gated, 1.0}); };
+
+  // Under the fairness share: everything admits at full quality.
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(sub(crit), Admission::Admitted);
+  // Over the share (in-flight 4): BestEffort sheds, Degradable degrades,
+  // Critical still admits.
+  EXPECT_EQ(sub(be), Admission::Shed);
+  EXPECT_EQ(sub(deg), Admission::Degraded);   // in-flight -> 5
+  EXPECT_EQ(sub(crit), Admission::Admitted);  // -> 6
+  EXPECT_EQ(sub(crit), Admission::Admitted);  // -> 7
+  EXPECT_EQ(sub(crit), Admission::Admitted);  // -> 8 == hard quota
+  // At the hard quota even Critical sheds.
+  EXPECT_EQ(sub(crit), Admission::Shed);
+
+  gate.store(true, std::memory_order_release);
+  srv.close();
+
+  const TenantReport rt = srv.tenant_report(t);
+  EXPECT_EQ(rt.cells[crit].submitted, 7u);
+  EXPECT_EQ(rt.cells[crit].shed, 1u);
+  EXPECT_EQ(rt.cells[deg].submitted, 1u);
+  EXPECT_EQ(rt.cells[deg].degraded, 1u);
+  EXPECT_EQ(rt.cells[deg].served_approximate, 1u);
+  EXPECT_EQ(rt.cells[be].shed, 1u);
+  EXPECT_EQ(rt.cells[be].submitted, 0u);
+  EXPECT_EQ(rt.in_flight, 0u);
+}
+
+TEST(ServerStress, TenantAccountingConservedUnderConcurrency) {
+  ServerOptions so;
+  so.runtime.workers = 2;
+  so.dispatcher_threads = 2;
+  so.epoch_ms = 0.0;  // no perforation: submitted == served exactly
+  Server srv(so);
+
+  RequestClassConfig cfg;
+  cfg.name = "c0";
+  cfg.max_in_flight = 4096;
+  const ClassId c0 = srv.register_class(cfg);
+  cfg.name = "c1";
+  const ClassId c1 = srv.register_class(cfg);
+  const TenantId t1 = srv.register_tenant({.name = "t1", .max_in_flight = 64});
+  const TenantId t2 = srv.register_tenant({.name = "t2", .max_in_flight = 64});
+
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 2000;
+  std::atomic<std::uint64_t> ran{0};
+  // attempts[tenant][cls] tallied by the submitters themselves — the oracle
+  // the server's cells must reconcile against.
+  std::atomic<std::uint64_t> attempts[3][2] = {};
+  std::vector<std::thread> producers;
+  producers.reserve(kThreads);
+  for (int th = 0; th < kThreads; ++th) {
+    producers.emplace_back([&, th] {
+      support::SplitMix64 rng(0x9E3779B9u * (th + 1));
+      for (int i = 0; i < kPerThread; ++i) {
+        const TenantId t = (rng.next() & 1) != 0 ? t1 : t2;
+        const ClassId c = (rng.next() & 1) != 0 ? c1 : c0;
+        attempts[t][c].fetch_add(1, std::memory_order_relaxed);
+        (void)srv.submit(
+            c, t,
+            {[&ran] { ran.fetch_add(1, std::memory_order_relaxed); }, nullptr,
+             1.0});
+      }
+    });
+  }
+  for (auto& p : producers) p.join();
+  srv.close();
+
+  std::uint64_t class_submitted = 0, class_shed = 0;
+  for (const ClassId c : {c0, c1}) {
+    const ClassReport r = srv.class_report(c);
+    class_submitted += r.submitted;
+    class_shed += r.shed;
+    EXPECT_EQ(r.served(), r.submitted);
+    EXPECT_EQ(r.in_flight, 0u);
+  }
+  EXPECT_EQ(ran.load(), class_submitted);
+
+  // Per-cell conservation: every attempt is either admitted or shed, and
+  // every admitted request was served (no perforation, no drops).
+  std::uint64_t cell_submitted = 0, cell_shed = 0;
+  for (const TenantId t : {t1, t2}) {
+    const TenantReport rt = srv.tenant_report(t);
+    EXPECT_EQ(rt.in_flight, 0u);
+    for (const ClassId c : {c0, c1}) {
+      const TenantClassCell& cell = rt.cells[c];
+      EXPECT_EQ(cell.submitted + cell.shed,
+                attempts[t][c].load(std::memory_order_relaxed))
+          << "tenant " << t << " class " << c;
+      EXPECT_EQ(cell.served(), cell.submitted);
+      EXPECT_EQ(cell.in_flight, 0u);
+      cell_submitted += cell.submitted;
+      cell_shed += cell.shed;
+    }
+  }
+  // The class totals are exactly the tenant cells summed.
+  EXPECT_EQ(cell_submitted, class_submitted);
+  EXPECT_EQ(cell_shed, class_shed);
+}
+
+// --- EDF dispatch --------------------------------------------------------
+
+TEST(Edf, IssuesByDeadlineNotArrivalOrder) {
+  ServerOptions so;
+  so.runtime.workers = 1;
+  so.dispatcher_threads = 1;
+  so.epoch_ms = 0.0;
+  so.edf_window = 1;  // serialize issue: execution order == EDF order
+  Server srv(so);
+
+  RequestClassConfig cfg;
+  cfg.name = "edf";
+  cfg.max_in_flight = 64;
+  const ClassId cls = srv.register_class(cfg);
+
+  // Plug the single dispatch-window slot with a gated request so the rest
+  // pile up in the EDF heap while we submit them.
+  std::atomic<bool> gate{false};
+  std::atomic<bool> entered{false};
+  Job plug;
+  plug.accurate = [&] {
+    entered.store(true, std::memory_order_release);
+    while (!gate.load(std::memory_order_acquire)) {
+      std::this_thread::sleep_for(std::chrono::microseconds(100));
+    }
+  };
+  plug.significance = 1.0;
+  ASSERT_EQ(srv.submit(cls, std::move(plug)), Admission::Admitted);
+  while (!entered.load(std::memory_order_acquire)) {
+    std::this_thread::sleep_for(std::chrono::microseconds(100));
+  }
+
+  // Later submissions get tighter budgets: EDF must run them in reverse
+  // submission order (budget gaps of 10 ms dwarf the submit jitter).
+  std::mutex order_mutex;
+  std::vector<int> order;
+  constexpr int kN = 6;
+  for (int i = 0; i < kN; ++i) {
+    Job j;
+    j.accurate = [&, i] {
+      std::lock_guard lock(order_mutex);
+      order.push_back(i);
+    };
+    j.significance = 1.0;
+    j.deadline_ns = static_cast<std::int64_t>(kN + 1 - i) * 10'000'000;
+    ASSERT_EQ(srv.submit(cls, std::move(j)), Admission::Admitted);
+  }
+
+  gate.store(true, std::memory_order_release);
+  srv.close();
+
+  ASSERT_EQ(order.size(), static_cast<std::size_t>(kN));
+  for (int i = 0; i < kN; ++i) EXPECT_EQ(order[i], kN - 1 - i) << "slot " << i;
+}
+
+// --- Isolation acceptance ------------------------------------------------
+
+// Overloading tenant "flood" must not starve tenant "vip"'s Critical
+// class: the flood's fairness watermark degrades/sheds its own traffic and
+// its hard quota bounds how much queueing it can inflict on the shared
+// runtime, so vip's p99 stays within its (generous) budget.
+TEST(Isolation, FloodingTenantLeavesOtherTenantsCriticalP99Intact) {
+  ServerOptions so;
+  so.runtime.workers = 2;
+  so.epoch_ms = 0.0;  // isolation must come from admission, not the ladder
+  Server srv(so);
+
+  RequestClassConfig vip_cfg;
+  vip_cfg.name = "interactive";
+  vip_cfg.criticality = Criticality::Critical;
+  vip_cfg.qos.deadline_ns = 20e6;
+  vip_cfg.max_in_flight = 256;
+  RequestClassConfig batch_cfg;
+  batch_cfg.name = "batch";
+  batch_cfg.criticality = Criticality::Degradable;
+  batch_cfg.max_in_flight = 256;
+  const ClassId vip_cls = srv.register_class(vip_cfg);
+  const ClassId batch_cls = srv.register_class(batch_cfg);
+
+  const TenantId flood =
+      srv.register_tenant({.name = "flood", .max_in_flight = 8, .fair_in_flight = 2});
+  const TenantId vip = srv.register_tenant({.name = "vip"});
+
+  std::atomic<bool> stop{false};
+  std::thread flooder([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      (void)srv.submit(batch_cls, flood,
+                       {[] { spin_for(500'000); }, [] { spin_for(50'000); },
+                        0.7});
+      std::this_thread::sleep_for(std::chrono::microseconds(100));
+    }
+  });
+
+  constexpr int kVipRequests = 50;
+  for (int i = 0; i < kVipRequests; ++i) {
+    ASSERT_EQ(srv.submit(vip_cls, vip,
+                         {[] { spin_for(100'000); }, [] { spin_for(20'000); },
+                          1.0}),
+              Admission::Admitted);
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  stop.store(true, std::memory_order_release);
+  flooder.join();
+  srv.close();
+
+  const ClassReport rv = srv.class_report(vip_cls);
+  EXPECT_EQ(rv.shed, 0u);
+  EXPECT_EQ(rv.served(), static_cast<std::uint64_t>(kVipRequests));
+  EXPECT_EQ(rv.served_accurate, static_cast<std::uint64_t>(kVipRequests));
+  if (kTimingStrict) {
+    EXPECT_LT(rv.p99_ms, 20.0) << "vip p99 blew its budget under flood";
+  }
+
+  // The flood actually overloaded itself: its own traffic degraded or shed.
+  const TenantReport rf = srv.tenant_report(flood);
+  EXPECT_GT(rf.cells[batch_cls].degraded + rf.cells[batch_cls].shed, 0u);
+  EXPECT_EQ(srv.tenant_report(vip).cells[vip_cls].shed, 0u);
 }
 
 }  // namespace
