@@ -320,6 +320,32 @@ struct KmeansWork {
   }
 };
 
+/// Wide-image sobel for the tiled-vs-untiled A/B: the image is wide enough
+/// (~2 MiB per full-width row) that the untiled row-major pass evicts row
+/// y's halo before row y+1 can reuse it, while the band entry point walks
+/// L2-sized column strips down the whole band (kernels.hpp).  The width is
+/// deliberately NOT a power of two: a power-of-two row stride lands every
+/// row of the band on the same cache sets and associativity-thrashes both
+/// traversals, measuring aliasing instead of tiling.  Output is
+/// byte-identical on both sides.
+struct WideSobelWork {
+  static constexpr std::size_t kW = (std::size_t{1} << 21) + 192, kH = 6;
+  sigrt::support::Image img{sigrt::support::synthetic_image(kW, kH, 46)};
+  std::vector<std::uint8_t> res = std::vector<std::uint8_t>(kW * kH, 0);
+
+  static std::size_t elements() { return (kW - 2) * (kH - 2); }
+  void sweep_untiled() {
+    for (std::size_t row = 1; row + 1 < kH; ++row) {
+      kern::sobel_row_accurate(res.data(), img.data(), kW, row, 1, kW - 1);
+    }
+    g_sink = g_sink + static_cast<double>(res[kW + 1]);
+  }
+  void sweep_tiled() {
+    kern::sobel_band_accurate(res.data(), img.data(), kW, 1, kH - 1);
+    g_sink = g_sink + static_cast<double>(res[kW + 1]);
+  }
+};
+
 // --- measurement -----------------------------------------------------------
 
 struct Cell {
@@ -363,6 +389,65 @@ Cell measure(Work& work, const char* kernel, perf::Shape shape, double ratio,
       static_cast<double>(sw.elapsed_ns()) /
       (static_cast<double>(cell.elements) * static_cast<double>(cell.reps));
   return cell;
+}
+
+/// Interleaved A/B of the wide-image sobel: untiled and tiled sweeps
+/// alternate inside one measured region so machine noise lands on both
+/// sides equally; each side reports its per-sweep *median* ns/element
+/// (robust against a stray slow rep on either side).
+std::pair<Cell, Cell> measure_wide_sobel(WideSobelWork& work,
+                                         std::int64_t target_ns) {
+  const auto make = [](const char* shape) {
+    Cell c;
+    c.kernel = "sobel_wide";
+    c.shape = shape;
+    c.ratio = "1.00";
+    c.elements = WideSobelWork::elements();
+    return c;
+  };
+  Cell untiled = make("untiled");
+  Cell tiled = make("tiled");
+
+  // Calibrate on one warm-up pair (also pages the buffers in).
+  sigrt::support::Stopwatch cal;
+  cal.start();
+  work.sweep_untiled();
+  work.sweep_tiled();
+  cal.stop();
+  const std::int64_t once = std::max<std::int64_t>(1, cal.elapsed_ns());
+  const std::size_t reps = static_cast<std::size_t>(
+      std::clamp<std::int64_t>(target_ns / once, 7, 300));
+  untiled.reps = tiled.reps = reps;
+
+  std::vector<double> ns_untiled, ns_tiled;
+  ns_untiled.reserve(reps);
+  ns_tiled.reserve(reps);
+  // One sample = one sweep on a fresh stopwatch (Stopwatch accumulates
+  // across start/stop pairs).
+  const auto sample = [](auto fn, Cell& cell, std::vector<double>& ns) {
+    const std::uint64_t a0 = g_allocs;
+    sigrt::support::Stopwatch sw;
+    sw.start();
+    fn();
+    sw.stop();
+    cell.allocs += g_allocs - a0;
+    ns.push_back(static_cast<double>(sw.elapsed_ns()));
+  };
+  for (std::size_t r = 0; r < reps; ++r) {
+    sample([&] { work.sweep_untiled(); }, untiled, ns_untiled);
+    sample([&] { work.sweep_tiled(); }, tiled, ns_tiled);
+  }
+
+  const auto median_per_element = [](std::vector<double>& v) {
+    std::sort(v.begin(), v.end());
+    const double med = v.size() % 2 == 1
+                           ? v[v.size() / 2]
+                           : 0.5 * (v[v.size() / 2 - 1] + v[v.size() / 2]);
+    return med / static_cast<double>(WideSobelWork::elements());
+  };
+  untiled.ns_per_element = median_per_element(ns_untiled);
+  tiled.ns_per_element = median_per_element(ns_tiled);
+  return {std::move(untiled), std::move(tiled)};
 }
 
 void emit(const std::vector<Cell>& cells, bool tag_impl) {
@@ -428,6 +513,19 @@ int main(int argc, char** argv) {
         add(measure(kmeans, "kmeans", shape, ratio, target_ns));
       }
     }
+  }
+  // Wide-image sobel tiled-vs-untiled gate (one ISA level — tiling is a
+  // memory effect, so it rides whichever level this invocation targets).
+  {
+    const simd::Isa level = simd::set_active(run_simd ? hw : simd::Isa::Scalar);
+    WideSobelWork wide;
+    auto [untiled, tiled] = measure_wide_sobel(wide, target_ns);
+    for (Cell* c : {&untiled, &tiled}) {
+      c->impl = run_simd ? "simd" : "scalar";
+      c->level = simd::to_string(level);
+    }
+    cells.push_back(std::move(untiled));
+    cells.push_back(std::move(tiled));
   }
   simd::set_active(hw);
 

@@ -16,12 +16,16 @@
 // nested spawn + helping-barrier path.  Output is one JSON line
 // (BENCH_micro_nested.json in CI); CLI arguments are accepted and ignored
 // for harness compatibility.
+#include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cinttypes>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <new>
+#include <thread>
+#include <utility>
 #include <vector>
 
 #include "core/sigrt.hpp"
@@ -129,6 +133,9 @@ struct NestedRecord {
   double allocs_per_task = 0.0;
   double wall_s = 0.0;
   double tasks_per_sec = 0.0;
+  /// Per-worker {near, far} steal deltas over the measured round
+  /// (topology-aware victim order: near = same LLC or closer).
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> steal_locality;
 };
 
 NestedRecord measure(sigrt::PolicyKind policy, double ratio, unsigned workers,
@@ -150,12 +157,14 @@ NestedRecord measure(sigrt::PolicyKind policy, double ratio, unsigned workers,
   }
 
   const auto r0 = rt.group_report(sigrt::kDefaultGroup);
+  const auto steals0 = rt.steal_locality();
   const std::uint64_t a0 = g_allocs.load(std::memory_order_relaxed);
   const std::int64_t t0 = sigrt::support::now_ns();
   const std::uint64_t tasks = nested_round(rt);
   const std::int64_t t1 = sigrt::support::now_ns();
   const std::uint64_t a1 = g_allocs.load(std::memory_order_relaxed);
   const auto r1 = rt.group_report(sigrt::kDefaultGroup);
+  const auto steals1 = rt.steal_locality();
 
   NestedRecord rec;
   rec.policy = sigrt::to_string(policy);
@@ -172,6 +181,157 @@ NestedRecord measure(sigrt::PolicyKind policy, double ratio, unsigned workers,
   if (rec.wall_s > 0) {
     rec.tasks_per_sec = static_cast<double>(tasks) / rec.wall_s;
   }
+  rec.steal_locality.resize(steals1.size());
+  for (std::size_t i = 0; i < steals1.size(); ++i) {
+    const std::uint64_t n0 = i < steals0.size() ? steals0[i].first : 0;
+    const std::uint64_t f0 = i < steals0.size() ? steals0[i].second : 0;
+    rec.steal_locality[i] = {steals1[i].first - n0, steals1[i].second - f0};
+  }
+  return rec;
+}
+
+// --- deep taskwait chain ---------------------------------------------------
+// A depth-64 chain of in-task taskwaits: every level spawns one child and
+// waits for it, nesting one helping-barrier frame per level.  Past the
+// helping-depth cap the worker hands its slot to a spare thread instead of
+// growing its stack without bound, so the cell's handoffs/spares columns
+// are the elastic pool reacting and its wall time the cost of ~depth/cap
+// slot handoffs.
+constexpr int kChainDepth = 64;
+
+void chain_node(sigrt::Runtime& rt, int depth) {
+  if (depth <= 0) {
+    g_sink.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  rt.spawn(sigrt::task([&rt, depth] { chain_node(rt, depth - 1); }));
+  rt.wait_all();  // in-task: helping barrier one frame deeper per level
+}
+
+struct DeepChainRecord {
+  unsigned rounds = 0;
+  double wall_s = 0.0;
+  std::uint64_t handoffs = 0;
+  std::uint64_t spares_spawned = 0;
+  std::uint64_t allocs = 0;
+};
+
+DeepChainRecord measure_deep_chain(unsigned rounds) {
+  sigrt::RuntimeConfig c;
+  c.workers = 2;
+  c.policy = sigrt::PolicyKind::Agnostic;  // pass-through: no buffering
+  c.record_task_log = false;
+  sigrt::Runtime rt(c);
+  const auto round = [&rt] {
+    rt.spawn(sigrt::task([&rt] { chain_node(rt, kChainDepth); }));
+    rt.wait_all();
+  };
+  for (unsigned r = 0; r < 4; ++r) round();  // warm the pool and the spares
+
+  DeepChainRecord rec;
+  rec.rounds = rounds;
+  const auto p0 = rt.pool_stats();
+  const std::uint64_t a0 = g_allocs.load(std::memory_order_relaxed);
+  const std::int64_t t0 = sigrt::support::now_ns();
+  for (unsigned r = 0; r < rounds; ++r) round();
+  const std::int64_t t1 = sigrt::support::now_ns();
+  const std::uint64_t a1 = g_allocs.load(std::memory_order_relaxed);
+  const auto p1 = rt.pool_stats();
+  rec.wall_s = static_cast<double>(t1 - t0) * 1e-9;
+  rec.handoffs = p1.handoffs - p0.handoffs;
+  rec.spares_spawned = p1.spares_spawned - p0.spares_spawned;
+  rec.allocs = a1 - a0;
+  return rec;
+}
+
+// --- barrier wake latency ---------------------------------------------------
+// One round: the root task spawns one sleeper child and spins (yielding)
+// until the child has demonstrably STARTED on the other worker — only then
+// does it enter its in-task barrier, so the child can never be helped
+// inline and the waiter genuinely has to wait for a remote completion.
+// With event wakeup the waiter parks and is woken by the last-child
+// notify; with the polling baseline it sleeps in 50 us slices, so its wake
+// trails the child's end by up to a full slice.  Latency is the gap
+// between the child's end stamp and the waiter's wake stamp — the quantity
+// the >= 2x p99 acceptance gate compares across the two modes.
+
+struct WakeSide {
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+};
+
+std::int64_t wake_round(sigrt::Runtime& rt) {
+  std::atomic<bool> started{false};
+  std::atomic<std::int64_t> last_end{0};
+  std::atomic<std::int64_t> wake{0};
+  rt.spawn(sigrt::task([&] {
+    rt.spawn(sigrt::task([&] {
+      started.store(true, std::memory_order_seq_cst);
+      // Busy-spin, do not sleep: a sleeping child ends on a kernel timer
+      // tick, and timer-slack coalescing would wake the polling waiter on
+      // the same tick — hiding exactly the polling latency this measures.
+      // The spin must also outlast the waiter's pre-sleep yield phase even
+      // on a single-CPU box, where each yield grants this child a full
+      // scheduler slice (~1 ms x 16 yields), so it runs for 20 ms.
+      const std::int64_t t0 = sigrt::support::now_ns();
+      while (sigrt::support::now_ns() - t0 < 20'000'000) {
+      }
+      last_end.store(sigrt::support::now_ns(), std::memory_order_seq_cst);
+    }));
+    // Hand the child to the other worker before entering the barrier
+    // (yield keeps the second worker runnable on oversubscribed boxes).
+    while (!started.load(std::memory_order_seq_cst)) {
+      std::this_thread::yield();
+    }
+    rt.wait_all();  // in-task: nothing to help — a pure remote wait
+    wake.store(sigrt::support::now_ns(), std::memory_order_seq_cst);
+  }));
+  rt.wait_all();
+  return wake.load() - last_end.load();
+}
+
+WakeSide percentiles(std::vector<std::int64_t>& ns) {
+  std::sort(ns.begin(), ns.end());
+  WakeSide s;
+  s.p50_us = static_cast<double>(ns[ns.size() / 2]) * 1e-3;
+  s.p99_us = static_cast<double>(ns[ns.size() * 99 / 100]) * 1e-3;
+  return s;
+}
+
+struct WakeRecord {
+  unsigned rounds = 0;
+  WakeSide event;
+  WakeSide poll;
+};
+
+WakeRecord measure_barrier_wake(unsigned rounds) {
+  const auto make_config = [](bool event_wakeup) {
+    sigrt::RuntimeConfig c;
+    c.workers = 2;
+    c.policy = sigrt::PolicyKind::Agnostic;  // pass-through: untimed parks
+    c.record_task_log = false;
+    c.event_wakeup = event_wakeup;  // false = the PR-5 yield/50 us baseline
+    return c;
+  };
+  // Both runtimes persist across the measurement and rounds alternate
+  // between them, so machine noise lands on both sides equally.
+  sigrt::Runtime rt_event(make_config(true));
+  sigrt::Runtime rt_poll(make_config(false));
+  for (unsigned r = 0; r < 4; ++r) {
+    (void)wake_round(rt_event);
+    (void)wake_round(rt_poll);
+  }
+  std::vector<std::int64_t> ns_event, ns_poll;
+  ns_event.reserve(rounds);
+  ns_poll.reserve(rounds);
+  for (unsigned r = 0; r < rounds; ++r) {
+    ns_event.push_back(wake_round(rt_event));
+    ns_poll.push_back(wake_round(rt_poll));
+  }
+  WakeRecord rec;
+  rec.rounds = rounds;
+  rec.event = percentiles(ns_event);
+  rec.poll = percentiles(ns_poll);
   return rec;
 }
 
@@ -185,6 +345,8 @@ int main(int, char**) {
         measure(sigrt::PolicyKind::Agnostic, 1.0, w, /*max_warmup=*/6));
     records.push_back(measure(sigrt::PolicyKind::LQH, 0.5, w, /*max_warmup=*/6));
   }
+  const DeepChainRecord chain = measure_deep_chain(/*rounds=*/32);
+  const WakeRecord wake = measure_barrier_wake(/*rounds=*/250);
 
   std::printf("{\"bench\":\"micro_nested\",\"fib_n\":%d,\"cutoff\":%d,"
               "\"depth\":%d,\"sig_decay\":%.2f,\"cells\":[",
@@ -195,10 +357,28 @@ int main(int, char**) {
         "%s{\"policy\":\"%s\",\"ratio\":%.2f,\"workers\":%u,\"tasks\":%" PRIu64
         ",\"accurate\":%" PRIu64 ",\"approximate\":%" PRIu64
         ",\"allocs\":%" PRIu64
-        ",\"allocs_per_task\":%.6f,\"wall_s\":%.6f,\"tasks_per_sec\":%.1f}",
+        ",\"allocs_per_task\":%.6f,\"wall_s\":%.6f,\"tasks_per_sec\":%.1f",
         i == 0 ? "" : ",", r.policy, r.ratio, r.workers, r.tasks, r.accurate,
         r.approximate, r.allocs, r.allocs_per_task, r.wall_s, r.tasks_per_sec);
+    std::printf(",\"steal_locality\":[");
+    for (std::size_t s = 0; s < r.steal_locality.size(); ++s) {
+      std::printf("%s{\"near\":%" PRIu64 ",\"far\":%" PRIu64 "}",
+                  s == 0 ? "" : ",", r.steal_locality[s].first,
+                  r.steal_locality[s].second);
+    }
+    std::printf("]}");
   }
-  std::printf("]}\n");
+  std::printf("],\"deep_chain\":{\"depth\":%d,\"rounds\":%u,\"wall_s\":%.6f,"
+              "\"handoffs\":%" PRIu64 ",\"spares_spawned\":%" PRIu64
+              ",\"allocs\":%" PRIu64 "}",
+              kChainDepth, chain.rounds, chain.wall_s, chain.handoffs,
+              chain.spares_spawned, chain.allocs);
+  std::printf(
+      ",\"barrier_wake\":{\"rounds\":%u,"
+      "\"event\":{\"p50_us\":%.2f,\"p99_us\":%.2f},"
+      "\"poll\":{\"p50_us\":%.2f,\"p99_us\":%.2f},\"p99_ratio\":%.2f}}\n",
+      wake.rounds, wake.event.p50_us, wake.event.p99_us, wake.poll.p50_us,
+      wake.poll.p99_us,
+      wake.event.p99_us > 0.0 ? wake.poll.p99_us / wake.event.p99_us : 0.0);
   return 0;
 }

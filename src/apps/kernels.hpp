@@ -97,6 +97,33 @@ inline void sobel_row_approx(std::uint8_t* res, const std::uint8_t* img,
   table().sobel_row_approx(res, img, w, row, x0, x1);
 }
 
+// --- cache-tiled sobel bands ----------------------------------------------
+// A full-width pass over consecutive rows streams (rows+2) * w input bytes;
+// once ~4 rows stop fitting in L2 the three-row halo of row y is evicted
+// before row y+1 can reuse it and every input byte is fetched from
+// L3/DRAM three times.  The band entry points below restore the reuse for
+// arbitrarily wide images by walking column strips of `tile_cols` pixels
+// down the whole band before advancing to the next strip, so a strip's
+// halo stays L2-resident for every row that touches it.  Output is
+// byte-identical to the per-row calls (same kernels, same spans).
+
+/// Column-strip width (pixels) that keeps one strip of a `band_rows`-row
+/// band L2-resident: (band_rows + 2) input rows + band_rows output rows of
+/// the strip are budgeted into half the probed per-core L2 (256 KiB
+/// fallback when the probe reports nothing).  Clamped to [64, w].
+[[nodiscard]] std::size_t sobel_tile_cols(std::size_t w,
+                                          std::size_t band_rows) noexcept;
+
+/// Sobel rows [y0, y1) over the interior span [1, w-1), column-tiled.
+/// `tile_cols` == 0 derives the strip width from sobel_tile_cols(); callers
+/// guarantee 1 <= y0 <= y1 <= h-1 (same halo contract as the row calls).
+void sobel_band_accurate(std::uint8_t* res, const std::uint8_t* img,
+                         std::size_t w, std::size_t y0, std::size_t y1,
+                         std::size_t tile_cols = 0);
+void sobel_band_approx(std::uint8_t* res, const std::uint8_t* img,
+                       std::size_t w, std::size_t y0, std::size_t y1,
+                       std::size_t tile_cols = 0);
+
 inline void dct_block_band(float* block, const std::uint8_t* img,
                            std::size_t stride, std::size_t px0, std::size_t py0,
                            std::size_t band, const double* ct,

@@ -1,5 +1,7 @@
 #include "apps/sobel.hpp"
 
+#include <algorithm>
+
 #include "apps/kernels.hpp"
 #include "metrics/quality.hpp"
 #include "perforation/perforate.hpp"
@@ -20,15 +22,18 @@ void sbl_task(std::uint8_t* res, const std::uint8_t* img, std::size_t w,
   kern::sobel_row_accurate(res, img, w, row, 1, w - 1);
 }
 
-void sbl_task_appr(std::uint8_t* res, const std::uint8_t* img, std::size_t w,
-                   std::size_t row) {
-  kern::sobel_row_approx(res, img, w, row, 1, w - 1);
-}
-
 // Listing 1: significance cycles over rows so approximated rows are spread
 // uniformly and the special values 0.0 / 1.0 are avoided.
 double row_significance(std::size_t row) {
   return static_cast<double>(row % 9 + 1) / 10.0;
+}
+
+// Auto task granularity: one row per task while a full-width strip of a
+// one-row band stays L2-resident (the row-major pass then reuses the halo
+// for free and banding would only coarsen significance), 8-row bands once
+// the image is wide enough that kernels.hpp has to column-tile.
+std::size_t band_rows_for(std::size_t w) {
+  return kern::sobel_tile_cols(w, 1) >= w ? 1 : 8;
 }
 
 }  // namespace
@@ -44,16 +49,20 @@ double ratio_for(Degree degree) noexcept {
 
 Image reference(const Image& input) {
   Image out(input.width(), input.height());
-  for (std::size_t y = 1; y + 1 < input.height(); ++y) {
-    sbl_task(out.data(), input.data(), input.width(), y);
+  if (input.height() >= 2) {
+    // Column-tiled band pass: byte-identical to the row loop (same
+    // dispatched kernels), cache-resident for arbitrarily wide images.
+    kern::sobel_band_accurate(out.data(), input.data(), input.width(), 1,
+                              input.height() - 1);
   }
   return out;
 }
 
 Image reference_approx(const Image& input) {
   Image out(input.width(), input.height());
-  for (std::size_t y = 1; y + 1 < input.height(); ++y) {
-    sbl_task_appr(out.data(), input.data(), input.width(), y);
+  if (input.height() >= 2) {
+    kern::sobel_band_approx(out.data(), input.data(), input.width(), 1,
+                            input.height() - 1);
   }
   return out;
 }
@@ -90,13 +99,21 @@ RunResult run(const Options& options, Image* out) {
                        .out(res + i * w, w));
         });
       } else {
-        for (std::size_t i = 1; i + 1 < h; ++i) {
-          rt.spawn(task([=] { sbl_task(res, img, w, i); })
-                       .approx([=] { sbl_task_appr(res, img, w, i); })
-                       .significance(row_significance(i))
-                       .group(g)
-                       .in(img, w * h)
-                       .out(res + i * w, w));
+        // One task per band (band == 1 row for ordinary widths — the
+        // historical per-row shape).  The band body walks column strips so
+        // the strip halo stays L2-resident on wide images.
+        const std::size_t band =
+            options.band_rows != 0 ? options.band_rows : band_rows_for(w);
+        for (std::size_t y0 = 1; y0 + 1 < h; y0 += band) {
+          const std::size_t y1 = std::min(y0 + band, h - 1);
+          rt.spawn(
+              task([=] { kern::sobel_band_accurate(res, img, w, y0, y1); })
+                  .approx(
+                      [=] { kern::sobel_band_approx(res, img, w, y0, y1); })
+                  .significance(row_significance(y0))
+                  .group(g)
+                  .in(img, w * h)
+                  .out(res + y0 * w, (y1 - y0) * w));
         }
       }
       rt.wait_group(g);  // taskwait label(sobel) ratio(...)

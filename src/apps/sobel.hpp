@@ -25,6 +25,12 @@ struct Options {
   /// Override the degree->ratio mapping when >= 0 (used by the Figure 1
   /// quadrant study, which sweeps arbitrary ratios).
   double ratio_override = -1.0;
+
+  /// Rows per spawned task (0 = auto: one row while a few full-width rows
+  /// stay L2-resident — the historical shape — switching to 8-row bands on
+  /// wider images so the column tiling in kernels.hpp has rows to share a
+  /// strip across).  Band significance follows the band's first row.
+  std::size_t band_rows = 0;
 };
 
 /// Accurate-task ratio for a degree (Table 1: 80% / 30% / 0%).

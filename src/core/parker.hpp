@@ -1,0 +1,185 @@
+// Per-thread two-phase parker and the barrier-waiter handle that wires a
+// task's last-child completion (or a group's quiescence) to whatever the
+// waiting thread is currently sleeping on.
+//
+// Why this exists: an in-task taskwait is a *helping* barrier — the waiter
+// keeps executing other tasks — but when nothing is acquirable the awaited
+// children are in flight on other threads and, before this header, the
+// waiter could only poll (yield escalating to 50 µs sleeps).  Completions
+// now notify the waiter directly:
+//
+//   waiter                                 completer (last child)
+//   ------                                 ---------
+//   1. register waiter on task/group       1. children.fetch_sub == 1
+//      + seq_cst fence                        + seq_cst fence
+//   2. re-check barrier + queues           2. load waiter pointer
+//   3a. open/work -> don't park            3. waiter->notify()
+//   3b. closed    -> park
+//
+// The two seq_cst fences are the same Dekker argument as eventcount.hpp:
+// at least one side observes the other, so a parked waiter cannot miss the
+// zero crossing.
+//
+// A waiter may be parked in one of two ways — on its *scheduler eventcount
+// slot* (a slot-owning worker: producer wakes keep reaching it, so new work
+// still gets helped) or on the Parker below (a thread that handed its slot
+// to a spare and is blocked for real).  notify() covers both targets; a
+// notification aimed at a stale target only wakes somebody spuriously, and
+// every park in this codebase re-checks its condition on wake.
+//
+// Lifetime: BarrierWaiter handles are leased per thread from an immortal
+// freelist (this_thread_waiter()).  A completer that loaded the pointer
+// races only against the waiter *moving on*, never against the memory
+// dying — a late notify() hits a pooled handle that is either idle or
+// owned by some other thread, both harmless.  The freelist head is a
+// global, so handles stay reachable at exit (no leak reports).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+namespace sigrt {
+
+/// One-thread two-phase park/unpark: the single-slot analogue of
+/// EventCount (see eventcount.hpp for the protocol discussion).  Used by
+/// blocked (slot-less) barrier waiters, where no producer needs to find
+/// the sleeper — only the barrier's completion side does.
+class Parker {
+ public:
+  /// Phase 1 (owner thread): announce intent to sleep.  Follow with a
+  /// re-check of the wait condition, then cancel_park() or park().
+  void prepare_park() noexcept {
+    state_.store(kParked, std::memory_order_seq_cst);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+  }
+
+  /// Re-check found the condition satisfied: revoke (swallowing any
+  /// notification that raced in).
+  void cancel_park() noexcept {
+    state_.exchange(kIdle, std::memory_order_acq_rel);
+  }
+
+  /// Phase 2: block until unpark() arrives (returns immediately when one
+  /// raced in between prepare and park).
+  void park() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    while (state_.load(std::memory_order_acquire) == kParked) cv_.wait(lock);
+    state_.store(kIdle, std::memory_order_release);
+  }
+
+  /// Timed phase 2: wakes on notification or after `timeout` (whichever is
+  /// first) — barrier waiters under a buffering policy must surface
+  /// periodically to re-flush the policy window.
+  void park_for(std::chrono::microseconds timeout) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait_for(lock, timeout, [this] {
+      return state_.load(std::memory_order_acquire) != kParked;
+    });
+    state_.store(kIdle, std::memory_order_release);
+  }
+
+  /// Any thread: wake the owner iff it is parked (or mid-park).  No token
+  /// is stored for an idle owner — the two-phase re-check makes one
+  /// unnecessary, exactly as in EventCount::notify.
+  void unpark() noexcept {
+    std::uint32_t expected = kParked;
+    if (!state_.compare_exchange_strong(expected, kNotified,
+                                        std::memory_order_acq_rel,
+                                        std::memory_order_relaxed)) {
+      return;
+    }
+    { std::lock_guard<std::mutex> lock(mutex_); }
+    cv_.notify_one();
+  }
+
+ private:
+  enum : std::uint32_t { kIdle = 0, kParked = 1, kNotified = 2 };
+  std::atomic<std::uint32_t> state_{kIdle};
+  std::mutex mutex_;
+  std::condition_variable cv_;
+};
+
+/// The wake-target handle a barrier waiter registers on a Task (children
+/// scope) or TaskGroup (quiescence scope).  notify() is safe from any
+/// thread at any time: it touches only this handle, which the freelist
+/// keeps alive for the program's lifetime.
+struct BarrierWaiter {
+  Parker parker;
+
+  /// When the waiter is parked on a scheduler eventcount slot, these name
+  /// it: sched_notify(sched, worker) delivers the wake (a trampoline to
+  /// Scheduler::notify_worker — kept as an erased pointer so this header
+  /// depends on neither scheduler.hpp nor vice versa).  sched == nullptr
+  /// means the waiter is parker-parked (or not parked at all).
+  std::atomic<void*> sched{nullptr};
+  std::atomic<unsigned> worker{0};
+  /// Atomic because a STALE notifier (from a barrier this waiter already
+  /// left — tolerated, it is just a spurious wake) may read it while the
+  /// waiter re-registers for a new park.  The sched release/acquire pair
+  /// still orders the store for current notifiers, and the value is the
+  /// same trampoline every time, so relaxed accesses suffice.
+  std::atomic<void (*)(void*, unsigned)> sched_notify{nullptr};
+
+  BarrierWaiter* next_free = nullptr;  ///< freelist linkage (under its mutex)
+
+  void notify() noexcept {
+    if (void* s = sched.load(std::memory_order_acquire)) {
+      sched_notify.load(std::memory_order_relaxed)(
+          s, worker.load(std::memory_order_relaxed));
+    }
+    parker.unpark();
+  }
+};
+
+namespace detail {
+
+struct WaiterFreelist {
+  std::mutex mutex;
+  BarrierWaiter* head = nullptr;
+};
+
+inline WaiterFreelist& waiter_freelist() {
+  // Function-local static: immortal (never destroyed before thread-local
+  // leases), and the head keeps every handle reachable at exit.
+  static WaiterFreelist* fl = new WaiterFreelist;
+  return *fl;
+}
+
+/// Thread-lifetime lease: returns the handle to the freelist at thread
+/// exit, so retiring spare threads recycle instead of dangling.
+struct WaiterLease {
+  BarrierWaiter* w = nullptr;
+  ~WaiterLease() {
+    if (w == nullptr) return;
+    w->sched.store(nullptr, std::memory_order_relaxed);
+    WaiterFreelist& fl = waiter_freelist();
+    std::lock_guard<std::mutex> lock(fl.mutex);
+    w->next_free = fl.head;
+    fl.head = w;
+  }
+};
+
+}  // namespace detail
+
+/// The calling thread's pooled barrier-waiter handle (allocated on first
+/// use, recycled across thread lifetimes — steady-state barrier parks
+/// allocate nothing).
+inline BarrierWaiter* this_thread_waiter() {
+  thread_local detail::WaiterLease lease;
+  if (lease.w == nullptr) {
+    detail::WaiterFreelist& fl = detail::waiter_freelist();
+    std::lock_guard<std::mutex> lock(fl.mutex);
+    if (fl.head != nullptr) {
+      lease.w = fl.head;
+      fl.head = lease.w->next_free;
+      lease.w->next_free = nullptr;
+    } else {
+      lease.w = new BarrierWaiter;
+    }
+  }
+  return lease.w;
+}
+
+}  // namespace sigrt

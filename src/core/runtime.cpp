@@ -6,6 +6,8 @@
 #include <stdexcept>
 #include <thread>
 
+#include "core/parker.hpp"
+#include "core/topology.hpp"
 #include "support/rng.hpp"
 #include "support/timer.hpp"
 
@@ -29,6 +31,19 @@ struct ThreadTaskFrame {
   const ThreadTaskFrame* prev = nullptr;
 };
 thread_local ThreadTaskFrame tls_task_frame;
+
+// Nested helping-barrier frames live on this thread's stack right now.
+// Each helping iteration can execute an arbitrary task body, which may
+// itself barrier — so C++ stack depth grows with this counter, and the
+// elastic pool's helping-depth cap bounds it by switching too-deep waiters
+// from helping to a slot handoff + real block.
+thread_local unsigned tls_help_depth = 0;
+
+// Work-first throttle recursion bound: run_now re-enters spawn_impl through
+// the inlined body, and an adversarial spawn chain (each inlined task
+// spawning over a still-full queue) would otherwise recurse without limit.
+thread_local unsigned tls_inline_spawn_depth = 0;
+constexpr unsigned kMaxInlineSpawnDepth = 64;
 
 // Completion scratch, leased per execute_task completion section instead of
 // being a bare thread_local vector: an in-task taskwait re-enters
@@ -54,6 +69,22 @@ struct ScratchPool {
 };
 thread_local ScratchPool tls_scratch_pool;
 
+// Dependence-tracker stripe count: explicit config wins (snapped to a
+// power of two within the tracker's mask-width ceiling), otherwise the CPU
+// topology recommends ~4 stripes per worker.
+unsigned resolve_dep_stripes(const RuntimeConfig& config) {
+  const unsigned workers = config.workers == 0 ? 1 : config.workers;
+  unsigned stripes = config.dep_stripes != 0
+                         ? config.dep_stripes
+                         : topo::system_topology().recommended_stripes(workers);
+  if (stripes < 1) stripes = 1;
+  if (stripes > dep::BlockTracker::kMaxStripes) {
+    stripes = dep::BlockTracker::kMaxStripes;
+  }
+  while ((stripes & (stripes - 1)) != 0) stripes &= stripes - 1;  // floor pow2
+  return stripes;
+}
+
 CompletionScratch* acquire_scratch() {
   if (CompletionScratch* s = tls_scratch_pool.head) {
     tls_scratch_pool.head = s->next;
@@ -78,7 +109,7 @@ TaskId current_task_id() noexcept {
 
 Runtime::Runtime(RuntimeConfig config)
     : config_(config),
-      tracker_(config.block_bytes),
+      tracker_(config.block_bytes, resolve_dep_stripes(config)),
       policy_(make_policy(config)),
       pass_through_(policy_->pass_through()),
       group_table_(new std::atomic<TaskGroup*>[kGroupFastTableSize]),
@@ -95,6 +126,12 @@ Runtime::Runtime(RuntimeConfig config)
   // worker-local history, with no locks on the path.  The hooks are plain
   // function pointers over `this` — captureless trampolines, no
   // std::function type erasure anywhere on the execute path.
+  // Elastic-pool sizing rides the config; event_wakeup=false is the pure
+  // PR-5 baseline, so it also zeroes the spare budget (no handoffs ever).
+  SchedulerOptions sched_options;
+  sched_options.max_spares =
+      config_.event_wakeup ? config_.max_spare_threads : 0;
+  sched_options.spare_grace = std::chrono::milliseconds(config_.spare_grace_ms);
   scheduler_ = std::make_unique<Scheduler>(
       config_.workers, config_.unreliable_workers, config_.steal, this,
       [](void* self, Task& task, unsigned worker) {
@@ -102,7 +139,8 @@ Runtime::Runtime(RuntimeConfig config)
       },
       [](void* self, Task& task, unsigned worker) {
         static_cast<Runtime*>(self)->classify_at_dequeue(task, worker);
-      });
+      },
+      sched_options);
 
   meter_ = energy::make_best_meter(this);
 }
@@ -236,6 +274,24 @@ void Runtime::spawn_impl(TaskOptions&& options, bool internal) {
   // task on the hottest spawn path; buffering policies and tasks with
   // in()/out() clauses take the general path below.
   if (!task->has_footprint && pass_through_ && !internal) {
+    // Work-first spawn throttle: past the per-worker queue watermark, run
+    // the task inline on the spawner instead of enqueueing (the OpenMP
+    // task-creation cutoff).  Fan-out loops switch from breadth-first
+    // queue growth to depth-first execution, bounding queue memory.  Only
+    // on a slot-owning reliable worker (the task is still Undecided and
+    // must not execute on an unreliable core), and only to a bounded
+    // inline depth — each inlined body may spawn over a still-full queue.
+    if (config_.spawn_inline_watermark != 0 &&
+        tls_inline_spawn_depth < kMaxInlineSpawnDepth &&
+        scheduler_->owns_current_slot() &&
+        !scheduler_->current_worker_unreliable() &&
+        scheduler_->own_queue_depth() > config_.spawn_inline_watermark) {
+      ++tls_inline_spawn_depth;
+      inline_spawns_.fetch_add(1, std::memory_order_relaxed);
+      scheduler_->run_now(task.detach());  // donate the spawner's reference
+      --tls_inline_spawn_depth;
+      return;
+    }
     scheduler_->enqueue(std::move(task));
     return;
   }
@@ -438,7 +494,18 @@ void Runtime::execute_task(Task& task, unsigned worker) {
   // load, ordering this task's side effects (and its on_complete above)
   // before the barrier opens; then drop the child's pin on the parent.
   if (Task* parent = task.parent) {
-    parent->children.fetch_sub(1, std::memory_order_acq_rel);
+    if (parent->children.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      // Last child: wake a parked taskwait waiter (event_wakeup).  The
+      // fence pairs Dekker-style with the waiter's register-then-recheck
+      // (see parker.hpp): either this load sees the registered handle, or
+      // the waiter's post-registration recheck sees children == 0.  The
+      // notify must precede parent->release(): the waiter slot lives in
+      // the parent, which this release may recycle.
+      std::atomic_thread_fence(std::memory_order_seq_cst);
+      if (BarrierWaiter* w = parent->waiter.load(std::memory_order_acquire)) {
+        w->notify();
+      }
+    }
     parent->release();
   }
 
@@ -453,33 +520,112 @@ void Runtime::on_task_finished() {
 }
 
 template <typename Done>
-void Runtime::help_until(Done done) {
+void Runtime::help_until(Done done, Task* wtask, TaskGroup* wgroup) {
   // Helping barrier: a worker inside a task body must never block its OS
   // thread on a barrier — every worker doing so (recursive fan-out does
   // exactly this) would deadlock the pool.  Instead the waiter keeps
   // executing tasks: its own deque first (where its children just landed),
-  // then inbox/steals.  When nothing is acquirable but the barrier still
-  // holds, the awaited tasks are in flight on other workers; completions
-  // carry no helper signal, so back off with yields (the common
-  // microsecond case) escalating to short sleeps (the long-tail case)
-  // rather than a futex the completer would have to find and kick.
+  // then inbox/steals.
+  //
+  // Each nested barrier frame deepens the C++ stack by whatever the helped
+  // bodies use, so helping depth is capped (config_.helping_depth): a
+  // waiter past the cap hands its worker slot to a spare thread
+  // (detach_for_blocking) and blocks for real — parallelism survives on
+  // the spare, the stack stops growing here.  When the spare budget is
+  // exhausted, liveness wins over the stack bound and the waiter keeps
+  // helping.
+  struct DepthFrame {
+    unsigned& depth;
+    explicit DepthFrame(unsigned& d) : depth(d) { ++depth; }
+    ~DepthFrame() { --depth; }
+  } depth_frame(tls_help_depth);
+
+  // Event-driven wakeup needs a completion-side scope to hook: a task's
+  // last child (wtask) or a group's quiescence (wgroup).  Without one
+  // (wait_on's fence flag), or with event_wakeup off, fall back to the
+  // poll backoff — yield escalating to 50 µs sleeps, the PR-5 baseline.
+  const bool event = config_.event_wakeup && !scheduler_->inline_mode() &&
+                     (wtask != nullptr || wgroup != nullptr);
+  // Blocked mode: this thread no longer owns a worker slot (an enclosing
+  // barrier or BlockingSection already detached it) — it must not execute
+  // further task bodies on this stack, only park on its Parker.
+  bool blocked_mode = event && !scheduler_->owns_current_slot();
+
+  BarrierWaiter* waiter = nullptr;  // registered lazily, on first park
   int idle = 0;
   while (!done()) {
-    if (scheduler_->help_one()) {
+    if (event && !blocked_mode && tls_help_depth > config_.helping_depth &&
+        scheduler_->detach_for_blocking()) {
+      blocked_mode = true;
+    }
+    if (!blocked_mode && scheduler_->help_one()) {
       idle = 0;
       continue;
     }
     if (++idle < 16) {
       std::this_thread::yield();
-    } else {
-      // Nothing acquirable but the barrier still holds.  Under a
-      // buffering policy, re-flush before sleeping: a task executed
-      // meanwhile (here or on another worker) may have spawned into a
-      // window, and the barrier's entry-time flush cannot have seen it —
-      // without this the awaited task sits in the buffer forever.
-      if (!pass_through_) policy_->flush(kAllGroups, *this);
-      std::this_thread::sleep_for(std::chrono::microseconds(50));
+      continue;
     }
+    // Nothing acquirable but the barrier still holds.  Under a buffering
+    // policy, re-flush before sleeping: a task executed meanwhile (here or
+    // on another worker) may have spawned into a window, and the barrier's
+    // entry-time flush cannot have seen it — without this the awaited task
+    // sits in the buffer forever.
+    if (!pass_through_) policy_->flush(kAllGroups, *this);
+    if (!event) {
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+      continue;
+    }
+    // Park until the completion side notifies (see parker.hpp for the
+    // Dekker pairing with the completer).  Registration happens once and
+    // stays in place across parks; buffering policies use timed parks so
+    // the flush above re-runs periodically.
+    if (waiter == nullptr) {
+      waiter = this_thread_waiter();
+      if (wtask != nullptr) {
+        wtask->waiter.store(waiter, std::memory_order_release);
+      } else if (wgroup != nullptr) {  // always true here; placates -Wnonnull
+        wgroup->add_intask_waiter(waiter);
+      }
+    }
+    if (blocked_mode) {
+      waiter->sched.store(nullptr, std::memory_order_release);
+      waiter->parker.prepare_park();
+      if (done()) {
+        waiter->parker.cancel_park();
+        break;
+      }
+      if (pass_through_) {
+        waiter->parker.park();
+      } else {
+        waiter->parker.park_for(std::chrono::microseconds(1000));
+      }
+    } else {
+      // Slot-owning waiter parks on its scheduler eventcount slot, so
+      // producer wakes (new work published to this worker) reach it too —
+      // it surfaces, helps, and re-parks.  The completion notify routes
+      // through sched_notify -> Scheduler::notify_worker.
+      waiter->worker.store(scheduler_->current_worker(),
+                           std::memory_order_relaxed);
+      waiter->sched_notify.store(
+          [](void* s, unsigned i) {
+            static_cast<Scheduler*>(s)->notify_worker(i);
+          },
+          std::memory_order_relaxed);
+      waiter->sched.store(scheduler_.get(), std::memory_order_release);
+      scheduler_->park_worker_for_barrier(
+          [](void* ctx) { return (*static_cast<Done*>(ctx))(); }, &done,
+          pass_through_ ? std::chrono::microseconds(0)
+                        : std::chrono::microseconds(1000));
+    }
+  }
+  if (waiter != nullptr) {
+    if (wtask != nullptr) {
+      wtask->waiter.store(nullptr, std::memory_order_release);
+    } else if (wgroup != nullptr) {
+      wgroup->remove_intask_waiter(waiter);
+    }
+    waiter->sched.store(nullptr, std::memory_order_release);
   }
 }
 
@@ -490,9 +636,11 @@ void Runtime::wait_all() {
     // In-task taskwait (OpenMP semantics): barrier over THIS task's
     // children only.  A global pending==0 barrier would count the waiting
     // task itself — and any sibling waiter — and never open.
-    help_until([self] {
-      return self->children.load(std::memory_order_acquire) == 0;
-    });
+    help_until(
+        [self] {
+          return self->children.load(std::memory_order_acquire) == 0;
+        },
+        /*wtask=*/self);
     rethrow_pending_error();
     return;
   }
@@ -555,7 +703,8 @@ void Runtime::wait_group(GroupId group) {
             "children and is safe here");
       }
     }
-    help_until([&g] { return g.pending() == 0; });
+    help_until([&g] { return g.pending() == 0; }, /*wtask=*/nullptr,
+               /*wgroup=*/&g);
     rethrow_pending_error();
     return;
   }
@@ -605,6 +754,24 @@ void Runtime::wait_on(const void* ptr, std::size_t bytes) {
   rethrow_pending_error();
 }
 
+bool Runtime::begin_blocking() {
+  // Only meaningful from inside a task body of this runtime: the handoff
+  // trades the worker slot for a spare thread so the pool keeps its width
+  // while this body blocks on something external.
+  if (!config_.event_wakeup) return false;
+  if (tls_task_frame.runtime != this || tls_task_frame.task == nullptr) {
+    return false;
+  }
+  return scheduler_->detach_for_blocking();
+}
+
+PoolStats Runtime::pool_stats() const { return scheduler_->pool_stats(); }
+
+std::vector<std::pair<std::uint64_t, std::uint64_t>> Runtime::steal_locality()
+    const {
+  return scheduler_->steal_locality();
+}
+
 void Runtime::rethrow_pending_error() {
   std::exception_ptr err;
   {
@@ -628,6 +795,7 @@ RuntimeStats Runtime::stats() const {
   }
   const SchedulerStats sched = scheduler_->stats();
   s.steals = sched.steals;
+  s.inline_spawns = inline_spawns_.load(std::memory_order_relaxed);
   s.faults = faults_.load(std::memory_order_relaxed);
   s.busy_s = static_cast<double>(sched.busy_ns) * 1e-9;
   s.wall_s = static_cast<double>(support::now_ns() - start_ns_) * 1e-9;

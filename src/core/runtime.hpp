@@ -78,6 +78,9 @@ struct RuntimeStats {
   std::uint64_t dropped = 0;
   std::uint64_t steals = 0;
   std::uint64_t dep_edges = 0;
+  /// Spawns executed inline on the spawner by the work-first throttle
+  /// (own queue above spawn_inline_watermark).
+  std::uint64_t inline_spawns = 0;
   /// Approximate tasks lost to injected NTC faults (§6 extension).
   std::uint64_t faults = 0;
   double busy_s = 0.0;
@@ -153,6 +156,24 @@ class Runtime final : public energy::ActivitySource, private IssueSink {
   /// given byte range.  In-task callers help instead of blocking.
   void wait_on(const void* ptr, std::size_t bytes);
 
+  /// Declares that the calling thread is about to block outside the
+  /// runtime (a socket read, an external condvar).  From inside a task
+  /// body on a slot-owning worker this hands the worker slot to a spare
+  /// thread so the pool keeps its parallelism while the body blocks;
+  /// returns true when a handoff happened.  One-way per episode: the
+  /// thread re-pools when the task body unwinds, not when this returns.
+  /// No-op (false) from non-worker threads, in inline mode, or when
+  /// event_wakeup/max_spare_threads disable the elastic pool.
+  bool begin_blocking();
+
+  /// Elastic-pool counters (handoffs, spares, steal locality).
+  [[nodiscard]] PoolStats pool_stats() const;
+
+  /// Per-worker {near, far} steal counters, indexed by worker slot
+  /// (reporting path — allocates the result vector).
+  [[nodiscard]] std::vector<std::pair<std::uint64_t, std::uint64_t>>
+  steal_locality() const;
+
   // --- introspection -------------------------------------------------------
 
   [[nodiscard]] RuntimeStats stats() const;
@@ -187,10 +208,16 @@ class Runtime final : public energy::ActivitySource, private IssueSink {
   void classify_at_dequeue(Task& task, unsigned worker);
   void spawn_impl(TaskOptions&& options, bool internal);
   /// Helping barrier core: runs/steals tasks on the calling thread until
-  /// `done()` holds, backing off (yield, then microsleeps) when no work is
-  /// acquirable.  Only entered from inside a task body of this runtime.
+  /// `done()` holds.  With event_wakeup, a waiter that finds nothing
+  /// acquirable registers a BarrierWaiter on `wtask` (children scope) or
+  /// `wgroup` (quiescence scope) and parks — on its eventcount slot while
+  /// it owns one, on its Parker once it has handed the slot to a spare
+  /// (helping depth past the cap, or an enclosing begin_blocking()).  With
+  /// neither scope given — or event_wakeup off — it backs off by polling
+  /// (yield, then 50 µs sleeps), the PR-5 baseline.  Only entered from
+  /// inside a task body of this runtime.
   template <typename Done>
-  void help_until(Done done);
+  void help_until(Done done, Task* wtask = nullptr, TaskGroup* wgroup = nullptr);
   /// Blocking barrier core (non-task threads), on wait_mutex_/wait_cv_:
   /// a pure wake-driven sleep under pass-through policies, a 1 ms timed
   /// loop re-flushing the policy under buffering ones — a task body may
@@ -227,6 +254,7 @@ class Runtime final : public energy::ActivitySource, private IssueSink {
 
   std::atomic<TaskId> next_task_id_{1};
   std::atomic<std::uint64_t> faults_{0};
+  std::atomic<std::uint64_t> inline_spawns_{0};
   std::mutex error_mutex_;
   std::exception_ptr first_error_;
 
@@ -239,5 +267,29 @@ class Runtime final : public energy::ActivitySource, private IssueSink {
 /// caller is not inside a task body.  Thread-local, nesting-aware (helping
 /// re-entrancy restores the outer task's id when the inner one finishes).
 [[nodiscard]] TaskId current_task_id() noexcept;
+
+/// RAII wrapper over Runtime::begin_blocking() for task bodies that block
+/// on external events (sockets, pipes, foreign condvars):
+///
+///   rt.spawn(sigrt::task([&] {
+///     sigrt::BlockingSection bs(rt);   // slot handed to a spare
+///     ::recv(fd, ...);                 // pool stays at full parallelism
+///   }));
+///
+/// The destructor is deliberately a no-op: the handoff is one-way per task
+/// episode (the thread re-pools when the body unwinds), so the object only
+/// documents the blocking span and reports whether a handoff happened.
+class BlockingSection {
+ public:
+  explicit BlockingSection(Runtime& rt) : detached_(rt.begin_blocking()) {}
+  BlockingSection(const BlockingSection&) = delete;
+  BlockingSection& operator=(const BlockingSection&) = delete;
+
+  /// True when the worker slot was actually handed to a spare thread.
+  [[nodiscard]] bool detached() const noexcept { return detached_; }
+
+ private:
+  bool detached_;
+};
 
 }  // namespace sigrt

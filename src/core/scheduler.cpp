@@ -19,6 +19,13 @@ namespace {
 thread_local Scheduler* tls_scheduler = nullptr;
 thread_local unsigned tls_worker = 0;
 
+// Slot ownership (elastic pool): set while this thread owns worker slot
+// tls_worker.  A thread that detached for blocking keeps tls_scheduler /
+// tls_worker (its task body is still on the stack) but loses this flag —
+// every owner-only path (deque push/pop, single-writer counters, helping)
+// must check it, because a spare thread may own the slot concurrently.
+thread_local bool tls_owns_slot = false;
+
 // Cycles charged by execution frames nested inside the current one: an
 // in-task taskwait re-enters execution on this thread (help_one), and the
 // outer frame's wall-clock span includes every inner task it helped run.
@@ -29,12 +36,15 @@ thread_local std::uint64_t tls_inner_cycles = 0;
 }  // namespace
 
 Scheduler::Scheduler(unsigned workers, unsigned unreliable, bool steal,
-                     void* ctx, ExecuteFn execute, DequeueFn on_dequeue)
+                     void* ctx, ExecuteFn execute, DequeueFn on_dequeue,
+                     SchedulerOptions options)
     : steal_enabled_(steal),
       ctx_(ctx),
       execute_(execute),
       on_dequeue_(on_dequeue),
-      ec_(workers) {
+      ec_(workers),
+      max_spares_(options.max_spares),
+      spare_grace_(options.spare_grace) {
   assert(execute_ != nullptr && "scheduler needs an execute callback");
   worker_total_ = workers;
   if (workers > 0) {
@@ -43,17 +53,27 @@ Scheduler::Scheduler(unsigned workers, unsigned unreliable, bool steal,
   } else {
     reliable_count_ = 1;  // the inline pseudo-worker (index 0) is reliable
   }
+  const topo::Topology& topology = options.topology != nullptr
+                                       ? *options.topology
+                                       : topo::system_topology();
   slots_.reserve(workers);
   for (unsigned i = 0; i < workers; ++i) {
     auto slot = std::make_unique<WorkerSlot>();
     // Deterministic per-worker stream; only used for steal-victim
     // randomization, so it does not affect steal-off reproducibility.
     slot->rng = support::Xoshiro256(0x51eea1u + i * 0x9e3779b97f4a7c15ULL);
+    // Nearest-first victim order: steals prefer cache-sharing workers, so
+    // a stolen task's inputs travel through the LLC instead of memory.
+    slot->steal_order = topology.steal_order(i, workers);
+    slot->near_count = topology.near_victims(i, workers);
     slots_.push_back(std::move(slot));
   }
-  workers_.reserve(workers);
-  for (unsigned i = 0; i < workers; ++i) {
-    workers_.emplace_back([this, i] { worker_loop(i); });
+  {
+    std::lock_guard<std::mutex> lk(pool_mutex_);
+    pool_threads_.reserve(workers);
+    for (unsigned i = 0; i < workers; ++i) {
+      spawn_pool_thread_locked(static_cast<int>(i));
+    }
   }
 }
 
@@ -65,7 +85,21 @@ Scheduler::~Scheduler() {
   // drain all work still visible to them before exiting.
   stopping_.store(true, std::memory_order_seq_cst);
   ec_.notify_all();
-  for (auto& t : workers_) t.join();
+  {
+    // Spares parked in the pool see `stopping` on wake and exit; a detach
+    // in flight holds pool_mutex_, so by the time we collect the thread
+    // list below no further spawns are possible.
+    std::lock_guard<std::mutex> lk(pool_mutex_);
+    pool_cv_.notify_all();
+  }
+  std::vector<std::unique_ptr<PoolThread>> threads;
+  {
+    std::lock_guard<std::mutex> lk(pool_mutex_);
+    threads.swap(pool_threads_);
+  }
+  for (auto& pt : threads) {
+    if (pt->th.joinable()) pt->th.join();
+  }
 
   // A quiesced shutdown leaves every deque and inbox empty.  Debug builds
   // treat leftovers as fatal; release builds drop the donated references so
@@ -156,8 +190,9 @@ void Scheduler::enqueue_owned(Task* task, bool post_body) {
   // Owner fast path: dependents released by a worker stay on its own
   // deque — a pure owner push, no shared CAS.  An unreliable worker may
   // not host kReliableOnly work; it falls through to remote dispatch onto
-  // a reliable worker's inbox.
-  if (tls_scheduler == this &&
+  // a reliable worker's inbox.  A detached thread (slot handed to a spare)
+  // lost its deque — it dispatches remotely like any non-worker.
+  if (tls_scheduler == this && tls_owns_slot &&
       (part == kAnyWorker || !is_unreliable(tls_worker))) {
     WorkerSlot& me = *slots_[tls_worker];
     me.deque[part].push(task);
@@ -235,7 +270,7 @@ void Scheduler::enqueue_bulk(Task* const* tasks, std::size_t count) {
   // inboxes, then hands out wakes so thieves can share the batch.  The
   // batch is pushed in reverse so the owner's LIFO pop returns it in issue
   // order — the same per-worker FIFO the inbox drain establishes.
-  if (tls_scheduler == this) {
+  if (tls_scheduler == this && tls_owns_slot) {
     const bool reliable_owner = !is_unreliable(tls_worker);
     WorkerSlot& me = *slots_[tls_worker];
     unsigned own = 0;
@@ -354,7 +389,9 @@ bool Scheduler::help_one() {
     task->release();
     return true;
   }
-  if (tls_scheduler != this) return false;
+  // Detached threads must not touch the deques: the slot's new owner is
+  // the single Chase-Lev owner now.
+  if (tls_scheduler != this || !tls_owns_slot) return false;
   Task* raw = acquire_work(tls_worker);
   if (raw == nullptr) return false;
   run_task(raw, tls_worker);
@@ -446,14 +483,7 @@ Task* Scheduler::try_steal(unsigned thief) {
   WorkerSlot& me = *slots_[thief];
   const bool reliable = !is_unreliable(thief);
 
-  // Randomized victim order: a random start with a full linear sweep keeps
-  // the scan exhaustive (required for the parking protocol) while avoiding
-  // the seed's convoy where every thief probes victim (self+1) first.
-  const unsigned start = static_cast<unsigned>(me.rng.bounded(n));
-  for (unsigned off = 0; off < n; ++off) {
-    unsigned v = start + off;
-    if (v >= n) v -= n;
-    if (v == thief) continue;
+  const auto probe = [&](unsigned v) -> Task* {
     WorkerSlot& victim = *slots_[v];
     if (reliable) {
       if (Task* t = victim.deque[kReliableOnly].steal()) {
@@ -471,6 +501,38 @@ Task* Scheduler::try_steal(unsigned thief) {
       if (Task* t = raid_inbox(thief, v, kReliableOnly)) return t;
     }
     if (Task* t = raid_inbox(thief, v, kAnyWorker)) return t;
+    return nullptr;
+  };
+
+  // Nearest-first, convoy-free: victims are probed by ascending topology
+  // distance (precomputed per worker), with a random start WITHIN each of
+  // the near/far segments — same-cache thieves share a victim set, and
+  // without the rotation they would all probe it in the same order.  The
+  // sweep stays exhaustive (required for the parking protocol).
+  const std::vector<unsigned>& order = me.steal_order;
+  const std::size_t near = me.near_count;
+  if (near > 0) {
+    const std::size_t start = static_cast<std::size_t>(me.rng.bounded(near));
+    for (std::size_t k = 0; k < near; ++k) {
+      std::size_t idx = start + k;
+      if (idx >= near) idx -= near;
+      if (Task* t = probe(order[idx])) {
+        me.near_steals.fetch_add(1, std::memory_order_relaxed);
+        return t;
+      }
+    }
+  }
+  const std::size_t far = order.size() - near;
+  if (far > 0) {
+    const std::size_t start = static_cast<std::size_t>(me.rng.bounded(far));
+    for (std::size_t k = 0; k < far; ++k) {
+      std::size_t idx = start + k;
+      if (idx >= far) idx -= far;
+      if (Task* t = probe(order[near + idx])) {
+        me.far_steals.fetch_add(1, std::memory_order_relaxed);
+        return t;
+      }
+    }
   }
   return nullptr;
 }
@@ -524,25 +586,37 @@ std::uint64_t Scheduler::run_body_timed(Task& task, unsigned worker) {
 }
 
 void Scheduler::run_task(Task* raw, unsigned index) {
-  WorkerSlot& slot = *slots_[index];
   const std::uint64_t cycles = run_body_timed(*raw, index);
-  // Single-writer counters: the owning worker is the only mutator, so a
-  // plain load+store (no lock-prefixed RMW) is enough; readers (stats) are
-  // documented as approximate while workers run.
-  slot.busy_cycles.store(slot.busy_cycles.load(std::memory_order_relaxed) + cycles,
-                         std::memory_order_relaxed);
-  slot.executed.store(slot.executed.load(std::memory_order_relaxed) + 1,
-                      std::memory_order_relaxed);
+  if (tls_scheduler == this && tls_owns_slot && tls_worker == index) {
+    // Single-writer counters: the owning worker is the only mutator, so a
+    // plain load+store (no lock-prefixed RMW) is enough; readers (stats)
+    // are documented as approximate while workers run.
+    WorkerSlot& slot = *slots_[index];
+    slot.busy_cycles.store(
+        slot.busy_cycles.load(std::memory_order_relaxed) + cycles,
+        std::memory_order_relaxed);
+    slot.executed.store(slot.executed.load(std::memory_order_relaxed) + 1,
+                        std::memory_order_relaxed);
+  } else {
+    // The body detached mid-task (blocking handoff): slot `index` has a
+    // new owner writing those counters, so detached completions accumulate
+    // in shared atomics instead.
+    detached_busy_cycles_.fetch_add(cycles, std::memory_order_relaxed);
+    detached_executed_.fetch_add(1, std::memory_order_relaxed);
+  }
   // Drop the in-flight reference the enqueuer donated; typically the last
   // one, returning the slot to the pool via the remote-free chain.
   raw->release();
 }
 
 void Scheduler::worker_loop(unsigned index) {
-  tls_scheduler = this;
   tls_worker = index;
+  tls_owns_slot = true;
   WorkerSlot& slot = *slots_[index];
   while (true) {
+    // A task body may have detached this thread (blocking handoff): the
+    // slot belongs to a spare now — unwind to the pool.
+    if (!tls_owns_slot) return;
     slot.state.store(WorkerState::Scanning, std::memory_order_relaxed);
     if (Task* raw = acquire_work(index)) {
       slot.state.store(WorkerState::Running, std::memory_order_relaxed);
@@ -583,6 +657,177 @@ void Scheduler::worker_loop(unsigned index) {
   }
 }
 
+void Scheduler::thread_main(PoolThread* self, int slot) {
+  tls_scheduler = this;
+  for (;;) {
+    if (slot >= 0) {
+      worker_loop(static_cast<unsigned>(slot));
+      tls_owns_slot = false;
+      slot = -1;
+    }
+    // Spare pool: wait for a freed slot (a worker detaching to block), or
+    // retire once surplus and idle past the grace period.  Base-pool
+    // threads (live <= worker_total_) never retire — they wait out the
+    // grace and loop.
+    std::unique_lock<std::mutex> lk(pool_mutex_);
+    for (;;) {
+      if (!free_slots_.empty()) {
+        slot = static_cast<int>(free_slots_.back());
+        free_slots_.pop_back();
+        break;
+      }
+      if (stopping_.load(std::memory_order_acquire)) {
+        --live_threads_;
+        self->exited.store(true, std::memory_order_release);
+        return;
+      }
+      ++idle_spares_;
+      const bool signaled = pool_cv_.wait_for(lk, spare_grace_, [this] {
+        return stopping_.load(std::memory_order_acquire) ||
+               !free_slots_.empty();
+      });
+      --idle_spares_;
+      if (!signaled && live_threads_ > worker_total_) {
+        --live_threads_;
+        ++spares_retired_;
+        self->exited.store(true, std::memory_order_release);
+        return;
+      }
+    }
+  }
+}
+
+void Scheduler::reap_exited_locked() {
+  for (std::size_t i = 0; i < pool_threads_.size();) {
+    if (pool_threads_[i]->exited.load(std::memory_order_acquire)) {
+      // The flag is the thread's last store before returning; join is
+      // effectively immediate.
+      if (pool_threads_[i]->th.joinable()) pool_threads_[i]->th.join();
+      pool_threads_[i] = std::move(pool_threads_.back());
+      pool_threads_.pop_back();
+    } else {
+      ++i;
+    }
+  }
+}
+
+void Scheduler::spawn_pool_thread_locked(int slot) {
+  reap_exited_locked();
+  auto pt = std::make_unique<PoolThread>();
+  PoolThread* raw = pt.get();
+  ++live_threads_;
+  if (slot < 0) ++spares_spawned_;
+  pool_threads_.push_back(std::move(pt));
+  raw->th = std::thread([this, raw, slot] { thread_main(raw, slot); });
+}
+
+bool Scheduler::detach_for_blocking() {
+  if (inline_mode() || tls_scheduler != this || !tls_owns_slot) return false;
+  if (max_spares_ == 0) return false;
+  {
+    std::lock_guard<std::mutex> lk(pool_mutex_);
+    if (stopping_.load(std::memory_order_acquire)) return false;
+    const bool idle_available = idle_spares_ > 0;
+    if (!idle_available && live_threads_ >= worker_total_ + max_spares_) {
+      return false;  // budget exhausted: caller must keep helping
+    }
+    free_slots_.push_back(tls_worker);
+    ++handoffs_;
+    if (idle_available) {
+      pool_cv_.notify_one();
+    } else {
+      spawn_pool_thread_locked(-1);
+    }
+  }
+  // The mutex above orders our last owner-side deque operations before the
+  // adopting thread's first — the Chase-Lev single-owner handoff edge.
+  tls_owns_slot = false;
+  return true;
+}
+
+bool Scheduler::owns_current_slot() const noexcept {
+  return tls_scheduler == this && tls_owns_slot;
+}
+
+unsigned Scheduler::current_worker() const noexcept { return tls_worker; }
+
+bool Scheduler::current_worker_unreliable() const noexcept {
+  return tls_scheduler == this && tls_owns_slot && is_unreliable(tls_worker);
+}
+
+std::size_t Scheduler::own_queue_depth() const noexcept {
+  if (tls_scheduler != this || !tls_owns_slot) return 0;
+  const WorkerSlot& me = *slots_[tls_worker];
+  const std::int64_t a = me.deque[kReliableOnly].size();
+  const std::int64_t b = me.deque[kAnyWorker].size();
+  return static_cast<std::size_t>(a > 0 ? a : 0) +
+         static_cast<std::size_t>(b > 0 ? b : 0);
+}
+
+void Scheduler::run_now(Task* task) {
+  assert(tls_scheduler == this && tls_owns_slot &&
+         "run_now requires a slot-owning worker");
+  assert_enqueue_ok(*task);
+  run_task(task, tls_worker);
+}
+
+bool Scheduler::park_worker_for_barrier(bool (*open)(void*), void* ctx,
+                                        std::chrono::microseconds timeout) {
+  if (tls_scheduler != this || !tls_owns_slot) return false;
+  const unsigned i = tls_worker;
+  // Two-phase park, with the BARRIER condition folded into the re-check:
+  // the completion side (last-child decrement / group quiescence) issues
+  // its fence before loading the waiter it notifies, so either our
+  // re-check sees the barrier open or the completer sees kWaiting and
+  // delivers the wake.  Producers publishing new work wake this slot the
+  // same way they wake an idle worker — a parked helper stays live for
+  // both events.
+  ec_.prepare_wait(i);
+  if (stopping_.load(std::memory_order_acquire) || open(ctx) ||
+      has_visible_work(i)) {
+    ec_.cancel_wait(i);
+    return false;
+  }
+  WorkerSlot& slot = *slots_[i];
+  slot.state.store(WorkerState::Sleeping, std::memory_order_relaxed);
+  if (timeout.count() > 0) {
+    ec_.commit_wait_for(i, timeout);
+  } else {
+    ec_.commit_wait(i);
+  }
+  slot.state.store(WorkerState::Scanning, std::memory_order_relaxed);
+  return true;
+}
+
+PoolStats Scheduler::pool_stats() const {
+  PoolStats p;
+  {
+    std::lock_guard<std::mutex> lk(
+        const_cast<Scheduler*>(this)->pool_mutex_);
+    p.handoffs = handoffs_;
+    p.spares_spawned = spares_spawned_;
+    p.spares_retired = spares_retired_;
+    p.live_threads = live_threads_;
+    p.idle_spares = idle_spares_;
+  }
+  for (const auto& slot : slots_) {
+    p.near_steals += slot->near_steals.load(std::memory_order_relaxed);
+    p.far_steals += slot->far_steals.load(std::memory_order_relaxed);
+  }
+  return p;
+}
+
+std::vector<std::pair<std::uint64_t, std::uint64_t>> Scheduler::steal_locality()
+    const {
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> out;
+  out.reserve(slots_.size());
+  for (const auto& slot : slots_) {
+    out.emplace_back(slot->near_steals.load(std::memory_order_relaxed),
+                     slot->far_steals.load(std::memory_order_relaxed));
+  }
+  return out;
+}
+
 SchedulerStats Scheduler::stats() const {
   SchedulerStats s;
   std::uint64_t cycles = inline_busy_cycles_;
@@ -592,6 +837,8 @@ SchedulerStats Scheduler::stats() const {
     cycles += slot->busy_cycles.load(std::memory_order_relaxed);
   }
   s.executed += inline_executed_;
+  s.executed += detached_executed_.load(std::memory_order_relaxed);
+  cycles += detached_busy_cycles_.load(std::memory_order_relaxed);
   s.busy_ns = support::CycleClock::to_ns(cycles);
   return s;
 }
@@ -599,7 +846,11 @@ SchedulerStats Scheduler::stats() const {
 std::int64_t Scheduler::busy_ns() const { return stats().busy_ns; }
 
 std::pair<std::int64_t, std::int64_t> Scheduler::busy_ns_split() const {
-  std::uint64_t reliable = inline_busy_cycles_;
+  // Detached (slotless) execution only ever runs on threads that held a
+  // reliable slot, so its cycles land in the reliable bucket.
+  std::uint64_t reliable =
+      inline_busy_cycles_ +
+      detached_busy_cycles_.load(std::memory_order_relaxed);
   std::uint64_t unreliable = 0;
   for (std::size_t i = 0; i < slots_.size(); ++i) {
     (is_unreliable(static_cast<unsigned>(i)) ? unreliable : reliable) +=

@@ -53,10 +53,13 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <cstdint>
 #include <cstdio>
 #include <deque>
 #include <memory>
+#include <mutex>
 #include <thread>
 #include <utility>
 #include <vector>
@@ -64,6 +67,7 @@
 #include "core/chase_lev_deque.hpp"
 #include "core/eventcount.hpp"
 #include "core/task.hpp"
+#include "core/topology.hpp"
 #include "support/rng.hpp"
 
 namespace sigrt {
@@ -72,6 +76,28 @@ struct SchedulerStats {
   std::uint64_t executed = 0;
   std::uint64_t steals = 0;
   std::int64_t busy_ns = 0;
+};
+
+/// Elastic-pool and steal-locality counters (approximate while running).
+struct PoolStats {
+  std::uint64_t handoffs = 0;        ///< worker slots handed to spares
+  std::uint64_t spares_spawned = 0;  ///< threads created beyond the base pool
+  std::uint64_t spares_retired = 0;  ///< surplus threads exited after grace
+  unsigned live_threads = 0;         ///< threads currently alive
+  unsigned idle_spares = 0;          ///< threads parked awaiting a slot
+  std::uint64_t near_steals = 0;     ///< deque steals from cache-near victims
+  std::uint64_t far_steals = 0;      ///< deque steals across packages
+};
+
+/// Elastic-pool tuning, normally filled from RuntimeConfig.
+struct SchedulerOptions {
+  /// Spare threads allowed beyond the base worker count; 0 disables slot
+  /// handoff (detach_for_blocking always fails).
+  unsigned max_spares = 16;
+  /// Idle grace before a surplus spare retires.
+  std::chrono::milliseconds spare_grace{5};
+  /// Topology driving the steal order; nullptr probes the host.
+  const topo::Topology* topology = nullptr;
 };
 
 class Scheduler {
@@ -91,7 +117,8 @@ class Scheduler {
   /// Approximate/Dropped (see RuntimeConfig::unreliable_workers); clamped
   /// to workers-1.
   Scheduler(unsigned workers, unsigned unreliable, bool steal, void* ctx,
-            ExecuteFn execute, DequeueFn on_dequeue = nullptr);
+            ExecuteFn execute, DequeueFn on_dequeue = nullptr,
+            SchedulerOptions options = {});
 
   /// Releases every parked worker, drains visible work, joins, and (in
   /// debug builds) asserts that every deque and inbox is empty.
@@ -143,6 +170,68 @@ class Scheduler {
   /// barrier condition, which no eventcount signal announces.
   bool help_one();
 
+  // --- elastic pool (threads are fungible, slots are identity) -----------
+  //
+  // A worker SLOT (deques, inbox, eventcount entry, counters) has exactly
+  // one owning thread at a time, but which thread owns it can change: a
+  // worker about to block — an in-task taskwait past the helping-depth
+  // cap, or a declared blocking section — hands its slot to a spare
+  // thread and continues DETACHED.  A detached thread may finish its
+  // current task body (its enqueues route remotely, its completions go to
+  // shared counters) but can no longer help or pop; when its body unwinds
+  // it re-enters the spare pool, where surplus threads retire after an
+  // idle grace period.  The pool is bounded (base workers + max_spares),
+  // so a detach can fail — callers must then keep helping instead.
+
+  /// Hands the calling worker's slot to a spare thread so the caller may
+  /// block.  Returns true on success (the caller is now detached — see
+  /// above); false when the caller is not a slot-owning worker, the spare
+  /// budget is exhausted, or the scheduler is stopping.
+  bool detach_for_blocking();
+
+  /// True when the calling thread currently owns a worker slot (a
+  /// detached worker is on_worker_thread() but not slot-owning).
+  [[nodiscard]] bool owns_current_slot() const noexcept;
+
+  /// The calling thread's slot index; only meaningful when
+  /// owns_current_slot().
+  [[nodiscard]] unsigned current_worker() const noexcept;
+
+  /// True when the calling thread owns a slot in the unreliable (NTC)
+  /// range — the work-first inline throttle must not run Undecided tasks
+  /// there.
+  [[nodiscard]] bool current_worker_unreliable() const noexcept;
+
+  /// Tasks queued in the calling worker's own deques (0 when the caller
+  /// is not a slot-owning worker).  Drives the spawn throttle watermark.
+  [[nodiscard]] std::size_t own_queue_depth() const noexcept;
+
+  /// Work-first inline execution: runs `task` (one donated reference,
+  /// gate == 0) immediately on the calling slot-owning worker, exactly as
+  /// if it had been popped — dequeue hook, busy accounting, release.
+  /// Caller must hold owns_current_slot().
+  void run_now(Task* task);
+
+  /// Two-phase park on the calling worker's eventcount slot for a helping
+  /// barrier waiter: announces, re-checks `open(ctx)` plus visible work
+  /// plus shutdown, then blocks (bounded by `timeout` unless zero).
+  /// Returns false without parking when the re-check fired or the caller
+  /// is not a slot-owning worker.  Producers wake the slot on new work as
+  /// usual; the barrier's completion side wakes it via notify_worker.
+  bool park_worker_for_barrier(bool (*open)(void*), void* ctx,
+                               std::chrono::microseconds timeout);
+
+  /// Wake worker slot `i` if parked (barrier-completion wakeups).
+  void notify_worker(unsigned i) noexcept { ec_.notify(i); }
+
+  /// Elastic-pool and steal-locality counters.
+  [[nodiscard]] PoolStats pool_stats() const;
+
+  /// Per-worker {near, far} steal counters, indexed by slot (reporting
+  /// path — allocates the result vector).
+  [[nodiscard]] std::vector<std::pair<std::uint64_t, std::uint64_t>>
+  steal_locality() const;
+
   /// Fixed at construction before any worker thread starts — safe to read
   /// from workers while the constructor is still emplacing threads.
   [[nodiscard]] unsigned worker_count() const noexcept { return worker_total_; }
@@ -189,10 +278,33 @@ class Scheduler {
     std::atomic<std::uint64_t> busy_cycles{0};
     std::atomic<std::uint64_t> executed{0};
     std::atomic<std::uint64_t> steals{0};
+    /// Steal locality: successful deque steals split by victim distance
+    /// (near = SMT sibling or shared LLC, far = cross-package).
+    std::atomic<std::uint64_t> near_steals{0};
+    std::atomic<std::uint64_t> far_steals{0};
     std::atomic<WorkerState> state{WorkerState::Scanning};  // diagnostics
 
     support::Xoshiro256 rng;  ///< owner-only: steal-victim randomization
+
+    /// Victim order, nearest-first (topology tiers); immutable after
+    /// construction.  near_count prefixes the cache-near victims.
+    std::vector<unsigned> steal_order;
+    std::size_t near_count = 0;
   };
+
+  /// One pool thread (base worker or spare).  `exited` lets the spawner
+  /// reap finished threads opportunistically under pool_mutex_.
+  struct PoolThread {
+    std::thread th;
+    std::atomic<bool> exited{false};
+  };
+
+  void thread_main(PoolThread* self, int slot);
+  /// Requires pool_mutex_.  slot >= 0 binds the new thread to that slot
+  /// immediately (construction); -1 spawns a spare that adopts from
+  /// free_slots_.
+  void spawn_pool_thread_locked(int slot);
+  void reap_exited_locked();
 
   void worker_loop(unsigned index);
   void run_task(Task* raw, unsigned index);
@@ -250,10 +362,26 @@ class Scheduler {
 
   std::vector<std::unique_ptr<WorkerSlot>> slots_;
   EventCount ec_;
-  std::vector<std::thread> workers_;
   std::atomic<unsigned> next_reliable_{0};  ///< round-robin over reliable workers
   std::atomic<unsigned> next_any_{0};       ///< round-robin over all workers
   std::atomic<bool> stopping_{false};
+
+  // --- elastic pool state (all guarded by pool_mutex_ unless atomic) -----
+  unsigned max_spares_ = 0;
+  std::chrono::milliseconds spare_grace_{5};
+  std::mutex pool_mutex_;
+  std::condition_variable pool_cv_;
+  std::vector<std::unique_ptr<PoolThread>> pool_threads_;
+  std::vector<unsigned> free_slots_;  ///< slots awaiting a new owner
+  unsigned idle_spares_ = 0;          ///< threads parked in pool_cv_
+  unsigned live_threads_ = 0;
+  std::uint64_t handoffs_ = 0;
+  std::uint64_t spares_spawned_ = 0;
+  std::uint64_t spares_retired_ = 0;
+  /// Completions by detached threads (their old slot's single-writer
+  /// counters belong to the new owner).
+  std::atomic<std::uint64_t> detached_busy_cycles_{0};
+  std::atomic<std::uint64_t> detached_executed_{0};
 
   // Inline-mode state (single-threaded by construction).  Entries carry the
   // same donated reference as the threaded deques.

@@ -76,6 +76,42 @@ struct RuntimeConfig {
   /// Block granularity of the dependence tracker (power of two, bytes).
   std::size_t block_bytes = 1024;
 
+  /// Dependence-tracker stripe count (power of two, at most 64 — the
+  /// stripe mask is one uint64_t).  0 selects a topology-derived default
+  /// (~4 stripes per worker, clamped to [8, 64]).
+  unsigned dep_stripes = 0;
+
+  // --- elastic pool & barriers (PR 8) ------------------------------------
+
+  /// Event-driven barrier wakeup: in-task taskwait waiters that find no
+  /// acquirable work park on their eventcount slot and are woken by the
+  /// last-child completion (or group quiescence), and helping past the
+  /// depth cap hands the worker slot to a spare thread and blocks.  false
+  /// restores the PR-5 behaviour — pure yield/50 µs polling, no depth cap,
+  /// no spares — kept selectable as the A/B baseline for the barrier
+  /// latency bench.
+  bool event_wakeup = true;
+
+  /// Per-thread helping-depth cap: an in-task barrier nested deeper than
+  /// this many helping frames stops helping (C++ stack depth tracks
+  /// helping depth) and blocks after handing its deque to a spare thread.
+  /// Ignored when event_wakeup is false.
+  unsigned helping_depth = 16;
+
+  /// Upper bound on spare threads the scheduler may run beyond `workers`.
+  /// When the budget is exhausted a too-deep waiter keeps helping (stack
+  /// bound yields to liveness).  0 disables slot handoff entirely.
+  unsigned max_spare_threads = 16;
+
+  /// Idle grace period before a surplus spare thread retires.
+  unsigned spare_grace_ms = 5;
+
+  /// Work-first spawn throttle: when a worker's own queues hold more than
+  /// this many tasks, a dependency-free spawn under a pass-through policy
+  /// runs inline on the spawner (OpenMP-style task-creation cutoff) —
+  /// memory stays bounded at extreme fan-out.  0 disables the throttle.
+  unsigned spawn_inline_watermark = 256;
+
   /// Ratio applied to groups created implicitly (including group 0).
   double default_ratio = 1.0;
 

@@ -5,11 +5,22 @@
 
 namespace sigrt::dep {
 
-BlockTracker::BlockTracker(std::size_t block_bytes)
+BlockTracker::BlockTracker(std::size_t block_bytes, unsigned stripes)
     : block_bytes_(block_bytes),
-      block_shift_(static_cast<unsigned>(std::countr_zero(block_bytes))) {
+      block_shift_(static_cast<unsigned>(std::countr_zero(block_bytes))),
+      stripe_count_(stripes == 0 ? kMaxStripes : stripes),
+      stripe_shift_(64u - static_cast<unsigned>(
+                              std::countr_zero(stripe_count_ == 0
+                                                   ? kMaxStripes
+                                                   : stripe_count_))),
+      all_stripes_mask_(stripe_count_ >= 64
+                            ? ~std::uint64_t{0}
+                            : (std::uint64_t{1} << stripe_count_) - 1) {
   assert(block_bytes > 0 && std::has_single_bit(block_bytes) &&
          "block size must be a power of two");
+  assert(stripe_count_ >= 1 && stripe_count_ <= kMaxStripes &&
+         std::has_single_bit(stripe_count_) &&
+         "stripe count must be a power of two in [1, kMaxStripes]");
 }
 
 std::uint64_t BlockTracker::first_block(const void* ptr) const noexcept {
@@ -25,8 +36,8 @@ std::uint64_t BlockTracker::last_block(const void* ptr,
 }
 
 std::uint64_t BlockTracker::stripe_mask(std::uint64_t lo,
-                                        std::uint64_t hi) noexcept {
-  if (hi - lo + 1 >= kStripes) return ~std::uint64_t{0};
+                                        std::uint64_t hi) const noexcept {
+  if (hi - lo + 1 >= stripe_count_) return all_stripes_mask_;
   std::uint64_t mask = 0;
   for (std::uint64_t b = lo; b <= hi; ++b) {
     mask |= std::uint64_t{1} << stripe_of(b);

@@ -171,12 +171,16 @@ struct TrackerStats {
 
 class BlockTracker {
  public:
-  /// Stripe count: fits a whole footprint's stripe set into one uint64
-  /// mask, which makes sorted-order multi-stripe locking a ctz loop.
-  static constexpr unsigned kStripes = 64;
+  /// Stripe-count ceiling: a whole footprint's stripe set fits into one
+  /// uint64 mask, which makes sorted-order multi-stripe locking a ctz loop.
+  static constexpr unsigned kMaxStripes = 64;
 
-  /// `block_bytes` must be a power of two.
-  explicit BlockTracker(std::size_t block_bytes = 1024);
+  /// `block_bytes` must be a power of two.  `stripes` selects the live
+  /// stripe count — a power of two in [1, kMaxStripes]; 0 selects the
+  /// ceiling.  Small machines waste no cache walking 64 mostly-empty
+  /// shards; the runtime derives its value from the CPU topology
+  /// (~4 stripes per worker, see topo::Topology::recommended_stripes).
+  explicit BlockTracker(std::size_t block_bytes = 1024, unsigned stripes = 0);
 
   BlockTracker(const BlockTracker&) = delete;
   BlockTracker& operator=(const BlockTracker&) = delete;
@@ -219,6 +223,7 @@ class BlockTracker {
 
   [[nodiscard]] TrackerStats stats() const;
   [[nodiscard]] std::size_t block_bytes() const noexcept { return block_bytes_; }
+  [[nodiscard]] unsigned stripe_count() const noexcept { return stripe_count_; }
 
  private:
   /// Per-block history.  Readers since the last write live in a small
@@ -288,16 +293,22 @@ class BlockTracker {
     std::uint64_t blocks_ever = 0;          ///< distinct keys; guarded by lock
   };
 
-  [[nodiscard]] static unsigned stripe_of(std::uint64_t block) noexcept {
+  [[nodiscard]] unsigned stripe_of(std::uint64_t block) const noexcept {
     // Fibonacci hash: consecutive block indices of one array scatter over
-    // stripes instead of marching through them in lockstep.
-    return static_cast<unsigned>((block * 0x9E3779B97F4A7C15ULL) >> 58);
+    // stripes instead of marching through them in lockstep.  Shifting by
+    // (64 - log2(stripe_count_)) keeps the top bits, so any power-of-two
+    // stripe count reuses the same multiply.
+    // stripe_count_ == 1 would need a shift by 64 (UB); short-circuit it.
+    return stripe_shift_ >= 64
+               ? 0u
+               : static_cast<unsigned>((block * 0x9E3779B97F4A7C15ULL) >>
+                                       stripe_shift_);
   }
 
-  /// Builds the stripe mask of [lo, hi]; a range covering >= kStripes
-  /// blocks short-circuits to all-ones.
-  [[nodiscard]] static std::uint64_t stripe_mask(std::uint64_t lo,
-                                                 std::uint64_t hi) noexcept;
+  /// Builds the stripe mask of [lo, hi]; a range covering every live
+  /// stripe short-circuits to the all-live-stripes mask.
+  [[nodiscard]] std::uint64_t stripe_mask(std::uint64_t lo,
+                                          std::uint64_t hi) const noexcept;
 
   void lock_stripes(std::uint64_t mask) noexcept;
   void unlock_stripes(std::uint64_t mask) noexcept;
@@ -323,8 +334,13 @@ class BlockTracker {
 
   const std::size_t block_bytes_;
   const unsigned block_shift_;
+  const unsigned stripe_count_;   ///< live stripes (power of two <= kMaxStripes)
+  const unsigned stripe_shift_;   ///< 64 - log2(stripe_count_)
+  const std::uint64_t all_stripes_mask_;
 
-  std::array<Stripe, kStripes> stripes_;
+  /// Storage is sized for the ceiling; only the first stripe_count_ entries
+  /// are ever addressed (stripe_of masks into that prefix).
+  std::array<Stripe, kMaxStripes> stripes_;
 
   /// Registration/scan stamp source.  Starts at 1 so a freshly reset
   /// node's visit_stamp_ of 0 never matches a live stamp.

@@ -8,8 +8,10 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <stdexcept>
 #include <system_error>
+#include <thread>
 
 namespace sigrt::net {
 
@@ -39,6 +41,47 @@ void Client::connect(const std::string& host, std::uint16_t port) {
   }
   int one = 1;
   ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  host_ = host;
+  port_ = port;
+  if (receive_timeout_ms_ > 0) set_receive_timeout_ms(receive_timeout_ms_);
+}
+
+void Client::set_auto_reconnect(bool enabled, unsigned max_attempts,
+                                unsigned base_backoff_ms,
+                                unsigned max_backoff_ms) {
+  auto_reconnect_ = enabled;
+  reconnect_max_attempts_ = max_attempts == 0 ? 1 : max_attempts;
+  reconnect_base_backoff_ms_ = base_backoff_ms == 0 ? 1 : base_backoff_ms;
+  reconnect_max_backoff_ms_ =
+      max_backoff_ms < reconnect_base_backoff_ms_ ? reconnect_base_backoff_ms_
+                                                  : max_backoff_ms;
+}
+
+bool Client::is_disconnect(int err) noexcept {
+  return err == ECONNRESET || err == ECONNABORTED || err == EPIPE;
+}
+
+void Client::reconnect_with_backoff(const char* what) {
+  // The old fd is dead either way; partial inbound frames belong to it.
+  unsigned backoff_ms = reconnect_base_backoff_ms_;
+  for (unsigned attempt = 1;; ++attempt) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
+    try {
+      connect(host_, port_);  // close()s the dead fd, reapplies options
+      reader_.reset();
+      ++reconnects_;
+      return;
+    } catch (const std::system_error&) {
+      if (attempt >= reconnect_max_attempts_) {
+        close();
+        throw;  // the last dial's error, with `what` context lost upstream
+      }
+    }
+    backoff_ms = backoff_ms >= reconnect_max_backoff_ms_ / 2
+                     ? reconnect_max_backoff_ms_
+                     : backoff_ms * 2;
+  }
+  (void)what;
 }
 
 void Client::flush() {
@@ -51,6 +94,14 @@ void Client::flush() {
       continue;
     }
     if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && auto_reconnect_ && is_disconnect(errno)) {
+      // The write buffer holds whole frames, so restarting from byte 0 on
+      // the fresh connection stays frame-aligned (at-least-once delivery:
+      // frames the dead server consumed before the reset go out again).
+      reconnect_with_backoff("send");
+      off = 0;
+      continue;
+    }
     throw_errno("send");
   }
   wbuf_.clear();
@@ -73,13 +124,21 @@ bool Client::read_response(Response& out) {
       reader_.commit(static_cast<std::size_t>(n));
       continue;
     }
-    if (n == 0) return false;  // orderly EOF
+    if (n == 0) return false;  // orderly EOF: a signal, never auto-redialed
     if (errno == EINTR) continue;
+    if (auto_reconnect_ && is_disconnect(errno)) {
+      // Responses in flight on the dead connection are lost; the caller's
+      // correlation-by-id protocol already tolerates missing responses.
+      reconnect_with_backoff("read");
+      continue;
+    }
     throw_errno("read");
   }
 }
 
 void Client::set_receive_timeout_ms(int ms) {
+  receive_timeout_ms_ = ms;
+  if (fd_ < 0) return;  // remembered; applied by the next connect()
   timeval tv{};
   tv.tv_sec = ms / 1000;
   tv.tv_usec = (ms % 1000) * 1000;

@@ -58,12 +58,51 @@ class Client {
   /// an exit flag instead of blocking forever on a quiet connection.
   void set_receive_timeout_ms(int ms);
 
+  /// Auto-reconnect on a broken connection (ECONNRESET / ECONNABORTED /
+  /// EPIPE): flush() and read_response() transparently redial the
+  /// remembered endpoint with capped exponential backoff (base_backoff_ms
+  /// doubling up to max_backoff_ms, at most max_attempts dials) instead of
+  /// throwing.  Orderly EOF still returns false from read_response() — a
+  /// deliberate server close is a signal, not a fault.  Delivery semantics become
+  /// at-least-once: the write buffer holds whole frames, so flush()
+  /// retransmits it from the first byte after redialing — frames the dead
+  /// server had already consumed may be served twice — and responses in
+  /// flight when the connection died are lost (correlate by request id).
+  /// Exhausting max_attempts rethrows the last connect error.
+  void set_auto_reconnect(bool enabled, unsigned max_attempts = 8,
+                          unsigned base_backoff_ms = 1,
+                          unsigned max_backoff_ms = 200);
+
+  /// Successful redials performed by the auto-reconnect path.
+  [[nodiscard]] std::uint64_t reconnects() const noexcept {
+    return reconnects_;
+  }
+
   void close() noexcept;
 
  private:
+  /// True when `err` is a broken-connection errno the reconnect policy
+  /// covers.
+  [[nodiscard]] static bool is_disconnect(int err) noexcept;
+  /// Redials host_:port_ with capped exponential backoff; reapplies socket
+  /// options and drops any partial inbound frame.  Throws the last connect
+  /// error when max_attempts is exhausted.
+  void reconnect_with_backoff(const char* what);
+
   int fd_ = -1;
   std::vector<std::uint8_t> wbuf_;
   FrameReader reader_;
+
+  // Remembered endpoint + options for redialing.
+  std::string host_;
+  std::uint16_t port_ = 0;
+  int receive_timeout_ms_ = 0;
+
+  bool auto_reconnect_ = false;
+  unsigned reconnect_max_attempts_ = 8;
+  unsigned reconnect_base_backoff_ms_ = 1;
+  unsigned reconnect_max_backoff_ms_ = 200;
+  std::uint64_t reconnects_ = 0;
 };
 
 }  // namespace sigrt::net

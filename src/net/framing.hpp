@@ -62,6 +62,14 @@ class FrameReader {
   /// Bytes buffered but not yet consumed (a partial frame).
   [[nodiscard]] std::size_t pending() const noexcept { return end_ - pos_; }
 
+  /// Discards all buffered bytes (capacity kept).  Used when the transport
+  /// reconnects: a partial frame belongs to the dead connection and must
+  /// not prefix bytes from the new one.
+  void reset() noexcept {
+    pos_ = 0;
+    end_ = 0;
+  }
+
  private:
   void compact() noexcept {
     if (pos_ == 0) return;

@@ -14,6 +14,7 @@
 #include <system_error>
 #include <utility>
 
+#include "core/topology.hpp"
 #include "net/framing.hpp"
 #include "support/timer.hpp"
 
@@ -85,7 +86,11 @@ struct NetServer::Poller {
 NetServer::NetServer(serve::Server& server, NetServerOptions options)
     : server_(server), options_(std::move(options)) {
   for (auto& k : kernels_) k.store(nullptr, std::memory_order_relaxed);
-  if (options_.pollers == 0) options_.pollers = 1;
+  if (options_.pollers == 0) {
+    // Auto: one poller per LLC group — single-LLC boxes keep the cheap
+    // one-epoll configuration, multi-CCX/socket machines shard I/O.
+    options_.pollers = topo::system_topology().recommended_pollers();
+  }
 }
 
 NetServer::~NetServer() { stop(); }

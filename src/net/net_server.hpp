@@ -65,7 +65,8 @@ struct NetServerOptions {
   /// Poller threads.  Each owns one epoll instance; connections are
   /// assigned round-robin at accept.  One poller saturates loopback at
   /// this protocol's frame sizes; more shard large connection counts.
-  unsigned pollers = 1;
+  /// 0 = auto: one per last-level-cache group (single-LLC boxes get 1).
+  unsigned pollers = 0;
 
   int listen_backlog = 128;
 

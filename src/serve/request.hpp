@@ -73,6 +73,14 @@ struct RequestClassConfig {
   /// but served through the approximate body regardless of classification.
   /// 0 disables the watermark.
   std::size_t degrade_in_flight = 0;
+
+  /// Declare that this class's bodies may block on external I/O (backend
+  /// calls, disk).  The server then opens a Runtime BlockingSection around
+  /// each body: the worker slot is handed to a spare thread for the
+  /// blocking span, so one stalled request no longer idles a core.  Leave
+  /// false for pure-compute classes — the handoff costs a mutex hop per
+  /// request.
+  bool may_block = false;
 };
 
 /// Static configuration of one tenant.  Quotas count the tenant's in-flight

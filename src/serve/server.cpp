@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "core/task_options.hpp"
+#include "core/topology.hpp"
 #include "support/timer.hpp"
 
 namespace sigrt::serve {
@@ -34,8 +35,13 @@ RuntimeConfig serving_config(RuntimeConfig c) {
 /// only — so a sharded dispatcher tier would race on it; sharding
 /// requires real workers.
 unsigned dispatcher_count(const ServerOptions& options) {
-  const unsigned requested = std::max(1u, options.dispatcher_threads);
-  return options.runtime.workers == 0 ? 1u : requested;
+  if (options.runtime.workers == 0) return 1u;
+  const unsigned requested =
+      options.dispatcher_threads != 0
+          ? options.dispatcher_threads
+          : topo::system_topology().recommended_dispatchers(
+                options.runtime.workers);
+  return std::max(1u, requested);
 }
 
 }  // namespace
@@ -362,7 +368,13 @@ void Server::dispatch(Request* r, double* rotor) {
 
   s.in_runtime.fetch_add(1, std::memory_order_relaxed);
 
-  auto approx_body = [this, r] {
+  // may_block classes hand the worker slot to a spare for the body's
+  // duration (Runtime::BlockingSection) so a body stalled on external I/O
+  // does not idle a core; the thread re-pools when the body unwinds.
+  const bool may_block = s.cfg.may_block;
+
+  auto approx_body = [this, r, may_block] {
+    if (may_block) (void)runtime_->begin_blocking();
     if (r->job.approximate) {
       r->job.approximate();
       complete(r, Outcome::Approximate);
@@ -379,7 +391,8 @@ void Server::dispatch(Request* r, double* rotor) {
                         .significance(0.0)
                         .group(s.group));
   } else {
-    runtime_->spawn(task([this, r] {
+    runtime_->spawn(task([this, r, may_block] {
+                      if (may_block) (void)runtime_->begin_blocking();
                       r->job.accurate();
                       complete(r, Outcome::Accurate);
                     })

@@ -1,0 +1,271 @@
+// Elastic-pool and topology tests: slot handoff on begin_blocking()
+// inflates the pool with spare threads and the pool deflates back to the
+// base worker count after the idle grace; deep spawn+taskwait recursion
+// keeps per-thread helping nesting bounded by the helping-depth cap (the
+// stack-bound oracle for detach-for-blocking); and the sysfs topology
+// probe is exercised against a fabricated /sys tree plus its flat
+// fallback.  The pool tests run under TSan in CI — they are the race
+// gate for the slot-handoff and spare-retirement protocols.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/sigrt.hpp"
+#include "core/topology.hpp"
+
+namespace {
+
+using sigrt::PolicyKind;
+using sigrt::PoolStats;
+using sigrt::Runtime;
+using sigrt::RuntimeConfig;
+
+RuntimeConfig pool_config(unsigned workers) {
+  RuntimeConfig c;
+  c.workers = workers;
+  c.policy = PolicyKind::Agnostic;
+  c.record_task_log = false;
+  return c;
+}
+
+/// Polls `pred` for up to `deadline_ms`; returns whether it ever held.
+template <typename Pred>
+bool eventually(Pred pred, int deadline_ms = 2000) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(deadline_ms);
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (pred()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  return pred();
+}
+
+// --- inflate / deflate oracle --------------------------------------------
+
+TEST(ElasticPool, BlockingHandoffInflatesThenPoolDeflatesAfterGrace) {
+  RuntimeConfig c = pool_config(2);
+  c.spare_grace_ms = 5;
+  Runtime rt(c);
+
+  // A task body that blocks outside the runtime hands its slot to a spare
+  // so the sibling task still has two workers' worth of parallelism.
+  std::atomic<bool> sibling_ran{false};
+  std::atomic<bool> detached{false};
+  rt.spawn(sigrt::task([&] {
+    sigrt::BlockingSection bs(rt);
+    detached.store(bs.detached(), std::memory_order_relaxed);
+    // "Blocked" span: wait until the sibling actually ran elsewhere.
+    while (!sibling_ran.load(std::memory_order_acquire)) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }));
+  rt.spawn(sigrt::task([&] {
+    sibling_ran.store(true, std::memory_order_release);
+  }));
+  rt.wait_all();
+
+  EXPECT_TRUE(detached.load());
+  const PoolStats inflated = rt.pool_stats();
+  EXPECT_GE(inflated.handoffs, 1u);
+  EXPECT_GE(inflated.spares_spawned, 1u);
+
+  // Deflate: once the blocked body unwound, the pool is one thread over
+  // strength; the surplus thread must retire after the idle grace.
+  EXPECT_TRUE(eventually([&] {
+    const PoolStats s = rt.pool_stats();
+    return s.spares_retired >= 1 && s.live_threads == 2;
+  })) << "pool never deflated: live_threads="
+      << rt.pool_stats().live_threads;
+}
+
+TEST(ElasticPool, BeginBlockingIsANoOpOffWorkerAndWhenDisabled) {
+  {
+    Runtime rt(pool_config(2));
+    EXPECT_FALSE(rt.begin_blocking());  // not a task body: nothing to hand off
+  }
+  {
+    // event_wakeup=false is the strict PR-5 baseline: no spares at all.
+    RuntimeConfig c = pool_config(2);
+    c.event_wakeup = false;
+    Runtime rt(c);
+    std::atomic<bool> detached{true};
+    rt.spawn(sigrt::task([&] { detached.store(rt.begin_blocking()); }));
+    rt.wait_all();
+    EXPECT_FALSE(detached.load());
+    EXPECT_EQ(rt.pool_stats().spares_spawned, 0u);
+  }
+}
+
+// --- deep recursion: helping nesting stays bounded -----------------------
+
+std::atomic<int> g_max_nesting{0};
+thread_local int tls_nesting = 0;
+
+void update_max(std::atomic<int>& max, int v) {
+  int cur = max.load(std::memory_order_relaxed);
+  while (v > cur &&
+         !max.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+void chain(Runtime& rt, int depth, std::atomic<int>& visited) {
+  ++tls_nesting;
+  update_max(g_max_nesting, tls_nesting);
+  visited.fetch_add(1, std::memory_order_relaxed);
+  if (depth > 0) {
+    rt.spawn(sigrt::task([&rt, depth, &visited] {
+      chain(rt, depth - 1, visited);
+    }));
+    rt.wait_all();  // in-task: helping barrier over the one child
+  }
+  --tls_nesting;
+}
+
+TEST(ElasticPool, DeepChainKeepsPerThreadNestingUnderHelpingDepthCap) {
+  constexpr int kDepth = 128;
+  RuntimeConfig c = pool_config(2);
+  c.helping_depth = 16;
+  Runtime rt(c);
+  g_max_nesting.store(0);
+
+  std::atomic<int> visited{0};
+  rt.spawn(sigrt::task([&] { chain(rt, kDepth - 1, visited); }));
+  rt.wait_all();
+
+  EXPECT_EQ(visited.load(), kDepth);
+  // Inline helping nests a child's frame inside its waiting parent's, so
+  // native stack growth tracks tls_nesting.  The cap forces a detach
+  // instead of helping past depth 16 — a 128-deep chain must NOT put 128
+  // frames on any one thread.  Slack covers the helping frames a spare
+  // inherits mid-chain before its own counter resets.
+  EXPECT_LE(g_max_nesting.load(), static_cast<int>(c.helping_depth) * 2 + 8);
+  // The bound is only meaningful if the detach path actually engaged.
+  EXPECT_GE(rt.pool_stats().handoffs, 1u);
+}
+
+// --- topology probe -------------------------------------------------------
+
+/// Writes one small sysfs-style file, creating parent directories.
+void put_file(const std::filesystem::path& p, const std::string& contents) {
+  std::filesystem::create_directories(p.parent_path());
+  std::FILE* f = std::fopen(p.c_str(), "w");
+  ASSERT_NE(f, nullptr) << p;
+  std::fwrite(contents.data(), 1, contents.size(), f);
+  std::fclose(f);
+}
+
+/// Fabricates a two-package tree: package 0 holds cpus 0,1 as SMT siblings
+/// of one core; package 1 holds cpus 2,3 as two distinct cores.  Each
+/// package shares an L3; every cpu has a private 512K L2.
+std::filesystem::path make_fake_sysfs() {
+  const auto root = std::filesystem::path(::testing::TempDir()) /
+                    "sigrt_topo_sysfs";
+  std::filesystem::remove_all(root);
+  const auto base = root / "devices/system/cpu";
+  put_file(base / "online", "0-3\n");
+  struct Cpu {
+    unsigned pkg, core;
+    const char* l3_shared;
+  };
+  const Cpu cpus[4] = {{0, 0, "0-1"}, {0, 0, "0-1"}, {1, 0, "2-3"},
+                       {1, 1, "2-3"}};
+  for (unsigned c = 0; c < 4; ++c) {
+    const auto dir = base / ("cpu" + std::to_string(c));
+    put_file(dir / "topology/physical_package_id",
+             std::to_string(cpus[c].pkg) + "\n");
+    put_file(dir / "topology/core_id", std::to_string(cpus[c].core) + "\n");
+    put_file(dir / "cache/index0/level", "1\n");
+    put_file(dir / "cache/index0/type", "Data\n");
+    put_file(dir / "cache/index0/size", "48K\n");
+    put_file(dir / "cache/index0/shared_cpu_list", std::to_string(c) + "\n");
+    // Index numbering is dense in sysfs (the probe stops at the first
+    // missing indexN), so the instruction L1 must be present even though
+    // the probe skips it.
+    put_file(dir / "cache/index1/level", "1\n");
+    put_file(dir / "cache/index1/type", "Instruction\n");
+    put_file(dir / "cache/index1/size", "32K\n");
+    put_file(dir / "cache/index1/shared_cpu_list", std::to_string(c) + "\n");
+    put_file(dir / "cache/index2/level", "2\n");
+    put_file(dir / "cache/index2/type", "Unified\n");
+    put_file(dir / "cache/index2/size", "512K\n");
+    put_file(dir / "cache/index2/shared_cpu_list", std::to_string(c) + "\n");
+    put_file(dir / "cache/index3/level", "3\n");
+    put_file(dir / "cache/index3/type", "Unified\n");
+    put_file(dir / "cache/index3/size", "8192K\n");
+    put_file(dir / "cache/index3/shared_cpu_list",
+             std::string(cpus[c].l3_shared) + "\n");
+  }
+  return root;
+}
+
+TEST(Topology, ProbeParsesAFabricatedSysfsTree) {
+  const auto root = make_fake_sysfs();
+  const sigrt::topo::Topology t = sigrt::topo::probe(root.string());
+
+  EXPECT_TRUE(t.from_sysfs);
+  ASSERT_EQ(t.cpu_count(), 4u);
+  EXPECT_EQ(t.packages, 2u);
+  EXPECT_EQ(t.cores, 3u);       // cpus 0,1 share one; 2 and 3 are distinct
+  EXPECT_EQ(t.llc_groups, 2u);  // one L3 per package
+  EXPECT_EQ(t.l2_bytes, 512u * 1024u);
+  EXPECT_EQ(t.llc_bytes, 8192u * 1024u);
+
+  // Distance tiers: SMT sibling < shared-LLC core < remote package.
+  EXPECT_EQ(t.worker_distance(0, 1), 0u);
+  EXPECT_EQ(t.worker_distance(2, 3), 1u);
+  EXPECT_EQ(t.worker_distance(0, 2), 3u);
+
+  // Nearest-first victim order from worker 0: the SMT sibling leads, the
+  // remote package trails; near_victims marks the cache-sharing prefix.
+  const std::vector<unsigned> order = t.steal_order(0, 4);
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order[0], 1u);
+  EXPECT_EQ(t.near_victims(0, 4), 1u);
+
+  std::filesystem::remove_all(root);
+}
+
+TEST(Topology, ProbeFallsBackFlatWhenSysfsIsMissing) {
+  const sigrt::topo::Topology t = sigrt::topo::probe("/nonexistent_sysfs");
+  EXPECT_FALSE(t.from_sysfs);
+  EXPECT_GE(t.cpu_count(), 1u);
+  EXPECT_EQ(t.packages, 1u);
+  EXPECT_EQ(t.llc_groups, 1u);
+  // Flat model: every distinct pair sits at tier 1 (no near/far split).
+  if (t.cpu_count() >= 2) EXPECT_EQ(t.worker_distance(0, 1), 1u);
+}
+
+TEST(Topology, StealOrderIsAPermutationOfAllOtherWorkersAtAnyCount) {
+  const auto root = make_fake_sysfs();
+  const sigrt::topo::Topology t = sigrt::topo::probe(root.string());
+  // Worker counts both under and over the cpu count (oversubscription
+  // wraps workers onto cpus round-robin).
+  for (unsigned workers : {2u, 3u, 4u, 7u}) {
+    for (unsigned self = 0; self < workers; ++self) {
+      const std::vector<unsigned> order = t.steal_order(self, workers);
+      ASSERT_EQ(order.size(), workers - 1) << "self=" << self;
+      std::vector<bool> seen(workers, false);
+      for (unsigned v : order) {
+        ASSERT_LT(v, workers);
+        EXPECT_NE(v, self);
+        EXPECT_FALSE(seen[v]) << "duplicate victim " << v;
+        seen[v] = true;
+      }
+      // Distances never decrease along the order (nearest-first).
+      for (std::size_t i = 1; i < order.size(); ++i) {
+        EXPECT_LE(t.worker_distance(self, order[i - 1]),
+                  t.worker_distance(self, order[i]));
+      }
+      EXPECT_LE(t.near_victims(self, workers), order.size());
+    }
+  }
+  std::filesystem::remove_all(root);
+}
+
+}  // namespace

@@ -318,6 +318,43 @@ TEST(Nested, BusyTimeStaysExclusiveUnderHelping) {
   EXPECT_LE(s.busy_s, s.wall_s * 2.0 * 1.5);
 }
 
+TEST(Nested, SpawnThrottleRunsInlineAboveWatermarkAndStaysOffBelow) {
+  // Work-first throttle: a worker whose own queue is already deeper than
+  // spawn_inline_watermark executes further spawns inline instead of
+  // enqueueing, bounding queue memory on spawn-heavy bodies.
+  constexpr int kSpawns = 256;
+  {
+    RuntimeConfig c = workers_config(1);
+    c.spawn_inline_watermark = 8;
+    Runtime rt(c);
+    std::atomic<int> ran{0};
+    rt.spawn(sigrt::task([&rt, &ran] {
+      for (int i = 0; i < kSpawns; ++i) {
+        rt.spawn(sigrt::task([&ran] { ran.fetch_add(1); }));
+      }
+    }));
+    rt.wait_all();
+    EXPECT_EQ(ran.load(), kSpawns);  // inlined spawns must not be lost
+    EXPECT_GT(rt.stats().inline_spawns, 0u);
+  }
+  {
+    // Regression guard: a watermark the queue never reaches must leave
+    // every spawn on the deque (the throttle cannot fire spuriously).
+    RuntimeConfig c = workers_config(1);
+    c.spawn_inline_watermark = 1u << 20;
+    Runtime rt(c);
+    std::atomic<int> ran{0};
+    rt.spawn(sigrt::task([&rt, &ran] {
+      for (int i = 0; i < kSpawns; ++i) {
+        rt.spawn(sigrt::task([&ran] { ran.fetch_add(1); }));
+      }
+    }));
+    rt.wait_all();
+    EXPECT_EQ(ran.load(), kSpawns);
+    EXPECT_EQ(rt.stats().inline_spawns, 0u);
+  }
+}
+
 TEST(Nested, CurrentTaskIdVisibleInsideBody) {
   Runtime rt(workers_config(1));
   EXPECT_EQ(sigrt::current_task_id(), 0u);

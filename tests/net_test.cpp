@@ -5,8 +5,14 @@
 // coverage for the outbound-queue arm/disarm protocol).
 #include <gtest/gtest.h>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <cstring>
 #include <map>
@@ -361,6 +367,123 @@ TEST(NetLoopback, ConcurrentClientsAcrossTwoPollers) {
   const NetServer::Counters nc = lb.net->counters();
   EXPECT_EQ(nc.requests, static_cast<std::uint64_t>(kClients) * kPerClient);
   EXPECT_EQ(nc.responses, nc.requests);
+}
+
+// --- client auto-reconnect ----------------------------------------------
+
+/// Minimal hand-rolled listener so the test controls exactly when and how
+/// the server side of the connection dies (NetServer never drops a healthy
+/// connection, so it cannot stage this).
+struct RawListener {
+  int fd = -1;
+  std::uint16_t port = 0;
+
+  RawListener() { open(); }
+
+  void open() {  // ASSERT_* requires a void-returning frame
+    fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    ASSERT_GE(fd, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    ASSERT_EQ(::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr), 0);
+    ASSERT_EQ(::listen(fd, 8), 0);
+    socklen_t len = sizeof addr;
+    ASSERT_EQ(::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len), 0);
+    port = ntohs(addr.sin_port);
+  }
+  ~RawListener() {
+    if (fd >= 0) ::close(fd);
+  }
+  [[nodiscard]] int accept_one() const { return ::accept(fd, nullptr, nullptr); }
+};
+
+/// Closes `fd` with SO_LINGER{1,0} so the peer sees an RST (a fault), not
+/// an orderly FIN (a signal).
+void reset_close(int fd) {
+  linger lg{1, 0};
+  ::setsockopt(fd, SOL_SOCKET, SO_LINGER, &lg, sizeof lg);
+  ::close(fd);
+}
+
+TEST(NetClient, AutoReconnectRedialsAfterConnectionReset) {
+  RawListener listener;
+
+  std::thread server([&listener] {
+    // Connection 1: die abruptly without reading anything.
+    const int c1 = listener.accept_one();
+    ASSERT_GE(c1, 0);
+    reset_close(c1);
+    // Connection 2 (the redial): consume one full request frame, answer
+    // it, then close cleanly.
+    const int c2 = listener.accept_one();
+    ASSERT_GE(c2, 0);
+    FrameReader r;
+    FrameView f;
+    while (!r.next_frame(f)) {
+      std::uint8_t* tail = r.writable_tail(4096);
+      const ssize_t n = ::read(c2, tail, 4096);
+      ASSERT_GT(n, 0);
+      r.commit(static_cast<std::size_t>(n));
+    }
+    const RequestHeader req = RequestHeader::decode(f.data);
+    ResponseHeader resp;
+    resp.id = req.id;
+    resp.status = Status::Ok;
+    std::vector<std::uint8_t> out(kLenPrefixBytes + kResponseHeaderBytes);
+    put_u32(out.data(), kResponseHeaderBytes);
+    resp.encode(out.data() + kLenPrefixBytes);
+    ASSERT_EQ(::send(c2, out.data(), out.size(), MSG_NOSIGNAL),
+              static_cast<ssize_t>(out.size()));
+    ::close(c2);
+  });
+
+  Client c;
+  c.connect("127.0.0.1", listener.port);
+  c.set_auto_reconnect(true, /*max_attempts=*/16, /*base_backoff_ms=*/1,
+                       /*max_backoff_ms=*/20);
+
+  RequestHeader h;
+  h.id = 7;
+  // The RST may not have surfaced locally when the first send runs (the
+  // kernel accepts the bytes, the reset lands later), so keep re-flushing
+  // the same frame until a send trips over the dead connection and the
+  // redial succeeds.  flush() restarts the frame-aligned buffer from byte
+  // 0 after reconnecting, so the request reaches connection 2 intact.
+  for (int attempt = 0; c.reconnects() == 0 && attempt < 200; ++attempt) {
+    c.enqueue(h, "ping", 4);
+    c.flush();
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_GE(c.reconnects(), 1u);
+
+  Client::Response resp;
+  ASSERT_TRUE(c.read_response(resp));
+  EXPECT_EQ(resp.header.id, 7u);
+  EXPECT_EQ(resp.header.status, Status::Ok);
+
+  server.join();
+  c.close();
+}
+
+TEST(NetClient, OrderlyServerCloseIsEofNotAReconnect) {
+  RawListener listener;
+  std::thread server([&listener] {
+    const int c1 = listener.accept_one();
+    ASSERT_GE(c1, 0);
+    ::close(c1);  // graceful FIN: a deliberate shutdown signal
+  });
+
+  Client c;
+  c.connect("127.0.0.1", listener.port);
+  c.set_auto_reconnect(true);
+  Client::Response resp;
+  // EOF must surface as `false` — never a redial loop — even with
+  // auto-reconnect armed: a server draining connections on purpose would
+  // otherwise fight clients dialing straight back in.
+  EXPECT_FALSE(c.read_response(resp));
+  EXPECT_EQ(c.reconnects(), 0u);
+  server.join();
 }
 
 TEST(NetLoopback, StartRefusesAnInlineRuntime) {
