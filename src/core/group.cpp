@@ -106,6 +106,8 @@ GroupReport TaskGroup::report() const {
   r.accurate = accurate_.load(std::memory_order_relaxed);
   r.approximate = approximate_.load(std::memory_order_relaxed);
   r.dropped = dropped_.load(std::memory_order_relaxed);
+  r.redone = redone_.load(std::memory_order_relaxed);
+  r.corrupted_detected = corrupted_detected_.load(std::memory_order_relaxed);
 
   // Lazy merge of the per-worker log shards — report() is the cold path,
   // so the completion side never pays for a combined log.  The shards are
@@ -174,6 +176,8 @@ void TaskGroup::reset_stats() {
   accurate_.store(0, std::memory_order_relaxed);
   approximate_.store(0, std::memory_order_relaxed);
   dropped_.store(0, std::memory_order_relaxed);
+  redone_.store(0, std::memory_order_relaxed);
+  corrupted_detected_.store(0, std::memory_order_relaxed);
   for (LogShard& shard : log_shards_) {
     std::lock_guard lock(shard.mutex);
     shard.log.clear();

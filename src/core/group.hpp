@@ -38,6 +38,14 @@ struct GroupReport {
   std::uint64_t approximate = 0;  ///< ran the approxfun body
   std::uint64_t dropped = 0;      ///< approximated with no approxfun
 
+  /// Accurate executions that were re-run after a body fault or a check()
+  /// rejection (one count per re-execution, not per task).
+  std::uint64_t redone = 0;
+
+  /// check() rejections — silent corruptions the validator caught (whether
+  /// or not redo budget remained to fix them).
+  std::uint64_t corrupted_detected = 0;
+
   /// Mean of the ratio() values in effect when each task was classified;
   /// robust to programs that retarget the ratio between phases (e.g.
   /// Fluidanimate alternating 1.0 / 0.0).
@@ -99,6 +107,21 @@ class TaskGroup {
   void on_complete(ExecutionKind kind, float significance, double requested,
                    bool internal, unsigned worker_slot = kNoWorkerSlot) noexcept;
 
+  /// Worker side: an accurate task of this group is being re-executed after
+  /// a fault or a check() rejection (`corrupted` = the validator rejected a
+  /// completed result, i.e. a silent corruption was detected).  The task
+  /// stays pending — this only feeds the resilience counters.
+  void on_redo(bool corrupted) noexcept {
+    redone_.fetch_add(1, std::memory_order_relaxed);
+    if (corrupted) corrupted_detected_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Worker side: check() rejected a result but no redo budget remains (the
+  /// error surfaces at the barrier instead).
+  void on_corruption_detected() noexcept {
+    corrupted_detected_.fetch_add(1, std::memory_order_relaxed);
+  }
+
   /// Sentinel worker_slot for callers with no worker identity.
   static constexpr unsigned kNoWorkerSlot = ~0u;
 
@@ -143,6 +166,8 @@ class TaskGroup {
   std::atomic<std::uint64_t> accurate_{0};
   std::atomic<std::uint64_t> approximate_{0};
   std::atomic<std::uint64_t> dropped_{0};
+  std::atomic<std::uint64_t> redone_{0};
+  std::atomic<std::uint64_t> corrupted_detected_{0};
 
   mutable std::mutex wait_mutex_;
   mutable std::condition_variable wait_cv_;

@@ -8,6 +8,7 @@
 
 #include "core/parker.hpp"
 #include "core/topology.hpp"
+#include "fault/fault.hpp"
 #include "support/rng.hpp"
 #include "support/timer.hpp"
 
@@ -236,6 +237,15 @@ void Runtime::spawn_impl(TaskOptions&& options, bool internal) {
   TaskRef task = make_task();
   task->accurate = std::move(options.accurate);
   task->approximate = std::move(options.approximate);
+  task->check = std::move(options.check);
+  task->max_redos = static_cast<std::uint8_t>(
+      std::min<unsigned>(options.max_redos, 255u));
+  // §6 check/redo: an accurate task whose validator + redo budget make a
+  // corrupted result recoverable may execute on unreliable workers — the
+  // partition rule (Scheduler::eligible_for_unreliable) reads this flag.
+  task->unreliable_ok = config_.checked_tasks_on_unreliable &&
+                        task->check && task->max_redos > 0 &&
+                        config_.unreliable_workers > 0;
   task->significance =
       static_cast<float>(std::clamp(options.significance, 0.0, 1.0));
   task->group = options.group;
@@ -429,29 +439,119 @@ void Runtime::execute_task(Task& task, unsigned worker) {
   TaskGroup& g = group_ref(task.group);
   const double requested = g.ratio();
 
+  // Deterministic injection (armed chaos runs only — one relaxed load when
+  // disarmed, folds away entirely when compiled out).  Delay/stall sites
+  // fire before the body; the crash site throws inside it; the corrupt
+  // site marks the thread so fault-aware kernels write garbage.  Streams
+  // key on (task id, attempt) so a redo draws a fresh coin.
+  if (fault::armed() && !task.internal &&
+      (kind == ExecutionKind::Accurate || kind == ExecutionKind::Approximate)) {
+    if (fault::should_fire(fault::Site::TaskDelay, task.id, task.redos_done)) {
+      std::this_thread::sleep_for(
+          std::chrono::microseconds(fault::param_us(fault::Site::TaskDelay)));
+    }
+    if (fault::should_fire(fault::Site::WorkerStall, task.id,
+                           task.redos_done)) {
+      std::this_thread::sleep_for(
+          std::chrono::microseconds(fault::param_us(fault::Site::WorkerStall)));
+    }
+  }
+
   // Publish this task as the thread's current frame for the body's
   // duration: nested spawns parent to it, and an in-task taskwait detects
   // the helping path through it.  Save/restore (not set/clear) keeps the
   // outer frame correct when a helping barrier re-enters execute_task.
   const ThreadTaskFrame saved_frame = tls_task_frame;
   tls_task_frame = {this, &task, &saved_frame};
+  std::exception_ptr body_error;
+  bool injected_crash = false;
+  bool check_rejected = false;
   try {
     switch (kind) {
-      case ExecutionKind::Accurate:
-        task.accurate();
+      case ExecutionKind::Accurate: {
+        if (fault::armed() && !task.internal &&
+            fault::should_fire(fault::Site::TaskCrash, task.id,
+                               task.redos_done)) {
+          throw fault::InjectedFault("injected task-body crash");
+        }
+        if (fault::armed() && !task.internal && task.check &&
+            scheduler_->is_unreliable(worker) &&
+            fault::should_fire(fault::Site::TaskCorrupt, task.id,
+                               task.redos_done)) {
+          fault::ScopedCorrupt corrupt_scope;
+          task.accurate();
+        } else {
+          task.accurate();
+        }
+        // The check/redo validator runs on the executing worker, right
+        // after a successful body: false = the result is corrupted.
+        if (task.check && !task.check()) check_rejected = true;
         break;
+      }
       case ExecutionKind::Approximate:
+        if (fault::armed() && !task.internal &&
+            fault::should_fire(fault::Site::TaskCrash, task.id,
+                               task.redos_done)) {
+          throw fault::InjectedFault("injected task-body crash");
+        }
         task.approximate();
         break;
       case ExecutionKind::Dropped:
       case ExecutionKind::Undecided:
         break;  // dropped: complete without running a body
     }
+  } catch (const fault::InjectedFault&) {
+    injected_crash = true;
+    body_error = std::current_exception();
   } catch (...) {
-    std::lock_guard lock(error_mutex_);
-    if (!first_error_) first_error_ = std::current_exception();
+    body_error = std::current_exception();
   }
   tls_task_frame = saved_frame;
+
+  // Approximate tasks keep drop-on-fault semantics: an injected crash
+  // accounts as a drop (dependents still release), never as a barrier
+  // error — exactly like the §6 NTC silent-fault path above.
+  if (injected_crash && kind == ExecutionKind::Approximate) {
+    kind = ExecutionKind::Dropped;
+    task.kind = kind;
+    faults_.fetch_add(1, std::memory_order_relaxed);
+    body_error = nullptr;
+  }
+
+  // Check/redo: a failed or check-rejected *accurate* task with budget left
+  // is re-executed instead of failing the barrier.  Re-enqueueing the same
+  // Task slot (no fresh allocation) and returning early keeps every
+  // downstream effect — tracker completion, group accounting, parent
+  // decrement, pending_ — held until the final verdict, so dependents and
+  // barriers simply keep waiting.  Clearing unreliable_ok routes the retry
+  // into the reliable-only partition.
+  if ((body_error || check_rejected) && kind == ExecutionKind::Accurate &&
+      !task.internal && task.redos_done < task.max_redos) {
+    ++task.redos_done;
+    task.unreliable_ok = false;
+    g.on_redo(check_rejected);
+#ifndef NDEBUG
+    // The slot is being intentionally re-enqueued; reset the double-enqueue
+    // detector armed by the first dispatch.
+    task.debug_enqueues.store(0, std::memory_order_relaxed);
+#endif
+    task.retain();  // run_task releases the current in-flight reference
+    scheduler_->enqueue_owned(&task);
+    return;
+  }
+
+  if (!body_error && check_rejected) {
+    // Budget exhausted with a still-rejected result: count the final
+    // rejection (redone attempts were counted by on_redo) and surface it
+    // like a thrown body so the barrier reports the corruption.
+    g.on_corruption_detected();
+    body_error = std::make_exception_ptr(std::runtime_error(
+        "sigrt: task result rejected by check() after exhausting max_redos"));
+  }
+  if (body_error) {
+    std::lock_guard lock(error_mutex_);
+    if (!first_error_) first_error_ = body_error;
+  }
 
   // Completion order matters: downstream tasks must only start after this
   // task's side effects are visible.  The striped tracker guarantees it
@@ -791,6 +891,8 @@ RuntimeStats Runtime::stats() const {
       s.accurate += r.accurate;
       s.approximate += r.approximate;
       s.dropped += r.dropped;
+      s.redone += r.redone;
+      s.corrupted_detected += r.corrupted_detected;
     }
   }
   const SchedulerStats sched = scheduler_->stats();

@@ -83,6 +83,11 @@ struct RuntimeStats {
   std::uint64_t inline_spawns = 0;
   /// Approximate tasks lost to injected NTC faults (§6 extension).
   std::uint64_t faults = 0;
+  /// Accurate re-executions after a body fault or check() rejection
+  /// (summed over groups; one count per re-execution).
+  std::uint64_t redone = 0;
+  /// check() rejections — silent corruptions caught by validators.
+  std::uint64_t corrupted_detected = 0;
   double busy_s = 0.0;
   double wall_s = 0.0;
 };

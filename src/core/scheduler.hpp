@@ -344,11 +344,14 @@ class Scheduler {
     return eligible_for_unreliable(task) ? kAnyWorker : kReliableOnly;
   }
 
-  /// May `task` run on an unreliable worker?  Only when its classification
-  /// is already final and non-accurate.
+  /// May `task` run on an unreliable worker?  When its classification is
+  /// already final and non-accurate — or when the runtime marked it
+  /// unreliable_ok: an accurate task whose check() validator plus redo
+  /// budget make unreliable execution recoverable (the §6 check/redo
+  /// contract; a redo clears the flag so retries pin to reliable workers).
   [[nodiscard]] static bool eligible_for_unreliable(const Task& task) noexcept {
     return task.kind == ExecutionKind::Approximate ||
-           task.kind == ExecutionKind::Dropped;
+           task.kind == ExecutionKind::Dropped || task.unreliable_ok;
   }
 
   void assert_enqueue_ok(const Task& task);

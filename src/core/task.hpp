@@ -44,10 +44,27 @@ class Task final : public dep::Node, public support::PoolSlot<Task> {
   // --- immutable after spawn -------------------------------------------
   support::InlineFn accurate;     ///< required task body
   support::InlineFn approximate;  ///< optional approxfun(); empty => drop
+  support::InlinePred check;      ///< optional result validator: false => redo
   float significance = 1.0f;      ///< in [0, 1]; 1 forces accurate, 0 forces approximate
   GroupId group = kDefaultGroup;
   TaskId id = 0;
   bool internal = false;  ///< runtime-internal task (wait_on fence): excluded from stats
+
+  // --- check/redo resilience ---------------------------------------------
+  // An accurate task whose body throws or whose check() rejects the result
+  // is re-executed — up to max_redos times — instead of failing the barrier.
+  // Both fields are read/written only by the worker currently executing the
+  // task (execution is exclusive; a redo re-enqueue happens-before the next
+  // execution through the scheduler's publish), so they need no atomicity.
+  std::uint8_t max_redos = 0;   ///< redo budget (0 = fail fast, no retry)
+  std::uint8_t redos_done = 0;  ///< attempts consumed so far
+
+  /// True when this task may execute on an unreliable (NTC) worker even
+  /// though it is accurate: its check() validator guards the result (§6
+  /// contract — unreliable execution is safe iff a validator can reject a
+  /// corrupted outcome).  Cleared on redo so every re-execution lands in
+  /// the reliable-only partition.
+  bool unreliable_ok = false;
 
   /// True when the task registered in()/out() clauses with the dependence
   /// tracker.  A task without a footprint can never be named a predecessor,
@@ -114,10 +131,14 @@ class Task final : public dep::Node, public support::PoolSlot<Task> {
   void reset_for_reuse() noexcept {
     accurate.reset();
     approximate.reset();
+    check.reset();
     significance = 1.0f;
     group = kDefaultGroup;
     id = 0;
     internal = false;
+    max_redos = 0;
+    redos_done = 0;
+    unreliable_ok = false;
     has_footprint = false;
     parent = nullptr;
     children.store(0, std::memory_order_relaxed);

@@ -34,8 +34,10 @@ struct TaskOptions {
 
   support::InlineFn accurate;     ///< required
   support::InlineFn approximate;  ///< optional; absent => drop on approximation
+  support::InlinePred check;      ///< optional result validator (true = accept)
   double significance = 1.0;
   GroupId group = kDefaultGroup;
+  unsigned max_redos = 0;         ///< re-executions allowed on fault/rejection
   support::SmallVec<dep::Access, kInlineAccesses> accesses;
 };
 
@@ -55,6 +57,28 @@ class TaskBuilder {
   TaskBuilder&& approx(F&& fn) && {
     return std::move(approx(std::forward<F>(fn)));
   }
+
+  /// Result validator, run on the executing worker right after a successful
+  /// accurate body: return false to reject the result and trigger a redo
+  /// (see max_redos).  Within the same 64-byte SBO contract as the bodies.
+  template <class F>
+  TaskBuilder& check(F&& fn) & {
+    options_.check = std::forward<F>(fn);
+    return *this;
+  }
+  template <class F>
+  TaskBuilder&& check(F&& fn) && {
+    return std::move(check(std::forward<F>(fn)));
+  }
+
+  /// How many times a failed or check-rejected accurate execution may be
+  /// retried (on a reliable worker) before the error surfaces at the
+  /// barrier.  0 keeps fail-fast semantics.
+  TaskBuilder& max_redos(unsigned n) & {
+    options_.max_redos = n;
+    return *this;
+  }
+  TaskBuilder&& max_redos(unsigned n) && { return std::move(max_redos(n)); }
 
   TaskBuilder& significance(double s) & {
     options_.significance = s;

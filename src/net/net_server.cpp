@@ -8,6 +8,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 #include <stdexcept>
@@ -15,6 +16,7 @@
 #include <utility>
 
 #include "core/topology.hpp"
+#include "fault/fault.hpp"
 #include "net/framing.hpp"
 #include "support/timer.hpp"
 
@@ -58,6 +60,18 @@ struct NetServer::Conn {
   std::atomic<bool> closed{false};
   std::atomic<int> refs{0};
   Conn* ready_next = nullptr;  ///< ready-list link (poller MPSC)
+
+  /// Bytes queued in outq + wr_fifo + wr_cur and not yet written.  Producers
+  /// add BEFORE publishing into outq (so the flusher's decrement can never
+  /// pass the increment); release_request subtracts.  At
+  /// NetServerOptions::max_outq_bytes the pusher flags slow_kill and the
+  /// owning poller closes the connection (slow-consumer backpressure).
+  std::atomic<std::size_t> outq_bytes{0};
+  std::atomic<bool> slow_kill{false};
+
+  std::uint64_t serial = 0;  ///< accept-order identity: fault-stream key
+  std::uint64_t tx_ops = 0;  ///< poller-local send() counter (fault attempt)
+  std::atomic<std::int64_t> last_activity_ns{0};  ///< idle-reaper clock
 };
 
 /// Pooled per-request state: request payload in, framed response out.  The
@@ -73,6 +87,18 @@ struct NetServer::NetRequest {
   std::vector<std::uint8_t> out;  ///< full response frame (len + hdr + body)
   std::size_t out_off = 0;
   NetRequest* next = nullptr;  ///< outq chain or pool freelist, never both
+
+  /// Single-responder token: finish() claims it before building/pushing the
+  /// response; the serve watchdog's on_timeout claims it before answering
+  /// through a fresh shell.  The loser discards — exactly one response per
+  /// request id ever reaches the wire, and a stuck body can never scribble
+  /// into a buffer the watchdog already framed.
+  std::atomic<bool> claimed{false};
+  /// Node references (see unpin_request): 1 for the response path, +1 when
+  /// a watchdog timeout closure also holds the node.
+  std::atomic<int> pins{1};
+  std::size_t frame_bytes = 0;  ///< outq_bytes share while queued
+  bool in_outq = false;         ///< whether frame_bytes was charged
 };
 
 struct NetServer::Poller {
@@ -80,6 +106,7 @@ struct NetServer::Poller {
   int evfd = -1;
   int listen_fd = -1;
   std::atomic<Conn*> ready{nullptr};  ///< conns with newly armed output
+  std::int64_t last_idle_sweep_ns = 0;  ///< poller-local reaper throttle
   std::thread thread;
 };
 
@@ -224,6 +251,17 @@ void NetServer::stop() {
     ::close(p->epfd);
     ::close(p->listen_fd);
   }
+
+  // Every request has been finished or reaped above, so the pool freelist
+  // now owns all surviving nodes; free them (the freelist is only ever
+  // trimmed here — steady state recycles without deleting).
+  NetRequest* r = request_pool_;
+  request_pool_ = nullptr;
+  while (r != nullptr) {
+    NetRequest* next = r->next;
+    delete r;
+    r = next;
+  }
 }
 
 NetServer::Counters NetServer::counters() const noexcept {
@@ -233,6 +271,8 @@ NetServer::Counters NetServer::counters() const noexcept {
   c.requests = requests_.load(std::memory_order_relaxed);
   c.responses = responses_.load(std::memory_order_relaxed);
   c.protocol_errors = protocol_errors_.load(std::memory_order_relaxed);
+  c.slow_closed = slow_closed_.load(std::memory_order_relaxed);
+  c.idle_closed = idle_closed_.load(std::memory_order_relaxed);
   return c;
 }
 
@@ -252,7 +292,20 @@ NetServer::NetRequest* NetServer::acquire_request() {
 }
 
 void NetServer::release_request(NetRequest* r) {
+  if (r->in_outq && r->conn != nullptr) {
+    r->conn->outq_bytes.fetch_sub(r->frame_bytes, std::memory_order_relaxed);
+  }
+  r->in_outq = false;
+  r->frame_bytes = 0;
+  unpin_request(r);
+}
+
+void NetServer::unpin_request(NetRequest* r) {
+  // Fields stay intact until the LAST pin drops: a watchdog closure losing
+  // the claim race still reads conn/id from a live node.
+  if (r->pins.fetch_sub(1, std::memory_order_acq_rel) != 1) return;
   Conn* c = r->conn;
+  r->claimed.store(false, std::memory_order_relaxed);
   r->conn = nullptr;
   r->handler = nullptr;
   r->payload.clear();
@@ -358,10 +411,55 @@ void NetServer::poller_loop(Poller& p, unsigned index) {
       conn_unref(c);
     }
     drain_ready(p);
+    if (options_.idle_timeout_ms > 0) idle_sweep(p);
   }
   // Final sweep: flush responses that landed between the stop flag and the
   // last wake, best-effort.
   drain_ready(p);
+}
+
+void NetServer::idle_sweep(Poller& p) {
+  // Rides the epoll loop: at most one scan per half-timeout, so an idle
+  // server does two cheap registry walks per timeout period and a busy one
+  // adds no per-event work.
+  const std::int64_t now = support::now_ns();
+  const std::int64_t budget =
+      static_cast<std::int64_t>(options_.idle_timeout_ms) * 1'000'000;
+  const std::int64_t stride = std::max<std::int64_t>(budget / 2, 1'000'000);
+  if (now - p.last_idle_sweep_ns < stride) return;
+  p.last_idle_sweep_ns = now;
+
+  // Collect under the lock, close outside it: close_conn retakes
+  // conns_lock_ to deregister.  Only this poller's connections — close
+  // touches epoll state and the poller-local write fields.
+  std::vector<Conn*> victims;
+  {
+    std::lock_guard lock(conns_lock_);
+    for (Conn* c : conns_) {
+      if (c->poller != &p) continue;
+      if (c->closed.load(std::memory_order_acquire)) continue;
+      if (now - c->last_activity_ns.load(std::memory_order_relaxed) < budget) {
+        continue;
+      }
+      // Not idle if anything is queued outbound or requests still pin the
+      // connection (refs: epoll + registry = 2 at rest) — their completions
+      // count as activity.
+      if (c->outq.load(std::memory_order_acquire) != nullptr ||
+          c->wr_cur != nullptr || c->wr_fifo != nullptr) {
+        continue;
+      }
+      if (c->refs.load(std::memory_order_acquire) > 2) continue;
+      conn_ref(c);
+      victims.push_back(c);
+    }
+  }
+  for (Conn* c : victims) {
+    if (!c->closed.load(std::memory_order_acquire)) {
+      idle_closed_.fetch_add(1, std::memory_order_relaxed);
+      close_conn(c);
+    }
+    conn_unref(c);
+  }
 }
 
 void NetServer::drain_ready(Poller& p) {
@@ -388,6 +486,8 @@ void NetServer::handle_accept(Poller& p) {
     auto* c = new Conn(options_.max_frame_bytes);
     c->fd = fd;
     c->poller = &p;
+    c->serial = conn_serial_.fetch_add(1, std::memory_order_relaxed) + 1;
+    c->last_activity_ns.store(support::now_ns(), std::memory_order_relaxed);
     c->refs.store(2, std::memory_order_relaxed);  // epoll + registry
     {
       std::lock_guard lock(conns_lock_);
@@ -410,6 +510,7 @@ void NetServer::handle_readable(Conn* c) {
     std::uint8_t* tail = c->reader.writable_tail(kReadChunk);
     const ssize_t n = ::read(c->fd, tail, kReadChunk);
     if (n > 0) {
+      c->last_activity_ns.store(support::now_ns(), std::memory_order_relaxed);
       c->reader.commit(static_cast<std::size_t>(n));
       FrameView f;
       try {
@@ -462,9 +563,32 @@ bool NetServer::write_some(Conn* c) {
     }
     NetRequest* r = c->wr_cur;
     while (r->out_off < r->out.size()) {
-      const ssize_t n = ::send(c->fd, r->out.data() + r->out_off,
-                               r->out.size() - r->out_off, MSG_NOSIGNAL);
+      std::size_t want = r->out.size() - r->out_off;
+      if (fault::armed()) {
+        // Connection-level chaos, keyed by accept order + send() ordinal so
+        // a fixed plan replays the same storm against the same connection
+        // shape.  ConnReset cuts the wire with a real RST (SO_LINGER 0);
+        // ConnShortWrite truncates one send to a single byte, exercising
+        // the partial-write resume path.
+        if (fault::should_fire(fault::Site::ConnReset, c->serial,
+                               c->tx_ops++)) {
+          struct linger lg {
+            1, 0
+          };
+          ::setsockopt(c->fd, SOL_SOCKET, SO_LINGER, &lg, sizeof lg);
+          close_conn(c);
+          return true;
+        }
+        if (fault::should_fire(fault::Site::ConnShortWrite, c->serial,
+                               c->tx_ops++)) {
+          want = 1;
+        }
+      }
+      const ssize_t n =
+          ::send(c->fd, r->out.data() + r->out_off, want, MSG_NOSIGNAL);
       if (n > 0) {
+        c->last_activity_ns.store(support::now_ns(),
+                                  std::memory_order_relaxed);
         r->out_off += static_cast<std::size_t>(n);
         continue;
       }
@@ -487,6 +611,14 @@ void NetServer::handle_writable(Conn* c) {
   // exchange(true) happens after our disarm and IT notifies.  All four
   // operations are seq_cst so the argument holds in the SC total order.
   for (;;) {
+    if (c->slow_kill.load(std::memory_order_acquire)) {
+      // The outq byte cap tripped: the peer is not reading fast enough for
+      // the responses it asked for.  Close orderly — queued responses are
+      // reaped, in-flight ones land on the closed shell.
+      slow_closed_.fetch_add(1, std::memory_order_relaxed);
+      close_conn(c);
+      return;
+    }
     const bool drained = write_some(c);
     if (c->closed.load(std::memory_order_acquire)) return;
     if (!drained) {
@@ -548,9 +680,13 @@ void NetServer::submit_frame(Conn* conn, const std::uint8_t* body,
   r->handler = handler;
   r->id = h.id;
   r->accepted_ns = support::now_ns();
+  r->claimed.store(false, std::memory_order_relaxed);
   r->payload.assign(body + kRequestHeaderBytes, body + bytes);
   conn_ref(conn);  // the in-flight request pins the connection
   requests_.fetch_add(1, std::memory_order_relaxed);
+
+  const std::int64_t watchdog_ns = server_.class_watchdog_ns(h.cls);
+  r->pins.store(watchdog_ns > 0 ? 2 : 1, std::memory_order_relaxed);
 
   // Single-pointer captures stay inside std::function's small-buffer
   // storage (16 B in libstdc++/libc++), so building the Job allocates
@@ -559,8 +695,30 @@ void NetServer::submit_frame(Conn* conn, const std::uint8_t* body,
   job.accurate = [r] { run_body(r, /*approximate=*/false); };
   job.approximate = [r] { run_body(r, /*approximate=*/true); };
   job.on_drop = [r] { r->srv->finish(r, Status::Shed); };
+  job.on_expire = [r] { r->srv->finish(r, Status::Expired); };
   job.significance = handler->significance;
   job.deadline_ns = h.deadline_ns;
+  if (watchdog_ns > 0) {
+    // The timeout closure races the running body for the node, so it holds
+    // the second pin, dropped when the serve tier destroys the Job.  The
+    // shared_ptr guard is the one allocation watchdog classes pay per
+    // request; non-watchdog classes keep the zero-alloc steady state.
+    struct Unpin {
+      NetServer* srv;
+      NetRequest* req;
+      ~Unpin() { srv->unpin_request(req); }
+    };
+    auto guard = std::shared_ptr<Unpin>(new Unpin{this, r});
+    job.on_timeout = [r, guard] {
+      // Claim before touching anything: if the body already responded, the
+      // timeout is a no-op; if we win, the body's late result is discarded
+      // and the client gets a Timeout frame through a fresh shell (the
+      // body may still be scribbling into r->out).
+      if (!r->claimed.exchange(true, std::memory_order_acq_rel)) {
+        r->srv->respond_shell(r->conn, r->id, Status::Timeout);
+      }
+    };
+  }
 
   const serve::Admission verdict =
       server_.submit(h.cls, h.tenant, std::move(job));
@@ -575,6 +733,8 @@ void NetServer::respond_error(Conn* conn, std::uint32_t id, Status status) {
   r->handler = nullptr;
   r->id = id;
   r->accepted_ns = support::now_ns();
+  r->claimed.store(false, std::memory_order_relaxed);
+  r->pins.store(1, std::memory_order_relaxed);
   conn_ref(conn);
   finish(r, status);
 }
@@ -588,7 +748,37 @@ void NetServer::run_body(NetRequest* r, bool approximate) {
   r->srv->finish(r, approximate ? Status::OkApprox : Status::Ok);
 }
 
+void NetServer::respond_shell(Conn* conn, std::uint32_t id, Status status) {
+  NetRequest* r = acquire_request();
+  r->srv = this;
+  r->conn = conn;
+  r->handler = nullptr;
+  r->id = id;
+  r->accepted_ns = support::now_ns();
+  r->claimed.store(true, std::memory_order_relaxed);  // born claimed
+  r->pins.store(1, std::memory_order_relaxed);
+  conn_ref(conn);
+  ResponseHeader h;
+  h.id = id;
+  h.status = status;
+  h.server_ns = 0;
+  r->out.clear();
+  r->out.resize(kLenPrefixBytes + kResponseHeaderBytes);
+  put_u32(r->out.data(),
+          static_cast<std::uint32_t>(r->out.size() - kLenPrefixBytes));
+  h.encode(r->out.data() + kLenPrefixBytes);
+  r->out_off = 0;
+  push_response(r);
+}
+
 void NetServer::finish(NetRequest* r, Status status) {
+  // Single-responder: if the serve watchdog already answered this request
+  // through a shell, the late body result is discarded — never two frames
+  // for one id, and never a push racing the watchdog's.
+  if (r->claimed.exchange(true, std::memory_order_acq_rel)) {
+    release_request(r);
+    return;
+  }
   if (status != Status::Ok && status != Status::OkApprox) {
     // Error/shed responses carry no payload.
     r->out.clear();
@@ -613,6 +803,20 @@ void NetServer::push_response(NetRequest* r) {
   // final unref's acq_rel also orders every access below before a
   // concurrent deleter.
   conn_ref(c);
+  // Charge the byte cap BEFORE publishing: the flusher can only release a
+  // request it popped after the push, so the decrement can never pass this
+  // increment and the counter never underflows.
+  r->frame_bytes = r->out.size();
+  r->in_outq = true;
+  const std::size_t queued =
+      c->outq_bytes.fetch_add(r->frame_bytes, std::memory_order_relaxed) +
+      r->frame_bytes;
+  if (options_.max_outq_bytes != 0 && queued > options_.max_outq_bytes) {
+    // Slow-consumer backpressure: flag the connection for closure.  The
+    // owning poller acts on it in handle_writable; the arm below (or the
+    // already-armed flush in progress) guarantees it gets there.
+    c->slow_kill.store(true, std::memory_order_release);
+  }
   // Publish first (Treiber push), then decide who flushes.  seq_cst: see
   // handle_writable.
   NetRequest* head = c->outq.load(std::memory_order_relaxed);

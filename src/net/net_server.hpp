@@ -73,6 +73,19 @@ struct NetServerOptions {
   /// Per-frame body cap; a length prefix beyond it closes the connection.
   std::uint32_t max_frame_bytes = kMaxFrameBytes;
 
+  /// Per-connection outbound queue cap in bytes.  A client that stops
+  /// reading while responses keep completing would otherwise buffer
+  /// unboundedly in the server; at the cap the connection is closed
+  /// orderly (queued responses reaped, `slow_closed` counted) — the
+  /// slow-consumer backpressure of last resort.  0 disables the cap.
+  std::size_t max_outq_bytes = 4u << 20;
+
+  /// Idle-connection reaper: a connection with no read/write progress and
+  /// no pending output for this long is closed (`idle_closed` counted).
+  /// Sweeps ride the poller's 100 ms epoll timeout, so the granularity is
+  /// coarse.  0 disables reaping.
+  std::uint32_t idle_timeout_ms = 0;
+
   /// Called at the start of every poller thread ("poller", index).  Wired
   /// to the same hook serve::ServerOptions carries so benchmarks can tag
   /// every non-worker thread for allocation accounting.  Optional.
@@ -127,6 +140,8 @@ class NetServer {
     std::uint64_t requests = 0;         ///< well-formed frames submitted
     std::uint64_t responses = 0;        ///< response frames fully written
     std::uint64_t protocol_errors = 0;  ///< Bad* responses + framing aborts
+    std::uint64_t slow_closed = 0;      ///< closed at the outq byte cap
+    std::uint64_t idle_closed = 0;      ///< closed by the idle reaper
   };
   [[nodiscard]] Counters counters() const noexcept;
 
@@ -140,11 +155,23 @@ class NetServer {
   static void run_body(NetRequest* r, bool approximate);
   void submit_frame(Conn* conn, const std::uint8_t* body, std::size_t bytes);
   void respond_error(Conn* conn, std::uint32_t id, Status status);
+  /// Builds and pushes a payload-less response through a FRESH request
+  /// shell — the watchdog path, where the original NetRequest's buffers may
+  /// still be owned by a running body.  Takes its own connection reference.
+  void respond_shell(Conn* conn, std::uint32_t id, Status status);
   void finish(NetRequest* r, Status status);
   void push_response(NetRequest* r);
 
   [[nodiscard]] NetRequest* acquire_request();
+  /// Write-path release: returns the request's outq byte charge, then
+  /// unpins.  For requests that were pushed onto a connection's outbound
+  /// queue (poller write completion, close-time reaping).
   void release_request(NetRequest* r);
+  /// Drops one pin; the node recycles (fields cleared, connection
+  /// reference dropped, freelist push) when the last pin goes.  Watchdog
+  /// requests carry two pins — the response path and the timeout closure —
+  /// so a late `on_timeout` can never touch a recycled node.
+  void unpin_request(NetRequest* r);
 
   void conn_ref(Conn* c) noexcept;
   void conn_unref(Conn* c) noexcept;
@@ -152,6 +179,7 @@ class NetServer {
   void reap_outq(Conn* c) noexcept;
 
   void poller_loop(Poller& p, unsigned index);
+  void idle_sweep(Poller& p);
   void drain_ready(Poller& p);
   void handle_accept(Poller& p);
   void handle_readable(Conn* c);
@@ -187,6 +215,9 @@ class NetServer {
   std::atomic<std::uint64_t> requests_{0};
   std::atomic<std::uint64_t> responses_{0};
   std::atomic<std::uint64_t> protocol_errors_{0};
+  std::atomic<std::uint64_t> slow_closed_{0};
+  std::atomic<std::uint64_t> idle_closed_{0};
+  std::atomic<std::uint64_t> conn_serial_{0};  ///< fault-stream identity
 };
 
 }  // namespace sigrt::net

@@ -51,6 +51,10 @@ enum class Status : std::uint32_t {
   BadClass = 5,    ///< unknown request class
   BadTenant = 6,   ///< unknown tenant id
   BadKernel = 7,   ///< unknown kernel id
+  Expired = 8,     ///< admitted but its deadline passed before dispatch
+                   ///< (shed_expired classes); empty payload
+  Timeout = 9,     ///< force-dropped by the class watchdog (body stuck or
+                   ///< faulted past watchdog_ns); empty payload
 };
 
 [[nodiscard]] constexpr const char* to_string(Status s) noexcept {
@@ -63,6 +67,8 @@ enum class Status : std::uint32_t {
     case Status::BadClass: return "bad_class";
     case Status::BadTenant: return "bad_tenant";
     case Status::BadKernel: return "bad_kernel";
+    case Status::Expired: return "expired";
+    case Status::Timeout: return "timeout";
   }
   return "?";
 }

@@ -16,6 +16,7 @@
 // QosController regulates reflects urgency, not arrival order.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
@@ -81,6 +82,22 @@ struct RequestClassConfig {
   /// false for pure-compute classes — the handoff costs a mutex hop per
   /// request.
   bool may_block = false;
+
+  /// Shed admitted requests at EDF pop time when their absolute deadline
+  /// has already passed (the answer would be useless to the client): the
+  /// request is never spawned, `on_expire` — falling back to `on_drop` —
+  /// answers, and the class `expired` counter grows.  Opt-in because
+  /// classes whose clients still want late answers (batch work, tests
+  /// asserting exact served counts) must keep serving them.
+  bool shed_expired = false;
+
+  /// Per-request watchdog budget: an issued request still unresolved this
+  /// many nanoseconds after dispatch is force-completed as a drop (its
+  /// `on_timeout` — falling back to `on_drop` — answers the client) so a
+  /// stuck or faulted body can never leak an in-flight slot.  The sweep
+  /// rides the QoS controller tick, so it requires ServerOptions::epoch_ms
+  /// > 0; granularity is one epoch.  0 disables the watchdog.
+  std::int64_t watchdog_ns = 0;
 };
 
 /// Static configuration of one tenant.  Quotas count the tenant's in-flight
@@ -121,6 +138,19 @@ struct Job {
   /// client instead of leaving the connection hanging.  Optional.
   std::function<void()> on_drop;
 
+  /// Fires (on a dispatcher thread) when the request is shed at EDF pop
+  /// time because its deadline already passed — it was never spawned.
+  /// Falls back to `on_drop` when absent.  Network frontends answer
+  /// Status::Expired here.  Optional.
+  std::function<void()> on_expire;
+
+  /// Fires (on the controller thread) when the class watchdog force-drops
+  /// a request whose body is stuck or faulted past watchdog_ns.  The body
+  /// may still be running: the callback must only touch state it owns
+  /// exclusively (network frontends reply through a fresh response shell).
+  /// Falls back to `on_drop` when absent.  Optional.
+  std::function<void()> on_timeout;
+
   /// Relative latency budget in nanoseconds; the request's absolute EDF
   /// deadline is arrival + budget.  0 uses the class's QoS deadline, which
   /// preserves FIFO order among budget-less requests of one class.
@@ -152,8 +182,24 @@ struct Request {
   TenantId tenant = kDefaultTenant;
   std::int64_t arrival_ns = 0;
   std::int64_t deadline_ns = 0;  ///< absolute: arrival + budget (EDF key)
+  std::int64_t issue_ns = 0;     ///< dispatch time (watchdog epoch base)
   bool degraded = false;
   Request* next = nullptr;
+
+  // --- ownership protocol -------------------------------------------------
+  // Admission holds one reference; at dispatch it is adopted by the spawned
+  // task's callables (Server::dispatch's BodyRef, one count per stored
+  // copy), so it drops at slab retirement even when an injected fault
+  // unwinds the task before the serve wrapper ever runs.  A
+  // watchdog-covered request gains a second, independently-dropped owner:
+  // the class watchdog registry.  Whichever side wins `resolved` performs
+  // the accounting; the node returns to the pool only when `owners`
+  // reaches zero, so the controller sweep can never free a request whose
+  // body is still running.
+  std::atomic<bool> resolved{false};
+  std::atomic<int> owners{0};
+  Request* wd_next = nullptr;  ///< class watchdog registry (wd_lock)
+  Request* wd_prev = nullptr;  ///< class watchdog registry (wd_lock)
 };
 
 /// Free pool of Request nodes: acquire on submit, release on completion.
@@ -179,6 +225,7 @@ class RequestPool {
   }
 
   [[nodiscard]] Request* acquire() {
+    outstanding_.fetch_add(1, std::memory_order_relaxed);
     {
       std::lock_guard lock(lock_);
       if (Request* r = free_) {
@@ -192,14 +239,31 @@ class RequestPool {
 
   void release(Request* r) noexcept {
     r->job = Job{};  // run captured destructors now, not at pool teardown
-    std::lock_guard lock(lock_);
-    r->next = free_;
-    free_ = r;
+    {
+      std::lock_guard lock(lock_);
+      r->next = free_;
+      free_ = r;
+    }
+    // Release-ordered and strictly after the node is back on the chain: a
+    // shutdown thread that observes zero outstanding (acquire) therefore
+    // sees every node linked and every release fully done — the destructor
+    // walk can never race a straggler.
+    outstanding_.fetch_sub(1, std::memory_order_release);
+  }
+
+  /// Nodes acquired and not yet released.  The serve tier's in_flight
+  /// counters hit zero at complete(); the final ownership drop happens
+  /// later, at task-slab retirement on a worker thread (see BodyRef in
+  /// Server::dispatch), so shutdown must wait on THIS count before the
+  /// pool can be torn down.
+  [[nodiscard]] std::size_t outstanding() const noexcept {
+    return outstanding_.load(std::memory_order_acquire);
   }
 
  private:
   support::SpinLock lock_;
   Request* free_ = nullptr;  ///< lock_
+  std::atomic<std::size_t> outstanding_{0};
 };
 
 /// Per-class counters and latency digest, safe to snapshot from any thread.
@@ -214,6 +278,12 @@ struct ClassReport {
   std::uint64_t shed = 0;
   std::uint64_t degraded = 0;
   std::uint64_t perforated = 0;
+  /// Admitted requests shed at EDF pop time because their deadline had
+  /// already passed (never spawned; on_expire fired).
+  std::uint64_t expired = 0;
+  /// Requests force-dropped by the class watchdog (stuck/faulted bodies);
+  /// also counted into served_dropped so conservation holds.
+  std::uint64_t timed_out = 0;
   std::uint64_t served_accurate = 0;
   std::uint64_t served_approximate = 0;
   std::uint64_t served_dropped = 0;  ///< degraded with no approximate body
@@ -244,6 +314,8 @@ struct TenantClassCell {
   std::uint64_t shed = 0;
   std::uint64_t degraded = 0;
   std::uint64_t perforated = 0;
+  std::uint64_t expired = 0;
+  std::uint64_t timed_out = 0;
   std::uint64_t served_accurate = 0;
   std::uint64_t served_approximate = 0;
   std::uint64_t served_dropped = 0;

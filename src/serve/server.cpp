@@ -201,6 +201,15 @@ Admission Server::submit(ClassId cls, TenantId tenant, Job job) {
   r->arrival_ns = now;
   r->deadline_ns = now + budget;
   r->degraded = degraded;
+  r->issue_ns = 0;
+  r->resolved.store(false, std::memory_order_relaxed);
+  // The admission path holds the only reference until dispatch, where it
+  // is adopted by the spawned task's callables (BodyRef); the watchdog
+  // takes its own reference there (see the owners protocol in
+  // request.hpp).
+  r->owners.store(1, std::memory_order_relaxed);
+  r->wd_next = nullptr;
+  r->wd_prev = nullptr;
 
   cell.in_flight.fetch_add(1, std::memory_order_relaxed);
   s.submitted.fetch_add(1, std::memory_order_relaxed);
@@ -260,6 +269,19 @@ std::size_t Server::issue_edf(double* rotor, bool bounded) {
       }
       Request* r = s.edf.try_pop();
       if (r == nullptr) break;  // another dispatcher won the race
+      // Lazy deadline-expiry shed: a request whose deadline already passed
+      // while it waited in the heap cannot meet its objective — spending a
+      // window slot and a worker on it only delays the requests behind it.
+      // Checked at pop (EDF order means everything deeper is no older), so
+      // an idle server pays nothing for it.
+      if (s.cfg.shed_expired && r->deadline_ns < support::now_ns()) {
+        TenantState& t = tenant_ref(r->tenant);
+        s.expired.fetch_add(1, std::memory_order_relaxed);
+        t.cells[r->cls].expired.fetch_add(1, std::memory_order_relaxed);
+        expire_admitted(r);
+        ++issued;
+        continue;
+      }
       dispatch(r, rotor);
       ++issued;
     }
@@ -345,7 +367,128 @@ void Server::drop_admitted(Request* r) {
   cell.in_flight.fetch_sub(1, std::memory_order_relaxed);
   t.in_flight.fetch_sub(1, std::memory_order_acq_rel);
   s.in_flight.fetch_sub(1, std::memory_order_acq_rel);
-  pool_.release(r);
+  request_unref(r, 1);
+}
+
+void Server::expire_admitted(Request* r) {
+  ClassState& s = class_ref(r->cls);
+  TenantState& t = tenant_ref(r->tenant);
+  Cell& cell = t.cells[r->cls];
+  // Expiry is still a drop from the client's perspective, but the frontend
+  // may want to answer with a distinct status — on_expire when provided,
+  // the plain drop callback otherwise.
+  const auto& cb = r->job.on_expire ? r->job.on_expire : r->job.on_drop;
+  if (cb) {
+    try {
+      cb();
+    } catch (...) {
+    }
+  }
+  cell.in_flight.fetch_sub(1, std::memory_order_relaxed);
+  t.in_flight.fetch_sub(1, std::memory_order_acq_rel);
+  s.in_flight.fetch_sub(1, std::memory_order_acq_rel);
+  request_unref(r, 1);
+}
+
+void Server::request_unref(Request* r, int n) {
+  // acq_rel: the releasing side publishes its writes to the node, the last
+  // owner acquires them before recycling it.
+  if (r->owners.fetch_sub(n, std::memory_order_acq_rel) == n) {
+    pool_.release(r);
+  }
+}
+
+void Server::watchdog_link(ClassState& s, Request* r) {
+  std::lock_guard lock(s.wd_lock);
+  r->wd_prev = nullptr;
+  r->wd_next = s.wd_head;
+  if (s.wd_head != nullptr) s.wd_head->wd_prev = r;
+  s.wd_head = r;
+}
+
+bool Server::watchdog_unlink(ClassState& s, Request* r) {
+  if (s.cfg.watchdog_ns <= 0) return false;
+  std::lock_guard lock(s.wd_lock);
+  // Already claimed by the sweep: the sweep nulled both links and advanced
+  // wd_head past us.
+  if (r->wd_prev == nullptr && r->wd_next == nullptr && s.wd_head != r) {
+    return false;
+  }
+  if (r->wd_prev != nullptr) {
+    r->wd_prev->wd_next = r->wd_next;
+  } else {
+    s.wd_head = r->wd_next;
+  }
+  if (r->wd_next != nullptr) r->wd_next->wd_prev = r->wd_prev;
+  r->wd_prev = nullptr;
+  r->wd_next = nullptr;
+  return true;
+}
+
+void Server::watchdog_sweep() {
+  const std::int64_t now = support::now_ns();
+  const std::uint32_t n = class_count_.load(std::memory_order_acquire);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    ClassState& s = *classes_[i].load(std::memory_order_acquire);
+    if (s.cfg.watchdog_ns <= 0) continue;
+
+    // Collect overdue entries under the lock, resolve them outside it: the
+    // timeout callbacks are user code and must not run under a spinlock.
+    // The overdue chain reuses wd_next (each node is unlinked first).
+    Request* overdue = nullptr;
+    {
+      std::lock_guard lock(s.wd_lock);
+      Request* cur = s.wd_head;
+      while (cur != nullptr) {
+        Request* next = cur->wd_next;
+        if (now - cur->issue_ns > s.cfg.watchdog_ns) {
+          if (cur->wd_prev != nullptr) {
+            cur->wd_prev->wd_next = cur->wd_next;
+          } else {
+            s.wd_head = cur->wd_next;
+          }
+          if (cur->wd_next != nullptr) cur->wd_next->wd_prev = cur->wd_prev;
+          cur->wd_prev = nullptr;
+          cur->wd_next = overdue;
+          overdue = cur;
+        }
+        cur = next;
+      }
+    }
+
+    while (overdue != nullptr) {
+      Request* r = overdue;
+      overdue = r->wd_next;
+      r->wd_next = nullptr;
+      // Race with a completing body: whoever flips `resolved` does the
+      // accounting.  Losing here means the body finished between the
+      // collection above and now — nothing to do but drop our ref.
+      if (!r->resolved.exchange(true, std::memory_order_acq_rel)) {
+        TenantState& t = tenant_ref(r->tenant);
+        Cell& cell = t.cells[r->cls];
+        s.timed_out.fetch_add(1, std::memory_order_relaxed);
+        cell.timed_out.fetch_add(1, std::memory_order_relaxed);
+        // A timeout is served as a drop (conservation: every admitted
+        // request lands in exactly one served_* bucket); no latency sample
+        // — the stuck body's eventual finish time is not a service time.
+        s.served_dropped.fetch_add(1, std::memory_order_relaxed);
+        cell.served_dropped.fetch_add(1, std::memory_order_relaxed);
+        const auto& cb = r->job.on_timeout ? r->job.on_timeout : r->job.on_drop;
+        if (cb) {
+          try {
+            cb();
+          } catch (...) {
+          }
+        }
+        s.in_runtime.fetch_sub(1, std::memory_order_relaxed);
+        cell.in_flight.fetch_sub(1, std::memory_order_relaxed);
+        t.in_flight.fetch_sub(1, std::memory_order_acq_rel);
+        s.in_flight.fetch_sub(1, std::memory_order_acq_rel);
+        if (s.edf.size() > 0) wake_dispatcher();
+      }
+      request_unref(r, 1);
+    }
+  }
 }
 
 void Server::dispatch(Request* r, double* rotor) {
@@ -368,15 +511,60 @@ void Server::dispatch(Request* r, double* rotor) {
 
   s.in_runtime.fetch_add(1, std::memory_order_relaxed);
 
+  // Watchdog registration: the controller sweeps issued requests overdue
+  // past cfg.watchdog_ns and resolves them as drops even when their body is
+  // stuck or faulted.  The sweep and the body race on the node, so the
+  // watchdog takes its own ownership ref (see the owners protocol).
+  if (s.cfg.watchdog_ns > 0) {
+    r->issue_ns = support::now_ns();
+    r->owners.fetch_add(1, std::memory_order_relaxed);
+    watchdog_link(s, r);
+  }
+
   // may_block classes hand the worker slot to a spare for the body's
   // duration (Runtime::BlockingSection) so a body stalled on external I/O
   // does not idle a core; the thread re-pools when the body unwinds.
   const bool may_block = s.cfg.may_block;
 
-  auto approx_body = [this, r, may_block] {
+  // The body's ownership reference rides inside the callables, not inside
+  // complete(): an injected crash (or a runtime-side drop) can unwind the
+  // task before either lambda runs, so complete() is not guaranteed to
+  // execute.  The slab slot destroys its callables on retirement on every
+  // path — normal completion, body exception, crash upstream of the
+  // wrapper — which makes a by-value RAII capture the one release point
+  // that cannot be skipped.  Copies (one per stored callable) each add a
+  // reference; the original adopts the admission reference.
+  struct BodyRef {
+    Server* srv;
+    Request* req;
+    BodyRef(Server* s, Request* r) : srv(s), req(r) {}
+    BodyRef(const BodyRef& o) : srv(o.srv), req(o.req) {
+      req->owners.fetch_add(1, std::memory_order_relaxed);
+    }
+    BodyRef(BodyRef&& o) noexcept : srv(o.srv), req(o.req) {
+      o.srv = nullptr;
+    }
+    BodyRef& operator=(const BodyRef&) = delete;
+    BodyRef& operator=(BodyRef&&) = delete;
+    ~BodyRef() {
+      if (srv != nullptr) srv->request_unref(req, 1);
+    }
+  };
+  BodyRef body_ref(this, r);  // adopts the admission reference
+
+  // A throwing body resolves as a drop rather than stranding its in-flight
+  // slot (which would hang drain/close and leak the node) or tearing down
+  // the worker.  Serve-tier bodies are expected to capture their own
+  // failures; this is the backstop.
+  auto approx_body = [this, r, may_block, body_ref] {
     if (may_block) (void)runtime_->begin_blocking();
     if (r->job.approximate) {
-      r->job.approximate();
+      try {
+        r->job.approximate();
+      } catch (...) {
+        complete(r, Outcome::Dropped);
+        return;
+      }
       complete(r, Outcome::Approximate);
     } else {
       complete(r, Outcome::Dropped);  // drop-style class: empty response
@@ -391,9 +579,14 @@ void Server::dispatch(Request* r, double* rotor) {
                         .significance(0.0)
                         .group(s.group));
   } else {
-    runtime_->spawn(task([this, r, may_block] {
+    runtime_->spawn(task([this, r, may_block, body_ref] {
                       if (may_block) (void)runtime_->begin_blocking();
-                      r->job.accurate();
+                      try {
+                        r->job.accurate();
+                      } catch (...) {
+                        complete(r, Outcome::Dropped);
+                        return;
+                      }
                       complete(r, Outcome::Accurate);
                     })
                         .approx(approx_body)
@@ -404,32 +597,45 @@ void Server::dispatch(Request* r, double* rotor) {
 
 void Server::complete(Request* r, Outcome outcome) {
   ClassState& s = class_ref(r->cls);
-  TenantState& t = tenant_ref(r->tenant);
-  Cell& cell = t.cells[r->cls];
-  const std::int64_t latency = support::now_ns() - r->arrival_ns;
-  s.latency.record(latency > 0 ? static_cast<std::uint64_t>(latency) : 0);
-  switch (outcome) {
-    case Outcome::Accurate:
-      s.served_accurate.fetch_add(1, std::memory_order_relaxed);
-      cell.served_accurate.fetch_add(1, std::memory_order_relaxed);
-      break;
-    case Outcome::Approximate:
-      s.served_approximate.fetch_add(1, std::memory_order_relaxed);
-      cell.served_approximate.fetch_add(1, std::memory_order_relaxed);
-      break;
-    case Outcome::Dropped:
-      s.served_dropped.fetch_add(1, std::memory_order_relaxed);
-      cell.served_dropped.fetch_add(1, std::memory_order_relaxed);
-      break;
+  // Leave the watchdog registry before resolving: once unlinked the sweep
+  // can never collect us.  was_linked tells us whether the watchdog's
+  // ownership ref is still ours to drop (the sweep drops its own).
+  const bool was_linked = watchdog_unlink(s, r);
+  if (!r->resolved.exchange(true, std::memory_order_acq_rel)) {
+    TenantState& t = tenant_ref(r->tenant);
+    Cell& cell = t.cells[r->cls];
+    const std::int64_t latency = support::now_ns() - r->arrival_ns;
+    s.latency.record(latency > 0 ? static_cast<std::uint64_t>(latency) : 0);
+    switch (outcome) {
+      case Outcome::Accurate:
+        s.served_accurate.fetch_add(1, std::memory_order_relaxed);
+        cell.served_accurate.fetch_add(1, std::memory_order_relaxed);
+        break;
+      case Outcome::Approximate:
+        s.served_approximate.fetch_add(1, std::memory_order_relaxed);
+        cell.served_approximate.fetch_add(1, std::memory_order_relaxed);
+        break;
+      case Outcome::Dropped:
+        s.served_dropped.fetch_add(1, std::memory_order_relaxed);
+        cell.served_dropped.fetch_add(1, std::memory_order_relaxed);
+        break;
+    }
+    s.in_runtime.fetch_sub(1, std::memory_order_relaxed);
+    cell.in_flight.fetch_sub(1, std::memory_order_relaxed);
+    t.in_flight.fetch_sub(1, std::memory_order_acq_rel);
+    s.in_flight.fetch_sub(1, std::memory_order_acq_rel);
+    // The freed window slot may unblock this class's EDF backlog; the
+    // guarded wake is one relaxed load when no dispatcher is parked.
+    if (s.edf.size() > 0) wake_dispatcher();
   }
-  pool_.release(r);  // node fields dead past this line
-  s.in_runtime.fetch_sub(1, std::memory_order_relaxed);
-  cell.in_flight.fetch_sub(1, std::memory_order_relaxed);
-  t.in_flight.fetch_sub(1, std::memory_order_acq_rel);
-  s.in_flight.fetch_sub(1, std::memory_order_acq_rel);
-  // The freed window slot may unblock this class's EDF backlog; the guarded
-  // wake is one relaxed load when no dispatcher is parked.
-  if (s.edf.size() > 0) wake_dispatcher();
+  // else: the watchdog sweep already resolved this request as timed-out
+  // while the body was still running; the accounting is done.
+  //
+  // Only the watchdog's reference is dropped here (and only when the sweep
+  // has not already dropped its own).  The body's reference lives in the
+  // task's callables (see BodyRef in dispatch) and drops at slab
+  // retirement, which covers bodies that never ran at all.
+  if (was_linked) request_unref(r, 1);
 }
 
 void Server::controller_loop() {
@@ -468,16 +674,41 @@ void Server::controller_tick() {
     runtime_->set_ratio(s.group, d.ratio);
     s.perforation.store(d.perforation, std::memory_order_relaxed);
   }
+  // Piggyback the watchdog on the controller's epoch cadence: timeout
+  // granularity is one epoch, which is the resolution the QoS loop already
+  // commits to.
+  watchdog_sweep();
 }
 
-void Server::close() {
+void Server::drain() {
   {
     std::lock_guard lock(close_mutex_);
-    if (closed_) return;
-    closed_ = true;
+    if (drained_) return;
+    drained_ = true;
   }
+  // Phase 1: quiesce admission.  Every subsequent submit sheds at the top;
+  // only racers already past the accepting_ check can still enqueue.
   accepting_.store(false, std::memory_order_release);
 
+  // Phase 2: serve the backlog.  Dispatchers and the controller are still
+  // running, so the EDF heaps drain in deadline order, perforation and
+  // expiry still apply, and the watchdog still resolves stuck requests —
+  // nothing admitted is shed by the drain itself.  in_flight covers the
+  // whole pipeline (staged + heaped + in-runtime), so zero across every
+  // class means the pipeline is empty.
+  const std::uint32_t n = class_count_.load(std::memory_order_acquire);
+  for (;;) {
+    bool quiescent = queue_.empty();
+    for (std::uint32_t i = 0; i < n && quiescent; ++i) {
+      quiescent = classes_[i].load(std::memory_order_acquire)
+                      ->in_flight.load(std::memory_order_acquire) == 0;
+    }
+    if (quiescent) break;
+    wake_dispatcher();
+    std::this_thread::sleep_for(std::chrono::microseconds(50));
+  }
+
+  // Phase 3: stop the service threads.
   if (controller_.joinable()) {
     {
       std::lock_guard lock(controller_mutex_);
@@ -496,6 +727,15 @@ void Server::close() {
   for (auto& d : dispatchers_) {
     if (d.joinable()) d.join();
   }
+}
+
+void Server::close() {
+  {
+    std::lock_guard lock(close_mutex_);
+    if (closed_) return;
+    closed_ = true;
+  }
+  drain();
 
   // Shed anything that raced the intake flip.  A racer that passed the
   // accepting_ check holds its reservations from before its push, and
@@ -524,6 +764,12 @@ void Server::close() {
       quiescent = classes_[i].load(std::memory_order_acquire)
                       ->in_flight.load(std::memory_order_acquire) == 0;
     }
+    // in_flight hits zero at complete(), but the last ownership reference
+    // drops at task-slab retirement on a worker thread (BodyRef); wait for
+    // every node to be back in the pool so destruction cannot race a
+    // retiring task, and so callers observe the full shutdown contract
+    // (every Job destroyed, every on_timeout guard dropped).
+    quiescent = quiescent && pool_.outstanding() == 0;
     if (quiescent) break;
     std::this_thread::sleep_for(std::chrono::microseconds(50));
   }
@@ -544,6 +790,8 @@ ClassReport Server::class_report(ClassId cls) const {
   r.served_accurate = s.served_accurate.load(std::memory_order_relaxed);
   r.served_approximate = s.served_approximate.load(std::memory_order_relaxed);
   r.served_dropped = s.served_dropped.load(std::memory_order_relaxed);
+  r.expired = s.expired.load(std::memory_order_relaxed);
+  r.timed_out = s.timed_out.load(std::memory_order_relaxed);
   r.in_flight = s.in_flight.load(std::memory_order_relaxed);
 
   const support::Histogram h = s.latency.merged();
@@ -576,6 +824,8 @@ TenantReport Server::tenant_report(TenantId tenant) const {
     cell.served_approximate =
         c.served_approximate.load(std::memory_order_relaxed);
     cell.served_dropped = c.served_dropped.load(std::memory_order_relaxed);
+    cell.expired = c.expired.load(std::memory_order_relaxed);
+    cell.timed_out = c.timed_out.load(std::memory_order_relaxed);
     cell.in_flight = c.in_flight.load(std::memory_order_relaxed);
     out.cells.push_back(std::move(cell));
   }

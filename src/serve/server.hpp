@@ -52,6 +52,7 @@
 #include "serve/qos_controller.hpp"
 #include "serve/request.hpp"
 #include "support/histogram.hpp"
+#include "support/spinlock.hpp"
 
 namespace sigrt::serve {
 
@@ -129,9 +130,23 @@ class Server {
   /// fairness watermark AND the class's bounds, in that order.
   Admission submit(ClassId cls, TenantId tenant, Job job);
 
-  /// Stops intake, serves everything already admitted, then joins the
-  /// dispatcher and controller threads.  Idempotent.
+  /// Graceful shutdown, phase-ordered: quiesce admission (new submissions
+  /// shed), serve every admitted request to completion (dispatchers keep
+  /// issuing the EDF backlog, EDF-order; nothing admitted is shed), then
+  /// stop the dispatcher and controller threads.  Idempotent; close()
+  /// calls it first.  Requests stuck past their class watchdog still
+  /// resolve (as drops) while the controller runs.
+  void drain();
+
+  /// drain(), then sheds any submission that raced the intake flip.
+  /// Idempotent.
   void close();
+
+  /// The class's watchdog budget (0 = disabled) — frontends use it to
+  /// decide whether a request needs timeout-response plumbing.  Any thread.
+  [[nodiscard]] std::int64_t class_watchdog_ns(ClassId cls) const {
+    return class_ref(cls).cfg.watchdog_ns;
+  }
 
   [[nodiscard]] ClassReport class_report(ClassId cls) const;
   [[nodiscard]] TenantReport tenant_report(TenantId tenant) const;
@@ -168,6 +183,8 @@ class Server {
     std::atomic<std::uint64_t> served_accurate{0};
     std::atomic<std::uint64_t> served_approximate{0};
     std::atomic<std::uint64_t> served_dropped{0};
+    std::atomic<std::uint64_t> expired{0};
+    std::atomic<std::uint64_t> timed_out{0};
   };
 
   struct TenantState {
@@ -205,6 +222,14 @@ class Server {
     std::atomic<std::uint64_t> served_accurate{0};
     std::atomic<std::uint64_t> served_approximate{0};
     std::atomic<std::uint64_t> served_dropped{0};
+    std::atomic<std::uint64_t> expired{0};
+    std::atomic<std::uint64_t> timed_out{0};
+
+    /// Watchdog registry: intrusive doubly-linked list of issued requests
+    /// (linked at dispatch, unlinked at complete) the controller sweeps for
+    /// overdue entries.  Only populated when cfg.watchdog_ns > 0.
+    support::SpinLock wd_lock;
+    Request* wd_head = nullptr;  ///< wd_lock
   };
 
   enum class Outcome : std::uint8_t { Accurate, Approximate, Dropped };
@@ -229,6 +254,19 @@ class Server {
   /// shutdown): fires on_drop, bumps `shed`/`perforated` style counters via
   /// the caller, releases the in-flight reservations and recycles the node.
   void drop_admitted(Request* r);
+  /// Deadline-expired at EDF pop: like drop_admitted but fires on_expire
+  /// (falling back to on_drop) — the caller has already bumped `expired`.
+  void expire_admitted(Request* r);
+  void watchdog_link(ClassState& s, Request* r);
+  /// Returns true when r was still linked (i.e. the sweep hadn't claimed
+  /// it), so the caller knows how many ownership refs to drop.
+  bool watchdog_unlink(ClassState& s, Request* r);
+  /// Controller-tick pass: resolves every issued request overdue past its
+  /// class watchdog as a drop (on_timeout, falling back to on_drop) and
+  /// releases its in-flight reservations.  The stuck body may still be
+  /// running; the owners protocol keeps the Request alive until it exits.
+  void watchdog_sweep();
+  void request_unref(Request* r, int n);
   void wake_dispatcher() noexcept;
   [[nodiscard]] bool has_issuable() const noexcept;
 
@@ -265,7 +303,8 @@ class Server {
   bool controller_stop_ = false;  ///< controller_mutex_
 
   std::mutex close_mutex_;
-  bool closed_ = false;  ///< close_mutex_
+  bool drained_ = false;  ///< close_mutex_
+  bool closed_ = false;   ///< close_mutex_
 
   std::vector<std::thread> dispatchers_;
   std::thread controller_;

@@ -1,13 +1,17 @@
-// InlineFn: a move-only `void()` callable with small-buffer storage.
+// BasicInlineFn<R>: a move-only `R()` callable with small-buffer storage.
 //
 // std::function heap-allocates any capture bigger than its (implementation
 // defined, typically 16-byte) SBO and drags in RTTI + copyability machinery
-// the task hot path never uses.  InlineFn stores captures up to
+// the task hot path never uses.  BasicInlineFn stores captures up to
 // kInlineBytes (64) directly inside the object — sized so that every task
 // body in this repository, and anything capturing up to 8 pointers, spawns
 // without touching the allocator — and falls back to a single heap cell for
 // oversized or potentially-throwing-move captures.  Two function pointers
 // (invoke + manage) replace the vtable; no RTTI, no copy support.
+//
+// Two instantiations are used by the runtime:
+//   InlineFn   = BasicInlineFn<void>  — task bodies
+//   InlinePred = BasicInlineFn<bool>  — check() result validators
 //
 // The capture-size contract is part of the runtime's zero-allocation
 // guarantee: see docs/architecture.md ("Task lifecycle & memory") and the
@@ -23,24 +27,25 @@
 
 namespace sigrt::support {
 
-class InlineFn {
+template <class R>
+class BasicInlineFn {
  public:
   /// Captures up to this many bytes (with fundamental alignment and a
   /// nothrow move constructor) are stored inline; anything else costs one
   /// heap allocation at construction.
   static constexpr std::size_t kInlineBytes = 64;
 
-  InlineFn() = default;
+  BasicInlineFn() = default;
 
   template <class F,
             class = std::enable_if_t<
-                !std::is_same_v<std::remove_cvref_t<F>, InlineFn>>>
-  InlineFn(F&& fn) {  // NOLINT(google-explicit-constructor): mirrors std::function
+                !std::is_same_v<std::remove_cvref_t<F>, BasicInlineFn>>>
+  BasicInlineFn(F&& fn) {  // NOLINT(google-explicit-constructor): mirrors std::function
     emplace(std::forward<F>(fn));
   }
 
-  InlineFn(InlineFn&& other) noexcept { move_from(other); }
-  InlineFn& operator=(InlineFn&& other) noexcept {
+  BasicInlineFn(BasicInlineFn&& other) noexcept { move_from(other); }
+  BasicInlineFn& operator=(BasicInlineFn&& other) noexcept {
     if (this != &other) {
       reset();
       move_from(other);
@@ -50,20 +55,20 @@ class InlineFn {
 
   template <class F,
             class = std::enable_if_t<
-                !std::is_same_v<std::remove_cvref_t<F>, InlineFn>>>
-  InlineFn& operator=(F&& fn) {
+                !std::is_same_v<std::remove_cvref_t<F>, BasicInlineFn>>>
+  BasicInlineFn& operator=(F&& fn) {
     reset();
     emplace(std::forward<F>(fn));
     return *this;
   }
 
-  InlineFn(const InlineFn&) = delete;
-  InlineFn& operator=(const InlineFn&) = delete;
+  BasicInlineFn(const BasicInlineFn&) = delete;
+  BasicInlineFn& operator=(const BasicInlineFn&) = delete;
 
-  ~InlineFn() { reset(); }
+  ~BasicInlineFn() { reset(); }
 
   /// Destroys the stored callable (releasing captured resources) and
-  /// returns to the empty state.  Safe on an empty InlineFn.
+  /// returns to the empty state.  Safe on an empty BasicInlineFn.
   void reset() noexcept {
     if (manage_ != nullptr) manage_(Op::Destroy, buf_, nullptr);
     invoke_ = nullptr;
@@ -74,11 +79,11 @@ class InlineFn {
     return invoke_ != nullptr;
   }
 
-  void operator()() { invoke_(buf_); }
+  R operator()() { return invoke_(buf_); }
 
  private:
   enum class Op : std::uint8_t { Destroy, Relocate };
-  using Invoke = void (*)(void*);
+  using Invoke = R (*)(void*);
   using Manage = void (*)(Op, void* src, void* dst) noexcept;
 
   template <class D>
@@ -89,11 +94,13 @@ class InlineFn {
   template <class F>
   void emplace(F&& fn) {
     using D = std::decay_t<F>;
-    static_assert(std::is_invocable_r_v<void, D&>,
-                  "InlineFn requires a void() callable");
+    static_assert(std::is_invocable_r_v<R, D&>,
+                  "BasicInlineFn requires an R() callable");
     if constexpr (kFitsInline<D>) {
       ::new (static_cast<void*>(buf_)) D(std::forward<F>(fn));
-      invoke_ = [](void* buf) { (*std::launder(reinterpret_cast<D*>(buf)))(); };
+      invoke_ = [](void* buf) -> R {
+        return (*std::launder(reinterpret_cast<D*>(buf)))();
+      };
       manage_ = [](Op op, void* src, void* dst) noexcept {
         D* self = std::launder(reinterpret_cast<D*>(src));
         if (op == Op::Relocate) ::new (dst) D(std::move(*self));
@@ -104,10 +111,10 @@ class InlineFn {
       // pointer copy, so moved-from heap callables never re-allocate.
       D* cell = new D(std::forward<F>(fn));
       std::memcpy(buf_, &cell, sizeof(cell));
-      invoke_ = [](void* buf) {
+      invoke_ = [](void* buf) -> R {
         D* cell;
         std::memcpy(&cell, buf, sizeof(cell));
-        (*cell)();
+        return (*cell)();
       };
       manage_ = [](Op op, void* src, void* dst) noexcept {
         if (op == Op::Relocate) {
@@ -122,7 +129,7 @@ class InlineFn {
   }
 
   /// Precondition: *this is empty.  Leaves `other` empty.
-  void move_from(InlineFn& other) noexcept {
+  void move_from(BasicInlineFn& other) noexcept {
     if (other.manage_ != nullptr) {
       other.manage_(Op::Relocate, other.buf_, buf_);
     }
@@ -136,5 +143,11 @@ class InlineFn {
   Manage manage_ = nullptr;
   alignas(std::max_align_t) unsigned char buf_[kInlineBytes];
 };
+
+/// Task bodies: `void()`.
+using InlineFn = BasicInlineFn<void>;
+
+/// Result validators (TaskOptions::check): `bool()`, true = result accepted.
+using InlinePred = BasicInlineFn<bool>;
 
 }  // namespace sigrt::support

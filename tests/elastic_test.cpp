@@ -12,6 +12,7 @@
 #include <chrono>
 #include <cstdio>
 #include <filesystem>
+#include <stdexcept>
 #include <string>
 #include <thread>
 #include <vector>
@@ -147,6 +148,59 @@ TEST(ElasticPool, DeepChainKeepsPerThreadNestingUnderHelpingDepthCap) {
   EXPECT_LE(g_max_nesting.load(), static_cast<int>(c.helping_depth) * 2 + 8);
   // The bound is only meaningful if the detach path actually engaged.
   EXPECT_GE(rt.pool_stats().handoffs, 1u);
+}
+
+TEST(ElasticPool, PoolStaysBalancedAfterBlockingStormsWithFailures) {
+  // Repeated storms of blocking sections whose bodies then THROW: the
+  // handoff path (slot donated to a spare) composes with the error path
+  // (exception recorded, barrier rethrows).  The oracle is the PoolStats
+  // ledger — slots were actually handed off, and after the storms the pool
+  // deflates back to exactly the base worker count instead of leaking a
+  // spare per failure.
+  RuntimeConfig c = pool_config(2);
+  c.spare_grace_ms = 5;
+  Runtime rt(c);
+
+  constexpr int kRounds = 8;
+  std::atomic<int> siblings{0};
+  for (int round = 0; round < kRounds; ++round) {
+    for (int i = 0; i < 4; ++i) {
+      rt.spawn(sigrt::task([&rt] {
+        {
+          sigrt::BlockingSection bs(rt);
+          std::this_thread::sleep_for(std::chrono::milliseconds(2));
+        }
+        throw std::runtime_error("post-blocking boom");
+      }));
+      rt.spawn(sigrt::task([&] { siblings.fetch_add(1); }));
+    }
+    try {
+      rt.wait_all();
+    } catch (const std::runtime_error&) {
+    }
+  }
+
+  EXPECT_EQ(siblings.load(), kRounds * 4);
+  const PoolStats mid = rt.pool_stats();
+  EXPECT_GE(mid.handoffs, 1u);  // the storms really exercised the handoff
+  // Balanced ledger: every spare the storms spawned retires after the
+  // grace, and the live count settles back to the base workers.
+  EXPECT_TRUE(eventually([&] {
+    const PoolStats s = rt.pool_stats();
+    return s.live_threads == 2 && s.idle_spares == 0;
+  })) << "pool did not deflate: live_threads="
+      << rt.pool_stats().live_threads
+      << " idle_spares=" << rt.pool_stats().idle_spares;
+  const PoolStats end = rt.pool_stats();
+  EXPECT_EQ(end.spares_spawned, end.spares_retired);
+
+  // And the deflated pool still runs work.
+  std::atomic<int> after{0};
+  for (int i = 0; i < 8; ++i) {
+    rt.spawn(sigrt::task([&] { after.fetch_add(1); }));
+  }
+  rt.wait_all();
+  EXPECT_EQ(after.load(), 8);
 }
 
 // --- topology probe -------------------------------------------------------

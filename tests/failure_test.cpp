@@ -157,6 +157,48 @@ TEST(Failure, ManySmallGroups) {
   EXPECT_EQ(runs.load(), 64);
 }
 
+TEST(Failure, ExceptionFromHelpingFramePropagates) {
+  // An in-task taskwait turns the waiting worker into a helper that
+  // executes queued tasks in its own frame.  An exception thrown by a task
+  // that happens to run inside that helping frame must surface exactly like
+  // one from a plain worker dispatch — recorded once, rethrown at a
+  // barrier, the helping loop itself intact.
+  Runtime rt(config(2));
+  std::atomic<int> siblings{0};
+  std::atomic<bool> parent_finished{false};
+  rt.spawn(sigrt::task([&] {
+    rt.spawn(sigrt::task([] { throw std::runtime_error("child boom"); }));
+    for (int i = 0; i < 16; ++i) {
+      rt.spawn(sigrt::task([&] { siblings.fetch_add(1); }));
+    }
+    // Helping barrier: the parent executes its own children here; one of
+    // them throws inside the parent's frame.  The wait itself may or may
+    // not rethrow (the winner of the error race does) — what matters is
+    // that it RETURNS with all children done instead of deadlocking or
+    // unwinding the worker loop.
+    try {
+      rt.wait_all();
+    } catch (const std::runtime_error&) {
+    }
+    parent_finished.store(true);
+  }));
+  // The error survives to an outer barrier unless the inner wait consumed
+  // it; either way every sibling ran and the parent completed.
+  try {
+    rt.wait_all();
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "child boom");
+  }
+  EXPECT_EQ(siblings.load(), 16);
+  EXPECT_TRUE(parent_finished.load());
+
+  // And the runtime is still usable afterwards.
+  int x = 0;
+  rt.spawn(sigrt::task([&] { x = 1; }));
+  rt.wait_all();
+  EXPECT_EQ(x, 1);
+}
+
 TEST(Failure, DestructorSwallowsPendingError) {
   {
     Runtime rt(config(2));
