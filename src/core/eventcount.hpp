@@ -30,7 +30,8 @@
 #include <condition_variable>
 #include <cstdint>
 #include <memory>
-#include <mutex>
+
+#include "support/mutex.hpp"
 
 namespace sigrt {
 
@@ -59,9 +60,9 @@ class EventCount {
   /// if one raced in between prepare and commit.
   void commit_wait(unsigned i) {
     Slot& s = slots_[i];
-    std::unique_lock<std::mutex> lock(s.mutex);
+    support::MutexLock lock(s.mutex);
     while (s.state.load(std::memory_order_acquire) == kWaiting) {
-      s.cv.wait(lock);
+      s.cv.wait(lock.native());
     }
     s.state.store(kActive, std::memory_order_release);
   }
@@ -74,8 +75,8 @@ class EventCount {
   /// running — no signal is lost, none is duplicated.
   void commit_wait_for(unsigned i, std::chrono::microseconds timeout) {
     Slot& s = slots_[i];
-    std::unique_lock<std::mutex> lock(s.mutex);
-    s.cv.wait_for(lock, timeout, [&s] {
+    support::MutexLock lock(s.mutex);
+    s.cv.wait_for(lock.native(), timeout, [&s] {
       return s.state.load(std::memory_order_acquire) != kWaiting;
     });
     s.state.store(kActive, std::memory_order_release);
@@ -95,7 +96,7 @@ class EventCount {
     // Lock/unlock pairs with the waiter's state check under the same mutex
     // in commit_wait: the signal cannot land between that check and the
     // cv.wait it guards.
-    { std::lock_guard<std::mutex> lock(s.mutex); }
+    { support::MutexLock lock(s.mutex); }
     s.cv.notify_one();
     return true;
   }
@@ -118,7 +119,7 @@ class EventCount {
 
   struct alignas(64) Slot {
     std::atomic<std::uint32_t> state{kActive};
-    std::mutex mutex;                // slow path only: actual sleeping
+    support::Mutex mutex;            // slow path only: actual sleeping
     std::condition_variable cv;
   };
 

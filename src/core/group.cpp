@@ -47,7 +47,7 @@ void TaskGroup::on_complete(ExecutionKind kind, float significance,
       // the completion hot path (it only ever waits on a report() merge);
       // the shared fallback shard is the one place writers can collide.
       LogShard& shard = shard_for(worker_slot);
-      std::lock_guard lock(shard.mutex);
+      support::MutexLock lock(shard.mutex);
       shard.log.push_back({significance, kind});
       shard.requested_mass += requested;
     }
@@ -61,19 +61,19 @@ void TaskGroup::on_complete(ExecutionKind kind, float significance,
     // before parking).  Waiters are notified in place, not removed: each
     // self-removes on its own way out, and a duplicate notify is only a
     // spurious wake.
-    std::lock_guard lock(wait_mutex_);
+    support::MutexLock lock(wait_mutex_);
     wait_cv_.notify_all();
     for (BarrierWaiter* w : intask_waiters_) w->notify();
   }
 }
 
 void TaskGroup::add_intask_waiter(BarrierWaiter* w) {
-  std::lock_guard lock(wait_mutex_);
+  support::MutexLock lock(wait_mutex_);
   intask_waiters_.push_back(w);
 }
 
 void TaskGroup::remove_intask_waiter(BarrierWaiter* w) {
-  std::lock_guard lock(wait_mutex_);
+  support::MutexLock lock(wait_mutex_);
   for (std::size_t i = 0; i < intask_waiters_.size(); ++i) {
     if (intask_waiters_[i] == w) {
       intask_waiters_[i] = intask_waiters_.back();
@@ -84,15 +84,15 @@ void TaskGroup::remove_intask_waiter(BarrierWaiter* w) {
 }
 
 void TaskGroup::wait() const {
-  std::unique_lock lock(wait_mutex_);
-  wait_cv_.wait(lock, [this] {
+  support::MutexLock lock(wait_mutex_);
+  wait_cv_.wait(lock.native(), [this] {
     return pending_.load(std::memory_order_acquire) == 0;
   });
 }
 
 bool TaskGroup::wait_for(std::chrono::milliseconds timeout) const {
-  std::unique_lock lock(wait_mutex_);
-  return wait_cv_.wait_for(lock, timeout, [this] {
+  support::MutexLock lock(wait_mutex_);
+  return wait_cv_.wait_for(lock.native(), timeout, [this] {
     return pending_.load(std::memory_order_acquire) == 0;
   });
 }
@@ -117,7 +117,7 @@ GroupReport TaskGroup::report() const {
   std::size_t log_size = 0;
   double requested_mass = 0.0;
   for (const LogShard& shard : log_shards_) {
-    std::lock_guard lock(shard.mutex);
+    support::MutexLock lock(shard.mutex);
     log_size += shard.log.size();
     requested_mass += shard.requested_mass;
   }
@@ -139,7 +139,7 @@ GroupReport TaskGroup::report() const {
     std::vector<float> sigs;
     sigs.reserve(log_size);
     for (const LogShard& shard : log_shards_) {
-      std::lock_guard lock(shard.mutex);
+      support::MutexLock lock(shard.mutex);
       for (const TaskRecord& t : shard.log) sigs.push_back(t.significance);
     }
     if (sigs.empty()) return r;  // log reset between the two passes
@@ -152,7 +152,7 @@ GroupReport TaskGroup::report() const {
     std::uint64_t inversed = 0;
     std::size_t scanned = 0;
     for (const LogShard& shard : log_shards_) {
-      std::lock_guard lock(shard.mutex);
+      support::MutexLock lock(shard.mutex);
       for (const TaskRecord& t : shard.log) {
         if (t.kind == ExecutionKind::Accurate && t.significance < cutoff) {
           ++inversed;
@@ -179,7 +179,7 @@ void TaskGroup::reset_stats() {
   redone_.store(0, std::memory_order_relaxed);
   corrupted_detected_.store(0, std::memory_order_relaxed);
   for (LogShard& shard : log_shards_) {
-    std::lock_guard lock(shard.mutex);
+    support::MutexLock lock(shard.mutex);
     shard.log.clear();
     shard.requested_mass = 0.0;
   }

@@ -10,11 +10,11 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "core/types.hpp"
+#include "support/mutex.hpp"
 
 namespace sigrt {
 
@@ -169,12 +169,12 @@ class TaskGroup {
   std::atomic<std::uint64_t> redone_{0};
   std::atomic<std::uint64_t> corrupted_detected_{0};
 
-  mutable std::mutex wait_mutex_;
+  mutable support::Mutex wait_mutex_;
   mutable std::condition_variable wait_cv_;
 
-  /// Parked in-task waiters (guarded by wait_mutex_).  Cold path: only
-  /// waiters that exhausted all acquirable work land here.
-  std::vector<BarrierWaiter*> intask_waiters_;
+  /// Parked in-task waiters.  Cold path: only waiters that exhausted all
+  /// acquirable work land here.
+  std::vector<BarrierWaiter*> intask_waiters_ SIGRT_GUARDED_BY(wait_mutex_);
 
   // Task-record log, sharded by executing worker so the per-completion
   // append never crosses a contended lock: worker w appends to shard
@@ -186,9 +186,10 @@ class TaskGroup {
   static constexpr unsigned kLogShards = 16;  // power of two
   static constexpr unsigned kLogShardMask = kLogShards - 1;
   struct alignas(64) LogShard {
-    mutable std::mutex mutex;
-    std::vector<TaskRecord> log;
-    double requested_mass = 0.0;  ///< sum of ratio() at each classification
+    mutable support::Mutex mutex;
+    std::vector<TaskRecord> log SIGRT_GUARDED_BY(mutex);
+    /// Sum of ratio() at each classification.
+    double requested_mass SIGRT_GUARDED_BY(mutex) = 0.0;
   };
   std::array<LogShard, kLogShards + 1> log_shards_;  // +1: fallback shard
 

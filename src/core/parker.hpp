@@ -38,7 +38,8 @@
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
-#include <mutex>
+
+#include "support/mutex.hpp"
 
 namespace sigrt {
 
@@ -64,8 +65,10 @@ class Parker {
   /// Phase 2: block until unpark() arrives (returns immediately when one
   /// raced in between prepare and park).
   void park() {
-    std::unique_lock<std::mutex> lock(mutex_);
-    while (state_.load(std::memory_order_acquire) == kParked) cv_.wait(lock);
+    support::MutexLock lock(mutex_);
+    while (state_.load(std::memory_order_acquire) == kParked) {
+      cv_.wait(lock.native());
+    }
     state_.store(kIdle, std::memory_order_release);
   }
 
@@ -73,8 +76,8 @@ class Parker {
   /// first) — barrier waiters under a buffering policy must surface
   /// periodically to re-flush the policy window.
   void park_for(std::chrono::microseconds timeout) {
-    std::unique_lock<std::mutex> lock(mutex_);
-    cv_.wait_for(lock, timeout, [this] {
+    support::MutexLock lock(mutex_);
+    cv_.wait_for(lock.native(), timeout, [this] {
       return state_.load(std::memory_order_acquire) != kParked;
     });
     state_.store(kIdle, std::memory_order_release);
@@ -90,14 +93,14 @@ class Parker {
                                         std::memory_order_relaxed)) {
       return;
     }
-    { std::lock_guard<std::mutex> lock(mutex_); }
+    { support::MutexLock lock(mutex_); }
     cv_.notify_one();
   }
 
  private:
   enum : std::uint32_t { kIdle = 0, kParked = 1, kNotified = 2 };
   std::atomic<std::uint32_t> state_{kIdle};
-  std::mutex mutex_;
+  support::Mutex mutex_;  // slow path only: actual sleeping
   std::condition_variable cv_;
 };
 
@@ -136,8 +139,8 @@ struct BarrierWaiter {
 namespace detail {
 
 struct WaiterFreelist {
-  std::mutex mutex;
-  BarrierWaiter* head = nullptr;
+  support::Mutex mutex;
+  BarrierWaiter* head SIGRT_GUARDED_BY(mutex) = nullptr;
 };
 
 inline WaiterFreelist& waiter_freelist() {
@@ -155,7 +158,7 @@ struct WaiterLease {
     if (w == nullptr) return;
     w->sched.store(nullptr, std::memory_order_relaxed);
     WaiterFreelist& fl = waiter_freelist();
-    std::lock_guard<std::mutex> lock(fl.mutex);
+    support::MutexLock lock(fl.mutex);
     w->next_free = fl.head;
     fl.head = w;
   }
@@ -170,7 +173,7 @@ inline BarrierWaiter* this_thread_waiter() {
   thread_local detail::WaiterLease lease;
   if (lease.w == nullptr) {
     detail::WaiterFreelist& fl = detail::waiter_freelist();
-    std::lock_guard<std::mutex> lock(fl.mutex);
+    support::MutexLock lock(fl.mutex);
     if (fl.head != nullptr) {
       lease.w = fl.head;
       fl.head = lease.w->next_free;

@@ -19,7 +19,7 @@ void GtbPolicy::on_spawn(const TaskPtr& task, IssueSink& sink) {
   // same cost profile as the clear() of the single-spawner era.
   std::vector<TaskPtr> window;
   {
-    std::lock_guard lock(mutex_);
+    support::MutexLock lock(mutex_);
     auto& buffer = buffers_[task->group];
     buffer.push_back(task);
     if (buffer.size() >= capacity_) {
@@ -33,7 +33,7 @@ void GtbPolicy::on_spawn(const TaskPtr& task, IssueSink& sink) {
   // re-grow a capacity-0 vector — on_spawn is the spawn hot path and the
   // steady state should not cycle the allocator once per window.  Skip if
   // concurrent spawns already repopulated (or re-grew) the slot.
-  std::lock_guard lock(mutex_);
+  support::MutexLock lock(mutex_);
   auto& buffer = buffers_[task->group];
   if (buffer.empty() && buffer.capacity() < window.capacity()) {
     buffer.swap(window);
@@ -48,7 +48,7 @@ void GtbPolicy::flush(GroupId group, IssueSink& sink) {
   // barrier) are always included.
   std::vector<std::pair<GroupId, std::vector<TaskPtr>>> taken;
   {
-    std::lock_guard lock(mutex_);
+    support::MutexLock lock(mutex_);
     if (group == kAllGroups) {
       for (auto& [gid, window] : buffers_) {
         if (window.empty()) continue;

@@ -16,12 +16,12 @@
 #pragma once
 
 #include <cstddef>
-#include <mutex>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "core/policy.hpp"
+#include "support/mutex.hpp"
 
 namespace sigrt {
 
@@ -51,8 +51,9 @@ class GtbPolicy : public Policy {
   const std::size_t capacity_;
   const bool max_buffer_;
   // Guards buffers_ only; classification runs on moved-out windows.
-  std::mutex mutex_;
-  std::unordered_map<GroupId, std::vector<TaskPtr>> buffers_;
+  support::Mutex mutex_;
+  std::unordered_map<GroupId, std::vector<TaskPtr>> buffers_
+      SIGRT_GUARDED_BY(mutex_);
 };
 
 }  // namespace sigrt

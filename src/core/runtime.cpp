@@ -163,7 +163,7 @@ Runtime::~Runtime() {
 }
 
 GroupId Runtime::create_group(const std::string& name, double ratio) {
-  std::unique_lock lock(groups_mutex_);
+  support::WriterLock lock(groups_mutex_);
   if (auto it = group_names_.find(name); it != group_names_.end()) {
     groups_[it->second]->set_ratio(ratio);
     return it->second;
@@ -177,7 +177,7 @@ GroupId Runtime::create_group(const std::string& name, double ratio) {
 }
 
 GroupId Runtime::ensure_group(const std::string& name) {
-  std::unique_lock lock(groups_mutex_);
+  support::WriterLock lock(groups_mutex_);
   if (auto it = group_names_.find(name); it != group_names_.end()) {
     return it->second;
   }
@@ -204,19 +204,19 @@ TaskGroup& Runtime::group_ref(GroupId id) {
       return *g;
     }
   }
-  std::shared_lock lock(groups_mutex_);
+  support::ReaderLock lock(groups_mutex_);
   if (id >= groups_.size()) throw std::out_of_range("unknown task group");
   return *groups_[id];
 }
 
 GroupReport Runtime::group_report(GroupId id) const {
-  std::shared_lock lock(groups_mutex_);
+  support::ReaderLock lock(groups_mutex_);
   if (id >= groups_.size()) throw std::out_of_range("unknown task group");
   return groups_[id]->report();
 }
 
 std::vector<GroupReport> Runtime::all_group_reports() const {
-  std::shared_lock lock(groups_mutex_);
+  support::ReaderLock lock(groups_mutex_);
   std::vector<GroupReport> out;
   out.reserve(groups_.size());
   for (const auto& g : groups_) out.push_back(g->report());
@@ -549,7 +549,7 @@ void Runtime::execute_task(Task& task, unsigned worker) {
         "sigrt: task result rejected by check() after exhausting max_redos"));
   }
   if (body_error) {
-    std::lock_guard lock(error_mutex_);
+    support::MutexLock lock(error_mutex_);
     if (!first_error_) first_error_ = body_error;
   }
 
@@ -614,7 +614,7 @@ void Runtime::execute_task(Task& task, unsigned worker) {
 
 void Runtime::on_task_finished() {
   if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-    std::lock_guard lock(wait_mutex_);
+    support::MutexLock lock(wait_mutex_);
     wait_cv_.notify_all();
   }
 }
@@ -752,19 +752,19 @@ void Runtime::wait_all() {
 
 template <typename Done>
 void Runtime::blocking_wait(Done done) {
-  std::unique_lock lock(wait_mutex_);
+  support::MutexLock lock(wait_mutex_);
   if (pass_through_) {
     // Nothing ever sits in a pass-through policy: a pure sleep, woken by
     // the barrier condition's crossing.  (A timed poll here measurably
     // preempts the workers on single-CPU boxes — keep it wake-driven.)
-    wait_cv_.wait(lock, done);
+    wait_cv_.wait(lock.native(), done);
     return;
   }
   // Buffering policy: task bodies may spawn into a window DURING this
   // barrier (nested spawn with no in-task taskwait), and the barrier's
   // entry flush cannot have seen those — re-flush on every timeout so the
   // barrier stays live.  The condition's wake still arrives immediately.
-  while (!wait_cv_.wait_for(lock, std::chrono::milliseconds(1), done)) {
+  while (!wait_cv_.wait_for(lock.native(), std::chrono::milliseconds(1), done)) {
     lock.unlock();
     policy_->flush(kAllGroups, *this);
     lock.lock();
@@ -836,7 +836,7 @@ void Runtime::wait_on(const void* ptr, std::size_t bytes) {
     done.store(true, std::memory_order_release);
     // Blocking (non-helping) waiters sleep on wait_cv_; the lock/notify
     // pair closes their check-then-sleep window.  Helping waiters poll.
-    std::lock_guard lock(wait_mutex_);
+    support::MutexLock lock(wait_mutex_);
     wait_cv_.notify_all();
   };
   fence.significance = 1.0;
@@ -875,7 +875,7 @@ std::vector<std::pair<std::uint64_t, std::uint64_t>> Runtime::steal_locality()
 void Runtime::rethrow_pending_error() {
   std::exception_ptr err;
   {
-    std::lock_guard lock(error_mutex_);
+    support::MutexLock lock(error_mutex_);
     std::swap(err, first_error_);
   }
   if (err) std::rethrow_exception(err);
@@ -884,7 +884,7 @@ void Runtime::rethrow_pending_error() {
 RuntimeStats Runtime::stats() const {
   RuntimeStats s;
   {
-    std::shared_lock lock(groups_mutex_);
+    support::ReaderLock lock(groups_mutex_);
     for (const auto& g : groups_) {
       const GroupReport r = g->report();
       s.spawned += r.spawned;
@@ -910,7 +910,7 @@ void Runtime::dump_state(FILE* out) const {
                static_cast<unsigned long long>(pending_.load()),
                policy_->name());
   {
-    std::shared_lock lock(groups_mutex_);
+    support::ReaderLock lock(groups_mutex_);
     for (const auto& g : groups_) {
       std::fprintf(out, "  group %u '%s': pending=%llu ratio=%.3f\n", g->id(),
                    g->name().c_str(),

@@ -53,8 +53,6 @@
 #include <cstdint>
 #include <exception>
 #include <memory>
-#include <mutex>
-#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -242,9 +240,10 @@ class Runtime final : public energy::ActivitySource, private IssueSink {
   /// virtual call per spawn.
   bool pass_through_ = false;
 
-  mutable std::shared_mutex groups_mutex_;
-  std::vector<std::unique_ptr<TaskGroup>> groups_;
-  std::unordered_map<std::string, GroupId> group_names_;
+  mutable support::SharedMutex groups_mutex_;
+  std::vector<std::unique_ptr<TaskGroup>> groups_ SIGRT_GUARDED_BY(groups_mutex_);
+  std::unordered_map<std::string, GroupId> group_names_
+      SIGRT_GUARDED_BY(groups_mutex_);
 
   /// Lock-free fast path for group_ref(): workers resolve a group's live
   /// ratio() on every LQH dequeue decision, so that lookup must not take
@@ -254,14 +253,14 @@ class Runtime final : public energy::ActivitySource, private IssueSink {
   std::unique_ptr<std::atomic<TaskGroup*>[]> group_table_;
 
   std::atomic<std::uint64_t> pending_{0};
-  mutable std::mutex wait_mutex_;
+  mutable support::Mutex wait_mutex_;
   mutable std::condition_variable wait_cv_;
 
   std::atomic<TaskId> next_task_id_{1};
   std::atomic<std::uint64_t> faults_{0};
   std::atomic<std::uint64_t> inline_spawns_{0};
-  std::mutex error_mutex_;
-  std::exception_ptr first_error_;
+  support::Mutex error_mutex_;
+  std::exception_ptr first_error_ SIGRT_GUARDED_BY(error_mutex_);
 
   std::int64_t start_ns_;
   std::unique_ptr<Scheduler> scheduler_;  // after policy_: callback uses both

@@ -69,7 +69,7 @@ Scheduler::Scheduler(unsigned workers, unsigned unreliable, bool steal,
     slots_.push_back(std::move(slot));
   }
   {
-    std::lock_guard<std::mutex> lk(pool_mutex_);
+    support::MutexLock lk(pool_mutex_);
     pool_threads_.reserve(workers);
     for (unsigned i = 0; i < workers; ++i) {
       spawn_pool_thread_locked(static_cast<int>(i));
@@ -89,12 +89,12 @@ Scheduler::~Scheduler() {
     // Spares parked in the pool see `stopping` on wake and exit; a detach
     // in flight holds pool_mutex_, so by the time we collect the thread
     // list below no further spawns are possible.
-    std::lock_guard<std::mutex> lk(pool_mutex_);
+    support::MutexLock lk(pool_mutex_);
     pool_cv_.notify_all();
   }
   std::vector<std::unique_ptr<PoolThread>> threads;
   {
-    std::lock_guard<std::mutex> lk(pool_mutex_);
+    support::MutexLock lk(pool_mutex_);
     threads.swap(pool_threads_);
   }
   for (auto& pt : threads) {
@@ -669,7 +669,7 @@ void Scheduler::thread_main(PoolThread* self, int slot) {
     // retire once surplus and idle past the grace period.  Base-pool
     // threads (live <= worker_total_) never retire — they wait out the
     // grace and loop.
-    std::unique_lock<std::mutex> lk(pool_mutex_);
+    support::MutexLock lk(pool_mutex_);
     for (;;) {
       if (!free_slots_.empty()) {
         slot = static_cast<int>(free_slots_.back());
@@ -682,10 +682,14 @@ void Scheduler::thread_main(PoolThread* self, int slot) {
         return;
       }
       ++idle_spares_;
-      const bool signaled = pool_cv_.wait_for(lk, spare_grace_, [this] {
-        return stopping_.load(std::memory_order_acquire) ||
-               !free_slots_.empty();
-      });
+      // pool_cv_ reacquires pool_mutex_ before the predicate runs; TSA
+      // cannot see through the lambda, so free_slots_ is re-checked on the
+      // loop above instead.
+      const bool signaled =
+          pool_cv_.wait_for(lk.native(), spare_grace_, [this]() SIGRT_NO_THREAD_SAFETY_ANALYSIS {
+            return stopping_.load(std::memory_order_acquire) ||
+                   !free_slots_.empty();
+          });
       --idle_spares_;
       if (!signaled && live_threads_ > worker_total_) {
         --live_threads_;
@@ -725,7 +729,7 @@ bool Scheduler::detach_for_blocking() {
   if (inline_mode() || tls_scheduler != this || !tls_owns_slot) return false;
   if (max_spares_ == 0) return false;
   {
-    std::lock_guard<std::mutex> lk(pool_mutex_);
+    support::MutexLock lk(pool_mutex_);
     if (stopping_.load(std::memory_order_acquire)) return false;
     const bool idle_available = idle_spares_ > 0;
     if (!idle_available && live_threads_ >= worker_total_ + max_spares_) {
@@ -802,8 +806,7 @@ bool Scheduler::park_worker_for_barrier(bool (*open)(void*), void* ctx,
 PoolStats Scheduler::pool_stats() const {
   PoolStats p;
   {
-    std::lock_guard<std::mutex> lk(
-        const_cast<Scheduler*>(this)->pool_mutex_);
+    support::MutexLock lk(pool_mutex_);
     p.handoffs = handoffs_;
     p.spares_spawned = spares_spawned_;
     p.spares_retired = spares_retired_;

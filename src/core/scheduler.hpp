@@ -68,6 +68,7 @@
 #include "core/eventcount.hpp"
 #include "core/task.hpp"
 #include "core/topology.hpp"
+#include "support/mutex.hpp"
 #include "support/rng.hpp"
 
 namespace sigrt {
@@ -300,11 +301,10 @@ class Scheduler {
   };
 
   void thread_main(PoolThread* self, int slot);
-  /// Requires pool_mutex_.  slot >= 0 binds the new thread to that slot
-  /// immediately (construction); -1 spawns a spare that adopts from
-  /// free_slots_.
-  void spawn_pool_thread_locked(int slot);
-  void reap_exited_locked();
+  /// slot >= 0 binds the new thread to that slot immediately
+  /// (construction); -1 spawns a spare that adopts from free_slots_.
+  void spawn_pool_thread_locked(int slot) SIGRT_REQUIRES(pool_mutex_);
+  void reap_exited_locked() SIGRT_REQUIRES(pool_mutex_);
 
   void worker_loop(unsigned index);
   void run_task(Task* raw, unsigned index);
@@ -372,15 +372,18 @@ class Scheduler {
   // --- elastic pool state (all guarded by pool_mutex_ unless atomic) -----
   unsigned max_spares_ = 0;
   std::chrono::milliseconds spare_grace_{5};
-  std::mutex pool_mutex_;
+  mutable support::Mutex pool_mutex_;
   std::condition_variable pool_cv_;
-  std::vector<std::unique_ptr<PoolThread>> pool_threads_;
-  std::vector<unsigned> free_slots_;  ///< slots awaiting a new owner
-  unsigned idle_spares_ = 0;          ///< threads parked in pool_cv_
-  unsigned live_threads_ = 0;
-  std::uint64_t handoffs_ = 0;
-  std::uint64_t spares_spawned_ = 0;
-  std::uint64_t spares_retired_ = 0;
+  std::vector<std::unique_ptr<PoolThread>> pool_threads_
+      SIGRT_GUARDED_BY(pool_mutex_);
+  /// Slots awaiting a new owner.
+  std::vector<unsigned> free_slots_ SIGRT_GUARDED_BY(pool_mutex_);
+  /// Threads parked in pool_cv_.
+  unsigned idle_spares_ SIGRT_GUARDED_BY(pool_mutex_) = 0;
+  unsigned live_threads_ SIGRT_GUARDED_BY(pool_mutex_) = 0;
+  std::uint64_t handoffs_ SIGRT_GUARDED_BY(pool_mutex_) = 0;
+  std::uint64_t spares_spawned_ SIGRT_GUARDED_BY(pool_mutex_) = 0;
+  std::uint64_t spares_retired_ SIGRT_GUARDED_BY(pool_mutex_) = 0;
   /// Completions by detached threads (their old slot's single-writer
   /// counters belong to the new owner).
   std::atomic<std::uint64_t> detached_busy_cycles_{0};

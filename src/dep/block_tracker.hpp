@@ -133,7 +133,9 @@ class Node {
   /// gone through complete() (abnormal teardown): the retained successor
   /// references are dropped so their slots still recycle.  The vectors
   /// keep their capacity — part of the zero-allocation steady state.
-  void reset_dep_state() noexcept {
+  /// Pool-recycle path: the slot is exclusively owned (refcount already
+  /// zero), so dependents_ is accessed without dep_lock_ by protocol.
+  void reset_dep_state() noexcept SIGRT_NO_THREAD_SAFETY_ANALYSIS {
     for (Node* d : dependents_) d->ref_release();
     dependents_.clear();
     touched_blocks_.clear();
@@ -144,9 +146,13 @@ class Node {
 
  private:
   friend class BlockTracker;
-  support::SpinLock dep_lock_;     ///< guards dependents_ and the done_ edge
-  std::atomic<bool> done_{false};  ///< set (release) under dep_lock_ by complete()
-  std::vector<Node*> dependents_;  ///< successors; one retained ref each
+  /// Guards dependents_ and the done_ publish edge (node-state protocol).
+  support::SpinLock dep_lock_;
+  /// Set (release) under dep_lock_ by complete(); read lock-free (acquire)
+  /// by link()'s fast path, hence atomic rather than SIGRT_GUARDED_BY.
+  std::atomic<bool> done_{false};
+  /// Successors; one retained ref each.
+  std::vector<Node*> dependents_ SIGRT_GUARDED_BY(dep_lock_);
   /// Blocks where this node may still be parked as writer/reader (possibly
   /// with duplicates); complete() walks it to drop the block-map pins.
   std::vector<std::uint64_t> touched_blocks_;
@@ -192,7 +198,10 @@ class BlockTracker {
   /// may complete concurrently with the registration — callers seed their
   /// gate with a surplus hold (see Runtime::spawn_impl) so early
   /// notifications cannot zero it before this count is folded in.
-  std::size_t register_node(Node* node, std::span<const Access> accesses);
+  /// TSA opt-out: operates under the dynamic stripe set of lock_stripes()
+  /// (ascending-order mask locking, inexpressible statically).
+  std::size_t register_node(Node* node, std::span<const Access> accesses)
+      SIGRT_NO_THREAD_SAFETY_ANALYSIS;
 
   /// Marks `node` complete, drops every block-map pin still naming it (the
   /// tracker holds no pointer to the node afterwards) and appends the
@@ -214,8 +223,11 @@ class BlockTracker {
   /// nodes).  A writer that completes between the stripe visits may or may
   /// not appear; one that completes after the call returns leaves a
   /// dangling entry.
+  /// TSA opt-out: holds at most one stripe lock via a conditional
+  /// relock-on-stripe-change walk, a dynamic pattern TSA cannot follow.
   [[nodiscard]] std::vector<Node*> pending_writers(const void* ptr,
-                                                   std::size_t bytes);
+                                                   std::size_t bytes)
+      SIGRT_NO_THREAD_SAFETY_ANALYSIS;
 
   /// Forgets all history.  Only valid when no tasks are in flight (every
   /// registered node completed), so the dropped map entries pin nothing.
@@ -289,8 +301,9 @@ class BlockTracker {
   /// share a cache line under concurrent register/complete traffic.
   struct alignas(64) Stripe {
     mutable support::SpinLock lock;
-    support::FlatBlockMap<BlockState> map;  // guarded by lock
-    std::uint64_t blocks_ever = 0;          ///< distinct keys; guarded by lock
+    support::FlatBlockMap<BlockState> map SIGRT_GUARDED_BY(lock);
+    /// Distinct keys ever inserted.
+    std::uint64_t blocks_ever SIGRT_GUARDED_BY(lock) = 0;
   };
 
   [[nodiscard]] unsigned stripe_of(std::uint64_t block) const noexcept {
@@ -310,8 +323,14 @@ class BlockTracker {
   [[nodiscard]] std::uint64_t stripe_mask(std::uint64_t lo,
                                           std::uint64_t hi) const noexcept;
 
-  void lock_stripes(std::uint64_t mask) noexcept;
-  void unlock_stripes(std::uint64_t mask) noexcept;
+  // Dynamic stripe sets (a ctz loop over a runtime mask, ascending order)
+  // are beyond TSA's static capability tracking; the implementations and
+  // every holder of a mask-locked region opt out with
+  // SIGRT_NO_THREAD_SAFETY_ANALYSIS and rely on the documented ascending
+  // lock order instead.
+  void lock_stripes(std::uint64_t mask) noexcept SIGRT_NO_THREAD_SAFETY_ANALYSIS;
+  void unlock_stripes(std::uint64_t mask) noexcept
+      SIGRT_NO_THREAD_SAFETY_ANALYSIS;
 
   /// Adds an edge pred -> succ unless pred is done or already linked during
   /// this pass (visit stamp).  Returns true when an edge was added.  Must

@@ -4,9 +4,9 @@
 
 #include <atomic>
 #include <memory>
-#include <mutex>
 #include <vector>
 
+#include "support/mutex.hpp"
 #include "support/rng.hpp"
 
 namespace sigrt::fault {
@@ -33,8 +33,8 @@ std::atomic<const ArmedPlan*> g_plan{nullptr};
 // hold a plan pointer across a disarm()/arm() on another thread, and
 // arming is a test-harness operation where a few dozen leaked-by-design
 // structs are irrelevant.
-std::mutex g_arm_mutex;
-std::vector<std::unique_ptr<ArmedPlan>>& graveyard() {
+support::Mutex g_arm_mutex;
+std::vector<std::unique_ptr<ArmedPlan>>& graveyard() SIGRT_REQUIRES(g_arm_mutex) {
   static std::vector<std::unique_ptr<ArmedPlan>> g;
   return g;
 }
@@ -58,7 +58,7 @@ bool armed() noexcept {
 }
 
 void arm(const FaultPlan& plan) {
-  std::lock_guard<std::mutex> lock(g_arm_mutex);
+  support::MutexLock lock(g_arm_mutex);
   graveyard().push_back(std::make_unique<ArmedPlan>(ArmedPlan{plan}));
   reset_trace();
   g_plan.store(graveyard().back().get(), std::memory_order_release);

@@ -129,7 +129,7 @@ void NetServer::register_kernel(std::uint32_t kernel, KernelHandler handler) {
   auto owned = std::make_unique<KernelHandler>(std::move(handler));
   KernelHandler* ptr = owned.get();
   {
-    std::lock_guard lock(kernel_lock_);
+    support::SpinLockGuard lock(kernel_lock_);
     owned_kernels_.push_back(std::move(owned));
   }
   kernels_[kernel].store(ptr, std::memory_order_release);
@@ -239,7 +239,7 @@ void NetServer::stop() {
   // release whatever survived the pollers.
   std::vector<Conn*> rest;
   {
-    std::lock_guard lock(conns_lock_);
+    support::SpinLockGuard lock(conns_lock_);
     rest.swap(conns_);
   }
   for (Conn* c : rest) {
@@ -281,7 +281,7 @@ NetServer::Counters NetServer::counters() const noexcept {
 
 NetServer::NetRequest* NetServer::acquire_request() {
   {
-    std::lock_guard lock(pool_lock_);
+    support::SpinLockGuard lock(pool_lock_);
     if (NetRequest* r = request_pool_) {
       request_pool_ = r->next;
       r->next = nullptr;
@@ -312,7 +312,7 @@ void NetServer::unpin_request(NetRequest* r) {
   r->out.clear();
   r->out_off = 0;
   {
-    std::lock_guard lock(pool_lock_);
+    support::SpinLockGuard lock(pool_lock_);
     r->next = request_pool_;
     request_pool_ = r;
   }
@@ -358,7 +358,7 @@ void NetServer::close_conn(Conn* c) noexcept {
   reap_outq(c);
   bool in_registry = false;
   {
-    std::lock_guard lock(conns_lock_);
+    support::SpinLockGuard lock(conns_lock_);
     for (auto it = conns_.begin(); it != conns_.end(); ++it) {
       if (*it == c) {
         conns_.erase(it);
@@ -434,7 +434,7 @@ void NetServer::idle_sweep(Poller& p) {
   // touches epoll state and the poller-local write fields.
   std::vector<Conn*> victims;
   {
-    std::lock_guard lock(conns_lock_);
+    support::SpinLockGuard lock(conns_lock_);
     for (Conn* c : conns_) {
       if (c->poller != &p) continue;
       if (c->closed.load(std::memory_order_acquire)) continue;
@@ -490,7 +490,7 @@ void NetServer::handle_accept(Poller& p) {
     c->last_activity_ns.store(support::now_ns(), std::memory_order_relaxed);
     c->refs.store(2, std::memory_order_relaxed);  // epoll + registry
     {
-      std::lock_guard lock(conns_lock_);
+      support::SpinLockGuard lock(conns_lock_);
       conns_.push_back(c);
     }
     epoll_event ev{};

@@ -191,7 +191,8 @@ class NetServer {
 
   std::array<std::atomic<KernelHandler*>, kMaxKernels> kernels_{};
   support::SpinLock kernel_lock_;
-  std::vector<std::unique_ptr<KernelHandler>> owned_kernels_;  ///< kernel_lock_
+  std::vector<std::unique_ptr<KernelHandler>> owned_kernels_
+      SIGRT_GUARDED_BY(kernel_lock_);
 
   std::uint16_t port_ = 0;
   std::atomic<bool> stopping_{false};
@@ -205,10 +206,11 @@ class NetServer {
   std::vector<std::unique_ptr<Poller>> pollers_;
 
   support::SpinLock conns_lock_;
-  std::vector<Conn*> conns_;  ///< conns_lock_; registry holds one reference
+  /// Registry holds one reference per connection.
+  std::vector<Conn*> conns_ SIGRT_GUARDED_BY(conns_lock_);
 
   support::SpinLock pool_lock_;
-  NetRequest* request_pool_ = nullptr;  ///< pool_lock_
+  NetRequest* request_pool_ SIGRT_GUARDED_BY(pool_lock_) = nullptr;
 
   std::atomic<std::uint64_t> accepted_{0};
   std::atomic<std::uint64_t> closed_count_{0};

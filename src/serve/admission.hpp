@@ -35,7 +35,7 @@ class RequestQueue {
 
   /// Any thread.  One CAS; the release pairs with pop_all_fifo's acquire so
   /// the consumer sees the fully built Request.
-  void push(Request* r) noexcept {
+  SIGRT_HOT_PATH void push(Request* r) noexcept {
     Request* head = head_.load(std::memory_order_relaxed);
     do {
       r->next = head;
@@ -45,7 +45,7 @@ class RequestQueue {
 
   /// Consumer only.  Takes the whole chain and reverses it so requests come
   /// back in submission order.  Returns nullptr when empty.
-  [[nodiscard]] Request* pop_all_fifo() noexcept {
+  [[nodiscard]] SIGRT_HOT_PATH Request* pop_all_fifo() noexcept {
     Request* chain = head_.exchange(nullptr, std::memory_order_acquire);
     Request* fifo = nullptr;
     while (chain != nullptr) {
@@ -76,16 +76,16 @@ class EdfQueue {
   EdfQueue(const EdfQueue&) = delete;
   EdfQueue& operator=(const EdfQueue&) = delete;
 
-  void push(Request* r) {
-    std::lock_guard lock(lock_);
+  SIGRT_HOT_PATH void push(Request* r) {
+    support::SpinLockGuard lock(lock_);
     heap_.push_back(r);
     sift_up(heap_.size() - 1);
     size_.store(heap_.size(), std::memory_order_relaxed);
   }
 
   /// Pops the earliest deadline, or nullptr when empty.
-  [[nodiscard]] Request* try_pop() {
-    std::lock_guard lock(lock_);
+  [[nodiscard]] SIGRT_HOT_PATH Request* try_pop() {
+    support::SpinLockGuard lock(lock_);
     if (heap_.empty()) return nullptr;
     Request* top = heap_.front();
     heap_.front() = heap_.back();
@@ -100,7 +100,7 @@ class EdfQueue {
   }
 
  private:
-  void sift_up(std::size_t i) noexcept {
+  void sift_up(std::size_t i) noexcept SIGRT_REQUIRES(lock_) {
     while (i > 0) {
       const std::size_t parent = (i - 1) / 2;
       if (heap_[parent]->deadline_ns <= heap_[i]->deadline_ns) break;
@@ -109,7 +109,7 @@ class EdfQueue {
     }
   }
 
-  void sift_down(std::size_t i) noexcept {
+  void sift_down(std::size_t i) noexcept SIGRT_REQUIRES(lock_) {
     const std::size_t n = heap_.size();
     for (;;) {
       std::size_t smallest = i;
@@ -127,7 +127,9 @@ class EdfQueue {
   }
 
   support::SpinLock lock_;
-  std::vector<Request*> heap_;  ///< lock_
+  std::vector<Request*> heap_ SIGRT_GUARDED_BY(lock_);
+  /// Relaxed lock-free mirror of heap_.size() — the documented escape
+  /// hatch for dispatch-eligibility scans that must not take lock_.
   std::atomic<std::size_t> size_{0};
 };
 

@@ -68,7 +68,7 @@ Server::Server(ServerOptions options)
   } catch (...) {
     running_.store(false, std::memory_order_release);
     {
-      std::lock_guard lock(wake_mutex_);
+      support::MutexLock lock(wake_mutex_);
       wake_cv_.notify_all();
     }
     for (auto& d : dispatchers_) d.join();
@@ -79,7 +79,7 @@ Server::Server(ServerOptions options)
 Server::~Server() { close(); }
 
 ClassId Server::register_class(RequestClassConfig config) {
-  std::lock_guard lock(register_mutex_);
+  support::MutexLock lock(register_mutex_);
   const std::uint32_t id = class_count_.load(std::memory_order_relaxed);
   if (id >= kMaxClasses) {
     throw std::length_error("serve::Server: too many request classes");
@@ -98,7 +98,7 @@ ClassId Server::register_class(RequestClassConfig config) {
 }
 
 TenantId Server::register_tenant(TenantConfig config) {
-  std::lock_guard lock(register_mutex_);
+  support::MutexLock lock(register_mutex_);
   const std::uint32_t id = tenant_count_.load(std::memory_order_relaxed);
   if (id >= kMaxTenants) {
     throw std::length_error("serve::Server: too many tenants");
@@ -234,7 +234,7 @@ void Server::wake_dispatcher() noexcept {
   if (idle_dispatchers_.load(std::memory_order_acquire) == 0) return;
   if (wake_pending_.exchange(true, std::memory_order_seq_cst)) return;
   {
-    std::lock_guard lock(wake_mutex_);
+    support::MutexLock lock(wake_mutex_);
     wake_cv_.notify_one();
   }
   wake_pending_.store(false, std::memory_order_release);
@@ -326,8 +326,8 @@ void Server::dispatcher_loop(unsigned index) {
       continue;
     }
     {
-      std::unique_lock lock(wake_mutex_);
-      wake_cv_.wait_for(lock, 1ms, [this] {
+      support::MutexLock lock(wake_mutex_);
+      wake_cv_.wait_for(lock.native(), 1ms, [this] {
         return !queue_.empty() || has_issuable() ||
                !running_.load(std::memory_order_acquire);
       });
@@ -399,7 +399,7 @@ void Server::request_unref(Request* r, int n) {
 }
 
 void Server::watchdog_link(ClassState& s, Request* r) {
-  std::lock_guard lock(s.wd_lock);
+  support::SpinLockGuard lock(s.wd_lock);
   r->wd_prev = nullptr;
   r->wd_next = s.wd_head;
   if (s.wd_head != nullptr) s.wd_head->wd_prev = r;
@@ -408,7 +408,7 @@ void Server::watchdog_link(ClassState& s, Request* r) {
 
 bool Server::watchdog_unlink(ClassState& s, Request* r) {
   if (s.cfg.watchdog_ns <= 0) return false;
-  std::lock_guard lock(s.wd_lock);
+  support::SpinLockGuard lock(s.wd_lock);
   // Already claimed by the sweep: the sweep nulled both links and advanced
   // wd_head past us.
   if (r->wd_prev == nullptr && r->wd_next == nullptr && s.wd_head != r) {
@@ -437,7 +437,7 @@ void Server::watchdog_sweep() {
     // The overdue chain reuses wd_next (each node is unlinked first).
     Request* overdue = nullptr;
     {
-      std::lock_guard lock(s.wd_lock);
+      support::SpinLockGuard lock(s.wd_lock);
       Request* cur = s.wd_head;
       while (cur != nullptr) {
         Request* next = cur->wd_next;
@@ -642,10 +642,13 @@ void Server::controller_loop() {
   if (options_.thread_start_hook) options_.thread_start_hook("controller", 0);
   while (true) {
     {
-      std::unique_lock lock(controller_mutex_);
+      support::MutexLock lock(controller_mutex_);
+      // TSA cannot see that the predicate runs with controller_mutex_ held
+      // by wait_for; the surrounding scope holds the capability.
       controller_cv_.wait_for(
-          lock, std::chrono::duration<double, std::milli>(options_.epoch_ms),
-          [this] { return controller_stop_; });
+          lock.native(),
+          std::chrono::duration<double, std::milli>(options_.epoch_ms),
+          [this]() SIGRT_NO_THREAD_SAFETY_ANALYSIS { return controller_stop_; });
       if (controller_stop_) return;
     }
     controller_tick();
@@ -682,7 +685,7 @@ void Server::controller_tick() {
 
 void Server::drain() {
   {
-    std::lock_guard lock(close_mutex_);
+    support::MutexLock lock(close_mutex_);
     if (drained_) return;
     drained_ = true;
   }
@@ -711,7 +714,7 @@ void Server::drain() {
   // Phase 3: stop the service threads.
   if (controller_.joinable()) {
     {
-      std::lock_guard lock(controller_mutex_);
+      support::MutexLock lock(controller_mutex_);
       controller_stop_ = true;
     }
     controller_cv_.notify_one();
@@ -721,7 +724,7 @@ void Server::drain() {
   running_.store(false, std::memory_order_release);
   {
     // Shutdown wake: every parked dispatcher must observe the flag.
-    std::lock_guard lock(wake_mutex_);
+    support::MutexLock lock(wake_mutex_);
     wake_cv_.notify_all();
   }
   for (auto& d : dispatchers_) {
@@ -731,7 +734,7 @@ void Server::drain() {
 
 void Server::close() {
   {
-    std::lock_guard lock(close_mutex_);
+    support::MutexLock lock(close_mutex_);
     if (closed_) return;
     closed_ = true;
   }

@@ -43,7 +43,6 @@
 #include <condition_variable>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -52,6 +51,7 @@
 #include "serve/qos_controller.hpp"
 #include "serve/request.hpp"
 #include "support/histogram.hpp"
+#include "support/mutex.hpp"
 #include "support/spinlock.hpp"
 
 namespace sigrt::serve {
@@ -229,7 +229,7 @@ class Server {
     /// (linked at dispatch, unlinked at complete) the controller sweeps for
     /// overdue entries.  Only populated when cfg.watchdog_ns > 0.
     support::SpinLock wd_lock;
-    Request* wd_head = nullptr;  ///< wd_lock
+    Request* wd_head SIGRT_GUARDED_BY(wd_lock) = nullptr;
   };
 
   enum class Outcome : std::uint8_t { Accurate, Approximate, Dropped };
@@ -280,9 +280,11 @@ class Server {
   std::atomic<std::uint32_t> class_count_{0};
   std::array<std::atomic<TenantState*>, kMaxTenants> tenants_{};
   std::atomic<std::uint32_t> tenant_count_{0};
-  mutable std::mutex register_mutex_;
-  std::vector<std::unique_ptr<ClassState>> owned_classes_;   ///< register_mutex_
-  std::vector<std::unique_ptr<TenantState>> owned_tenants_;  ///< register_mutex_
+  mutable support::Mutex register_mutex_;
+  std::vector<std::unique_ptr<ClassState>> owned_classes_
+      SIGRT_GUARDED_BY(register_mutex_);
+  std::vector<std::unique_ptr<TenantState>> owned_tenants_
+      SIGRT_GUARDED_BY(register_mutex_);
 
   RequestQueue queue_;
   RequestPool pool_;
@@ -295,16 +297,16 @@ class Server {
   /// Single-flight token for the producer-side wake: one producer per
   /// burst takes the lock+notify, the rest skip (see wake_dispatcher).
   std::atomic<bool> wake_pending_{false};
-  std::mutex wake_mutex_;
+  support::Mutex wake_mutex_;
   std::condition_variable wake_cv_;
 
-  std::mutex controller_mutex_;
+  support::Mutex controller_mutex_;
   std::condition_variable controller_cv_;
-  bool controller_stop_ = false;  ///< controller_mutex_
+  bool controller_stop_ SIGRT_GUARDED_BY(controller_mutex_) = false;
 
-  std::mutex close_mutex_;
-  bool drained_ = false;  ///< close_mutex_
-  bool closed_ = false;   ///< close_mutex_
+  support::Mutex close_mutex_;
+  bool drained_ SIGRT_GUARDED_BY(close_mutex_) = false;
+  bool closed_ SIGRT_GUARDED_BY(close_mutex_) = false;
 
   std::vector<std::thread> dispatchers_;
   std::thread controller_;

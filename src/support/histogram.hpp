@@ -29,6 +29,8 @@
 #include <memory>
 #include <vector>
 
+#include "support/thread_annotations.hpp"
+
 namespace sigrt::support {
 
 class Histogram {
@@ -174,7 +176,7 @@ class ShardedHistogram {
   ShardedHistogram& operator=(const ShardedHistogram&) = delete;
 
   /// Wait-free from any thread.
-  void record(std::uint64_t v) noexcept {
+  SIGRT_HOT_PATH void record(std::uint64_t v) noexcept {
     Shard& s = *shards_[detail::thread_slot() % shards_.size()];
     s.counts[Histogram::bucket_index(v)].fetch_add(1, std::memory_order_relaxed);
   }

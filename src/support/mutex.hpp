@@ -1,0 +1,111 @@
+// Annotated mutex wrappers for Clang Thread Safety Analysis.
+//
+// libstdc++'s std::mutex / std::lock_guard carry no capability attributes
+// (libc++'s do), so guarded-state contracts written against the standard
+// types are invisible to `-Wthread-safety`.  These thin wrappers add the
+// attributes and nothing else: Mutex is a std::mutex, MutexLock is a
+// std::unique_lock, and both expose `native()` so condition variables keep
+// working unchanged:
+//
+//   support::Mutex m_;
+//   bool flag_ SIGRT_GUARDED_BY(m_);
+//   ...
+//   support::MutexLock lk(m_);
+//   cv_.wait(lk.native(), [&] { return flag_; });   // cv's release/reacquire
+//                                                   // is invisible to TSA by
+//                                                   // design — the guarded
+//                                                   // fields stay checked.
+#pragma once
+
+#include <mutex>
+#include <shared_mutex>
+
+#include "support/thread_annotations.hpp"
+
+namespace sigrt::support {
+
+/// std::mutex with capability annotations.  `native()` is for
+/// std::condition_variable only — never lock/unlock through it directly.
+class SIGRT_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() SIGRT_ACQUIRE() { m_.lock(); }
+  void unlock() SIGRT_RELEASE() { m_.unlock(); }
+  [[nodiscard]] bool try_lock() SIGRT_TRY_ACQUIRE(true) {
+    return m_.try_lock();
+  }
+
+  [[nodiscard]] std::mutex& native() noexcept { return m_; }
+
+ private:
+  std::mutex m_;
+};
+
+/// Scoped lock over Mutex, backed by std::unique_lock so condvar waits and
+/// manual unlock/relock spans keep their std semantics under the analysis.
+class SIGRT_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& m) SIGRT_ACQUIRE(m) : lk_(m.native()) {}
+  ~MutexLock() SIGRT_RELEASE() {}
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  void lock() SIGRT_ACQUIRE() { lk_.lock(); }
+  void unlock() SIGRT_RELEASE() { lk_.unlock(); }
+
+  /// For std::condition_variable::wait(_for) only.
+  [[nodiscard]] std::unique_lock<std::mutex>& native() noexcept { return lk_; }
+
+ private:
+  std::unique_lock<std::mutex> lk_;
+};
+
+/// std::shared_mutex with capability annotations (reader/writer).
+class SIGRT_CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  SharedMutex() = default;
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void lock() SIGRT_ACQUIRE() { m_.lock(); }
+  void unlock() SIGRT_RELEASE() { m_.unlock(); }
+  void lock_shared() SIGRT_ACQUIRE_SHARED() { m_.lock_shared(); }
+  void unlock_shared() SIGRT_RELEASE_SHARED() { m_.unlock_shared(); }
+
+ private:
+  std::shared_mutex m_;
+};
+
+/// Exclusive (writer) scope over SharedMutex.
+class SIGRT_SCOPED_CAPABILITY WriterLock {
+ public:
+  explicit WriterLock(SharedMutex& m) SIGRT_ACQUIRE(m) : m_(m) { m_.lock(); }
+  ~WriterLock() SIGRT_RELEASE() { m_.unlock(); }
+
+  WriterLock(const WriterLock&) = delete;
+  WriterLock& operator=(const WriterLock&) = delete;
+
+ private:
+  SharedMutex& m_;
+};
+
+/// Shared (reader) scope over SharedMutex.
+class SIGRT_SCOPED_CAPABILITY ReaderLock {
+ public:
+  explicit ReaderLock(SharedMutex& m) SIGRT_ACQUIRE_SHARED(m) : m_(m) {
+    m_.lock_shared();
+  }
+  ~ReaderLock() SIGRT_RELEASE() { m_.unlock_shared(); }
+
+  ReaderLock(const ReaderLock&) = delete;
+  ReaderLock& operator=(const ReaderLock&) = delete;
+
+ private:
+  SharedMutex& m_;
+};
+
+}  // namespace sigrt::support

@@ -9,6 +9,8 @@
 #include <atomic>
 #include <thread>
 
+#include "support/thread_annotations.hpp"
+
 namespace sigrt::support {
 
 inline void cpu_relax() noexcept {
@@ -21,13 +23,13 @@ inline void cpu_relax() noexcept {
 #endif
 }
 
-class SpinLock {
+class SIGRT_CAPABILITY("spinlock") SpinLock {
  public:
   SpinLock() = default;
   SpinLock(const SpinLock&) = delete;
   SpinLock& operator=(const SpinLock&) = delete;
 
-  void lock() noexcept {
+  void lock() noexcept SIGRT_ACQUIRE() {
     int spins = 0;
     for (;;) {
       if (!locked_.exchange(true, std::memory_order_acquire)) return;
@@ -43,16 +45,34 @@ class SpinLock {
     }
   }
 
-  [[nodiscard]] bool try_lock() noexcept {
+  [[nodiscard]] bool try_lock() noexcept SIGRT_TRY_ACQUIRE(true) {
     return !locked_.load(std::memory_order_relaxed) &&
            !locked_.exchange(true, std::memory_order_acquire);
   }
 
-  void unlock() noexcept { locked_.store(false, std::memory_order_release); }
+  void unlock() noexcept SIGRT_RELEASE() {
+    locked_.store(false, std::memory_order_release);
+  }
 
  private:
   static constexpr int kSpinLimit = 64;
   std::atomic<bool> locked_{false};
+};
+
+/// Scoped lock over SpinLock — the annotated stand-in for
+/// std::lock_guard<SpinLock>, which TSA cannot see through.
+class SIGRT_SCOPED_CAPABILITY SpinLockGuard {
+ public:
+  explicit SpinLockGuard(SpinLock& l) SIGRT_ACQUIRE(l) : lock_(l) {
+    lock_.lock();
+  }
+  ~SpinLockGuard() SIGRT_RELEASE() { lock_.unlock(); }
+
+  SpinLockGuard(const SpinLockGuard&) = delete;
+  SpinLockGuard& operator=(const SpinLockGuard&) = delete;
+
+ private:
+  SpinLock& lock_;
 };
 
 }  // namespace sigrt::support

@@ -37,9 +37,11 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <new>
 #include <vector>
+
+#include "support/mutex.hpp"
+#include "support/thread_annotations.hpp"
 
 namespace sigrt::support {
 
@@ -91,7 +93,7 @@ class SlabPool {
   /// Grabs a slot from the calling thread's shard: private freelist, then
   /// the remote-free chain, then a fresh slab.  The returned object is in
   /// its reset state; the caller re-initializes lifecycle fields.
-  [[nodiscard]] T* allocate() {
+  [[nodiscard]] SIGRT_HOT_PATH T* allocate() {
     Shard& shard = local_shard();
     T* obj = shard.free_list;
     if (obj == nullptr) {
@@ -116,7 +118,7 @@ class SlabPool {
   /// owns the shard, otherwise through a thread-local outbound chain that
   /// is spliced onto the home shard's MPSC remote list every
   /// kOutboundFlush frees (one CAS per batch, not per task).
-  void recycle(T* obj) noexcept {
+  SIGRT_HOT_PATH void recycle(T* obj) noexcept {
     obj->reset_for_reuse();
     // Plain load+store, not an RMW: the freeing thread exclusively owns the
     // slot here (refcount already zero); the release store publishes the
@@ -150,7 +152,7 @@ class SlabPool {
   /// threads are running.
   [[nodiscard]] Stats stats() const {
     Stats s;
-    std::lock_guard lock(registry_mutex_);
+    MutexLock lock(registry_mutex_);
     s.shards = shards_.size();
     for (const auto& shard : shards_) {
       s.allocated += shard->allocated.load(std::memory_order_relaxed);
@@ -178,7 +180,10 @@ class SlabPool {
     std::atomic<std::uint64_t> freed_local{0};
     std::atomic<std::uint64_t> freed_remote{0};
     std::atomic<std::uint64_t> slab_count{0};
-    bool leased = false;  ///< guarded by registry_mutex_
+    /// Guarded by the pool's registry_mutex_ (a cross-object guard TSA
+    /// cannot express on an inner-struct member; every access site holds
+    /// the registry lock).
+    bool leased = false;
   };
 
   /// Remote frees buffered before one CAS splices them home.
@@ -233,7 +238,7 @@ class SlabPool {
   }
 
   Shard& lease_shard() {
-    std::lock_guard lock(registry_mutex_);
+    MutexLock lock(registry_mutex_);
     for (auto& shard : shards_) {
       if (!shard->leased) {
         shard->leased = true;
@@ -246,7 +251,7 @@ class SlabPool {
   }
 
   void return_shard(Shard& shard) {
-    std::lock_guard lock(registry_mutex_);
+    MutexLock lock(registry_mutex_);
     shard.leased = false;
   }
 
@@ -276,8 +281,8 @@ class SlabPool {
     shard.slab_count.fetch_add(1, std::memory_order_relaxed);
   }
 
-  mutable std::mutex registry_mutex_;
-  std::vector<std::unique_ptr<Shard>> shards_;
+  mutable Mutex registry_mutex_;
+  std::vector<std::unique_ptr<Shard>> shards_ SIGRT_GUARDED_BY(registry_mutex_);
 };
 
 }  // namespace sigrt::support

@@ -1,0 +1,40 @@
+// Positive twin of tsa_violation.cpp: the same structure with the locking
+// protocol followed MUST COMPILE cleanly under -Werror=thread-safety.
+// Guards against the harness failing for the wrong reason (missing
+// include path, macro breakage) and then reading the WILL_FAIL negative
+// test as a false pass.
+#include <vector>
+
+#include "support/mutex.hpp"
+#include "support/spinlock.hpp"
+
+namespace {
+
+class Inbox {
+ public:
+  void push(int v) {
+    sigrt::support::MutexLock lock(mutex_);
+    items_.push_back(v);
+  }
+
+  int steal_locked() SIGRT_REQUIRES(lock_) { return items_empty_hint_ ? 0 : 1; }
+
+  int steal() {
+    sigrt::support::SpinLockGuard lock(lock_);
+    return steal_locked();
+  }
+
+ private:
+  sigrt::support::Mutex mutex_;
+  sigrt::support::SpinLock lock_;
+  std::vector<int> items_ SIGRT_GUARDED_BY(mutex_);
+  bool items_empty_hint_ SIGRT_GUARDED_BY(lock_) = true;
+};
+
+}  // namespace
+
+int main() {
+  Inbox inbox;
+  inbox.push(1);
+  return inbox.steal();
+}

@@ -1,0 +1,44 @@
+// Negative-compile probe: MUST FAIL under -Werror=thread-safety.
+//
+// Seeds the exact class of bug the capability annotations exist to catch:
+// reading and writing a SIGRT_GUARDED_BY member without holding its lock,
+// and calling a SIGRT_REQUIRES helper lock-free.  ctest runs this file
+// through `-fsyntax-only -Wthread-safety -Werror=thread-safety` with
+// WILL_FAIL, so the suite breaks if the annotations ever stop rejecting
+// it (e.g. a macro refactor silently compiling them away under Clang).
+//
+// The positive twin (tsa_clean.cpp) proves the same structure compiles
+// when the protocol is followed — so a failure here is the analysis
+// firing, not a broken test harness.
+#include <vector>
+
+#include "support/mutex.hpp"
+#include "support/spinlock.hpp"
+
+namespace {
+
+class Inbox {
+ public:
+  void push(int v) {
+    items_.push_back(v);  // BAD: touches guarded state without mutex_
+  }
+
+  int steal_locked() SIGRT_REQUIRES(lock_) { return items_.empty() ? 0 : 1; }
+
+  int steal() {
+    return steal_locked();  // BAD: REQUIRES(lock_) called lock-free
+  }
+
+ private:
+  sigrt::support::Mutex mutex_;
+  sigrt::support::SpinLock lock_;
+  std::vector<int> items_ SIGRT_GUARDED_BY(mutex_);
+};
+
+}  // namespace
+
+int main() {
+  Inbox inbox;
+  inbox.push(1);
+  return inbox.steal();
+}

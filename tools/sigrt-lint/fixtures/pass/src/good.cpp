@@ -1,0 +1,35 @@
+// Passing fixture: exercises every rule's happy path.
+//
+//   * memory-order: two sites, both recorded in the manifest.
+//   * hotpath-alloc: a SIGRT_HOT_PATH function that only pops a freelist,
+//     plus a suppressed cold-path allocation.
+//   * refpair: one thing_ref / one thing_unref -> delta 0.
+//   * inlinefn: src/support/inline_fn.hpp matches the configured bound.
+#include <atomic>
+
+#define SIGRT_HOT_PATH
+
+struct Node {
+  Node* next = nullptr;
+};
+
+std::atomic<Node*> g_head{nullptr};
+
+void thing_ref(Node*) {}
+void thing_unref(Node*) {}
+
+SIGRT_HOT_PATH Node* pop() {
+  Node* n = g_head.load(std::memory_order_acquire);
+  if (n == nullptr) {
+    return new Node;  // NOLINT(sigrt-hotpath-alloc)
+  }
+  g_head.store(n->next, std::memory_order_release);
+  // A mention of std::function or operator new in a comment must not fire.
+  return n;
+}
+
+void use() {
+  Node* n = pop();
+  thing_ref(n);
+  thing_unref(n);
+}

@@ -1,0 +1,7 @@
+// Fixture stand-in for the real InlineFn header.
+#pragma once
+#include <cstddef>
+
+struct InlineFn {
+  static constexpr std::size_t kInlineBytes = 64;
+};

@@ -1,0 +1,22 @@
+// Violating fixture: allocation and type-erasure inside SIGRT_HOT_PATH
+// bodies, with no NOLINT suppression.
+#include <functional>
+#include <memory>
+
+#define SIGRT_HOT_PATH
+
+SIGRT_HOT_PATH int* hot_alloc() {
+  return new int(7);  // error: operator new on the hot path
+}
+
+SIGRT_HOT_PATH int hot_erase(int x) {
+  std::function<int()> f = [x] { return x; };  // error: std::function
+  return f();
+}
+
+SIGRT_HOT_PATH std::unique_ptr<int> hot_make() {
+  return std::make_unique<int>(3);  // error: make_unique
+}
+
+// Cold functions may allocate freely: must NOT fire.
+int* cold_alloc() { return new int(9); }

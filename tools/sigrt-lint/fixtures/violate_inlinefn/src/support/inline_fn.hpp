@@ -1,0 +1,8 @@
+// Violating fixture: the SBO buffer was grown to 128 without bumping the
+// recorded bound in sigrt_lint.toml.
+#pragma once
+#include <cstddef>
+
+struct InlineFn {
+  static constexpr std::size_t kInlineBytes = 128;
+};

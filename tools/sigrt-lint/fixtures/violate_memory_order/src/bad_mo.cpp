@@ -1,0 +1,12 @@
+// Violating fixture: the manifest records ONE acquire site for this file;
+// a second one was added without re-deriving the protocol.  A third site
+// in a file the manifest has never seen also fires (unmanifested file).
+#include <atomic>
+
+std::atomic<int> g_flag{0};
+
+int read_twice() {
+  int a = g_flag.load(std::memory_order_acquire);
+  int b = g_flag.load(std::memory_order_acquire);  // unrecorded site
+  return a + b;
+}

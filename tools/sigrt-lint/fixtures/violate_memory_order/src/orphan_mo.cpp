@@ -1,0 +1,6 @@
+// No manifest entry at all for this file -> error.
+#include <atomic>
+
+std::atomic<int> g_count{0};
+
+void bump() { g_count.fetch_add(1, std::memory_order_relaxed); }

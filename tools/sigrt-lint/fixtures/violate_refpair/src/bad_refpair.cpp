@@ -1,0 +1,14 @@
+// Violating fixture: a retain without its matching release.  The manifest
+// baseline for this file is 0 (counting the two definitions), so the extra
+// thing_ref call shifts the delta to -1 and fails.
+struct Node {};
+
+void thing_ref(Node*) {}
+void thing_unref(Node*) {}
+
+Node g_node;
+
+void leak() {
+  thing_ref(&g_node);
+  // ... early return forgot thing_unref(&g_node)
+}

@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""sigrt-lint self-test: the fixture corpus under fixtures/ is the lint
+tool's test suite.  fixtures/pass must lint clean; every fixtures/violate_*
+tree must fail with at least one error naming its rule.  Run as a ctest
+(`lint_selftest`) so a lint regression fails the ordinary test suite, not
+just CI."""
+
+import pathlib
+import subprocess
+import sys
+
+HERE = pathlib.Path(__file__).resolve().parent
+LINT = HERE / "sigrt_lint.py"
+FIXTURES = HERE / "fixtures"
+
+EXPECT_RULE = {
+    "violate_memory_order": "[memory-order]",
+    "violate_hotpath": "[hotpath-alloc]",
+    "violate_inlinefn": "[inlinefn-sbo]",
+    "violate_refpair": "[refpair]",
+}
+
+
+def run(root):
+    proc = subprocess.run(
+        [sys.executable, str(LINT), "--root", str(root)],
+        capture_output=True, text=True)
+    return proc.returncode, proc.stdout + proc.stderr
+
+
+def main():
+    failures = []
+
+    rc, out = run(FIXTURES / "pass")
+    if rc != 0:
+        failures.append(f"pass fixture: expected exit 0, got {rc}\n{out}")
+
+    for name, rule in sorted(EXPECT_RULE.items()):
+        rc, out = run(FIXTURES / name)
+        if rc != 1:
+            failures.append(f"{name}: expected exit 1, got {rc}\n{out}")
+        elif rule not in out:
+            failures.append(f"{name}: no {rule} error in output\n{out}")
+
+    # The real tree must lint clean too -- the selftest doubles as the
+    # repo-wide gate when CI has no separate lint job.
+    rc, out = run(HERE.parents[1])
+    if rc != 0:
+        failures.append(f"repository tree: expected exit 0, got {rc}\n{out}")
+
+    if failures:
+        print("sigrt-lint selftest: FAIL")
+        for f in failures:
+            print("---\n" + f)
+        return 1
+    print(f"sigrt-lint selftest: OK ({1 + len(EXPECT_RULE) + 1} trees)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,392 @@
+#!/usr/bin/env python3
+"""sigrt-lint: textual concurrency-contract checker for the sigrt tree.
+
+Four rules, each enforcing a contract that the C++ type system cannot:
+
+  memory-order   Every file's std::memory_order_* sites must match the
+                 counts recorded in memory_order_manifest.toml, where each
+                 entry names the synchronization protocol the orders belong
+                 to.  Adding/removing an atomic site without updating the
+                 manifest (and thinking about the protocol) is an error.
+                 Entries tagged `todo = true` are tracked debt: reported as
+                 warnings, not errors.
+  hotpath-alloc  Functions marked SIGRT_HOT_PATH must not allocate or build
+                 type-erased callables: `new`, malloc/calloc/realloc,
+                 std::function, make_unique/make_shared are errors inside
+                 their bodies.  Suppress a deliberate cold branch with
+                 `// NOLINT(sigrt-hotpath-alloc)` on the offending line.
+  inlinefn-sbo   InlineFn::kInlineBytes must equal the bound recorded in
+                 the config.  Growing the SBO buffer silently would bloat
+                 every pooled task slot; the config forces the bump to be
+                 deliberate.  Lambdas handed to spawn()/task() with many
+                 explicit captures are flagged as warnings (likely to spill
+                 the SBO into static_assert territory).
+  refpair        Textual retain/release pairing: for each configured pair
+                 (e.g. conn_ref / conn_unref) the per-file occurrence delta
+                 must match the recorded baseline.  A new unref without its
+                 ref (or vice versa) shifts the delta and fails the build.
+
+Zero third-party dependencies: pure stdlib (tomllib).  Optional libclang is
+used for nothing yet -- the regex engine is the contract; keep it boring.
+
+Usage:
+  sigrt_lint.py [--root DIR] [--update-manifest] [--quiet]
+
+Exit codes: 0 clean (warnings allowed), 1 violations, 2 bad invocation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import re
+import sys
+import tomllib
+
+MEMORY_ORDERS = ("relaxed", "consume", "acquire", "release", "acq_rel",
+                 "seq_cst")
+MO_RE = re.compile(r"std::memory_order_(%s)\b" % "|".join(MEMORY_ORDERS))
+
+HOTPATH_TOKEN = "SIGRT_HOT_PATH"
+HOTPATH_NOLINT = "NOLINT(sigrt-hotpath-alloc)"
+HOTPATH_BANNED = [
+    (re.compile(r"\bnew\b(?!\s*\()"), "operator new"),
+    (re.compile(r"::new\b"), "operator new"),
+    (re.compile(r"\bstd::function\b"), "std::function (type-erased heap)"),
+    (re.compile(r"\bmake_unique\s*<"), "make_unique"),
+    (re.compile(r"\bmake_shared\s*<"), "make_shared"),
+    (re.compile(r"\b(?:std::)?malloc\s*\("), "malloc"),
+    (re.compile(r"\b(?:std::)?calloc\s*\("), "calloc"),
+    (re.compile(r"\b(?:std::)?realloc\s*\("), "realloc"),
+]
+
+INLINE_BYTES_RE = re.compile(
+    r"kInlineBytes\s*=\s*(\d+)\s*;")
+# Lambda with an explicit capture list, handed to spawn()/task(): count the
+# top-level comma-separated captures.
+SPAWN_LAMBDA_RE = re.compile(r"(?:spawn|task)\s*\(\s*\[([^\]]*)\]")
+
+
+def strip_code(text: str) -> str:
+    """Blanks comments and string/char literals, preserving line structure
+    so reported line numbers stay correct.  NOLINT markers inside //
+    comments are preserved (they are lint directives, not code)."""
+    out = []
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        if c == "/" and i + 1 < n and text[i + 1] == "/":
+            j = text.find("\n", i)
+            if j == -1:
+                j = n
+            comment = text[i:j]
+            if HOTPATH_NOLINT in comment:
+                out.append("//" + HOTPATH_NOLINT)
+                out.append(" " * (j - i - 2 - len(HOTPATH_NOLINT)))
+            else:
+                out.append(" " * (j - i))
+            i = j
+        elif c == "/" and i + 1 < n and text[i + 1] == "*":
+            j = text.find("*/", i + 2)
+            j = n if j == -1 else j + 2
+            out.append("".join("\n" if ch == "\n" else " "
+                               for ch in text[i:j]))
+            i = j
+        elif c in "\"'":
+            quote = c
+            j = i + 1
+            while j < n and text[j] != quote:
+                j += 2 if text[j] == "\\" else 1
+            j = min(j + 1, n)
+            out.append(quote + " " * (j - i - 2) + quote
+                       if j - i >= 2 else text[i:j])
+            i = j
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+def iter_source_files(root: pathlib.Path, subdirs):
+    for sub in subdirs:
+        base = root / sub
+        if not base.is_dir():
+            continue
+        for path in sorted(base.rglob("*")):
+            if path.suffix in (".hpp", ".cpp", ".h", ".cc"):
+                yield path
+
+
+class Report:
+    def __init__(self, quiet: bool):
+        self.errors = 0
+        self.warnings = 0
+        self.quiet = quiet
+
+    def error(self, path, line, rule, msg):
+        self.errors += 1
+        print(f"{path}:{line}: error: [{rule}] {msg}")
+
+    def warn(self, path, line, rule, msg):
+        self.warnings += 1
+        if not self.quiet:
+            print(f"{path}:{line}: warning: [{rule}] {msg}")
+
+
+# --------------------------------------------------------------------------
+# Rule: memory-order manifest
+# --------------------------------------------------------------------------
+
+def count_memory_orders(stripped: str):
+    counts = {}
+    for m in MO_RE.finditer(stripped):
+        counts[m.group(1)] = counts.get(m.group(1), 0) + 1
+    return counts
+
+
+def check_memory_orders(files, manifest: dict, rel, report: Report):
+    entries = manifest.get("file", {})
+    seen = set()
+    for path, stripped in files.items():
+        counts = count_memory_orders(stripped)
+        key = rel(path)
+        if not counts:
+            continue
+        seen.add(key)
+        entry = entries.get(key)
+        if entry is None:
+            report.error(
+                path, 1, "memory-order",
+                f"{sum(counts.values())} memory_order site(s) but no "
+                f"manifest entry; run --update-manifest and tag the "
+                f"protocol")
+            continue
+        if entry.get("todo"):
+            report.warn(path, 1, "memory-order",
+                        f"manifest entry is tagged todo (protocol "
+                        f"'{entry.get('protocol', '?')}') -- tracked debt")
+        for order in MEMORY_ORDERS:
+            want = int(entry.get(order, 0))
+            got = counts.get(order, 0)
+            if want != got:
+                report.error(
+                    path, 1, "memory-order",
+                    f"memory_order_{order}: {got} site(s), manifest says "
+                    f"{want} (protocol '{entry.get('protocol', '?')}'); "
+                    f"re-derive the protocol, then --update-manifest")
+    for key in entries:
+        if key not in seen:
+            report.warn(pathlib.Path(key), 1, "memory-order",
+                        "stale manifest entry: file has no memory_order "
+                        "sites (or no longer exists)")
+
+
+def update_manifest(files, manifest_path: pathlib.Path, manifest: dict, rel):
+    entries = dict(manifest.get("file", {}))
+    fresh = {}
+    for path, stripped in files.items():
+        counts = count_memory_orders(stripped)
+        if not counts:
+            continue
+        key = rel(path)
+        old = entries.get(key, {})
+        entry = {"protocol": old.get("protocol", "TODO")}
+        if old.get("todo") or "protocol" not in old:
+            entry["todo"] = True
+        for order in MEMORY_ORDERS:
+            if counts.get(order, 0):
+                entry[order] = counts[order]
+        fresh[key] = entry
+    lines = [
+        "# Per-file std::memory_order_* allowlist -- regenerate counts with",
+        "#   tools/sigrt-lint/sigrt_lint.py --update-manifest",
+        "# `protocol` names the synchronization protocol the orders belong",
+        "# to (see docs/architecture.md); `todo = true` marks entries whose",
+        "# protocol has not been re-derived yet (reported as warnings).",
+        "",
+    ]
+    for key in sorted(fresh):
+        entry = fresh[key]
+        lines.append(f'[file."{key}"]')
+        lines.append(f'protocol = "{entry["protocol"]}"')
+        if entry.get("todo"):
+            lines.append("todo = true")
+        for order in MEMORY_ORDERS:
+            if entry.get(order):
+                lines.append(f"{order} = {entry[order]}")
+        lines.append("")
+    manifest_path.write_text("\n".join(lines))
+    print(f"wrote {manifest_path} ({len(fresh)} files)")
+
+
+# --------------------------------------------------------------------------
+# Rule: hot-path allocation
+# --------------------------------------------------------------------------
+
+def hotpath_bodies(stripped: str):
+    """Yields (start_line, body_text) for every SIGRT_HOT_PATH function."""
+    idx = 0
+    while True:
+        idx = stripped.find(HOTPATH_TOKEN, idx)
+        if idx == -1:
+            return
+        line_start = stripped.rfind("\n", 0, idx) + 1
+        line = stripped[line_start:stripped.find("\n", idx)]
+        if line.lstrip().startswith("#"):  # the macro definition itself
+            idx += len(HOTPATH_TOKEN)
+            continue
+        # Find the body's opening brace; a `;` first means declaration only.
+        j = idx
+        while j < len(stripped) and stripped[j] not in "{;":
+            j += 1
+        if j >= len(stripped) or stripped[j] == ";":
+            idx += len(HOTPATH_TOKEN)
+            continue
+        depth, k = 0, j
+        while k < len(stripped):
+            if stripped[k] == "{":
+                depth += 1
+            elif stripped[k] == "}":
+                depth -= 1
+                if depth == 0:
+                    break
+            k += 1
+        start_line = stripped.count("\n", 0, idx) + 1
+        yield start_line, stripped[j:k + 1], stripped.count("\n", 0, j)
+        idx = k if k > idx else idx + len(HOTPATH_TOKEN)
+
+
+def check_hotpath(files, report: Report):
+    for path, stripped in files.items():
+        for fn_line, body, body_line0 in hotpath_bodies(stripped):
+            for lineno0, text in enumerate(body.split("\n")):
+                if HOTPATH_NOLINT in text:
+                    continue
+                for pattern, what in HOTPATH_BANNED:
+                    if pattern.search(text):
+                        report.error(
+                            path, body_line0 + lineno0 + 1, "hotpath-alloc",
+                            f"{what} inside SIGRT_HOT_PATH function "
+                            f"(declared line {fn_line}); hoist it off the "
+                            f"hot path or annotate the cold branch with "
+                            f"// {HOTPATH_NOLINT}")
+
+
+# --------------------------------------------------------------------------
+# Rule: InlineFn SBO bound
+# --------------------------------------------------------------------------
+
+def check_inlinefn(root, files, cfg, report: Report):
+    rule = cfg.get("inlinefn", {})
+    want = int(rule.get("inline_bytes", 0))
+    header = rule.get("header", "src/support/inline_fn.hpp")
+    max_captures = int(rule.get("max_explicit_captures", 8))
+    if want:
+        path = root / header
+        if not path.is_file():
+            report.error(path, 1, "inlinefn-sbo", "configured header missing")
+        else:
+            m = INLINE_BYTES_RE.search(path.read_text())
+            if m is None:
+                report.error(path, 1, "inlinefn-sbo",
+                             "kInlineBytes definition not found")
+            elif int(m.group(1)) != want:
+                report.error(
+                    path, 1, "inlinefn-sbo",
+                    f"kInlineBytes = {m.group(1)} but the recorded bound is "
+                    f"{want}; every pooled task slot grows with it -- bump "
+                    f"the config only after re-checking slab sizing")
+    for path, stripped in files.items():
+        for m in SPAWN_LAMBDA_RE.finditer(stripped):
+            captures = [c for c in m.group(1).split(",") if c.strip()]
+            if len(captures) > max_captures:
+                line = stripped.count("\n", 0, m.start()) + 1
+                report.warn(
+                    path, line, "inlinefn-sbo",
+                    f"lambda with {len(captures)} explicit captures handed "
+                    f"to spawn/task; likely to outgrow the {want}-byte "
+                    f"InlineFn buffer")
+
+
+# --------------------------------------------------------------------------
+# Rule: retain/release pairing
+# --------------------------------------------------------------------------
+
+def check_refpairs(files, cfg, rel, report: Report):
+    for pair in cfg.get("refpair", []):
+        retain, release = pair["retain"], pair["release"]
+        baseline = pair.get("baseline", {})
+        re_retain = re.compile(r"\b%s\s*\(" % re.escape(retain))
+        re_release = re.compile(r"\b%s\s*\(" % re.escape(release))
+        for path, stripped in files.items():
+            n_ret = len(re_retain.findall(stripped))
+            n_rel = len(re_release.findall(stripped))
+            if n_ret == 0 and n_rel == 0:
+                continue
+            delta = n_rel - n_ret
+            want = int(baseline.get(rel(path), 0))
+            if delta != want:
+                report.error(
+                    path, 1, "refpair",
+                    f"{retain}/{release} imbalance {delta:+d} "
+                    f"(baseline {want:+d}): {n_ret} retain vs {n_rel} "
+                    f"release site(s); pair the new site or record the "
+                    f"audited baseline in sigrt_lint.toml")
+
+
+# --------------------------------------------------------------------------
+
+def main(argv):
+    ap = argparse.ArgumentParser(prog="sigrt_lint.py")
+    ap.add_argument("--root", type=pathlib.Path,
+                    default=pathlib.Path(__file__).resolve().parents[2])
+    ap.add_argument("--config", type=pathlib.Path, default=None)
+    ap.add_argument("--manifest", type=pathlib.Path, default=None)
+    ap.add_argument("--update-manifest", action="store_true")
+    ap.add_argument("--quiet", action="store_true",
+                    help="suppress warnings (errors always print)")
+    args = ap.parse_args(argv)
+
+    root = args.root.resolve()
+    config_path = args.config or root / "tools" / "sigrt-lint" / "sigrt_lint.toml"
+    if not config_path.is_file():
+        config_path = root / "sigrt_lint.toml"  # fixture-tree layout
+    if not config_path.is_file():
+        print(f"sigrt-lint: config not found under {root}", file=sys.stderr)
+        return 2
+    with open(config_path, "rb") as f:
+        cfg = tomllib.load(f)
+
+    manifest_path = (args.manifest
+                     or config_path.parent / "memory_order_manifest.toml")
+    manifest = {}
+    if manifest_path.is_file():
+        with open(manifest_path, "rb") as f:
+            manifest = tomllib.load(f)
+
+    subdirs = cfg.get("scan", {}).get("dirs", ["src"])
+    files = {}
+    for path in iter_source_files(root, subdirs):
+        files[path] = strip_code(path.read_text())
+
+    def rel(path):
+        return str(pathlib.Path(path).resolve().relative_to(root).as_posix())
+
+    if args.update_manifest:
+        update_manifest(files, manifest_path, manifest, rel)
+        return 0
+
+    report = Report(args.quiet)
+    check_memory_orders(files, manifest, rel, report)
+    check_hotpath(files, report)
+    check_inlinefn(root, files, cfg, report)
+    check_refpairs(files, cfg, rel, report)
+
+    status = "FAIL" if report.errors else "OK"
+    print(f"sigrt-lint: {status} -- {len(files)} files, "
+          f"{report.errors} error(s), {report.warnings} warning(s)")
+    return 1 if report.errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
